@@ -1,0 +1,449 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (reported as custom metrics in virtual
+// microseconds / GMOPS, since the network is simulated) and measure the
+// real-engine software overheads of the Notified Access implementation
+// (reported as honest wall-clock ns/op).
+//
+// Run with: go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/fompi"
+	"repro/internal/bench"
+	"repro/internal/cholesky"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/halo"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+	"repro/internal/stencil"
+	"repro/internal/tree"
+)
+
+// ---------------------------------------------------------------------------
+// Figure/table regeneration benches (simulated time reported as metrics)
+// ---------------------------------------------------------------------------
+
+// BenchmarkFig1StencilStrong regenerates one strong-scaling point of Fig 1
+// (8 ranks, reduced pipeline depth) and reports GMOPS for the NA and MP
+// variants.
+func BenchmarkFig1StencilStrong(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gm := map[stencil.Variant]float64{}
+		for _, v := range []stencil.Variant{stencil.MP, stencil.NA} {
+			o := stencil.Options{Rows: 1280, Cols: 1280, Iters: 1, Variant: v}
+			err := runtime.Run(runtime.Options{Ranks: 8, Mode: exec.Sim}, func(p *runtime.Proc) {
+				res := stencil.Run(p, o)
+				if p.Rank() == 0 {
+					if !res.Valid {
+						b.Fatal("stencil validation failed")
+					}
+					gm[v] = res.GMOPS
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(gm[stencil.NA], "na-gmops")
+		b.ReportMetric(gm[stencil.MP], "mp-gmops")
+		b.ReportMetric(gm[stencil.NA]/gm[stencil.MP], "na/mp")
+	}
+}
+
+// BenchmarkFig2ProtocolAudit regenerates the transaction-count audit.
+func BenchmarkFig2ProtocolAudit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.Fig2()
+		if len(t.Rows) != 5 {
+			b.Fatalf("audit rows = %d", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkFig3aPutLatency regenerates the small-message put latencies.
+func BenchmarkFig3aPutLatency(b *testing.B) {
+	sizes := []int{8}
+	for i := 0; i < b.N; i++ {
+		na := bench.PingPong(bench.PingPongConfig{Scheme: bench.SchemeNAPut, Sizes: sizes, Reps: 20})
+		mp := bench.PingPong(bench.PingPongConfig{Scheme: bench.SchemeMP, Sizes: sizes, Reps: 20})
+		os := bench.PingPong(bench.PingPongConfig{Scheme: bench.SchemeOneSided, Sizes: sizes, Reps: 20})
+		b.ReportMetric(na[0], "na-us")
+		b.ReportMetric(mp[0], "mp-us")
+		b.ReportMetric(os[0], "onesided-us")
+	}
+}
+
+// BenchmarkFig3bGetLatency regenerates the notified-get latency point.
+func BenchmarkFig3bGetLatency(b *testing.B) {
+	sizes := []int{8}
+	for i := 0; i < b.N; i++ {
+		naGet := bench.PingPong(bench.PingPongConfig{Scheme: bench.SchemeNAGet, Sizes: sizes, Reps: 20})
+		get := bench.PingPong(bench.PingPongConfig{Scheme: bench.SchemeGet, Sizes: sizes, Reps: 20})
+		b.ReportMetric(naGet[0], "naget-us")
+		b.ReportMetric(get[0], "get-us")
+	}
+}
+
+// BenchmarkFig3cShmLatency regenerates the intra-node latency point.
+func BenchmarkFig3cShmLatency(b *testing.B) {
+	sizes := []int{8}
+	for i := 0; i < b.N; i++ {
+		na := bench.PingPong(bench.PingPongConfig{Scheme: bench.SchemeNAPut, Sizes: sizes, Reps: 20, ShmPair: true})
+		mp := bench.PingPong(bench.PingPongConfig{Scheme: bench.SchemeMP, Sizes: sizes, Reps: 20, ShmPair: true})
+		b.ReportMetric(na[0], "na-shm-us")
+		b.ReportMetric(mp[0], "mp-shm-us")
+	}
+}
+
+// BenchmarkTable1LogGPFit regenerates the LogGP fit and reports the fitted
+// FMA parameters (paper: L=1.02us, G=0.105ns/B).
+func BenchmarkTable1LogGPFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.Table1()
+		if len(t.Rows) != 3 {
+			b.Fatal("table1 rows")
+		}
+	}
+}
+
+// BenchmarkCallOverheads regenerates the §V-A call constants.
+func BenchmarkCallOverheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.Calls()
+		if len(t.Rows) != 4 {
+			b.Fatal("calls rows")
+		}
+	}
+}
+
+// BenchmarkFig4aOverlap regenerates two overlap points (small and large).
+func BenchmarkFig4aOverlap(b *testing.B) {
+	sizes := []int{1024, 262144}
+	for i := 0; i < b.N; i++ {
+		na := bench.Overlap(bench.OverlapNA, sizes, 5)
+		fence := bench.Overlap(bench.OverlapFence, sizes, 5)
+		b.ReportMetric(na[0], "na-small")
+		b.ReportMetric(na[1], "na-large")
+		b.ReportMetric(fence[0], "fence-small")
+		b.ReportMetric(fence[1], "fence-large")
+	}
+}
+
+// BenchmarkFig4bStencilWeak regenerates one weak-scaling point of Fig 4b.
+func BenchmarkFig4bStencilWeak(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var gmops float64
+		o := stencil.Options{Rows: 640, Cols: 640 * 8, Iters: 1, Variant: stencil.NA}
+		err := runtime.Run(runtime.Options{Ranks: 8, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := stencil.Run(p, o)
+			if p.Rank() == 0 {
+				if !res.Valid {
+					b.Fatal("invalid")
+				}
+				gmops = res.GMOPS
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(gmops, "na-gmops")
+	}
+}
+
+// BenchmarkFig4cTreeReduce regenerates the 64-rank tree-reduction point.
+func BenchmarkFig4cTreeReduce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		times := map[tree.Variant]float64{}
+		for _, v := range []tree.Variant{tree.MP, tree.NA, tree.Reduce} {
+			err := runtime.Run(runtime.Options{Ranks: 64, Mode: exec.Sim}, func(p *runtime.Proc) {
+				res := tree.Run(p, tree.Options{Arity: 16, Len: 8, Variant: v})
+				if p.Rank() == 0 {
+					if !res.Valid {
+						b.Fatal("invalid sum")
+					}
+					times[v] = res.Elapsed.Micros()
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(times[tree.NA], "na-us")
+		b.ReportMetric(times[tree.MP], "mp-us")
+		b.ReportMetric(times[tree.Reduce], "reduce-us")
+	}
+}
+
+// BenchmarkFig5Cholesky regenerates one Cholesky weak-scaling point.
+func BenchmarkFig5Cholesky(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		times := map[cholesky.Variant]float64{}
+		for _, v := range []cholesky.Variant{cholesky.MP, cholesky.NA} {
+			err := runtime.Run(runtime.Options{Ranks: 8, Mode: exec.Sim}, func(p *runtime.Proc) {
+				res := cholesky.Run(p, cholesky.Options{Tiles: 8, B: 32, Variant: v})
+				if p.Rank() == 0 {
+					times[v] = res.Elapsed.Micros()
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(times[cholesky.NA]/1000, "na-ms")
+		b.ReportMetric(times[cholesky.MP]/1000, "mp-ms")
+		b.ReportMetric(times[cholesky.MP]/times[cholesky.NA], "mp/na")
+	}
+}
+
+// BenchmarkAblationNotifySchemes regenerates the notification-scheme
+// ablation (queue vs counting vs overwriting).
+func BenchmarkAblationNotifySchemes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.Ablation()
+		if len(t.Rows) != 3 {
+			b.Fatal("ablation rows")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Real-engine software-overhead benches (wall-clock ns/op)
+// ---------------------------------------------------------------------------
+
+// BenchmarkRealNotifyRoundTrip measures a full notified-access ping-pong
+// iteration under true concurrency (wall-clock).
+func BenchmarkRealNotifyRoundTrip(b *testing.B) {
+	err := fompi.Run(fompi.Options{Ranks: 2, Real: true}, func(p *fompi.Proc) {
+		win := p.WinAllocate(64)
+		defer win.Free()
+		partner := 1 - p.Rank()
+		req := win.NotifyInit(partner, 1, 1)
+		defer req.Free()
+		payload := make([]byte, 8)
+		p.Barrier()
+		if p.Rank() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				win.PutNotify(partner, 0, payload, 1)
+				req.Start()
+				req.Wait()
+			}
+			b.StopTimer()
+		} else {
+			for i := 0; i < b.N; i++ {
+				req.Start()
+				req.Wait()
+				win.PutNotify(partner, 0, payload, 1)
+			}
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMatchOverhead measures the Test/Wait matching path with a deep
+// unexpected queue — the cost the paper bounds at two compulsory cache
+// misses. The metric of interest is ns/op with the UQ populated.
+func BenchmarkMatchOverhead(b *testing.B) {
+	const uqDepth = 64
+	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Real}, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 8)
+		defer win.Free()
+		if p.Rank() == 0 {
+			// Park uqDepth non-matching notifications in the UQ.
+			p.Barrier()
+			probe := core.NotifyInit(win, 1, 500, 1)
+			probe.Start()
+			probe.Wait() // pulls everything into the UQ
+			probe.Free()
+			if got := core.PendingNotifications(win); got != uqDepth {
+				b.Fatalf("UQ depth %d", got)
+			}
+			req := core.NotifyInit(win, 1, 999, 1) // never matches
+			req.Start()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if req.Test() {
+					b.Fatal("unexpected completion")
+				}
+			}
+			b.StopTimer()
+			req.Free()
+			p.Barrier()
+		} else {
+			for i := 0; i < uqDepth; i++ {
+				core.PutNotify(win, 0, 0, nil, 7) // tag 7: never matches
+			}
+			win.Flush(0)
+			core.PutNotify(win, 0, 0, nil, 500)
+			win.Flush(0)
+			p.Barrier()
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRealEagerSendRecv measures the message-passing baseline's
+// two-sided round trip under true concurrency.
+func BenchmarkRealEagerSendRecv(b *testing.B) {
+	err := fompi.Run(fompi.Options{Ranks: 2, Real: true}, func(p *fompi.Proc) {
+		payload := make([]byte, 8)
+		p.Barrier()
+		if p.Rank() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Send(1, 1, payload)
+				p.Recv(payload, 1, 2)
+			}
+			b.StopTimer()
+		} else {
+			for i := 0; i < b.N; i++ {
+				p.Recv(payload, 0, 1)
+				p.Send(0, 2, payload)
+			}
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRealFabricPut measures the raw fabric put path (post + remote
+// completion) under true concurrency.
+func BenchmarkRealFabricPut(b *testing.B) {
+	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Real}, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 4096)
+		defer win.Free()
+		payload := make([]byte, 4096)
+		p.Barrier()
+		if p.Rank() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				win.Put(1, 0, payload)
+				win.Flush(1)
+			}
+			b.StopTimer()
+			b.SetBytes(4096)
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEncodeImm measures the tag/source packing on the notification
+// hot path.
+func BenchmarkEncodeImm(b *testing.B) {
+	var acc uint32
+	for i := 0; i < b.N; i++ {
+		acc ^= core.EncodeImm(i&0xffff, (i*7)&0xffff)
+	}
+	_ = acc
+}
+
+// BenchmarkSimEventQueue measures the discrete-event queue push/pop cycle
+// that bounds simulation throughput.
+func BenchmarkSimEventQueue(b *testing.B) {
+	q := simtime.NewQueue()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(simtime.Time(i%1024), 0, fn)
+		if i%4 == 3 {
+			for q.Len() > 0 {
+				q.Pop()
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Extension experiment benches
+// ---------------------------------------------------------------------------
+
+// BenchmarkHaloExchange regenerates the halo-exchange point (4x4 grid).
+func BenchmarkHaloExchange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		times := map[halo.Variant]float64{}
+		for _, v := range []halo.Variant{halo.MP, halo.NA} {
+			var d simtime.Duration
+			o := halo.Options{PX: 4, PY: 4, BX: 8, BY: 8, Iters: 10, Variant: v}
+			err := runtime.Run(runtime.Options{Ranks: 16, Mode: exec.Sim}, func(p *runtime.Proc) {
+				res := halo.Run(p, o)
+				if p.Rank() == 0 {
+					if !res.Valid {
+						b.Fatal("halo invalid")
+					}
+					d = res.Elapsed
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			times[v] = d.Micros()
+		}
+		b.ReportMetric(times[halo.NA], "na-us")
+		b.ReportMetric(times[halo.MP], "mp-us")
+	}
+}
+
+// BenchmarkTaskflowDAG regenerates the dataflow-tasking comparison.
+func BenchmarkTaskflowDAG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.Taskflow()
+		if len(t.Rows) != 3 {
+			b.Fatal("taskflow rows")
+		}
+	}
+}
+
+// BenchmarkGetNotifyProtocols regenerates the three-protocol get table.
+func BenchmarkGetNotifyProtocols(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.GetNotifyProtocols()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkUQDepthSweep regenerates the matching-cost sweep.
+func BenchmarkUQDepthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.UQDepth()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkModelValidation regenerates the analytic-model comparison.
+func BenchmarkModelValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.ModelValidation()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkSensitivitySweep regenerates the latency-sensitivity table.
+func BenchmarkSensitivitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.Sensitivity()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

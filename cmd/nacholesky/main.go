@@ -1,0 +1,60 @@
+// Command nacholesky runs the task-based tiled Cholesky factorization
+// (paper §VI-C) on the simulated fabric and prints timing, GFLOPS, and
+// (optionally) validation against the serial reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cholesky"
+	"repro/internal/exec"
+	"repro/internal/runtime"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 8, "number of ranks")
+	tiles := flag.Int("tiles", 0, "tile grid dimension T (0 = ranks)")
+	b := flag.Int("b", 32, "tile size (32 -> the paper's 8 KB transfers)")
+	variant := flag.String("variant", "", "variant: mp, onesided, na (empty = all)")
+	validate := flag.Bool("validate", false, "check against the serial reference (O(n^3) per rank)")
+	flag.Parse()
+
+	if *tiles == 0 {
+		*tiles = *ranks
+	}
+	variants := cholesky.Variants
+	if *variant != "" {
+		found := false
+		for _, v := range cholesky.Variants {
+			if v.String() == *variant {
+				variants = []cholesky.Variant{v}
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+			os.Exit(2)
+		}
+	}
+
+	for _, v := range variants {
+		o := cholesky.Options{Tiles: *tiles, B: *b, Variant: v, Validate: *validate}
+		err := runtime.Run(runtime.Options{Ranks: *ranks, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := cholesky.Run(p, o)
+			if p.Rank() == 0 {
+				fmt.Printf("variant=%-8s ranks=%d tiles=%d b=%d  time=%s GFLOPS=%.3f",
+					v, p.N(), o.Tiles, *b, res.Elapsed, res.GFLOPS)
+				if *validate {
+					fmt.Printf(" valid=%v maxerr=%.2e", res.Valid, res.MaxError)
+				}
+				fmt.Println()
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command nahalo runs the 2D halo-exchange Jacobi benchmark on the
+// simulated fabric and prints per-variant timing and validation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exec"
+	"repro/internal/halo"
+	"repro/internal/runtime"
+)
+
+func main() {
+	px := flag.Int("px", 4, "process grid width")
+	py := flag.Int("py", 2, "process grid height")
+	bx := flag.Int("bx", 8, "cells per rank, x")
+	by := flag.Int("by", 8, "cells per rank, y")
+	iters := flag.Int("iters", 10, "Jacobi sweeps")
+	variant := flag.String("variant", "", "variant: mp, pscw, na (empty = all)")
+	flag.Parse()
+
+	variants := halo.Variants
+	if *variant != "" {
+		found := false
+		for _, v := range halo.Variants {
+			if v.String() == *variant {
+				variants = []halo.Variant{v}
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+			os.Exit(2)
+		}
+	}
+
+	for _, v := range variants {
+		o := halo.Options{PX: *px, PY: *py, BX: *bx, BY: *by, Iters: *iters, Variant: v}
+		err := runtime.Run(runtime.Options{Ranks: *px * *py, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := halo.Run(p, o)
+			if p.Rank() == 0 {
+				fmt.Printf("variant=%-5s grid=%dx%d block=%dx%d sweeps=%d  time=%s valid=%v\n",
+					v, *px, *py, *bx, *by, *iters, res.Elapsed, res.Valid)
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

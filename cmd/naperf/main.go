@@ -1,0 +1,63 @@
+// Command naperf regenerates the paper's tables and figures on the
+// simulated fabric. Run with -list to see every experiment, -experiment
+// <name> for one, or -all for the full evaluation (EXPERIMENTS.md records
+// the comparison against the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "experiment to run (see -list)")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list available experiments")
+	format := flag.String("format", "text", "output format: text, markdown, csv")
+	flag.Parse()
+	outputFormat = *format
+
+	switch {
+	case *list:
+		fmt.Println("available experiments:")
+		for _, e := range bench.Registry() {
+			fmt.Printf("  %-8s %s\n", e.Name, e.Title)
+		}
+	case *all:
+		for _, e := range bench.Registry() {
+			run(e)
+		}
+	case *experiment != "":
+		e, ok := bench.Lookup(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *experiment)
+			os.Exit(2)
+		}
+		run(e)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+var outputFormat = "text"
+
+func run(e bench.Experiment) {
+	start := time.Now()
+	t := e.Run()
+	switch outputFormat {
+	case "markdown":
+		t.FprintMarkdown(os.Stdout)
+	case "csv":
+		t.FprintCSV(os.Stdout)
+	default:
+		t.Fprint(os.Stdout)
+	}
+	if outputFormat == "text" {
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", e.Name, time.Since(start).Seconds())
+	}
+}

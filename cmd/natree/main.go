@@ -1,0 +1,51 @@
+// Command natree runs the k-ary tree reduction (paper §VI-B) on the
+// simulated fabric and prints the completion latency per variant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exec"
+	"repro/internal/runtime"
+	"repro/internal/tree"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 64, "number of ranks")
+	arity := flag.Int("arity", 16, "tree fan-in")
+	length := flag.Int("len", 8, "vector length (doubles)")
+	variant := flag.String("variant", "", "variant: mp, pscw, na, reduce (empty = all)")
+	flag.Parse()
+
+	variants := tree.Variants
+	if *variant != "" {
+		found := false
+		for _, v := range tree.Variants {
+			if v.String() == *variant {
+				variants = []tree.Variant{v}
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+			os.Exit(2)
+		}
+	}
+
+	for _, v := range variants {
+		o := tree.Options{Arity: *arity, Len: *length, Variant: v}
+		err := runtime.Run(runtime.Options{Ranks: *ranks, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := tree.Run(p, o)
+			if p.Rank() == 0 {
+				fmt.Printf("variant=%-7s ranks=%d arity=%d len=%d  latency=%s valid=%v\n",
+					v, p.N(), *arity, *length, res.Elapsed, res.Valid)
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Notifiedget: consumer-managed buffering (paper §VI-B discussion) — when
+// a nondeterministic set of producers feeds one consumer, a notified GET
+// lets the consumer pull data and simultaneously tells each producer its
+// buffer is free for reuse, with no producer-side buffer management.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/fompi"
+)
+
+const (
+	ranks  = 5
+	rounds = 3
+	size   = 256
+)
+
+func main() {
+	err := fompi.Run(fompi.Options{Ranks: ranks}, func(p *fompi.Proc) {
+		win := p.WinAllocate(size)
+		defer win.Free()
+
+		if p.Rank() != 0 {
+			// Producer: publish into the local window, announce readiness
+			// with a zero-byte notification, wait for the consumer's
+			// notified get before overwriting the buffer.
+			readReq := win.NotifyInit(0, p.Rank(), 1)
+			defer readReq.Free()
+			for r := 0; r < rounds; r++ {
+				for i := range win.Buffer() {
+					win.Buffer()[i] = byte(p.Rank()*100 + r)
+				}
+				win.PutNotify(0, 0, nil, p.Rank()) // "round r is ready"
+				win.Flush(0)
+				readReq.Start()
+				readReq.Wait() // notified get consumed the buffer: safe to reuse
+			}
+			return
+		}
+
+		// Consumer: learn who is ready (any order), pull with GetNotify —
+		// the get's notification is what releases the producer.
+		ready := win.NotifyInit(fompi.AnySource, fompi.AnyTag, 1)
+		defer ready.Free()
+		buf := make([]byte, size)
+		for n := 0; n < rounds*(ranks-1); n++ {
+			ready.Start()
+			st := ready.Wait()
+			src := st.Source
+			h := win.GetNotify(src, 0, buf, src)
+			h.Await()
+			fmt.Printf("consumer pulled round data from rank %d (first byte %d)\n", src, buf[0])
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

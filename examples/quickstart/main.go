@@ -1,0 +1,52 @@
+// Quickstart: the paper's Listing 1 ping-pong written against the public
+// fompi API — a notified put, a flush, and a persistent notification
+// request on each side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/fompi"
+)
+
+func main() {
+	const (
+		maxSize = 1 << 20
+		tag     = 99
+	)
+	err := fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		win := p.WinAllocate(2 * maxSize)
+		defer win.Free()
+		partner := 1 - p.Rank()
+
+		// Persistent notification request, re-armed with Start each round
+		// (MPI_Notify_init semantics).
+		req := win.NotifyInit(partner, tag, 1)
+		defer req.Free()
+
+		for size := 8; size < maxSize; size *= 8 {
+			buf := make([]byte, size)
+			for i := range buf {
+				buf[i] = byte(size + i)
+			}
+			if p.Rank() == 0 { // client: send ping, await pong
+				start := p.Now()
+				win.PutNotify(partner, 0, buf, tag)
+				win.Flush(partner)
+				req.Start()
+				st := req.Wait()
+				fmt.Printf("size %8d B: round trip %8s  (pong from rank %d, tag %d)\n",
+					size, p.Now().Sub(start), st.Source, st.Tag)
+			} else { // server: await ping, send pong
+				req.Start()
+				req.Wait()
+				win.PutNotify(partner, maxSize, win.Buffer()[:size], tag)
+				win.Flush(partner)
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

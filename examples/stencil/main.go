@@ -1,0 +1,100 @@
+// Stencil: the PRK Sync_p2p pipelined 3-point stencil (paper §VI-A) built
+// directly on the public fompi API with Notified Access — each rank waits
+// for its left halo with a tag-matched notification, computes its row
+// segment, and forwards the right edge with a notified put.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/fompi"
+)
+
+const (
+	rows  = 256
+	cols  = 64
+	ranks = 8
+)
+
+func main() {
+	err := fompi.Run(fompi.Options{Ranks: ranks}, func(p *fompi.Proc) {
+		w := cols / p.N()
+		c0 := p.Rank() * w
+		left, right := p.Rank()-1, p.Rank()+1
+		if right == p.N() {
+			right = -1
+		}
+
+		// Local block, row-major, plus the received halo column.
+		a := make([]float64, rows*w)
+		halo := make([]float64, rows)
+		for j := 0; j < w; j++ {
+			a[j] = float64(c0 + j) // A(0, j) = j
+		}
+		if p.Rank() == 0 {
+			for i := 0; i < rows; i++ {
+				a[i*w] = float64(i) // A(i, 0) = i
+			}
+		}
+		if left >= 0 {
+			halo[0] = float64(c0 - 1)
+		}
+
+		// One window slot per row: the producer never overwrites a slot.
+		win := p.WinAllocate(8 * rows)
+		defer win.Free()
+		var req *fompi.Request
+		if left >= 0 {
+			req = win.NotifyInit(left, fompi.AnyTag, 1)
+			defer req.Free()
+		}
+
+		start := p.Now()
+		for i := 1; i < rows; i++ {
+			if left >= 0 {
+				req.Start()
+				st := req.Wait()
+				if st.Tag != i {
+					log.Fatalf("rank %d: expected row %d, got tag %d", p.Rank(), i, st.Tag)
+				}
+				halo[i] = math.Float64frombits(binary.LittleEndian.Uint64(win.Buffer()[8*i:]))
+			}
+			jStart := 0
+			if p.Rank() == 0 {
+				jStart = 1
+			}
+			p.Work(fompi.Duration(w), func() {
+				for j := jStart; j < w; j++ {
+					var l, ul float64
+					if j == 0 {
+						l, ul = halo[i], halo[i-1]
+					} else {
+						l, ul = a[i*w+j-1], a[(i-1)*w+j-1]
+					}
+					a[i*w+j] = a[(i-1)*w+j] + l - ul
+				}
+			})
+			if right >= 0 {
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(a[i*w+w-1]))
+				win.PutNotify(right, 8*i, b[:], i)
+			}
+		}
+		if right >= 0 {
+			win.Flush(right)
+		}
+
+		if p.Rank() == p.N()-1 {
+			corner := a[(rows-1)*w+w-1]
+			want := float64(rows + cols - 2)
+			fmt.Printf("pipelined stencil %dx%d on %d ranks: corner=%.0f (want %.0f, %v), virtual time %s\n",
+				cols, rows, p.N(), corner, want, corner == want, p.Now().Sub(start))
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

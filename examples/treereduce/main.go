@@ -1,0 +1,59 @@
+// Treereduce: the 16-ary tree reduction of paper §VI-B using the counting
+// feature — each parent arms ONE notification request that completes after
+// all of its children have deposited their partial sums.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/fompi"
+)
+
+const (
+	ranks = 64
+	arity = 16
+	tag   = 7
+)
+
+func main() {
+	err := fompi.Run(fompi.Options{Ranks: ranks}, func(p *fompi.Proc) {
+		var kids []int
+		for c := arity*p.Rank() + 1; c <= arity*p.Rank()+arity && c < p.N(); c++ {
+			kids = append(kids, c)
+		}
+
+		win := p.WinAllocate(8 * arity)
+		defer win.Free()
+
+		start := p.Now()
+		acc := float64(p.Rank() + 1) // this rank's contribution
+		if len(kids) > 0 {
+			// The counting feature: one request, expectedCount = #children.
+			req := win.NotifyInit(fompi.AnySource, tag, len(kids))
+			req.Start()
+			req.Wait()
+			req.Free()
+			for ci := range kids {
+				acc += math.Float64frombits(binary.LittleEndian.Uint64(win.Buffer()[8*ci:]))
+			}
+		}
+		if p.Rank() != 0 {
+			parent := (p.Rank() - 1) / arity
+			slot := (p.Rank() - 1) % arity
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(acc))
+			win.PutNotify(parent, 8*slot, b[:], tag)
+			win.Flush(parent)
+		} else {
+			want := float64(p.N()) * float64(p.N()+1) / 2
+			fmt.Printf("%d-ary tree reduction over %d ranks: sum=%.0f (want %.0f, %v), latency %s\n",
+				arity, p.N(), acc, want, acc == want, p.Now().Sub(start))
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

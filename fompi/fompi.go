@@ -1,0 +1,451 @@
+// Package fompi is the public API of the Notified Access reproduction: a
+// Go rendering of the foMPI-NA interface from Belli & Hoefler, "Notified
+// Access: Extending Remote Memory Access Programming Models for
+// Producer-Consumer Synchronization" (IPDPS 2015).
+//
+// A program is an SPMD body executed by N ranks over a simulated RDMA
+// fabric (see internal/fabric):
+//
+//	fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+//		win := p.WinAllocate(1024)
+//		defer win.Free()
+//		if p.Rank() == 0 {
+//			win.PutNotify(1, 0, data, 42)
+//			win.Flush(1)
+//		} else {
+//			req := win.NotifyInit(0, 42, 1)
+//			req.Start()
+//			st := req.Wait()
+//			// win.Buffer() now holds data; st.Tag == 42
+//			req.Free()
+//		}
+//	})
+//
+// The surface mirrors the paper's strawman MPI interface: windows with the
+// full MPI-3 One Sided operation set (Put/Get/Accumulate/FetchAndOp/
+// CompareAndSwap, Flush, Fence, Post/Start/Complete/Wait, Lock/Unlock),
+// two-sided message passing (Send/Recv/Probe with tag matching), and the
+// Notified Access extension (PutNotify/GetNotify/AccumulateNotify +
+// NotifyInit persistent requests with wildcard and counting matching).
+//
+// Two engines run the same program: the deterministic virtual-time
+// simulator parameterized with the paper's Cray XC30 LogGP constants (the
+// default) and a real-concurrency wall-clock engine (Options.Real).
+package fompi
+
+import (
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/loggp"
+	"repro/internal/mp"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+// Wildcards for matching (MPI_ANY_SOURCE / MPI_ANY_TAG).
+const (
+	AnySource = core.AnySource
+	AnyTag    = core.AnyTag
+)
+
+// MaxTag is the largest tag encodable in a notification (16 bits, the
+// uGNI immediate-value constraint the paper describes).
+const MaxTag = core.MaxTag
+
+// Time is virtual (Sim) or wall (Real) nanoseconds since the job started.
+type Time = simtime.Time
+
+// Duration is a span of nanoseconds.
+type Duration = simtime.Duration
+
+// Options configures a job.
+type Options struct {
+	// Ranks is the number of SPMD processes (required).
+	Ranks int
+	// Real selects the wall-clock concurrency engine instead of the
+	// deterministic virtual-time simulator.
+	Real bool
+	// RanksPerNode places consecutive ranks on shared-memory nodes
+	// (default 1: every rank on its own node).
+	RanksPerNode int
+	// EagerThreshold is the message-passing eager/rendezvous switch in
+	// bytes (default 8192).
+	EagerThreshold int
+	// UnreliableNetwork switches notified gets to the deferred-notification
+	// protocol the paper describes for networks that may retransmit
+	// (§VIII): the data holder is notified only after the data reached the
+	// origin, costing an extra round trip on the notification path.
+	UnreliableNetwork bool
+}
+
+// Run executes body on every rank and returns when all complete. Any rank
+// panic aborts the job and is returned as an error.
+func Run(opts Options, body func(p *Proc)) error {
+	mode := exec.Sim
+	if opts.Real {
+		mode = exec.Real
+	}
+	return runtime.Run(runtime.Options{
+		Ranks:             opts.Ranks,
+		Mode:              mode,
+		RanksPerNode:      opts.RanksPerNode,
+		EagerThreshold:    opts.EagerThreshold,
+		UnreliableNetwork: opts.UnreliableNetwork,
+	}, func(p *runtime.Proc) {
+		body(&Proc{p: p})
+	})
+}
+
+// Proc is one rank's handle.
+type Proc struct {
+	p *runtime.Proc
+}
+
+// Rank returns this process's rank in [0, N).
+func (p *Proc) Rank() int { return p.p.Rank() }
+
+// N returns the number of ranks.
+func (p *Proc) N() int { return p.p.N() }
+
+// Now returns the current virtual (Sim) or wall (Real) time.
+func (p *Proc) Now() Time { return p.p.Now() }
+
+// Compute charges d of modeled computation (Sim engine; no-op under Real).
+func (p *Proc) Compute(d Duration) { p.p.Compute(d) }
+
+// Work runs fn and charges cost of modeled time under Sim.
+func (p *Proc) Work(cost Duration, fn func()) { p.p.Work(cost, fn) }
+
+// Barrier blocks until every rank has entered it.
+func (p *Proc) Barrier() { p.p.Barrier() }
+
+// Yield lets other ranks and in-flight messages make progress; call it
+// inside Test/Iprobe polling loops (under the simulator a rank that spins
+// without yielding would stall virtual time).
+func (p *Proc) Yield() { p.p.Yield() }
+
+// Model returns the LogGP model parameterizing the fabric.
+func (p *Proc) Model() loggp.Model { return p.p.Model() }
+
+// WinAllocate collectively creates an RMA window of size bytes on every
+// rank (MPI_Win_allocate). All ranks must call it in the same order.
+func (p *Proc) WinAllocate(size int) *Win {
+	return &Win{p: p, w: rma.Allocate(p.p, size)}
+}
+
+// Send is a blocking tagged send (MPI_Send).
+func (p *Proc) Send(target, tag int, data []byte) { mp.New(p.p).Send(target, tag, data) }
+
+// Recv is a blocking tagged receive (MPI_Recv); wildcards allowed.
+func (p *Proc) Recv(buf []byte, source, tag int) Status {
+	st := mp.New(p.p).Recv(buf, source, tag)
+	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}
+}
+
+// Probe blocks until a matching message is available without receiving it
+// (MPI_Probe).
+func (p *Proc) Probe(source, tag int) Status {
+	st := mp.New(p.p).Probe(source, tag)
+	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}
+}
+
+// Status describes a received or probed message / notification.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int
+}
+
+// AccumOp selects the accumulate reduction.
+type AccumOp = fabric.AccumOp
+
+// Accumulate operations.
+const (
+	OpSum     = fabric.AccumSum
+	OpReplace = fabric.AccumReplace
+)
+
+// Win is a collectively allocated RMA window with the paper's extended
+// operation set.
+type Win struct {
+	p *Proc
+	w *rma.Win
+}
+
+// Free collectively releases the window (MPI_Win_free).
+func (w *Win) Free() { w.w.Free() }
+
+// Buffer returns the local window memory.
+func (w *Win) Buffer() []byte { return w.w.Buffer() }
+
+// Size returns the window size in bytes.
+func (w *Win) Size() int { return w.w.Size() }
+
+// Put writes data to target's window at targetOff (MPI_Put).
+func (w *Win) Put(target, targetOff int, data []byte) { w.w.Put(target, targetOff, data) }
+
+// Get reads len(dst) bytes from target's window at targetOff (MPI_Get);
+// completion requires Flush or an epoch close.
+func (w *Win) Get(target, targetOff int, dst []byte) { w.w.Get(target, targetOff, dst) }
+
+// Accumulate applies an element-wise float64 reduction at the target
+// (MPI_Accumulate with MPI_SUM or MPI_REPLACE).
+func (w *Win) Accumulate(target, targetOff int, vals []float64, op AccumOp) {
+	w.w.Accumulate(target, targetOff, vals, op)
+}
+
+// FetchAndOp atomically adds delta to the uint64 at targetOff and returns
+// the previous value (MPI_Fetch_and_op with MPI_SUM), blocking.
+func (w *Win) FetchAndOp(target, targetOff int, delta uint64) uint64 {
+	return w.w.FetchAndOp(target, targetOff, delta)
+}
+
+// CompareAndSwap atomically swaps the uint64 at targetOff if it equals
+// compare, returning the previous value (MPI_Compare_and_swap).
+func (w *Win) CompareAndSwap(target, targetOff int, compare, swap uint64) uint64 {
+	return w.w.CompareAndSwap(target, targetOff, compare, swap)
+}
+
+// Flush completes all operations to target at the target
+// (MPI_Win_flush).
+func (w *Win) Flush(target int) { w.w.Flush(target) }
+
+// FlushAll completes all outstanding operations (MPI_Win_flush_all).
+func (w *Win) FlushAll() { w.w.FlushAll() }
+
+// Fence collectively closes the epoch (MPI_Win_fence).
+func (w *Win) Fence() { w.w.Fence() }
+
+// Post opens an exposure epoch to the origin group (MPI_Win_post).
+func (w *Win) Post(origins []int) { w.w.Post(origins) }
+
+// Start opens an access epoch to the target group (MPI_Win_start).
+func (w *Win) Start(targets []int) { w.w.Start(targets) }
+
+// Complete closes the access epoch (MPI_Win_complete).
+func (w *Win) Complete() { w.w.Complete() }
+
+// Wait closes the exposure epoch (MPI_Win_wait).
+func (w *Win) Wait() { w.w.Wait() }
+
+// Lock opens a passive-target epoch (MPI_Win_lock).
+func (w *Win) Lock(target int, exclusive bool) { w.w.Lock(target, exclusive) }
+
+// Unlock closes a passive-target epoch (MPI_Win_unlock).
+func (w *Win) Unlock(target int, exclusive bool) { w.w.Unlock(target, exclusive) }
+
+// Load64 atomically reads a local window word (safe against concurrent
+// remote deliveries; for polling consumers).
+func (w *Win) Load64(off int) uint64 { return w.w.Load64(off) }
+
+// Store64 atomically writes a local window word.
+func (w *Win) Store64(off int, v uint64) { w.w.Store64(off, v) }
+
+// PutNotify writes data into target's window and delivers a <source, tag>
+// notification with it in a single network transaction (MPI_Put_notify).
+// Zero-length data sends a pure notification.
+func (w *Win) PutNotify(target, targetOff int, data []byte, tag int) {
+	core.PutNotify(w.w, target, targetOff, data, tag)
+}
+
+// GetNotify reads from target's window into dst and notifies the target
+// that its buffer was read (MPI_Get_notify). The returned handle's Await
+// blocks until the data lands locally.
+func (w *Win) GetNotify(target, targetOff int, dst []byte, tag int) *GetHandle {
+	return &GetHandle{op: core.GetNotify(w.w, target, targetOff, dst, tag), p: w.p}
+}
+
+// AccumulateNotify is the notified variant of Accumulate.
+func (w *Win) AccumulateNotify(target, targetOff int, vals []float64, op AccumOp, tag int) {
+	core.AccumulateNotify(w.w, target, targetOff, vals, op, tag)
+}
+
+// NotifyInit allocates a persistent notification request matching
+// (source, tag) — wildcards allowed — that completes after expectedCount
+// matching notified accesses (MPI_Notify_init).
+func (w *Win) NotifyInit(source, tag, expectedCount int) *Request {
+	return &Request{r: core.NotifyInit(w.w, source, tag, expectedCount)}
+}
+
+// ProbeNotify blocks until a notification matching (source, tag) is
+// available on this window, without consuming it.
+func (w *Win) ProbeNotify(source, tag int) Status {
+	st := core.Probe(w.w, source, tag)
+	return Status{Source: st.Source, Tag: st.Tag}
+}
+
+// IprobeNotify reports whether a matching notification is available,
+// without consuming it.
+func (w *Win) IprobeNotify(source, tag int) (Status, bool) {
+	st, ok := core.Iprobe(w.w, source, tag)
+	return Status{Source: st.Source, Tag: st.Tag}, ok
+}
+
+// WaitAll blocks until every request completes (MPI_Waitall).
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		r.r.Wait()
+	}
+}
+
+// WaitAny blocks until one request completes and returns its index
+// (MPI_Waitany).
+func WaitAny(reqs ...*Request) int {
+	inner := make([]*core.Request, len(reqs))
+	for i, r := range reqs {
+		inner[i] = r.r
+	}
+	return core.WaitAny(inner...)
+}
+
+// TestAny returns the index of a completed request or -1 (MPI_Testany).
+func TestAny(reqs ...*Request) int {
+	inner := make([]*core.Request, len(reqs))
+	for i, r := range reqs {
+		inner[i] = r.r
+	}
+	return core.TestAny(inner...)
+}
+
+// GetHandle tracks an outstanding notified get at the origin.
+type GetHandle struct {
+	op interface{ Await(*exec.Proc) }
+	p  *Proc
+}
+
+// Await blocks until the get's data has landed locally.
+func (h *GetHandle) Await() { h.op.Await(h.p.p.Proc) }
+
+// Request is a persistent notification request (MPI_Notify_init /
+// MPI_Start / MPI_Test / MPI_Wait / MPI_Request_free).
+type Request struct {
+	r *core.Request
+}
+
+// Start arms the request for a new matching round (MPI_Start).
+func (r *Request) Start() { r.r.Start() }
+
+// Test advances matching without blocking and reports completion
+// (MPI_Test).
+func (r *Request) Test() bool { return r.r.Test() }
+
+// Wait blocks until the request completes and returns the status of the
+// last matching notified access (MPI_Wait).
+func (r *Request) Wait() Status {
+	st := r.r.Wait()
+	return Status{Source: st.Source, Tag: st.Tag}
+}
+
+// Free releases the request (MPI_Request_free).
+func (r *Request) Free() { r.r.Free() }
+
+// Isend starts a non-blocking tagged send (MPI_Isend).
+func (p *Proc) Isend(target, tag int, data []byte) *SendRequest {
+	return &SendRequest{c: mp.New(p.p), r: mp.New(p.p).Isend(target, tag, data)}
+}
+
+// Irecv posts a non-blocking tagged receive (MPI_Irecv).
+func (p *Proc) Irecv(buf []byte, source, tag int) *RecvRequest {
+	return &RecvRequest{c: mp.New(p.p), r: mp.New(p.p).Irecv(buf, source, tag)}
+}
+
+// Sendrecv is the deadlock-free exchange primitive (MPI_Sendrecv).
+func (p *Proc) Sendrecv(sendTo, sendTag int, sendData []byte, recvBuf []byte, recvFrom, recvTag int) Status {
+	st := mp.New(p.p).Sendrecv(sendTo, sendTag, sendData, recvBuf, recvFrom, recvTag)
+	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}
+}
+
+// Iprobe reports whether a matching message is available without
+// receiving it (MPI_Iprobe).
+func (p *Proc) Iprobe(source, tag int) (Status, bool) {
+	st, ok := mp.New(p.p).Iprobe(source, tag)
+	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}, ok
+}
+
+// SendRequest tracks a non-blocking send.
+type SendRequest struct {
+	c *mp.Comm
+	r *mp.SendReq
+}
+
+// Wait blocks until the send completes locally.
+func (s *SendRequest) Wait() { s.c.WaitSend(s.r) }
+
+// Test makes progress and reports completion.
+func (s *SendRequest) Test() bool { return s.c.TestSend(s.r) }
+
+// RecvRequest tracks a non-blocking receive.
+type RecvRequest struct {
+	c *mp.Comm
+	r *mp.RecvReq
+}
+
+// Wait blocks until the receive completes and returns its status.
+func (r *RecvRequest) Wait() Status {
+	st := r.c.WaitRecv(r.r)
+	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}
+}
+
+// Test makes progress and reports completion.
+func (r *RecvRequest) Test() (Status, bool) {
+	st, done := r.c.TestRecv(r.r)
+	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}, done
+}
+
+// BarrierColl is the scalable dissemination barrier (MPI_Barrier).
+func (p *Proc) BarrierColl() { coll.Barrier(mp.New(p.p)) }
+
+// Bcast broadcasts buf from root to all ranks (MPI_Bcast).
+func (p *Proc) Bcast(root int, buf []byte) { coll.Bcast(mp.New(p.p), root, buf) }
+
+// Reduce sums vals element-wise onto root (MPI_Reduce); nil elsewhere.
+func (p *Proc) Reduce(root int, vals []float64) []float64 {
+	return coll.Reduce(mp.New(p.p), root, vals)
+}
+
+// Allreduce sums vals element-wise on every rank (MPI_Allreduce).
+func (p *Proc) Allreduce(vals []float64) []float64 {
+	return coll.Allreduce(mp.New(p.p), vals)
+}
+
+// Gather collects equal-size blocks at root in rank order (MPI_Gather).
+func (p *Proc) Gather(root int, block []byte) []byte {
+	return coll.Gather(mp.New(p.p), root, block)
+}
+
+// Scatter distributes equal-size blocks from root (MPI_Scatter).
+func (p *Proc) Scatter(root int, blocks []byte, blockSize int) []byte {
+	return coll.Scatter(mp.New(p.p), root, blocks, blockSize)
+}
+
+// Alltoall exchanges equal-size blocks among all ranks (MPI_Alltoall).
+func (p *Proc) Alltoall(in []byte, blockSize int) []byte {
+	return coll.Alltoall(mp.New(p.p), in, blockSize)
+}
+
+// RPut starts a request-based put (MPI_Rput): the handle completes at
+// remote commitment.
+func (w *Win) RPut(target, targetOff int, data []byte) *OpHandle {
+	return &OpHandle{op: w.w.Put(target, targetOff, data), p: w.p}
+}
+
+// RGet starts a request-based get (MPI_Rget): the handle completes when
+// the data lands locally.
+func (w *Win) RGet(target, targetOff int, dst []byte) *OpHandle {
+	return &OpHandle{op: w.w.Get(target, targetOff, dst), p: w.p}
+}
+
+// OpHandle tracks an outstanding one-sided operation.
+type OpHandle struct {
+	op *fabric.Op
+	p  *Proc
+}
+
+// Wait blocks until the operation completes.
+func (h *OpHandle) Wait() { h.op.Await(h.p.p.Proc) }
+
+// Done reports completion without blocking.
+func (h *OpHandle) Done() bool { return h.op.Done() }

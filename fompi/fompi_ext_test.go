@@ -1,0 +1,131 @@
+package fompi_test
+
+import (
+	"testing"
+
+	"repro/fompi"
+)
+
+func TestProbeNotifyAndWaitAny(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 3}, func(p *fompi.Proc) {
+		win := p.WinAllocate(8)
+		defer win.Free()
+		if p.Rank() == 0 {
+			if _, ok := win.IprobeNotify(fompi.AnySource, fompi.AnyTag); ok {
+				t.Error("phantom notification")
+			}
+			p.Barrier()
+			st := win.ProbeNotify(fompi.AnySource, fompi.AnyTag)
+			if st.Source != 2 || st.Tag != 5 {
+				t.Errorf("probe %+v", st)
+			}
+			a := win.NotifyInit(1, 4, 1)
+			bq := win.NotifyInit(2, 5, 1)
+			a.Start()
+			bq.Start()
+			if i := fompi.WaitAny(a, bq); i != 1 {
+				t.Errorf("WaitAny = %d", i)
+			}
+			p.Barrier() // release rank 1
+			fompi.WaitAll(a)
+			if i := fompi.TestAny(a, bq); i < 0 {
+				t.Error("TestAny after completion")
+			}
+			a.Free()
+			bq.Free()
+		} else if p.Rank() == 2 {
+			p.Barrier()
+			win.PutNotify(0, 0, nil, 5)
+			win.Flush(0)
+			p.Barrier()
+		} else {
+			p.Barrier()
+			p.Barrier()
+			win.PutNotify(0, 0, nil, 4)
+			win.Flush(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnreliableNetworkOption(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 2, UnreliableNetwork: true}, func(p *fompi.Proc) {
+		win := p.WinAllocate(16)
+		defer win.Free()
+		if p.Rank() == 0 {
+			copy(win.Buffer(), "deferred notify!")
+			req := win.NotifyInit(1, 3, 1)
+			req.Start()
+			p.Barrier()
+			req.Wait()
+			req.Free()
+		} else {
+			p.Barrier()
+			dst := make([]byte, 16)
+			h := win.GetNotify(0, 0, dst, 3)
+			h.Await()
+			if string(dst) != "deferred notify!" {
+				t.Errorf("got %q", dst)
+			}
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShmTopologyOption(t *testing.T) {
+	// Two ranks on one node: the run must work and be faster (virtually)
+	// than the inter-node default.
+	var shmTime, interTime fompi.Time
+	run := func(rpn int, out *fompi.Time) {
+		err := fompi.Run(fompi.Options{Ranks: 2, RanksPerNode: rpn}, func(p *fompi.Proc) {
+			win := p.WinAllocate(64)
+			defer win.Free()
+			if p.Rank() == 0 {
+				win.PutNotify(1, 0, make([]byte, 64), 1)
+				win.Flush(1)
+			} else {
+				req := win.NotifyInit(0, 1, 1)
+				req.Start()
+				req.Wait()
+				*out = p.Now()
+				req.Free()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(2, &shmTime)
+	run(1, &interTime)
+	if !(shmTime < interTime) {
+		t.Errorf("intra-node (%v) should beat inter-node (%v)", shmTime, interTime)
+	}
+}
+
+func TestAccumulateNotify(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		win := p.WinAllocate(16)
+		defer win.Free()
+		if p.Rank() == 0 {
+			win.AccumulateNotify(1, 0, []float64{1.5, 2.5}, fompi.OpSum, 8)
+			win.AccumulateNotify(1, 0, []float64{1.0, 1.0}, fompi.OpSum, 8)
+			win.FlushAll()
+		} else {
+			req := win.NotifyInit(0, 8, 2) // counting over accumulates
+			req.Start()
+			req.Wait()
+			req.Free()
+			if win.Load64(0) == 0 {
+				t.Error("accumulate missing")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package fompi_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/fompi"
+)
+
+func TestIsendIrecvSendrecv(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		peer := 1 - p.Rank()
+		// Bidirectional exchange via Sendrecv.
+		out := []byte{byte(p.Rank() + 1)}
+		in := make([]byte, 1)
+		st := p.Sendrecv(peer, 5, out, in, peer, 5)
+		if st.Source != peer || in[0] != byte(peer+1) {
+			t.Errorf("sendrecv status %+v in %v", st, in)
+		}
+		// Isend/Irecv with Test polling.
+		rr := p.Irecv(in, peer, 6)
+		sr := p.Isend(peer, 6, []byte{9})
+		sr.Wait()
+		for {
+			if _, done := rr.Test(); done {
+				break
+			}
+			p.Yield()
+		}
+		if in[0] != 9 {
+			t.Errorf("irecv payload %v", in)
+		}
+		if _, ok := p.Iprobe(fompi.AnySource, fompi.AnyTag); ok {
+			t.Error("phantom message after drain")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveWrappers(t *testing.T) {
+	const ranks = 5
+	err := fompi.Run(fompi.Options{Ranks: ranks}, func(p *fompi.Proc) {
+		p.BarrierColl()
+
+		// Bcast.
+		buf := make([]byte, 4)
+		if p.Rank() == 1 {
+			copy(buf, "abcd")
+		}
+		p.Bcast(1, buf)
+		if !bytes.Equal(buf, []byte("abcd")) {
+			t.Errorf("bcast %q", buf)
+		}
+
+		// Reduce + Allreduce.
+		r := p.Reduce(0, []float64{float64(p.Rank())})
+		if p.Rank() == 0 && r[0] != 0+1+2+3+4 {
+			t.Errorf("reduce %v", r)
+		}
+		ar := p.Allreduce([]float64{1})
+		if math.Abs(ar[0]-ranks) > 1e-12 {
+			t.Errorf("allreduce %v", ar)
+		}
+
+		// Gather / Scatter round trip.
+		all := p.Gather(0, []byte{byte(p.Rank() * 2)})
+		if p.Rank() == 0 {
+			for i := 0; i < ranks; i++ {
+				if all[i] != byte(i*2) {
+					t.Errorf("gather[%d] = %d", i, all[i])
+				}
+			}
+		}
+		mine := p.Scatter(0, all, 1)
+		if mine[0] != byte(p.Rank()*2) {
+			t.Errorf("scatter got %d", mine[0])
+		}
+
+		// Alltoall.
+		in := make([]byte, ranks)
+		for i := range in {
+			in[i] = byte(p.Rank()*10 + i)
+		}
+		out := p.Alltoall(in, 1)
+		for i := range out {
+			if out[i] != byte(i*10+p.Rank()) {
+				t.Errorf("alltoall[%d] = %d", i, out[i])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRPutRGet(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		win := p.WinAllocate(32)
+		defer win.Free()
+		if p.Rank() == 0 {
+			h := win.RPut(1, 0, []byte("request-based"))
+			h.Wait()
+			if !h.Done() {
+				t.Error("handle not done after Wait")
+			}
+			dst := make([]byte, 13)
+			g := win.RGet(1, 0, dst)
+			g.Wait()
+			if string(dst) != "request-based" {
+				t.Errorf("rget %q", dst)
+			}
+			p.Barrier()
+		} else {
+			p.Barrier()
+			if !bytes.Equal(win.Buffer()[:13], []byte("request-based")) {
+				t.Error("rput data missing")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

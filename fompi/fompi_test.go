@@ -1,0 +1,208 @@
+package fompi_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/fompi"
+)
+
+func TestQuickstartPingPong(t *testing.T) {
+	for _, real := range []bool{false, true} {
+		err := fompi.Run(fompi.Options{Ranks: 2, Real: real}, func(p *fompi.Proc) {
+			win := p.WinAllocate(64)
+			defer win.Free()
+			if p.Rank() == 0 {
+				win.PutNotify(1, 0, []byte("ping"), 42)
+				win.Flush(1)
+				req := win.NotifyInit(1, 43, 1)
+				req.Start()
+				st := req.Wait()
+				if st.Tag != 43 {
+					t.Errorf("pong tag %d", st.Tag)
+				}
+				if !bytes.Equal(win.Buffer()[:4], []byte("pong")) {
+					t.Errorf("pong payload %q", win.Buffer()[:4])
+				}
+				req.Free()
+			} else {
+				req := win.NotifyInit(0, 42, 1)
+				req.Start()
+				st := req.Wait()
+				if st.Source != 0 || st.Tag != 42 {
+					t.Errorf("ping status %+v", st)
+				}
+				req.Free()
+				win.PutNotify(0, 0, []byte("pong"), 43)
+				win.Flush(0)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMessagePassingAndProbe(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 7, []byte("hello"))
+		} else {
+			st := p.Probe(fompi.AnySource, fompi.AnyTag)
+			if st.Tag != 7 || st.Count != 5 {
+				t.Errorf("probe %+v", st)
+			}
+			buf := make([]byte, st.Count)
+			p.Recv(buf, st.Source, st.Tag)
+			if string(buf) != "hello" {
+				t.Errorf("recv %q", buf)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneSidedOps(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		win := p.WinAllocate(64)
+		defer win.Free()
+		if p.Rank() == 0 {
+			win.Put(1, 0, []byte{9})
+			win.Flush(1)
+			if old := win.FetchAndOp(1, 8, 5); old != 0 {
+				t.Errorf("fetchop old %d", old)
+			}
+			if old := win.CompareAndSwap(1, 16, 0, 77); old != 0 {
+				t.Errorf("cas old %d", old)
+			}
+			win.Accumulate(1, 24, []float64{1.5}, fompi.OpSum)
+			win.FlushAll()
+		}
+		win.Fence()
+		if p.Rank() == 1 {
+			if win.Buffer()[0] != 9 {
+				t.Error("put missing")
+			}
+			if win.Load64(8) != 5 {
+				t.Error("fetchop missing")
+			}
+			if win.Load64(16) != 77 {
+				t.Error("cas missing")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSCWAndLock(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		win := p.WinAllocate(8)
+		defer win.Free()
+		if p.Rank() == 0 {
+			win.Start([]int{1})
+			win.Put(1, 0, []byte{3})
+			win.Complete()
+		} else {
+			win.Post([]int{0})
+			win.Wait()
+			if win.Buffer()[0] != 3 {
+				t.Error("pscw put missing")
+			}
+		}
+		win.Lock(0, true)
+		win.Unlock(0, true)
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetNotify(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		win := p.WinAllocate(16)
+		defer win.Free()
+		if p.Rank() == 0 {
+			copy(win.Buffer(), "source data")
+			p.Barrier()
+			req := win.NotifyInit(1, 9, 1)
+			req.Start()
+			req.Wait() // consumer read the buffer
+			req.Free()
+		} else {
+			p.Barrier()
+			dst := make([]byte, 11)
+			h := win.GetNotify(0, 0, dst, 9)
+			h.Await()
+			if string(dst) != "source data" {
+				t.Errorf("got %q", dst)
+			}
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingAndWildcard(t *testing.T) {
+	const ranks = 5
+	err := fompi.Run(fompi.Options{Ranks: ranks}, func(p *fompi.Proc) {
+		win := p.WinAllocate(8 * ranks)
+		defer win.Free()
+		if p.Rank() != 0 {
+			win.PutNotify(0, 8*p.Rank(), []byte{byte(p.Rank())}, 100+p.Rank())
+			win.Flush(0)
+		} else {
+			req := win.NotifyInit(fompi.AnySource, fompi.AnyTag, ranks-1)
+			req.Start()
+			req.Wait()
+			for i := 1; i < ranks; i++ {
+				if win.Buffer()[8*i] != byte(i) {
+					t.Errorf("missing deposit from %d", i)
+				}
+			}
+			req.Free()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankPanicSurfaces(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		if p.Rank() == 1 {
+			panic("app bug")
+		}
+		p.Barrier()
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestComputeAdvancesVirtualTime(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 1}, func(p *fompi.Proc) {
+		t0 := p.Now()
+		p.Compute(1000)
+		ran := false
+		p.Work(500, func() { ran = true })
+		if !ran {
+			t.Error("Work skipped fn")
+		}
+		if p.Now().Sub(t0) != 1500 {
+			t.Errorf("virtual time advanced %v", p.Now().Sub(t0))
+		}
+		if p.Model().FMA.L != 1020 {
+			t.Errorf("model L = %v", p.Model().FMA.L)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

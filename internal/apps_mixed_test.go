@@ -1,0 +1,101 @@
+// Package internal_test exercises the applications end-to-end over mixed
+// intra/inter-node topologies (SHM + FMA/BTE transports in one job), the
+// configuration a real Cray job would have with multiple ranks per node.
+package internal_test
+
+import (
+	"testing"
+
+	"repro/internal/cholesky"
+	"repro/internal/exec"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+	"repro/internal/stencil"
+	"repro/internal/tree"
+)
+
+func TestStencilMixedTopology(t *testing.T) {
+	for _, v := range stencil.Variants {
+		v := v
+		o := stencil.Options{Rows: 10, Cols: 16, Iters: 2, Variant: v}
+		err := runtime.Run(runtime.Options{Ranks: 8, Mode: exec.Sim, RanksPerNode: 4}, func(p *runtime.Proc) {
+			res := stencil.Run(p, o)
+			if p.Rank() == 0 && !res.Valid {
+				t.Errorf("%v: corner %v", v, res.Corner)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestTreeMixedTopology(t *testing.T) {
+	for _, v := range tree.Variants {
+		v := v
+		err := runtime.Run(runtime.Options{Ranks: 12, Mode: exec.Sim, RanksPerNode: 4}, func(p *runtime.Proc) {
+			res := tree.Run(p, tree.Options{Arity: 4, Len: 6, Variant: v, Rounds: 2})
+			if p.Rank() == 0 && !res.Valid {
+				t.Errorf("%v invalid", v)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestCholeskyMixedTopology(t *testing.T) {
+	for _, v := range cholesky.Variants {
+		v := v
+		err := runtime.Run(runtime.Options{Ranks: 6, Mode: exec.Sim, RanksPerNode: 3}, func(p *runtime.Proc) {
+			res := cholesky.Run(p, cholesky.Options{Tiles: 6, B: 8, Variant: v, Validate: true})
+			if !res.Valid {
+				t.Errorf("%v: rank %d max error %g", v, p.Rank(), res.MaxError)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestIntraNodeFasterThanInterNode(t *testing.T) {
+	// The same tree reduction must complete faster when all ranks share a
+	// node (SHM latencies) than fully distributed.
+	run := func(rpn int) simtime.Duration {
+		var d simtime.Duration
+		err := runtime.Run(runtime.Options{Ranks: 8, Mode: exec.Sim, RanksPerNode: rpn}, func(p *runtime.Proc) {
+			res := tree.Run(p, tree.Options{Arity: 8, Len: 8, Variant: tree.NA})
+			if p.Rank() == 0 {
+				if !res.Valid {
+					t.Fatal("invalid")
+				}
+				d = res.Elapsed
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	intra := run(8)
+	inter := run(1)
+	if !(intra < inter) {
+		t.Errorf("intra-node %v should beat inter-node %v", intra, inter)
+	}
+}
+
+func TestCholeskyUnreliableNetwork(t *testing.T) {
+	// The NA Cholesky only uses notified puts, so it must be unaffected by
+	// the unreliable-network get protocol; correctness must hold.
+	err := runtime.Run(runtime.Options{Ranks: 4, Mode: exec.Sim, UnreliableNetwork: true}, func(p *runtime.Proc) {
+		res := cholesky.Run(p, cholesky.Options{Tiles: 4, B: 8, Variant: cholesky.NA, Validate: true})
+		if !res.Valid {
+			t.Errorf("rank %d: max error %g", p.Rank(), res.MaxError)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

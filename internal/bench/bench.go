@@ -1,0 +1,159 @@
+// Package bench is the measurement harness that regenerates every table
+// and figure of the paper's evaluation (§V microbenchmarks, §VI
+// applications) on the simulated fabric. Each experiment returns a Table
+// that cmd/naperf prints and bench_test.go exercises; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a printable experiment result: one row per configuration, one
+// column per reported series.
+type Table struct {
+	Name    string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n\n", t.Name, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\nnote: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment produces one table.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func() *Table
+}
+
+// Registry lists every reproducible experiment keyed by name.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1", "Pipeline stencil strong scaling, 1280x12800 (GMOPS)", Fig1},
+		{"fig2", "Protocol transaction audit (network packets per producer-consumer transfer)", Fig2},
+		{"fig3a", "Ping-pong latency, notified put vs One Sided vs Message Passing (us)", Fig3a},
+		{"fig3b", "Ping-pong latency, notified get vs One Sided get vs Message Passing (us)", Fig3b},
+		{"fig3c", "Ping-pong latency intra-node (shared memory) (us)", Fig3c},
+		{"table1", "LogGP parameters fitted from unsynchronized transfers", Table1},
+		{"calls", "Call-overhead microbenchmarks (paper section V-A constants)", Calls},
+		{"fig4a", "Computation/communication overlap ratio", Fig4a},
+		{"fig4b", "Pipeline stencil weak scaling, 1280x1280 per PE (GMOPS)", Fig4b},
+		{"fig4c", "16-ary tree reduction latency (us)", Fig4c},
+		{"fig5", "Task-based Cholesky weak scaling, 32x32-double tiles (time ms / GFLOPS)", Fig5},
+		{"ablation", "Notification scheme ablation: queue vs counting vs overwriting", Ablation},
+		{"getnotify", "Notified-get protocols: uGNI vs InfiniBand vs unreliable network (paper sections IV-A, VIII)", GetNotifyProtocols},
+		{"uqdepth", "Matching cost vs unexpected-queue depth", UQDepth},
+		{"halo", "2D halo exchange latency (introduction motif)", Halo},
+		{"model", "Analytic LogGP model vs simulation (paper section V-A)", ModelValidation},
+		{"sensitivity", "NA/MP advantage vs network latency (exascale claim)", Sensitivity},
+		{"taskflow", "Dataflow tasking system makespan: NA vs MP", Taskflow},
+		{"eagerthreshold", "MP eager/rendezvous threshold ablation", EagerThreshold},
+	}
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names returns the sorted experiment names.
+func Names() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func us(v float64) string    { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string    { return fmt.Sprintf("%.2f", v) }
+func f4(v float64) string    { return fmt.Sprintf("%.4f", v) }
+func itoa(v int) string      { return fmt.Sprintf("%d", v) }
+func ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// FprintMarkdown renders the table as GitHub-flavored markdown.
+func (t *Table) FprintMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.Name, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*%s*\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// FprintCSV renders the table as CSV (RFC-4180 quoting for cells that need
+// it).
+func (t *Table) FprintCSV(w io.Writer) {
+	row := func(cells []string) {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(out, ","))
+	}
+	row(t.Columns)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}

@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a table cell as float (strips a trailing "x" from ratios).
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tab.Rows[row][col], "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func colIndex(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("column %q not in %v", name, tab.Columns)
+	return -1
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{Name: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "a note")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"## x", "demo", "a  b", "1  2", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	if len(Registry()) < 10 {
+		t.Fatalf("registry has %d experiments", len(Registry()))
+	}
+	if _, ok := Lookup("fig3a"); !ok {
+		t.Fatal("fig3a missing")
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	sizes := []int{8, 64, 512, 4096, 65536}
+	schemes := []Scheme{SchemeUnsync, SchemeNAPut, SchemeMP, SchemeOneSided}
+	series := map[Scheme][]float64{}
+	for _, s := range schemes {
+		series[s] = PingPong(PingPongConfig{Scheme: s, Sizes: sizes, Reps: 20})
+	}
+	for i, size := range sizes {
+		un, na, mp, os := series[SchemeUnsync][i], series[SchemeNAPut][i], series[SchemeMP][i], series[SchemeOneSided][i]
+		if !(un < na && na < mp && na < os) {
+			t.Errorf("size %d: want unsync(%v) < NA(%v) < min(MP %v, OneSided %v)", size, un, na, mp, os)
+		}
+		// The MP-vs-OneSided ordering the paper reports holds on small
+		// transfers; at large sizes rendezvous costs MP two extra wire
+		// legs and the curves converge.
+		if size <= 4096 && !(mp < os) {
+			t.Errorf("size %d: MP (%v) should beat OneSided (%v) on small transfers", size, mp, os)
+		}
+	}
+	// Paper: NA < 50% of One Sided on small transfers.
+	if r := series[SchemeNAPut][0] / series[SchemeOneSided][0]; r > 0.5 {
+		t.Errorf("NA/OneSided at 8B = %.2f, want < 0.5", r)
+	}
+	// Latency must grow with size.
+	na := series[SchemeNAPut]
+	if !(na[len(na)-1] > na[0]) {
+		t.Error("NA latency not increasing with size")
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	sizes := []int{8, 512, 4096}
+	naGet := PingPong(PingPongConfig{Scheme: SchemeNAGet, Sizes: sizes, Reps: 20})
+	mp := PingPong(PingPongConfig{Scheme: SchemeMP, Sizes: sizes, Reps: 20})
+	get := PingPong(PingPongConfig{Scheme: SchemeGet, Sizes: sizes, Reps: 20})
+	for i, size := range sizes {
+		// Paper: message passing has the advantage over gets (single
+		// transfer vs request-reply), and notified get beats the one-sided
+		// get protocol.
+		if !(mp[i] < naGet[i]) {
+			t.Errorf("size %d: MP (%v) should beat notified get (%v)", size, mp[i], naGet[i])
+		}
+		if !(naGet[i] < get[i]) {
+			t.Errorf("size %d: notified get (%v) should beat one-sided get (%v)", size, naGet[i], get[i])
+		}
+	}
+}
+
+func TestFig3cShape(t *testing.T) {
+	sizes := []int{8, 512, 8192}
+	na := PingPong(PingPongConfig{Scheme: SchemeNAPut, Sizes: sizes, Reps: 20, ShmPair: true})
+	mp := PingPong(PingPongConfig{Scheme: SchemeMP, Sizes: sizes, Reps: 20, ShmPair: true})
+	os := PingPong(PingPongConfig{Scheme: SchemeOneSided, Sizes: sizes, Reps: 20, ShmPair: true})
+	for i, size := range sizes {
+		// Paper: intra-node NA performs similar to MP (within ~2x either
+		// way), both below One Sided.
+		r := na[i] / mp[i]
+		if r > 2 || r < 0.3 {
+			t.Errorf("size %d: NA/MP intra-node ratio %.2f out of range", size, r)
+		}
+		if !(na[i] < os[i]) {
+			t.Errorf("size %d: NA (%v) should beat One Sided (%v) intra-node", size, na[i], os[i])
+		}
+	}
+	// Intra-node must be much faster than inter-node.
+	inter := PingPong(PingPongConfig{Scheme: SchemeNAPut, Sizes: sizes[:1], Reps: 20})
+	if !(na[0] < inter[0]) {
+		t.Errorf("intra-node (%v) should beat inter-node (%v)", na[0], inter[0])
+	}
+}
+
+func TestTable1RecoversPaperParameters(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		lFit, _ := strconv.ParseFloat(row[1], 64)
+		lPaper, _ := strconv.ParseFloat(row[2], 64)
+		gFit, _ := strconv.ParseFloat(row[3], 64)
+		gPaper, _ := strconv.ParseFloat(row[4], 64)
+		if math.Abs(lFit-lPaper) > 0.05*lPaper+0.01 {
+			t.Errorf("%s: fitted L %.3f vs paper %.3f", row[0], lFit, lPaper)
+		}
+		if math.Abs(gFit-gPaper) > 0.05*gPaper+0.001 {
+			t.Errorf("%s: fitted G %.4f vs paper %.4f", row[0], gFit, gPaper)
+		}
+	}
+}
+
+func TestCallsMatchPaperConstants(t *testing.T) {
+	tab := Calls()
+	for _, row := range tab.Rows {
+		measured, _ := strconv.ParseFloat(row[1], 64)
+		paper, _ := strconv.ParseFloat(row[2], 64)
+		if math.Abs(measured-paper) > 1e-9 {
+			t.Errorf("%s: measured %v vs paper %v", row[0], measured, paper)
+		}
+	}
+}
+
+func TestFig2TransactionCounts(t *testing.T) {
+	tab := Fig2()
+	want := map[string]struct{ data, total int64 }{
+		"eager message passing":      {1, 1},
+		"rendezvous message passing": {1, 3},
+		"notified put":               {1, 2}, // data + off-critical-path ack
+	}
+	for _, row := range tab.Rows {
+		w, ok := want[row[0]]
+		if !ok {
+			continue
+		}
+		data, _ := strconv.ParseInt(row[1], 10, 64)
+		total, _ := strconv.ParseInt(row[5], 10, 64)
+		if data != w.data || total != w.total {
+			t.Errorf("%s: data=%d total=%d, want data=%d total=%d", row[0], data, total, w.data, w.total)
+		}
+	}
+	// One-sided protocols need at least 3 transactions.
+	for _, name := range []string{"put + flush + notification put (one sided)", "pscw epoch (one sided)"} {
+		for _, row := range tab.Rows {
+			if row[0] == name {
+				total, _ := strconv.ParseInt(row[5], 10, 64)
+				if total < 3 {
+					t.Errorf("%s: total=%d, want >= 3", name, total)
+				}
+			}
+		}
+	}
+}
+
+func TestOverlapShape(t *testing.T) {
+	sizes := []int{64, 8192, 262144}
+	na := Overlap(OverlapNA, sizes, 5)
+	fence := Overlap(OverlapFence, sizes, 5)
+	mp := Overlap(OverlapMP, sizes, 5)
+	// NA overlaps at least as well as the others at every size.
+	for i, size := range sizes {
+		if na[i] < fence[i]-0.02 || na[i] < mp[i]-0.02 {
+			t.Errorf("size %d: NA overlap %.2f below fence %.2f or MP %.2f", size, na[i], fence[i], mp[i])
+		}
+		if na[i] < 0 || na[i] > 1 {
+			t.Errorf("overlap ratio out of [0,1]: %v", na[i])
+		}
+	}
+	// Fence must be poor for small messages and good for large ones.
+	if !(fence[0] < 0.6) {
+		t.Errorf("fence small-message overlap %.2f, want poor (< 0.6)", fence[0])
+	}
+	if !(fence[len(sizes)-1] > 0.8) {
+		t.Errorf("fence large-message overlap %.2f, want > 0.8", fence[len(sizes)-1])
+	}
+	// NA overlaps well at all sizes.
+	for i := range sizes {
+		if na[i] < 0.7 {
+			t.Errorf("NA overlap at %dB = %.2f, want high", sizes[i], na[i])
+		}
+	}
+}
+
+func TestFig4cSmall(t *testing.T) {
+	// Scaled-down Fig 4c: NA below MP and PSCW at 64 ranks.
+	tab := fig4cAt(t, 64)
+	naCol := colIndex(t, tab, "notified-access")
+	mpCol := colIndex(t, tab, "message-passing")
+	pscwCol := colIndex(t, tab, "pscw")
+	na, mp, pscw := cell(t, tab, 0, naCol), cell(t, tab, 0, mpCol), cell(t, tab, 0, pscwCol)
+	if !(na < mp && na < pscw) {
+		t.Errorf("NA %.2f, MP %.2f, PSCW %.2f: NA must be lowest", na, mp, pscw)
+	}
+}
+
+// fig4cAt builds a one-row Fig4c-style table at a single rank count.
+func fig4cAt(t *testing.T, n int) *Table {
+	t.Helper()
+	tab := &Table{Name: "fig4c-mini", Columns: []string{"ranks", "message-passing", "pscw", "notified-access", "optimized-reduce"}}
+	row := []string{itoa(n)}
+	for _, v := range []int{0, 1, 2, 3} {
+		series := Fig4cPoint(n, v)
+		row = append(row, us(series))
+	}
+	tab.AddRow(row...)
+	return tab
+}
+
+func TestAblationShape(t *testing.T) {
+	tab := Ablation()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	queue := cell(t, tab, 0, 1)
+	counting := cell(t, tab, 1, 1)
+	overwrite := cell(t, tab, 2, 1)
+	if !(queue < counting) {
+		t.Errorf("queue (%v) should beat counting (%v): one transaction vs two", queue, counting)
+	}
+	if !(queue < overwrite) {
+		t.Errorf("queue (%v) should beat overwriting (%v)", queue, overwrite)
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for _, s := range []Scheme{SchemeMP, SchemeOneSided, SchemeNAPut, SchemeNAGet, SchemeGet, SchemeUnsync} {
+		if s.String() == "" || strings.HasPrefix(s.String(), "scheme(") {
+			t.Errorf("scheme %d has no name", int(s))
+		}
+	}
+	for _, s := range []OverlapScheme{OverlapMP, OverlapFence, OverlapNA} {
+		if strings.HasPrefix(s.String(), "overlap(") {
+			t.Errorf("overlap scheme %d has no name", int(s))
+		}
+	}
+}
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tab := &Table{Name: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "va,l\"ue")
+	tab.Notes = append(tab.Notes, "note text")
+	var md bytes.Buffer
+	tab.FprintMarkdown(&md)
+	for _, want := range []string{"### x", "| a | b |", "| --- | --- |", "| 1 | va,l\"ue |", "*note text*"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown missing %q:\n%s", want, md.String())
+		}
+	}
+	var csv bytes.Buffer
+	tab.FprintCSV(&csv)
+	want := "a,b\n1,\"va,l\"\"ue\"\n"
+	if csv.String() != want {
+		t.Errorf("csv = %q, want %q", csv.String(), want)
+	}
+}

@@ -1,0 +1,356 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/halo"
+	"repro/internal/loggp"
+	"repro/internal/model"
+	"repro/internal/mp"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/stencil"
+	"repro/internal/taskflow"
+)
+
+// GetNotifyProtocols compares the notified-get notification latency under
+// the three NIC protocols the paper surveys: immediate (uGNI/Portals 4:
+// notify at the read), origin-ordered (InfiniBand: no read-with-immediate,
+// the origin injects an ordered notification write — one extra packet, no
+// extra round trip), and deferred (unreliable network, §VIII: notify only
+// after the data reached the origin — an extra round trip). It reports the
+// time from the get's issue until the data holder's notification completes.
+func GetNotifyProtocols() *Table {
+	sizes := []int{8, 512, 4096, 65536, 262144}
+	measure := func(mode fabric.GetNotifyMode) ([]float64, int64) {
+		out := make([]float64, len(sizes))
+		var tIssue, tNotify simtime.Time
+		w := runtime.NewWorld(runtime.Options{Ranks: 2, Mode: exec.Sim, GetNotifyMode: mode})
+		err := w.Run(func(p *runtime.Proc) {
+			maxSize := sizes[len(sizes)-1]
+			win := rma.Allocate(p, maxSize)
+			defer win.Free()
+			var req *core.Request
+			if p.Rank() == 0 {
+				req = core.NotifyInit(win, 1, 9, 1)
+				defer req.Free()
+			}
+			for si, size := range sizes {
+				if p.Rank() == 0 { // data holder
+					req.Start()
+					p.Barrier()
+					req.Wait()
+					tNotify = p.Now()
+					out[si] = tNotify.Sub(tIssue).Micros()
+					p.Barrier()
+				} else { // consumer
+					p.Barrier()
+					tIssue = p.Now()
+					dst := make([]byte, size)
+					core.GetNotify(win, 0, 0, dst, 9).Await(p.Proc)
+					p.Barrier()
+				}
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		return out, w.Fabric().Stats.Snapshot().NotifyPackets
+	}
+
+	immediate, immPkts := measure(fabric.GetNotifyImmediate)
+	ordered, ordPkts := measure(fabric.GetNotifyOriginOrdered)
+	deferred, defPkts := measure(fabric.GetNotifyDeferred)
+
+	t := &Table{Name: "getnotify",
+		Title:   "Notified-get notification latency at the data holder by NIC protocol (us)",
+		Columns: []string{"size(B)", "immediate(uGNI)", "origin-ordered(IB)", "deferred(unreliable)"}}
+	for si, size := range sizes {
+		t.AddRow(itoa(size), us(immediate[si]), us(ordered[si]), us(deferred[si]))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("extra notification packets per get: immediate=%d, origin-ordered=%d, deferred=%d",
+			immPkts/int64(len(sizes)), ordPkts/int64(len(sizes)), defPkts/int64(len(sizes))),
+		"paper sections IV-A and VIII: InfiniBand's ordered injection costs one extra packet but no extra latency; an unreliable network defers the notification a full round trip")
+	return t
+}
+
+// UQDepth measures the Test/Wait matching cost as a function of the number
+// of pending non-matching notifications in the unexpected queue — the
+// list-traversal cost the paper discusses ('today's CPUs are very
+// efficient in the necessary list traversals'). The modeled cost grows by
+// TMatchScan per scanned entry; the paper's two-compulsory-cache-miss
+// bound holds for short queues.
+func UQDepth() *Table {
+	depths := []int{0, 1, 4, 16, 64, 256}
+	t := &Table{Name: "uqdepth",
+		Title:   "Notification matching cost vs unexpected-queue depth (us per Wait)",
+		Columns: []string{"pending-notifications", "wait-cost(us)"}}
+	for _, depth := range depths {
+		var cost simtime.Duration
+		err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Sim}, func(p *runtime.Proc) {
+			win := rma.Allocate(p, 8)
+			defer win.Free()
+			if p.Rank() == 0 {
+				// depth non-matching notifications, then the matching one.
+				for i := 0; i < depth; i++ {
+					core.PutNotify(win, 1, 0, nil, 7)
+				}
+				win.Flush(1)
+				p.Barrier()
+				core.PutNotify(win, 1, 0, nil, 500)
+				win.Flush(1)
+				p.Barrier()
+			} else {
+				// Pull everything into the UQ first so the measured Wait
+				// scans exactly `depth` stale entries.
+				probe := core.NotifyInit(win, 0, 600, 1)
+				probe.Start()
+				p.Barrier()
+				req := core.NotifyInit(win, 0, 500, 1)
+				req.Start()
+				t0 := p.Now()
+				req.Wait()
+				cost = p.Now().Sub(t0)
+				req.Free()
+				probe.Free()
+				p.Barrier()
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(itoa(depth), us(cost.Micros()))
+	}
+	t.Notes = append(t.Notes,
+		"cost grows linearly in stale queue entries (TMatchScan per entry); with <4 active notifications the overhead matches the paper's two-compulsory-cache-miss analysis")
+	return t
+}
+
+// Halo reproduces the introduction's halo-exchange motif: per-iteration
+// latency of a 2D Jacobi halo exchange across process-grid sizes.
+func Halo() *Table {
+	grids := []struct{ px, py int }{{2, 2}, {4, 2}, {4, 4}, {8, 4}}
+	t := &Table{Name: "halo",
+		Title:   "2D halo exchange (8x8 cells per rank, 10 sweeps): total time (us)",
+		Columns: []string{"grid", "ranks", "message-passing", "pscw", "notified-access", "na-speedup-vs-mp"}}
+	for _, gr := range grids {
+		ranks := gr.px * gr.py
+		times := map[halo.Variant]float64{}
+		for _, v := range halo.Variants {
+			var d simtime.Duration
+			o := halo.Options{PX: gr.px, PY: gr.py, BX: 8, BY: 8, Iters: 10, Variant: v}
+			err := runtime.Run(runtime.Options{Ranks: ranks, Mode: exec.Sim}, func(p *runtime.Proc) {
+				res := halo.Run(p, o)
+				if p.Rank() == 0 {
+					if !res.Valid {
+						panic(fmt.Sprintf("halo %v invalid", v))
+					}
+					d = res.Elapsed
+				}
+			})
+			if err != nil {
+				panic(err)
+			}
+			times[v] = d.Micros()
+		}
+		t.AddRow(fmt.Sprintf("%dx%d", gr.px, gr.py), itoa(ranks),
+			us(times[halo.MP]), us(times[halo.PSCW]), us(times[halo.NA]),
+			ratio(times[halo.MP]/times[halo.NA]))
+	}
+	t.Notes = append(t.Notes,
+		"the counting feature turns the four-neighbor exchange into one request per sweep; notified access needs one transaction per halo strip")
+	return t
+}
+
+// ModelValidation compares the §V-A closed-form LogGP predictions against
+// the executed protocols.
+func ModelValidation() *Table {
+	m := loggp.DefaultCrayXC30()
+	sizes := []int{8, 512, 4096, 65536, 262144}
+	t := &Table{Name: "model",
+		Title:   "Analytic LogGP model (section V-A) vs simulated protocol latency (us)",
+		Columns: []string{"size(B)", "na-model", "na-sim", "mp-model", "mp-sim", "naget-model", "naget-sim"}}
+	naSim := PingPong(PingPongConfig{Scheme: SchemeNAPut, Sizes: sizes, Reps: 10})
+	mpSim := PingPong(PingPongConfig{Scheme: SchemeMP, Sizes: sizes, Reps: 10})
+	getSim := PingPong(PingPongConfig{Scheme: SchemeNAGet, Sizes: sizes, Reps: 10})
+	for i, size := range sizes {
+		t.AddRow(itoa(size),
+			us(model.NAPutLatency(m, size, false).Micros()), us(naSim[i]),
+			us(model.MPLatency(m, size, 8192, false).Micros()), us(mpSim[i]),
+			us(model.NAGetLatency(m, size, false).Micros()), us(getSim[i]))
+	}
+	t.Notes = append(t.Notes,
+		"closed-form predictions track the executed protocols to within a few percent; tests enforce the agreement")
+	return t
+}
+
+// Sensitivity sweeps the network latency multiplier and reports the NA/MP
+// advantage on the strong-scaling stencil — the paper's conclusion that
+// Notified Access grows more valuable as networks scale ("an important
+// primitive for exploiting future large-scale networks towards exascale").
+func Sensitivity() *Table {
+	mults := []float64{0.5, 1, 2, 4, 8}
+	t := &Table{Name: "sensitivity",
+		Title:   "Stencil throughput vs network latency multiplier (8 ranks, strong scaling, GMOPS)",
+		Columns: []string{"latency-mult", "L-fma(us)", "fence", "pscw", "mp", "na", "na/mp", "na/fence"}}
+	for _, mult := range mults {
+		m := loggp.DefaultCrayXC30()
+		m.SHM.L = simtime.Duration(float64(m.SHM.L) * mult)
+		m.FMA.L = simtime.Duration(float64(m.FMA.L) * mult)
+		m.BTE.L = simtime.Duration(float64(m.BTE.L) * mult)
+		gm := map[stencil.Variant]float64{}
+		for _, v := range stencil.Variants {
+			o := stencil.Options{Rows: 2560, Cols: 1280, Iters: 1, Variant: v}
+			err := runtime.Run(runtime.Options{Ranks: 8, Mode: exec.Sim, Model: &m}, func(p *runtime.Proc) {
+				res := stencil.Run(p, o)
+				if p.Rank() == 0 {
+					if !res.Valid {
+						panic("sensitivity: invalid stencil")
+					}
+					gm[v] = res.GMOPS
+				}
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+		t.AddRow(fmt.Sprintf("%.1fx", mult), us(m.FMA.L.Micros()),
+			f4(gm[stencil.Fence]), f4(gm[stencil.PSCW]),
+			f4(gm[stencil.MP]), f4(gm[stencil.NA]),
+			ratio(gm[stencil.NA]/gm[stencil.MP]), ratio(gm[stencil.NA]/gm[stencil.Fence]))
+	}
+	t.Notes = append(t.Notes,
+		"single-transaction schemes (NA, eager MP) pipeline latency away in the stencil's steady state; every EXTRA transaction on the synchronization path (PSCW, fence) is paid per row, so their disadvantage grows with network latency — the mechanism behind the paper's exascale argument")
+	return t
+}
+
+// Taskflow compares the generalized dataflow tasking system (the paper's
+// §III motivation) under NA and MP on random layered DAGs: makespan of the
+// last task, by task count.
+func Taskflow() *Table {
+	t := &Table{Name: "taskflow",
+		Title:   "Dataflow tasking system: DAG makespan (us), 8 ranks, 64-byte objects",
+		Columns: []string{"tasks", "mp", "na", "na-speedup"}}
+	for _, nTasks := range []int{16, 64, 256} {
+		g := layeredDAG(nTasks, 8)
+		times := map[taskflow.Variant]float64{}
+		for _, v := range taskflow.Variants {
+			var makespan simtime.Duration
+			err := runtime.Run(runtime.Options{Ranks: 8, Mode: exec.Sim}, func(p *runtime.Proc) {
+				res, _ := taskflow.Execute(p, g, v)
+				if res.LastTask > makespan {
+					makespan = res.LastTask
+				}
+			})
+			if err != nil {
+				panic(err)
+			}
+			times[v] = makespan.Micros()
+		}
+		t.AddRow(itoa(nTasks), us(times[taskflow.MP]), us(times[taskflow.NA]),
+			ratio(times[taskflow.MP]/times[taskflow.NA]))
+	}
+	t.Notes = append(t.Notes,
+		"tag-matched notifications dispatch whichever object arrives next; the MP baseline pays probe+matching software per object")
+	return t
+}
+
+// layeredDAG builds a deterministic layered DAG for the taskflow bench.
+func layeredDAG(nTasks, ranks int) *taskflow.Graph {
+	g := &taskflow.Graph{ObjSize: 64}
+	for i := 0; i < nTasks; i++ {
+		i := i
+		t := taskflow.Task{
+			ID: i, Owner: (i * 7) % ranks, Output: taskflow.ObjID(i),
+			Cost: simtime.Duration(100 + (i*37)%200),
+			Run: func(ins [][]byte, out []byte) {
+				acc := byte(i)
+				for _, in := range ins {
+					acc += in[0]
+				}
+				for k := range out {
+					out[k] = acc
+				}
+			},
+		}
+		// Up to three inputs from strictly earlier tasks.
+		for k := 1; k <= 3 && i-k*3 >= 0; k++ {
+			t.Inputs = append(t.Inputs, taskflow.ObjID(i-k*3))
+		}
+		g.Tasks = append(g.Tasks, t)
+	}
+	return g
+}
+
+// EagerThreshold ablates the message-passing eager/rendezvous switch
+// (DESIGN.md ablation 4): MP ping-pong latency at sizes around the default
+// 8 KB threshold, under all-rendezvous, default, and all-eager policies.
+func EagerThreshold() *Table {
+	sizes := []int{512, 4096, 8192, 16384, 65536}
+	policies := []struct {
+		name      string
+		threshold int
+	}{
+		{"all-rendezvous", 1},
+		{"default-8K", 8192},
+		{"all-eager", 1 << 30},
+	}
+	t := &Table{Name: "eagerthreshold",
+		Title:   "MP ping-pong half-RTT (us) by eager/rendezvous policy",
+		Columns: []string{"size(B)"}}
+	series := make([][]float64, len(policies))
+	for pi, pol := range policies {
+		t.Columns = append(t.Columns, pol.name)
+		series[pi] = pingPongWithThreshold(sizes, pol.threshold)
+	}
+	for si, size := range sizes {
+		row := []string{itoa(size)}
+		for pi := range policies {
+			row = append(row, us(series[pi][si]))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"eager wins below ~16 KB (one transaction, copy cost small); rendezvous wins at large sizes (no bounce-buffer copy); the default 8 KB switch tracks the crossover — the fairness knob behind the MP baseline")
+	return t
+}
+
+// pingPongWithThreshold measures MP latency with a custom eager threshold.
+func pingPongWithThreshold(sizes []int, threshold int) []float64 {
+	out := make([]float64, len(sizes))
+	maxSize := sizes[len(sizes)-1]
+	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Sim, EagerThreshold: threshold}, func(p *runtime.Proc) {
+		c := mp.New(p)
+		buf := make([]byte, maxSize)
+		for si, size := range sizes {
+			const reps = 20
+			var samples []float64
+			for it := 0; it < 3+reps; it++ {
+				t0 := p.Now()
+				if p.Rank() == 0 {
+					c.Send(1, 1, buf[:size])
+					c.Recv(buf[:size], 1, 1)
+				} else {
+					c.Recv(buf[:size], 0, 1)
+					c.Send(0, 1, buf[:size])
+				}
+				if p.Rank() == 0 && it >= 3 {
+					samples = append(samples, p.Now().Sub(t0).Micros()/2)
+				}
+			}
+			if p.Rank() == 0 {
+				out[si] = stats.Median(samples)
+			}
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,432 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/loggp"
+	"repro/internal/mp"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// OverlapScheme selects the initiation/completion pair for the overlap
+// benchmark (paper Fig 4a).
+type OverlapScheme int
+
+const (
+	// OverlapMP is MPI_Isend ... MPI_Wait.
+	OverlapMP OverlapScheme = iota
+	// OverlapFence is MPI_Put ... MPI_Win_fence.
+	OverlapFence
+	// OverlapNA is MPI_Put_notify ... MPI_Win_flush.
+	OverlapNA
+)
+
+func (s OverlapScheme) String() string {
+	switch s {
+	case OverlapMP:
+		return "message-passing"
+	case OverlapFence:
+		return "one-sided-fence"
+	case OverlapNA:
+		return "notified-access"
+	}
+	return fmt.Sprintf("overlap(%d)", int(s))
+}
+
+// Overlap measures the overlappable share of communication latency
+// (paper Fig 4a). Both ranks run a symmetric exchange; computation
+// calibrated to 1.2x the no-compute iteration span is placed between
+// initiation and local completion. The non-hidden overhead (span minus
+// compute) is compared against the one-way data latency of the scheme:
+//
+//	overlap = 1 - (T_with - W) / latency(size)
+//
+// clamped to [0,1]. For fence, the data latency is the put transfer
+// itself; the collective fence notification is exactly the cost the paper
+// says cannot be hidden on small messages.
+func Overlap(scheme OverlapScheme, sizes []int, reps int) []float64 {
+	if reps == 0 {
+		reps = 30
+	}
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	out := make([]float64, len(sizes))
+	// Cross-rank shared state (kernel-serialized under Sim): timestamp
+	// probes and the common alignment deadline.
+	var tSend, tRecv simtime.Time
+	var deadline simtime.Time
+	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Sim}, func(p *runtime.Proc) {
+		win := rma.Allocate(p, maxSize)
+		defer win.Free()
+		comm := mp.New(p)
+		peer := 1 - p.Rank()
+		payload := make([]byte, maxSize)
+		var req *core.Request
+		if scheme == OverlapNA {
+			req = core.NotifyInit(win, peer, 5, 1)
+			defer req.Free()
+		}
+		m := p.Model()
+
+		// latency measures the scheme's one-way data latency with exact
+		// virtual timestamps (client stamps the initiation, server stamps
+		// the observation).
+		latency := func(size int) simtime.Duration {
+			switch scheme {
+			case OverlapMP:
+				if p.Rank() == 0 {
+					tSend = p.Now()
+					comm.Send(1, 3, payload[:size])
+					comm.Recv(payload[:1], 1, 4)
+				} else {
+					comm.Recv(payload[:size], 0, 3)
+					tRecv = p.Now()
+					comm.Send(0, 4, payload[:1])
+				}
+			case OverlapNA:
+				if p.Rank() == 0 {
+					tSend = p.Now()
+					core.PutNotify(win, 1, 0, payload[:size], 5)
+					win.Flush(1)
+					comm.Recv(payload[:1], 1, 4)
+				} else {
+					req.Start()
+					req.Wait()
+					tRecv = p.Now()
+					comm.Send(0, 4, payload[:1])
+				}
+			case OverlapFence:
+				// The data transfer itself (o_s + wire + o_r): the fence
+				// synchronization on top is what overlap cannot hide.
+				return m.OSend + m.Inter(size).Time(size) + m.ORecv
+			}
+			return tRecv.Sub(tSend)
+		}
+
+		// align parks both ranks until the same absolute virtual instant
+		// (exact under the global Sim clock), eliminating inter-rank skew
+		// between iterations.
+		align := func() {
+			p.Barrier()
+			if p.Rank() == 0 {
+				deadline = p.Now().Add(50 * simtime.Microsecond)
+			}
+			p.Barrier()
+			p.Sleep(deadline.Sub(p.Now()))
+		}
+
+		// iteration runs one symmetric exchange with compute w injected
+		// between initiation and local completion, returning span - w.
+		// Under MP only the send side is timed (the paper places the
+		// computation between MPI_Isend and MPI_Wait); the pre-posted
+		// receive completes outside the span.
+		iteration := func(size int, w simtime.Duration) simtime.Duration {
+			var rr *mp.RecvReq
+			if scheme == OverlapMP {
+				rr = comm.Irecv(payload[:size], peer, 1)
+			}
+			align()
+			t0 := p.Now()
+			switch scheme {
+			case OverlapMP:
+				sr := comm.Isend(peer, 1, payload[:size])
+				p.Compute(w)
+				comm.WaitSend(sr)
+			case OverlapFence:
+				win.Put(peer, 0, payload[:size])
+				p.Compute(w)
+				win.Fence()
+			case OverlapNA:
+				core.PutNotify(win, peer, 0, payload[:size], 5)
+				p.Compute(w)
+				win.Flush(peer)
+			}
+			span := p.Now().Sub(t0) - w
+			// Finish the iteration outside the timed span.
+			switch scheme {
+			case OverlapMP:
+				comm.WaitRecv(rr)
+			case OverlapNA:
+				req.Start()
+				req.Wait()
+			}
+			return span
+		}
+
+		for si, size := range sizes {
+			lat := latency(size)
+			iteration(size, 0) // warmup
+			base := iteration(size, 0)
+			w := base + base/5 // 1.2x calibration: hide everything hideable
+			var ratios []float64
+			for it := 0; it < reps; it++ {
+				overhead := iteration(size, w)
+				r := 1 - overhead.Micros()/lat.Micros()
+				if r < 0 {
+					r = 0
+				}
+				if r > 1 {
+					r = 1
+				}
+				ratios = append(ratios, r)
+			}
+			if p.Rank() == 0 {
+				out[si] = stats.Median(ratios)
+			}
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: overlap %v failed: %v", scheme, err))
+	}
+	return out
+}
+
+// Fig4a reproduces the overlap figure.
+func Fig4a() *Table {
+	sizes := []int{64, 256, 1024, 4096, 8192, 16384, 65536, 262144}
+	t := &Table{Name: "fig4a", Title: "Share of communication latency overlappable with computation",
+		Columns: []string{"size(B)"}}
+	var series [][]float64
+	schemes := []OverlapScheme{OverlapMP, OverlapFence, OverlapNA}
+	for _, s := range schemes {
+		series = append(series, Overlap(s, sizes, 20))
+		t.Columns = append(t.Columns, s.String())
+	}
+	for si, size := range sizes {
+		row := []string{itoa(size)}
+		for i := range schemes {
+			row = append(row, f2(series[i][si]))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape (paper Fig 4a): notified access overlaps well at all sizes; fence cannot hide its collective notification on small sizes; message passing dips around the 8 KB rendezvous switch")
+	return t
+}
+
+// Table1 regenerates the LogGP parameters by fitting L and G from
+// unsynchronized one-way transfer times measured on the simulator (with
+// software overheads disabled, as the paper's parameters describe the wire).
+func Table1() *Table {
+	fit := func(shm bool, sizes []int) loggp.Params {
+		var samples []loggp.Sample
+		opts := runtime.Options{Ranks: 2, Mode: exec.Sim, DisableOverheads: true}
+		if shm {
+			opts.RanksPerNode = 2
+		}
+		err := runtime.Run(opts, func(p *runtime.Proc) {
+			nic := p.NIC()
+			maxSize := sizes[len(sizes)-1]
+			reg := nic.Register(make([]byte, maxSize))
+			p.Barrier()
+			// The remote-completion ack is a zero-byte packet: it travels
+			// FMA inter-node or SHM intra-node regardless of payload size.
+			ackL := p.Model().FMA.L
+			if shm {
+				ackL = p.Model().SHM.L
+			}
+			for _, size := range sizes {
+				if p.Rank() == 0 {
+					t0 := p.Now()
+					nic.Put(p.Proc, 1, reg.ID, 0, make([]byte, size), fabric.Imm{})
+					nic.Flush(p.Proc, 1)
+					// One-way = (put committed remotely) minus the ack leg.
+					full := p.Now().Sub(t0)
+					samples = append(samples, loggp.Sample{Size: size, Latency: full - ackL})
+				}
+			}
+			p.Barrier()
+		})
+		if err != nil {
+			panic(err)
+		}
+		params, err := loggp.Fit(samples)
+		if err != nil {
+			panic(err)
+		}
+		return params
+	}
+
+	var fmaSizes, bteSizes, shmSizes []int
+	for s := 8; s < 4096; s *= 2 {
+		fmaSizes = append(fmaSizes, s)
+	}
+	for s := 4096; s <= 1<<20; s *= 2 {
+		bteSizes = append(bteSizes, s)
+	}
+	for s := 64; s <= 1<<20; s *= 2 {
+		shmSizes = append(shmSizes, s)
+	}
+
+	shm := fit(true, shmSizes)
+	fma := fit(false, fmaSizes)
+	bte := fit(false, bteSizes)
+	ref := loggp.DefaultCrayXC30()
+
+	t := &Table{Name: "table1", Title: "LogGP parameters (fitted from measured transfers vs paper values)",
+		Columns: []string{"transport", "L fitted(us)", "L paper(us)", "G fitted(ns/B)", "G paper(ns/B)"}}
+	t.AddRow("shared memory", us(shm.L.Micros()), us(ref.SHM.L.Micros()), f4(shm.G), f4(ref.SHM.G))
+	t.AddRow("uGNI FMA", us(fma.L.Micros()), us(ref.FMA.L.Micros()), f4(fma.G), f4(ref.FMA.G))
+	t.AddRow("uGNI BTE", us(bte.L.Micros()), us(ref.BTE.L.Micros()), f4(bte.G), f4(ref.BTE.G))
+	t.Notes = append(t.Notes,
+		"fitted values recover the paper's Table I because the fabric executes the LogGP model; the fit validates the measurement path end to end")
+	return t
+}
+
+// Calls reproduces the §V-A call-overhead constants by measuring the
+// virtual-time cost of each call on the simulator.
+func Calls() *Table {
+	m := loggp.DefaultCrayXC30()
+	type row struct {
+		name     string
+		measured simtime.Duration
+		paper    simtime.Duration
+	}
+	var rows []row
+	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Sim}, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 64)
+		defer win.Free()
+		if p.Rank() != 0 {
+			// Keep the partner alive to absorb the notified put.
+			req := core.NotifyInit(win, 0, 1, 1)
+			req.Start()
+			req.Wait()
+			req.Free()
+			return
+		}
+		t0 := p.Now()
+		req := core.NotifyInit(win, 1, 1, 1)
+		rows = append(rows, row{"MPI_Notify_init (t_init)", p.Now().Sub(t0), m.TInit})
+		t0 = p.Now()
+		req.Start()
+		rows = append(rows, row{"MPI_Start (t_start)", p.Now().Sub(t0), m.TStart})
+		t0 = p.Now()
+		core.PutNotify(win, 1, 0, []byte{1}, 1)
+		rows = append(rows, row{"MPI_Put_notify issue (t_na = o_s)", p.Now().Sub(t0), m.OSend})
+		win.Flush(1)
+		t0 = p.Now()
+		req.Free()
+		rows = append(rows, row{"MPI_Request_free (t_free)", p.Now().Sub(t0), m.TFree})
+	})
+	if err != nil {
+		panic(err)
+	}
+	t := &Table{Name: "calls", Title: "Call overheads (us): measured on simulator vs paper constants",
+		Columns: []string{"call", "measured(us)", "paper(us)"}}
+	for _, r := range rows {
+		t.AddRow(r.name, us(r.measured.Micros()), us(r.paper.Micros()))
+	}
+	t.Notes = append(t.Notes, "o_r = 0.07us is charged per received notification inside Test/Wait")
+	return t
+}
+
+// Fig2 audits the network transactions each producer-consumer protocol
+// needs for one transfer (paper Figure 2).
+func Fig2() *Table {
+	type proto struct {
+		name string
+		run  func(w *runtime.Proc, win *rma.Win, comm *mp.Comm)
+	}
+	const size = 1024
+	protos := []proto{
+		{"eager message passing", func(p *runtime.Proc, win *rma.Win, comm *mp.Comm) {
+			if p.Rank() == 0 {
+				comm.Send(1, 1, make([]byte, size))
+			} else {
+				comm.Recv(make([]byte, size), 0, 1)
+			}
+		}},
+		{"rendezvous message passing", func(p *runtime.Proc, win *rma.Win, comm *mp.Comm) {
+			big := 64 * 1024
+			if p.Rank() == 0 {
+				comm.Send(1, 1, make([]byte, big))
+			} else {
+				comm.Recv(make([]byte, big), 0, 1)
+			}
+		}},
+		{"put + flush + notification put (one sided)", func(p *runtime.Proc, win *rma.Win, comm *mp.Comm) {
+			if p.Rank() == 0 {
+				win.Put(1, 8, make([]byte, size))
+				win.Flush(1)
+				win.Put(1, 0, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+				win.Flush(1)
+			} else {
+				for win.Load64(0) == 0 {
+					p.Poll(100)
+				}
+				win.Store64(0, 0)
+			}
+		}},
+		{"pscw epoch (one sided)", func(p *runtime.Proc, win *rma.Win, comm *mp.Comm) {
+			if p.Rank() == 0 {
+				win.Start([]int{1})
+				win.Put(1, 8, make([]byte, size))
+				win.Complete()
+			} else {
+				win.Post([]int{0})
+				win.Wait()
+			}
+		}},
+		{"notified put", func(p *runtime.Proc, win *rma.Win, comm *mp.Comm) {
+			if p.Rank() == 0 {
+				core.PutNotify(win, 1, 8, make([]byte, size), 3)
+			} else {
+				req := core.NotifyInit(win, 0, 3, 1)
+				req.Start()
+				req.Wait()
+				req.Free()
+			}
+		}},
+	}
+
+	t := &Table{Name: "fig2", Title: "Network packets per producer-consumer transfer",
+		Columns: []string{"protocol", "data", "ctrl", "acks", "atomics", "total", "critical-path transactions"}}
+	critical := map[string]string{
+		"eager message passing":                      "1 (+matching copy at target)",
+		"rendezvous message passing":                 "3 (RTS, CTS, DATA)",
+		"put + flush + notification put (one sided)": "3 (DATA, flush ack, notify)",
+		"pscw epoch (one sided)":                     "3 (post, DATA, complete)",
+		"notified put":                               "1 (DATA+notification)",
+	}
+	for _, pr := range protos {
+		w := runtime.NewWorld(runtime.Options{Ranks: 2, Mode: exec.Sim})
+		var before, after fabric.CounterSnapshot
+		err := w.Run(func(p *runtime.Proc) {
+			win := rma.Allocate(p, 2*128*1024)
+			comm := mp.New(p)
+			p.Barrier()
+			if p.Rank() == 0 {
+				before = w.Fabric().Stats.Snapshot()
+			}
+			p.Barrier()
+			pr.run(p, win, comm)
+			p.Barrier()
+			if p.Rank() == 0 {
+				after = w.Fabric().Stats.Snapshot()
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("fig2 %q: %v", pr.name, err))
+		}
+		d := after.Sub(before)
+		// Two barriers inside the measured span contribute 2 ctrl packets
+		// each (2-rank centralized barrier).
+		ctrl := d.CtrlPackets - 4
+		t.AddRow(pr.name, itoa(int(d.DataPackets)), itoa(int(ctrl)), itoa(int(d.AckPackets)),
+			itoa(int(d.AtomicPackets)), itoa(int(d.DataPackets+ctrl+d.AckPackets+d.AtomicPackets)),
+			critical[pr.name])
+	}
+	t.Notes = append(t.Notes,
+		"paper Figure 2: all protocols except eager message passing and notified access need >= 3 transactions on the critical path; notified access needs exactly one")
+	return t
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/loggp"
+	"repro/internal/model"
+)
+
+// TestModelMatchesSimulation validates the closed-form section V-A
+// predictions against the executed protocols (ping-pong medians).
+func TestModelMatchesSimulation(t *testing.T) {
+	m := loggp.DefaultCrayXC30()
+	sizes := []int{8, 512, 4096, 65536}
+
+	check := func(name string, predicted func(size int) float64, scheme Scheme, tolPct float64) {
+		measured := PingPong(PingPongConfig{Scheme: scheme, Sizes: sizes, Reps: 10})
+		for i, size := range sizes {
+			want := predicted(size)
+			got := measured[i]
+			errPct := math.Abs(got-want) / want * 100
+			if errPct > tolPct {
+				t.Errorf("%s at %dB: model %.3fus vs simulated %.3fus (%.1f%% > %.1f%%)",
+					name, size, want, got, errPct, tolPct)
+			}
+		}
+	}
+
+	check("NA put", func(s int) float64 { return model.NAPutLatency(m, s, false).Micros() }, SchemeNAPut, 2)
+	check("NA get", func(s int) float64 { return model.NAGetLatency(m, s, false).Micros() }, SchemeNAGet, 2)
+	check("MP", func(s int) float64 { return model.MPLatency(m, s, 8192, false).Micros() }, SchemeMP, 3)
+	check("unsync", func(s int) float64 { return model.UnsyncLatency(m, s, false).Micros() }, SchemeUnsync, 3)
+}
+
+func TestModelMatchesSimulationShm(t *testing.T) {
+	m := loggp.DefaultCrayXC30()
+	sizes := []int{64, 1024, 65536} // above the inline threshold
+	measured := PingPong(PingPongConfig{Scheme: SchemeNAPut, Sizes: sizes, Reps: 10, ShmPair: true})
+	for i, size := range sizes {
+		want := model.NAPutLatency(m, size, true).Micros()
+		got := measured[i]
+		if math.Abs(got-want)/want > 0.03 {
+			t.Errorf("NA put shm at %dB: model %.3f vs simulated %.3f", size, want, got)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/mp"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// Scheme identifies a ping-pong synchronization scheme (paper Fig 3).
+type Scheme int
+
+const (
+	// SchemeMP is standard send/recv message passing.
+	SchemeMP Scheme = iota
+	// SchemeOneSided is put with general active target (PSCW)
+	// synchronization; fence performed identically on two processes
+	// (paper §V-A), so one One Sided series is reported.
+	SchemeOneSided
+	// SchemeNAPut is a notified put (paper Listing 1).
+	SchemeNAPut
+	// SchemeNAGet is a notified get.
+	SchemeNAGet
+	// SchemeGet is a plain One Sided get completed with flush.
+	SchemeGet
+	// SchemeUnsync is busy-waiting on payload bytes: the illegal
+	// lower-bound the paper plots for reference.
+	SchemeUnsync
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeMP:
+		return "message-passing"
+	case SchemeOneSided:
+		return "one-sided-pscw"
+	case SchemeNAPut:
+		return "notified-put"
+	case SchemeNAGet:
+		return "notified-get"
+	case SchemeGet:
+		return "get-flush"
+	case SchemeUnsync:
+		return "unsynchronized"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// PingPongConfig parameterizes a latency sweep.
+type PingPongConfig struct {
+	Scheme   Scheme
+	Sizes    []int
+	Reps     int
+	Warmup   int
+	ShmPair  bool // place both ranks on one node (Fig 3c)
+	pollStep simtime.Duration
+}
+
+// DefaultSizes is the paper's sweep: 8 B to 512 KB.
+func DefaultSizes() []int {
+	var out []int
+	for s := 8; s <= 512*1024; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// PingPong measures median half-round-trip latencies (in microseconds, one
+// entry per size) under the Sim engine.
+func PingPong(cfg PingPongConfig) []float64 {
+	if cfg.Reps == 0 {
+		cfg.Reps = 100
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 5
+	}
+	if cfg.pollStep == 0 {
+		cfg.pollStep = 20
+	}
+	maxSize := 0
+	for _, s := range cfg.Sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	opts := runtime.Options{Ranks: 2, Mode: exec.Sim}
+	if cfg.ShmPair {
+		opts.RanksPerNode = 2
+	}
+	results := make([]float64, len(cfg.Sizes))
+	err := runtime.Run(opts, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 2*maxSize+16)
+		defer win.Free()
+		partner := 1 - p.Rank()
+		client := p.Rank() == 0
+
+		var comm *mp.Comm
+		var req, tokenReq *core.Request
+		switch cfg.Scheme {
+		case SchemeMP:
+			comm = mp.New(p)
+		case SchemeNAPut:
+			req = core.NotifyInit(win, partner, 99, 1)
+			defer req.Free()
+		case SchemeNAGet:
+			req = core.NotifyInit(win, partner, 99, 1)
+			tokenReq = core.NotifyInit(win, partner, 98, 1)
+			defer req.Free()
+			defer tokenReq.Free()
+		}
+
+		for si, size := range cfg.Sizes {
+			var samples []float64
+			for it := 0; it < cfg.Warmup+cfg.Reps; it++ {
+				t0 := p.Now()
+				direct := oneExchange(p, win, comm, req, tokenReq, cfg, client, partner, size, it)
+				var sample float64
+				if direct >= 0 {
+					sample = direct.Micros()
+				} else {
+					sample = p.Now().Sub(t0).Micros() / 2
+				}
+				if client && it >= cfg.Warmup {
+					samples = append(samples, sample)
+				}
+			}
+			if client {
+				results[si] = stats.Median(samples)
+			}
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: ping-pong %v failed: %v", cfg.Scheme, err))
+	}
+	return results
+}
+
+// oneExchange performs one full round trip for the scheme. The client
+// sends first; the server mirrors. It returns a direct latency sample when
+// the scheme measures one (SchemeNAGet), or -1 when the caller should use
+// half the round-trip time.
+func oneExchange(p *runtime.Proc, win *rma.Win, comm *mp.Comm, req, tokenReq *core.Request,
+	cfg PingPongConfig, client bool, partner, size, iter int) simtime.Duration {
+
+	maxOff := win.Size() / 2
+	payload := make([]byte, size)
+	switch cfg.Scheme {
+	case SchemeMP:
+		if client {
+			comm.Send(partner, 7, payload)
+			comm.Recv(payload, partner, 7)
+		} else {
+			comm.Recv(payload, partner, 7)
+			comm.Send(partner, 7, payload)
+		}
+
+	case SchemeOneSided:
+		if client {
+			win.Start([]int{partner})
+			win.Put(partner, 0, payload)
+			win.Complete()
+			win.Post([]int{partner})
+			win.Wait()
+		} else {
+			win.Post([]int{partner})
+			win.Wait()
+			win.Start([]int{partner})
+			win.Put(partner, maxOff, payload)
+			win.Complete()
+		}
+
+	case SchemeNAPut:
+		// Paper Listing 1.
+		if client {
+			core.PutNotify(win, partner, 0, payload, 99)
+			win.Flush(partner)
+			req.Start()
+			req.Wait()
+		} else {
+			req.Start()
+			req.Wait()
+			core.PutNotify(win, partner, maxOff, payload, 99)
+			win.Flush(partner)
+		}
+
+	case SchemeNAGet:
+		// Direct measurement, serialized with turn tokens: each side times
+		// its own notified get (data landed at the origin); the tag-99
+		// notification tells the data holder its buffer was read.
+		var sample simtime.Duration
+		if client {
+			t0 := p.Now()
+			core.GetNotify(win, partner, 0, payload, 99).Await(p.Proc)
+			sample = p.Now().Sub(t0)
+			core.PutNotify(win, partner, 0, nil, 98) // your turn
+			tokenReq.Start()
+			tokenReq.Wait() // turn returned
+		} else {
+			tokenReq.Start()
+			tokenReq.Wait()
+			core.GetNotify(win, partner, maxOff, payload, 99).Await(p.Proc)
+			core.PutNotify(win, partner, 0, nil, 98)
+		}
+		// Consume the buffer-was-read notification from the peer's get.
+		req.Start()
+		req.Wait()
+		return sample
+
+	case SchemeGet:
+		// Plain one-sided get: the origin knows completion (flush), but
+		// the target needs a separate synchronization — modeled with PSCW
+		// around the epoch, as in the paper's get protocol (Fig 2c).
+		if client {
+			win.Post([]int{partner})
+			win.Wait()
+			op := win.Get(partner, 0, payload)
+			op.Await(p.Proc)
+			win.Start([]int{partner})
+			win.Complete()
+		} else {
+			win.Start([]int{partner})
+			win.Complete()
+			win.Post([]int{partner})
+			win.Wait()
+			op := win.Get(partner, maxOff, payload)
+			op.Await(p.Proc)
+		}
+
+	case SchemeUnsync:
+		// The illegal busy-wait lower bound (Sim only): poll the first and
+		// last payload bytes for the iteration marker.
+		mark := uint64(iter + 1)
+		half := win.Size() / 2
+		myOff, peerOff := half, 0
+		if client {
+			myOff, peerOff = 0, half
+		}
+		if size < 16 {
+			size = 16
+		}
+		fill := func(dst []byte) {
+			for i := range dst {
+				dst[i] = 0
+			}
+			putU64(dst[:8], mark)
+			putU64(dst[size-8:size], mark)
+		}
+		wait := func(off int) {
+			for win.Load64(off) != mark || win.Load64(off+size-8) != mark {
+				p.Sleep(cfg.pollStep)
+			}
+		}
+		buf := make([]byte, size)
+		fill(buf)
+		if client {
+			win.Put(partner, peerOff, buf)
+			wait(myOff)
+		} else {
+			wait(myOff)
+			win.Put(partner, peerOff, buf)
+		}
+	}
+	return -1
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// pingPongTable builds a Fig-3-style table with one scheme per column.
+func pingPongTable(name, title string, schemes []Scheme, shm bool, sizes []int, reps int) *Table {
+	t := &Table{Name: name, Title: title}
+	t.Columns = []string{"size(B)"}
+	series := make([][]float64, len(schemes))
+	for i, s := range schemes {
+		series[i] = PingPong(PingPongConfig{Scheme: s, Sizes: sizes, Reps: reps, ShmPair: shm})
+		t.Columns = append(t.Columns, s.String())
+	}
+	for si, size := range sizes {
+		row := []string{itoa(size)}
+		for i := range schemes {
+			row = append(row, us(series[i][si]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig3a reproduces the put ping-pong latency comparison.
+func Fig3a() *Table {
+	t := pingPongTable("fig3a", "Put ping-pong half-RTT latency (us), inter-node",
+		[]Scheme{SchemeUnsync, SchemeNAPut, SchemeMP, SchemeOneSided}, false, DefaultSizes(), 50)
+	t.Notes = append(t.Notes,
+		"expected shape (paper Fig 3a): notified-put < 50% of one-sided on small sizes; notified-put below message-passing (eager copy overhead); unsynchronized is the illegal lower bound")
+	return t
+}
+
+// Fig3b reproduces the get ping-pong latency comparison.
+func Fig3b() *Table {
+	t := pingPongTable("fig3b", "Get ping-pong half-RTT latency (us), inter-node",
+		[]Scheme{SchemeNAGet, SchemeMP, SchemeGet}, false, DefaultSizes(), 50)
+	t.Notes = append(t.Notes,
+		"expected shape (paper Fig 3b): message passing retains an advantage over gets (single transfer vs request-reply); notified-get beats the one-sided get protocol")
+	return t
+}
+
+// Fig3c reproduces the intra-node (shared memory) latency comparison.
+func Fig3c() *Table {
+	t := pingPongTable("fig3c", "Put ping-pong half-RTT latency (us), intra-node shared memory",
+		[]Scheme{SchemeUnsync, SchemeNAPut, SchemeMP, SchemeOneSided}, true, DefaultSizes(), 50)
+	t.Notes = append(t.Notes,
+		"expected shape (paper Fig 3c): notified access performs similar to message passing intra-node; one-sided synchronization still trails on small sizes")
+	return t
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExperimentRegistrySmoke runs every registered experiment end to end
+// (the two slowest only outside -short) and sanity-checks the produced
+// tables: every row has the declared column count and nothing is empty.
+func TestExperimentRegistrySmoke(t *testing.T) {
+	slow := map[string]bool{"fig1": true, "fig4b": true}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			if slow[e.Name] && testing.Short() {
+				t.Skip("slow experiment skipped in -short")
+			}
+			tab := e.Run()
+			if tab.Name != e.Name {
+				t.Errorf("table name %q != experiment %q", tab.Name, e.Name)
+			}
+			if len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+				t.Fatalf("empty table: %d cols %d rows", len(tab.Columns), len(tab.Rows))
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("row %d has %d cells, want %d", i, len(row), len(tab.Columns))
+				}
+				for j, cell := range row {
+					if cell == "" {
+						t.Errorf("empty cell (%d,%d)", i, j)
+					}
+				}
+			}
+			var buf bytes.Buffer
+			tab.Fprint(&buf)
+			if buf.Len() == 0 {
+				t.Error("Fprint produced nothing")
+			}
+		})
+	}
+}

@@ -1,0 +1,454 @@
+// Package cholesky implements the paper's task-dataflow case study
+// (§VI-C): a statically scheduled, left-looking tiled Cholesky
+// factorization on distributed memory. Tile rows are distributed
+// row-cyclically; every factored tile is broadcast along a binary tree
+// overlay rooted at its producer, and — because of asynchronous progression
+// — a rank generally cannot know which tile arrives next. The three
+// variants reproduce the paper's comparison of how that "which tile was
+// this?" information travels:
+//
+//   - MP: tile indices ride in the message tag; the receiver uses
+//     Probe + Recv to post the right buffer (the paper's scheme).
+//   - OneSided: data is Put directly to the tile's slot, then the producer
+//     reserves a ring-buffer slot at the target with MPI_Fetch_and_op and
+//     Puts the tile coordinate into it; the target busy-polls the ring
+//     (the paper's listing, verbatim protocol).
+//   - NA: a single MPI_Put_notify with the tile id in the tag; the target
+//     waits with a wildcard request and reads the id from the status.
+package cholesky
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/mp"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+// Variant selects the communication scheme.
+type Variant int
+
+const (
+	// MP is message passing with probe + tag-coded tile indices.
+	MP Variant = iota
+	// OneSided is put + fetch-and-op ring-buffer notification.
+	OneSided
+	// NA is Notified Access with tag-coded tile indices.
+	NA
+)
+
+func (v Variant) String() string {
+	switch v {
+	case MP:
+		return "mp"
+	case OneSided:
+		return "onesided"
+	case NA:
+		return "na"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Variants lists all schemes in presentation order.
+var Variants = []Variant{MP, OneSided, NA}
+
+// Options configures a factorization.
+type Options struct {
+	Tiles   int // T: tile grid dimension (T >= ranks recommended)
+	B       int // tile size (paper: 32 -> 8 KB transfers)
+	Variant Variant
+	// GFLOPS is the modeled per-core kernel rate under Sim (default 16,
+	// a tuned DGEMM on the paper's Xeon E5 cores; the paper stresses this
+	// configuration as an extreme case of very small computation per
+	// process, so communication costs stay visible).
+	GFLOPS float64
+	// Validate checks the factor against linalg.TiledCholesky (O(n³) on
+	// every rank; keep sizes modest).
+	Validate bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.B == 0 {
+		o.B = 32
+	}
+	if o.GFLOPS == 0 {
+		o.GFLOPS = 16
+	}
+	return o
+}
+
+// Result reports a finished factorization.
+type Result struct {
+	Elapsed simtime.Duration
+	GFLOPS  float64
+	// MaxError is the largest |distributed - reference| entry over locally
+	// owned tiles (only populated when Options.Validate).
+	MaxError float64
+	Valid    bool
+}
+
+// tri returns the number of lower-triangle tiles strictly above row j:
+// offset of (j, 0) in the packed store.
+func tri(j int) int { return j * (j + 1) / 2 }
+
+// tileID packs coordinates (j, k), k <= j, into the packed lower-triangle
+// index used as tag and slot number.
+func tileID(j, k int) int { return tri(j) + k }
+
+// tileCoord inverts tileID.
+func tileCoord(id int) (j, k int) {
+	j = int((math.Sqrt(float64(8*id+1)) - 1) / 2)
+	for tri(j+1) <= id {
+		j++
+	}
+	for tri(j) > id {
+		j--
+	}
+	return j, id - tri(j)
+}
+
+// hash64 is SplitMix64, the deterministic element generator.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// element returns entry (i, j) of the deterministic SPD input matrix of
+// order n: symmetric with entries in [-0.5, 0.5] plus n on the diagonal
+// (diagonally dominant, hence positive definite). O(1) per element so big
+// weak-scaling inputs are cheap to generate.
+func element(n, i, j int) float64 {
+	if i < j {
+		i, j = j, i
+	}
+	h := hash64(uint64(i)*0x100000001b3 + uint64(j))
+	v := float64(h>>11)/float64(1<<53) - 0.5
+	if i == j {
+		return float64(n) + v
+	}
+	return v
+}
+
+// InputMatrix materializes the full SPD input (for reference validation).
+func InputMatrix(T, b int) *linalg.Matrix {
+	n := T * b
+	m := linalg.NewMatrix(n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			m.Set(i, j, element(n, i, j))
+		}
+	}
+	return m
+}
+
+// inputTile materializes tile (ti, tj) of the input.
+func inputTile(T, b, ti, tj int) *linalg.Tile {
+	n := T * b
+	t := linalg.NewTile(b)
+	for j := 0; j < b; j++ {
+		for i := 0; i < b; i++ {
+			t.Set(i, j, element(n, ti*b+i, tj*b+j))
+		}
+	}
+	return t
+}
+
+// kernel flop counts for a b×b tile.
+func potrfFlops(b int) int { return b * b * b / 3 }
+func trsmFlops(b int) int  { return b * b * b }
+func gemmFlops(b int) int  { return 2 * b * b * b }
+func syrkFlops(b int) int  { return b * b * b }
+
+// engine carries the per-rank state shared by all variants.
+type engine struct {
+	p   *runtime.Proc
+	o   Options
+	T   int
+	b   int
+	win *rma.Win // packed lower-triangle tile store (all variants use it
+	// as the local store; RMA variants also write it remotely)
+	have []bool // factored tile present in the store
+	// local working tiles for owned rows, indexed [row][col].
+	work map[int][]*linalg.Tile
+
+	// variant plumbing
+	comm     *mp.Comm      // MP
+	pending  []*mp.SendReq // MP: outstanding tile forwards
+	haveN    int           // tiles accounted for
+	notifWin *rma.Win      // OneSided: ring buffer
+	nextRead int           // OneSided: next ring slot to poll
+	req      *core.Request // NA: wildcard persistent request
+}
+
+func (e *engine) owner(row int) int { return row % e.p.N() }
+
+func (e *engine) tileBytes() int { return 8 * e.b * e.b }
+
+func (e *engine) slotOff(id int) int { return id * e.tileBytes() }
+
+// storeLocal copies a tile into the local packed store and marks it.
+func (e *engine) storeLocal(id int, t *linalg.Tile) {
+	copy(e.win.Buffer()[e.slotOff(id):], encodeTile(t))
+	e.mark(id)
+}
+
+// mark records that tile id is accounted for locally.
+func (e *engine) mark(id int) {
+	if !e.have[id] {
+		e.have[id] = true
+		e.haveN++
+	}
+}
+
+func (e *engine) loadTile(id int) *linalg.Tile {
+	t := linalg.NewTile(e.b)
+	decodeTile(e.win.Buffer()[e.slotOff(id):], t)
+	return t
+}
+
+func encodeTile(t *linalg.Tile) []byte {
+	b := make([]byte, 8*len(t.Data))
+	for i, v := range t.Data {
+		putF64(b[8*i:], v)
+	}
+	return b
+}
+
+func decodeTile(b []byte, t *linalg.Tile) {
+	for i := range t.Data {
+		t.Data[i] = getF64(b[8*i:])
+	}
+}
+
+func putF64(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}
+
+func getF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// overlay children of this rank in the binary broadcast tree rooted at the
+// producing rank.
+func (e *engine) overlayChildren(root int) []int {
+	n := e.p.N()
+	v := (e.p.Rank() - root + n) % n
+	var out []int
+	for _, c := range []int{2*v + 1, 2*v + 2} {
+		if c < n {
+			out = append(out, (c+root)%n)
+		}
+	}
+	return out
+}
+
+// forward relays a received (or locally produced) tile to the overlay
+// children, using the variant's transport.
+func (e *engine) forward(id int) {
+	j, _ := tileCoord(id)
+	root := e.owner(j)
+	for _, child := range e.overlayChildren(root) {
+		e.sendTile(child, id)
+	}
+}
+
+// sendTile ships the stored tile to one rank via the variant transport.
+func (e *engine) sendTile(to, id int) {
+	raw := e.win.Buffer()[e.slotOff(id) : e.slotOff(id)+e.tileBytes()]
+	switch e.o.Variant {
+	case MP:
+		// Non-blocking: a blocking rendezvous send here could deadlock two
+		// ranks forwarding to each other. Requests are drained at the end.
+		e.pending = append(e.pending, e.comm.Isend(to, id, raw))
+	case OneSided:
+		// Paper §VI-C listing: put the data, reserve a ring slot with
+		// fetch-and-op, flush, put the coordinate.
+		e.win.Put(to, e.slotOff(id), raw)
+		e.win.Flush(to) // data committed before the coordinate is exposed
+		slot := e.notifWin.FetchAndOp(to, 0, 1)
+		e.notifWin.Put(to, 8*(1+int(slot)), u64bytes(uint64(id)+1))
+		e.notifWin.Flush(to)
+	case NA:
+		core.PutNotify(e.win, to, e.slotOff(id), raw, id)
+	}
+}
+
+func u64bytes(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// recvTile blocks for the next incoming tile (any producer), stores it,
+// forwards it, and returns its id.
+func (e *engine) recvTile() int {
+	switch e.o.Variant {
+	case MP:
+		st := e.comm.Probe(mp.AnySource, mp.AnyTag)
+		buf := make([]byte, st.Count)
+		e.comm.Recv(buf, st.Source, st.Tag)
+		id := st.Tag
+		copy(e.win.Buffer()[e.slotOff(id):], buf)
+		e.mark(id)
+		e.forward(id)
+		return id
+	case OneSided:
+		// Busy-poll the ring buffer for the next coordinate.
+		off := 8 * (1 + e.nextRead)
+		for {
+			v := e.notifWin.Load64(off)
+			if v != 0 {
+				e.nextRead++
+				id := int(v - 1)
+				e.mark(id)
+				e.forward(id)
+				return id
+			}
+			e.p.Poll(100) // poll interval
+		}
+	case NA:
+		e.req.Start()
+		st := e.req.Wait()
+		id := st.Tag
+		e.mark(id)
+		e.forward(id)
+		return id
+	}
+	panic("cholesky: unknown variant")
+}
+
+// ensure blocks until tile id is available locally.
+func (e *engine) ensure(id int) {
+	for !e.have[id] {
+		e.recvTile()
+	}
+}
+
+// produce stores a locally factored tile and starts its broadcast.
+func (e *engine) produce(id int, t *linalg.Tile) {
+	e.storeLocal(id, t)
+	e.forward(id)
+}
+
+// chargeFlops charges modeled kernel time at the configured GFLOPS rate.
+func (e *engine) chargeFlops(flops int, fn func()) {
+	e.p.Work(simtime.Duration(float64(flops)/e.o.GFLOPS), fn)
+}
+
+// Run factors the matrix collectively and returns this rank's result.
+func Run(p *runtime.Proc, o Options) Result {
+	o = o.withDefaults()
+	if o.Tiles == 0 {
+		o.Tiles = p.N()
+	}
+	T, b := o.Tiles, o.B
+	ntiles := tri(T)
+	if ntiles > core.MaxTag {
+		panic(fmt.Sprintf("cholesky: %d tiles exceed the 16-bit tag space", ntiles))
+	}
+
+	e := &engine{p: p, o: o, T: T, b: b, have: make([]bool, ntiles), work: map[int][]*linalg.Tile{}}
+	e.win = rma.Allocate(p, ntiles*e.tileBytes())
+	defer e.win.Free()
+	switch o.Variant {
+	case MP:
+		e.comm = mp.New(p)
+	case OneSided:
+		// Ring: slot 0 is the fetch-and-op counter, then one slot per
+		// possible incoming tile.
+		e.notifWin = rma.Allocate(p, 8*(1+ntiles))
+		defer e.notifWin.Free()
+	case NA:
+		e.req = core.NotifyInit(e.win, core.AnySource, core.AnyTag, 1)
+		defer e.req.Free()
+	}
+
+	// Load the locally owned tile rows.
+	myRows := 0
+	for i := p.Rank(); i < T; i += p.N() {
+		row := make([]*linalg.Tile, i+1)
+		for j := 0; j <= i; j++ {
+			row[j] = inputTile(T, b, i, j)
+		}
+		e.work[i] = row
+		myRows++
+	}
+
+	p.Barrier()
+	start := p.Now()
+
+	// Left-looking factorization of the owned rows in ascending order.
+	for i := p.Rank(); i < T; i += p.N() {
+		row := e.work[i]
+		for j := 0; j < i; j++ {
+			for k := 0; k < j; k++ {
+				e.ensure(tileID(j, k))
+				ljk := e.loadTile(tileID(j, k))
+				e.chargeFlops(gemmFlops(b), func() { linalg.Gemm(row[j], row[k], ljk) })
+			}
+			e.ensure(tileID(j, j))
+			ljj := e.loadTile(tileID(j, j))
+			e.chargeFlops(trsmFlops(b), func() { linalg.Trsm(ljj, row[j]) })
+			e.chargeFlops(syrkFlops(b), func() { linalg.Syrk(row[i], row[j]) })
+			e.produce(tileID(i, j), row[j])
+		}
+		e.chargeFlops(potrfFlops(b), func() {
+			if err := linalg.Potrf(row[i]); err != nil {
+				panic(fmt.Sprintf("cholesky: rank %d row %d: %v", p.Rank(), i, err))
+			}
+		})
+		e.produce(tileID(i, i), row[i])
+	}
+
+	// Drain: keep receiving and forwarding until every tile is accounted
+	// for (later rows' tiles still flow through this rank's overlay
+	// position).
+	for e.haveN < ntiles {
+		e.recvTile()
+	}
+	for _, req := range e.pending {
+		e.comm.WaitSend(req)
+	}
+
+	elapsed := p.Now().Sub(start)
+	p.Barrier()
+
+	res := Result{Elapsed: elapsed}
+	if elapsed > 0 {
+		res.GFLOPS = linalg.CholeskyFlops(T*b) / elapsed.Seconds() / 1e9
+	}
+	if o.Validate {
+		res.Valid = true
+		ref, err := linalg.TiledCholesky(InputMatrix(T, b), b)
+		if err != nil {
+			panic(err)
+		}
+		for i := p.Rank(); i < T; i += p.N() {
+			for j := 0; j <= i; j++ {
+				d := linalg.TileMaxAbsDiff(e.work[i][j], ref[i][j])
+				if d > res.MaxError {
+					res.MaxError = d
+				}
+			}
+		}
+		if res.MaxError > 1e-8 {
+			res.Valid = false
+		}
+		// Received tiles must also match (store integrity).
+		for id := 0; id < ntiles; id++ {
+			j, k := tileCoord(id)
+			d := linalg.TileMaxAbsDiff(e.loadTile(id), ref[j][k])
+			if d > 1e-8 {
+				res.Valid = false
+			}
+		}
+	}
+	return res
+}

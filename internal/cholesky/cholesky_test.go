@@ -1,0 +1,171 @@
+package cholesky
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/linalg"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+func TestTileIDRoundTrip(t *testing.T) {
+	id := 0
+	for j := 0; j < 50; j++ {
+		for k := 0; k <= j; k++ {
+			if got := tileID(j, k); got != id {
+				t.Fatalf("tileID(%d,%d) = %d, want %d", j, k, got, id)
+			}
+			gj, gk := tileCoord(id)
+			if gj != j || gk != k {
+				t.Fatalf("tileCoord(%d) = (%d,%d), want (%d,%d)", id, gj, gk, j, k)
+			}
+			id++
+		}
+	}
+}
+
+func TestInputMatrixIsSPDAndDeterministic(t *testing.T) {
+	m := InputMatrix(4, 8)
+	if _, err := linalg.ReferenceCholesky(m); err != nil {
+		t.Fatalf("input not SPD: %v", err)
+	}
+	m2 := InputMatrix(4, 8)
+	for k := range m.Data {
+		if m.Data[k] != m2.Data[k] {
+			t.Fatal("InputMatrix not deterministic")
+		}
+	}
+	// Symmetry.
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestInputTileMatchesMatrix(t *testing.T) {
+	T, b := 3, 4
+	m := InputMatrix(T, b)
+	for ti := 0; ti < T; ti++ {
+		for tj := 0; tj <= ti; tj++ {
+			tile := inputTile(T, b, ti, tj)
+			want := linalg.ExtractTile(m, b, ti, tj)
+			if d := linalg.TileMaxAbsDiff(tile, want); d != 0 {
+				t.Fatalf("tile (%d,%d) differs by %g", ti, tj, d)
+			}
+		}
+	}
+}
+
+func TestAllVariantsValidate(t *testing.T) {
+	for _, mode := range []exec.Mode{exec.Sim, exec.Real} {
+		for _, v := range Variants {
+			v, mode := v, mode
+			t.Run(mode.String()+"/"+v.String(), func(t *testing.T) {
+				o := Options{Tiles: 6, B: 8, Variant: v, Validate: true}
+				err := runtime.Run(runtime.Options{Ranks: 3, Mode: mode}, func(p *runtime.Proc) {
+					res := Run(p, o)
+					if !res.Valid {
+						t.Errorf("rank %d: max error %g", p.Rank(), res.MaxError)
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestWeakScalingShape(t *testing.T) {
+	// One tile row per rank (the paper's Fig 5 configuration, T = P,
+	// b = 32 -> 8 KB transfers). NA must beat MP, and One Sided must trail.
+	times := map[Variant]simtime.Duration{}
+	const ranks = 8
+	for _, v := range Variants {
+		v := v
+		err := runtime.Run(runtime.Options{Ranks: ranks, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := Run(p, Options{Tiles: ranks, B: 32, Variant: v})
+			if p.Rank() == 0 {
+				times[v] = res.Elapsed
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !(times[NA] < times[MP]) {
+		t.Errorf("NA (%v) should beat MP (%v)", times[NA], times[MP])
+	}
+	if !(times[NA] < times[OneSided]) {
+		t.Errorf("NA (%v) should beat OneSided (%v)", times[NA], times[OneSided])
+	}
+}
+
+func TestMoreTilesThanRanks(t *testing.T) {
+	// Row-cyclic distribution with T > P.
+	for _, v := range Variants {
+		v := v
+		err := runtime.Run(runtime.Options{Ranks: 3, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := Run(p, Options{Tiles: 8, B: 4, Variant: v, Validate: true})
+			if !res.Valid {
+				t.Errorf("variant %v rank %d invalid (err %g)", v, p.Rank(), res.MaxError)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSingleRank(t *testing.T) {
+	err := runtime.Run(runtime.Options{Ranks: 1, Mode: exec.Sim}, func(p *runtime.Proc) {
+		res := Run(p, Options{Tiles: 4, B: 4, Variant: NA, Validate: true})
+		if !res.Valid {
+			t.Errorf("single-rank factorization invalid")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicTiming(t *testing.T) {
+	run := func() simtime.Duration {
+		var d simtime.Duration
+		err := runtime.Run(runtime.Options{Ranks: 4, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := Run(p, Options{Tiles: 4, B: 8, Variant: NA})
+			if p.Rank() == 0 {
+				d = res.Elapsed
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestGFLOPSReported(t *testing.T) {
+	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Sim}, func(p *runtime.Proc) {
+		res := Run(p, Options{Tiles: 2, B: 8, Variant: NA})
+		if p.Rank() == 0 && res.GFLOPS <= 0 {
+			t.Errorf("GFLOPS = %v", res.GFLOPS)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if MP.String() != "mp" || OneSided.String() != "onesided" || NA.String() != "na" {
+		t.Fatal("variant names")
+	}
+}

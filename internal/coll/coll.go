@@ -1,0 +1,106 @@
+// Package coll provides the collective operations the applications and
+// benchmarks need — dissemination barrier, binomial broadcast, and binomial
+// reduction — built on the message-passing layer. Reduce is the stand-in
+// for the vendor-optimized MPI_Reduce the paper's Figure 4c compares
+// against.
+package coll
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/mp"
+)
+
+// Collective tags live far above application tags to avoid collisions; a
+// per-communicator epoch keeps successive collectives apart.
+const (
+	tagBarrier = 1 << 20
+	tagBcast   = 2 << 20
+	tagReduce  = 3 << 20
+)
+
+// Barrier blocks until all ranks have entered (dissemination algorithm,
+// ceil(log2 n) rounds).
+func Barrier(c *mp.Comm) {
+	p := c.Proc()
+	n := p.N()
+	me := p.Rank()
+	for k, round := 1, 0; k < n; k, round = k*2, round+1 {
+		to := (me + k) % n
+		from := (me - k + n) % n
+		c.Send(to, tagBarrier+round, nil)
+		c.Recv(nil, from, tagBarrier+round)
+	}
+}
+
+// Bcast broadcasts buf from root to all ranks (binomial tree).
+func Bcast(c *mp.Comm, root int, buf []byte) {
+	p := c.Proc()
+	n := p.N()
+	if n == 1 {
+		return
+	}
+	// Virtual rank relative to the root.
+	vr := (p.Rank() - root + n) % n
+	if vr != 0 {
+		// Receive from the parent: clear the lowest set bit.
+		parent := (vr&(vr-1) + root) % n
+		c.Recv(buf, parent, tagBcast)
+	}
+	// Forward to children: set bits above the lowest set bit (or all bits
+	// for the root).
+	low := vr & (-vr)
+	if vr == 0 {
+		low = nextPow2(n)
+	}
+	for k := low >> 1; k > 0; k >>= 1 {
+		child := vr | k
+		if child != vr && child < n {
+			c.Send((child+root)%n, tagBcast, buf)
+		}
+	}
+}
+
+// Reduce combines vals element-wise (sum) onto root using a binomial tree
+// and returns the result at root (nil elsewhere).
+func Reduce(c *mp.Comm, root int, vals []float64) []float64 {
+	p := c.Proc()
+	n := p.N()
+	acc := append([]float64(nil), vals...)
+	if n == 1 {
+		return acc
+	}
+	vr := (p.Rank() - root + n) % n
+	buf := make([]byte, 8*len(vals))
+	// Binomial gather: in round k, vranks with bit k set send to vrank-k.
+	for k := 1; k < n; k <<= 1 {
+		if vr&k != 0 {
+			c.Send((vr-k+root)%n, tagReduce, encode(acc))
+			return nil
+		}
+		if vr+k < n {
+			c.Recv(buf, (vr+k+root)%n, tagReduce)
+			for i := range acc {
+				acc[i] += math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+			}
+		}
+	}
+	return acc
+}
+
+func encode(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func nextPow2(n int) int {
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	return k
+}

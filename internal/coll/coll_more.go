@@ -1,0 +1,141 @@
+package coll
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/mp"
+)
+
+const (
+	tagAllreduce = 4 << 20
+	tagGather    = 5 << 20
+	tagScatter   = 6 << 20
+	tagAlltoall  = 7 << 20
+)
+
+// Allreduce combines vals element-wise (sum) and returns the result on
+// every rank (recursive doubling).
+func Allreduce(c *mp.Comm, vals []float64) []float64 {
+	p := c.Proc()
+	n := p.N()
+	me := p.Rank()
+	acc := append([]float64(nil), vals...)
+	if n == 1 {
+		return acc
+	}
+	// Fold ranks beyond the largest power of two into the base set.
+	pow2 := 1
+	for pow2*2 <= n {
+		pow2 *= 2
+	}
+	rem := n - pow2
+	buf := make([]byte, 8*len(vals))
+	add := func() {
+		for i := range acc {
+			acc[i] += math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	// Phase 1: extras send their contribution down.
+	if me >= pow2 {
+		c.Send(me-pow2, tagAllreduce, encode(acc))
+	} else if me < rem {
+		c.Recv(buf, me+pow2, tagAllreduce)
+		add()
+	}
+	// Phase 2: recursive doubling among the base set.
+	if me < pow2 {
+		for mask := 1; mask < pow2; mask <<= 1 {
+			partner := me ^ mask
+			rr := c.Irecv(buf, partner, tagAllreduce+mask)
+			c.Send(partner, tagAllreduce+mask, encode(acc))
+			c.WaitRecv(rr)
+			add()
+		}
+	}
+	// Phase 3: extras receive the result.
+	if me >= pow2 {
+		c.Recv(buf, me-pow2, tagAllreduce)
+		for i := range acc {
+			acc[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	} else if me < rem {
+		c.Send(me+pow2, tagAllreduce, encode(acc))
+	}
+	return acc
+}
+
+// Gather collects each rank's block (len(block) bytes, equal everywhere)
+// at root, returning the concatenation in rank order (nil elsewhere).
+func Gather(c *mp.Comm, root int, block []byte) []byte {
+	p := c.Proc()
+	n := p.N()
+	if p.Rank() != root {
+		c.Send(root, tagGather, block)
+		return nil
+	}
+	out := make([]byte, len(block)*n)
+	copy(out[root*len(block):], block)
+	for i := 0; i < n-1; i++ {
+		st := c.Probe(mp.AnySource, tagGather)
+		if st.Count != len(block) {
+			panic(fmt.Sprintf("coll: Gather: rank %d sent %d bytes, want %d", st.Source, st.Count, len(block)))
+		}
+		c.Recv(out[st.Source*len(block):(st.Source+1)*len(block)], st.Source, tagGather)
+	}
+	return out
+}
+
+// Scatter distributes blocks (len(blocks) = N * blockSize at root) so rank
+// r receives blocks[r*blockSize : (r+1)*blockSize].
+func Scatter(c *mp.Comm, root int, blocks []byte, blockSize int) []byte {
+	p := c.Proc()
+	n := p.N()
+	out := make([]byte, blockSize)
+	if p.Rank() == root {
+		if len(blocks) != n*blockSize {
+			panic(fmt.Sprintf("coll: Scatter: have %d bytes, want %d", len(blocks), n*blockSize))
+		}
+		for r := 0; r < n; r++ {
+			if r == root {
+				copy(out, blocks[r*blockSize:])
+				continue
+			}
+			c.Send(r, tagScatter, blocks[r*blockSize:(r+1)*blockSize])
+		}
+		return out
+	}
+	c.Recv(out, root, tagScatter)
+	return out
+}
+
+// Alltoall exchanges blockSize-byte blocks: rank r's input block i goes to
+// rank i's output block r.
+func Alltoall(c *mp.Comm, in []byte, blockSize int) []byte {
+	p := c.Proc()
+	n := p.N()
+	me := p.Rank()
+	if len(in) != n*blockSize {
+		panic(fmt.Sprintf("coll: Alltoall: have %d bytes, want %d", len(in), n*blockSize))
+	}
+	out := make([]byte, n*blockSize)
+	copy(out[me*blockSize:], in[me*blockSize:(me+1)*blockSize])
+	var reqs []*mp.RecvReq
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		reqs = append(reqs, c.Irecv(out[r*blockSize:(r+1)*blockSize], r, tagAlltoall))
+	}
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		c.Send(r, tagAlltoall, in[r*blockSize:(r+1)*blockSize])
+	}
+	for _, req := range reqs {
+		c.WaitRecv(req)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package coll
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+	"repro/internal/mp"
+	"repro/internal/runtime"
+)
+
+func TestAllreduceVariousSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12} {
+		n := n
+		runBoth(t, n, func(p *runtime.Proc, c *mp.Comm) {
+			vals := []float64{float64(p.Rank() + 1), -2 * float64(p.Rank())}
+			got := Allreduce(c, vals)
+			N := float64(p.N())
+			want := []float64{N * (N + 1) / 2, -N * (N - 1)}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12 {
+					t.Errorf("n=%d rank=%d elem %d = %v want %v", p.N(), p.Rank(), i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestAllreduceProperty(t *testing.T) {
+	// Every rank gets the exact same result as a serial sum, for random
+	// rank counts and vectors.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		length := 1 + rng.Intn(8)
+		inputs := make([][]float64, n)
+		want := make([]float64, length)
+		for r := range inputs {
+			inputs[r] = make([]float64, length)
+			for i := range inputs[r] {
+				inputs[r][i] = float64(rng.Intn(1000)) / 8
+				want[i] += inputs[r][i]
+			}
+		}
+		ok := true
+		err := runtime.Run(runtime.Options{Ranks: n, Mode: exec.Sim}, func(p *runtime.Proc) {
+			got := Allreduce(mp.New(p), inputs[p.Rank()])
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					ok = false
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	runBoth(t, 5, func(p *runtime.Proc, c *mp.Comm) {
+		const bs = 12
+		block := bytes.Repeat([]byte{byte(p.Rank() + 1)}, bs)
+		all := Gather(c, 2, block)
+		if p.Rank() == 2 {
+			for r := 0; r < p.N(); r++ {
+				if all[r*bs] != byte(r+1) {
+					t.Errorf("gathered block %d wrong: %d", r, all[r*bs])
+				}
+			}
+		} else if all != nil {
+			t.Error("non-root received gather result")
+		}
+		// Scatter the gathered data back out.
+		mine := Scatter(c, 2, all, bs)
+		if !bytes.Equal(mine, block) {
+			t.Errorf("rank %d scatter mismatch", p.Rank())
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6} {
+		n := n
+		runBoth(t, n, func(p *runtime.Proc, c *mp.Comm) {
+			const bs = 8
+			in := make([]byte, p.N()*bs)
+			for r := 0; r < p.N(); r++ {
+				for k := 0; k < bs; k++ {
+					in[r*bs+k] = byte(p.Rank()*16 + r)
+				}
+			}
+			out := Alltoall(c, in, bs)
+			for r := 0; r < p.N(); r++ {
+				want := byte(r*16 + p.Rank())
+				for k := 0; k < bs; k++ {
+					if out[r*bs+k] != want {
+						t.Fatalf("n=%d rank=%d: block from %d = %d want %d", p.N(), p.Rank(), r, out[r*bs+k], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGatherSizeMismatchPanics(t *testing.T) {
+	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Sim}, func(p *runtime.Proc) {
+		c := mp.New(p)
+		if p.Rank() == 0 {
+			Gather(c, 1, make([]byte, 4))
+		} else {
+			Gather(c, 1, make([]byte, 8)) // root expects 8 per rank
+		}
+	})
+	if err == nil {
+		t.Fatal("expected size mismatch panic")
+	}
+}
+
+func TestScatterSizeMismatchPanics(t *testing.T) {
+	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Sim}, func(p *runtime.Proc) {
+		c := mp.New(p)
+		if p.Rank() == 0 {
+			Scatter(c, 0, make([]byte, 7), 4) // want 8
+		} else {
+			Scatter(c, 0, nil, 4)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected size mismatch panic")
+	}
+}

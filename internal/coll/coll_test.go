@@ -1,0 +1,145 @@
+package coll
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/mp"
+	"repro/internal/runtime"
+)
+
+func runBoth(t *testing.T, ranks int, body func(p *runtime.Proc, c *mp.Comm)) {
+	t.Helper()
+	for _, mode := range []exec.Mode{exec.Sim, exec.Real} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			err := runtime.Run(runtime.Options{Ranks: ranks, Mode: mode}, func(p *runtime.Proc) {
+				body(p, mp.New(p))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBarrierVariousSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 13} {
+		n := n
+		runBoth(t, n, func(p *runtime.Proc, c *mp.Comm) {
+			for i := 0; i < 5; i++ {
+				Barrier(c)
+			}
+		})
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// No rank may exit barrier i before all ranks entered barrier i: check
+	// with a shared counter under Sim (single-threaded, deterministic).
+	const ranks = 6
+	entered := 0
+	err := runtime.Run(runtime.Options{Ranks: ranks, Mode: exec.Sim}, func(p *runtime.Proc) {
+		c := mp.New(p)
+		entered++
+		Barrier(c)
+		if entered != ranks {
+			t.Errorf("rank %d exited with entered=%d", p.Rank(), entered)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastAllRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 11} {
+		n := n
+		runBoth(t, n, func(p *runtime.Proc, c *mp.Comm) {
+			for root := 0; root < p.N(); root++ {
+				buf := make([]byte, 33)
+				if p.Rank() == root {
+					for i := range buf {
+						buf[i] = byte(root*7 + i)
+					}
+				}
+				Bcast(c, root, buf)
+				want := make([]byte, 33)
+				for i := range want {
+					want[i] = byte(root*7 + i)
+				}
+				if !bytes.Equal(buf, want) {
+					t.Errorf("n=%d root=%d rank=%d: bcast mismatch", p.N(), root, p.Rank())
+				}
+			}
+		})
+	}
+}
+
+func TestBcastLargePayload(t *testing.T) {
+	runBoth(t, 6, func(p *runtime.Proc, c *mp.Comm) {
+		buf := make([]byte, 64*1024) // rendezvous path
+		if p.Rank() == 2 {
+			for i := range buf {
+				buf[i] = byte(i * 13)
+			}
+		}
+		Bcast(c, 2, buf)
+		for i := range buf {
+			if buf[i] != byte(i*13) {
+				t.Fatalf("rank %d: byte %d wrong", p.Rank(), i)
+			}
+		}
+	})
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 6, 9, 16} {
+		n := n
+		runBoth(t, n, func(p *runtime.Proc, c *mp.Comm) {
+			vals := []float64{float64(p.Rank() + 1), float64(p.Rank() * 2), -1}
+			got := Reduce(c, 0, vals)
+			if p.Rank() == 0 {
+				N := float64(p.N())
+				want := []float64{N * (N + 1) / 2, N * (N - 1), -N}
+				for i := range want {
+					if math.Abs(got[i]-want[i]) > 1e-12 {
+						t.Errorf("n=%d elem %d = %v want %v", p.N(), i, got[i], want[i])
+					}
+				}
+			} else if got != nil {
+				t.Errorf("non-root got non-nil result")
+			}
+		})
+	}
+}
+
+func TestReduceNonZeroRoot(t *testing.T) {
+	runBoth(t, 5, func(p *runtime.Proc, c *mp.Comm) {
+		got := Reduce(c, 3, []float64{1})
+		if p.Rank() == 3 {
+			if got[0] != 5 {
+				t.Errorf("sum = %v", got[0])
+			}
+		}
+	})
+}
+
+func TestRepeatedCollectivesInterleaved(t *testing.T) {
+	runBoth(t, 4, func(p *runtime.Proc, c *mp.Comm) {
+		for i := 0; i < 10; i++ {
+			Barrier(c)
+			b := []byte{byte(i)}
+			Bcast(c, i%p.N(), b)
+			if b[0] != byte(i) {
+				t.Fatalf("bcast round %d corrupt", i)
+			}
+			r := Reduce(c, 0, []float64{1})
+			if p.Rank() == 0 && r[0] != float64(p.N()) {
+				t.Fatalf("reduce round %d = %v", i, r[0])
+			}
+		}
+	})
+}

@@ -1,0 +1,369 @@
+// Package core implements Notified Access, the paper's contribution: RMA
+// put/get operations that carry a <source, tag> notification matched at the
+// target through persistent requests — the foMPI-NA interface
+// (MPI_Put_notify / MPI_Get_notify / MPI_Notify_init / MPI_Start /
+// MPI_Test / MPI_Wait) rebuilt in Go on the simulated fabric.
+//
+// Implementation follows the paper §IV-B:
+//
+//   - The origin attaches a 4-byte immediate to the RDMA operation; source
+//     rank and tag are encoded in its two half-words. The data movement is
+//     entirely "hardware" (fabric); only the lightweight notification is
+//     processed in software at the target.
+//   - The target keeps a single Unexpected Queue (UQ) per window preserving
+//     notification arrival order. Requests advance only inside Test/Wait:
+//     first the UQ is searched, then the NIC destination completion queue
+//     is drained; non-matching notifications are appended to their
+//     window's UQ.
+//   - Requests are persistent: Notify_init allocates (the 32-byte structure
+//     of the paper), Start re-arms by resetting the matched counter, Test
+//     and Wait advance, Free releases. A request completes after
+//     ExpectedCount matching notifications; its Status reports the last
+//     match.
+//   - AnySource / AnyTag wildcards match in arrival order; counting
+//     requests (ExpectedCount > 1) implement the bulk-notification
+//     optimization used by the tree reduction.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+)
+
+// Wildcards for notification matching.
+const (
+	// AnySource matches notifications from every origin.
+	AnySource = -1
+	// AnyTag matches every tag.
+	AnyTag = -1
+)
+
+// MaxTag is the largest encodable tag: the immediate carries the tag in 16
+// bits (the hardware constraint the paper notes for uGNI's 4-byte values).
+const MaxTag = 1<<16 - 1
+
+// EncodeImm packs source rank and tag into the 4-byte immediate ("we encode
+// the source rank and tag into the first and last two bytes").
+func EncodeImm(source, tag int) uint32 {
+	if source < 0 || source > MaxTag {
+		panic(fmt.Sprintf("core: source %d not encodable in 16 bits", source))
+	}
+	if tag < 0 || tag > MaxTag {
+		panic(fmt.Sprintf("core: tag %d out of range [0,%d]", tag, MaxTag))
+	}
+	return uint32(source)<<16 | uint32(tag)
+}
+
+// DecodeImm unpacks an immediate into source rank and tag.
+func DecodeImm(imm uint32) (source, tag int) {
+	return int(imm >> 16), int(imm & 0xffff)
+}
+
+// Status reports the last matching notified access of a completed request.
+type Status struct {
+	Source int
+	Tag    int
+}
+
+// notification is one UQ entry (decoded from a CQE immediate).
+type notification struct {
+	source int
+	tag    int
+}
+
+func (n notification) matches(source, tag int) bool {
+	return (source == AnySource || source == n.source) && (tag == AnyTag || tag == n.tag)
+}
+
+// naState is the per-rank Notified Access engine: it owns the routing of
+// destination-CQ entries to per-window unexpected queues.
+type naState struct {
+	p *runtime.Proc
+	// uq maps a window's user region ID to its unexpected queue (arrival
+	// order preserved).
+	uq map[int][]notification
+}
+
+type naKey struct{}
+
+func state(p *runtime.Proc) *naState {
+	return p.Attach(naKey{}, func() any {
+		return &naState{p: p, uq: map[int][]notification{}}
+	}).(*naState)
+}
+
+// drainOne pops one destination CQ entry and appends it to its window's
+// UQ, charging the receive overhead. Returns false if the CQ was empty.
+func (s *naState) drainOne() bool {
+	cqe, ok := s.p.NIC().PollDest()
+	if !ok {
+		return false
+	}
+	s.p.Sleep(s.p.Model().ORecv)
+	src, tag := DecodeImm(cqe.Imm)
+	s.uq[cqe.RegionID] = append(s.uq[cqe.RegionID], notification{source: src, tag: tag})
+	return true
+}
+
+// Request is a persistent notification request (the paper's 32-byte
+// structure: window, rank, tag, type, count, matched).
+type Request struct {
+	state  *naState
+	win    *rma.Win
+	source int
+	tag    int
+	count  int
+	// matched counts matching notifications consumed since the last Start.
+	matched int
+	active  bool
+	freed   bool
+	last    Status
+}
+
+// NotifyInit allocates a persistent notification request bound to win,
+// matching (source, tag) — wildcards allowed — and completing after
+// expectedCount matching notified accesses (MPI_Notify_init). The request
+// must be armed with Start before each use and released with Free.
+func NotifyInit(win *rma.Win, source, tag, expectedCount int) *Request {
+	p := win.Proc()
+	if expectedCount <= 0 {
+		panic(fmt.Sprintf("core: rank %d: expectedCount must be positive, got %d", p.Rank(), expectedCount))
+	}
+	if tag != AnyTag && (tag < 0 || tag > MaxTag) {
+		panic(fmt.Sprintf("core: rank %d: tag %d out of range", p.Rank(), tag))
+	}
+	if source != AnySource && (source < 0 || source >= p.N()) {
+		panic(fmt.Sprintf("core: rank %d: source %d out of range", p.Rank(), source))
+	}
+	p.Sleep(p.Model().TInit)
+	return &Request{state: state(p), win: win, source: source, tag: tag, count: expectedCount}
+}
+
+// Start arms the request for a new round of matching (MPI_Start): it
+// resets the matched counter. Notifications that arrived before Start are
+// still matchable — they wait in the UQ.
+func (r *Request) Start() {
+	if r.freed {
+		panic("core: Start on freed request")
+	}
+	if r.active {
+		panic("core: Start on active request")
+	}
+	p := r.win.Proc()
+	p.Sleep(p.Model().TStart)
+	r.matched = 0
+	r.active = true
+}
+
+// Test advances matching without blocking (MPI_Test): it searches the
+// window's UQ, then drains the NIC destination CQ, and reports whether the
+// request completed. On completion the request de-activates and Status
+// returns the last matching access.
+func (r *Request) Test() bool {
+	if r.freed {
+		panic("core: Test on freed request")
+	}
+	if !r.active {
+		// Completed (or never started): MPI_Test on an inactive request
+		// returns true with an empty status.
+		return true
+	}
+	if r.scanUQ() {
+		return true
+	}
+	// Poll the destination CQ directly: each polled notification is either
+	// consumed by this request or appended to its window's UQ — exactly the
+	// paper's algorithm, O(1) per polled entry.
+	p := r.win.Proc()
+	myReg := r.win.UserRegionID()
+	for {
+		cqe, ok := p.NIC().PollDest()
+		if !ok {
+			return false
+		}
+		p.Sleep(p.Model().ORecv)
+		src, tag := DecodeImm(cqe.Imm)
+		n := notification{source: src, tag: tag}
+		if cqe.RegionID == myReg && r.matched < r.count && n.matches(r.source, r.tag) {
+			r.matched++
+			r.last = Status{Source: src, Tag: tag}
+			if r.matched >= r.count {
+				r.active = false
+				return true
+			}
+			continue
+		}
+		r.state.uq[cqe.RegionID] = append(r.state.uq[cqe.RegionID], n)
+	}
+}
+
+// scanUQ consumes matching notifications from this request's window UQ.
+func (r *Request) scanUQ() bool {
+	regID := r.win.UserRegionID()
+	q := r.state.uq[regID]
+	p := r.win.Proc()
+	kept := q[:0]
+	for i, n := range q {
+		if r.matched < r.count && n.matches(r.source, r.tag) {
+			p.Sleep(p.Model().TMatchScan)
+			r.matched++
+			r.last = Status{Source: n.source, Tag: n.tag}
+			continue
+		}
+		if r.matched >= r.count {
+			// Done: keep the remainder untouched.
+			kept = append(kept, q[i:]...)
+			break
+		}
+		p.Sleep(p.Model().TMatchScan)
+		kept = append(kept, n)
+	}
+	r.state.uq[regID] = kept
+	if r.matched >= r.count {
+		r.active = false
+		return true
+	}
+	return false
+}
+
+// Wait blocks until the request completes and returns the status of the
+// last matching notified access (MPI_Wait).
+func (r *Request) Wait() Status {
+	p := r.win.Proc()
+	for !r.Test() {
+		p.NIC().WaitDest(p.Proc)
+	}
+	return r.last
+}
+
+// Status returns the last matching access of the most recent completion.
+func (r *Request) Status() Status { return r.last }
+
+// Matched returns the current matched count (diagnostics).
+func (r *Request) Matched() int { return r.matched }
+
+// Free releases the persistent request (MPI_Request_free).
+func (r *Request) Free() {
+	if r.freed {
+		panic("core: double Free")
+	}
+	p := r.win.Proc()
+	p.Sleep(p.Model().TFree)
+	r.freed = true
+}
+
+// PutNotify writes data into target's window at targetOff and delivers a
+// <source, tag> notification with it (MPI_Put_notify). A single network
+// transaction carries both. Zero-byte payloads send the notification only.
+// The returned handle completes at remote commitment (for flush-style
+// reuse of the origin buffer).
+func PutNotify(win *rma.Win, target, targetOff int, data []byte, tag int) *fabric.Op {
+	p := win.Proc()
+	imm := fabric.WithImm(EncodeImm(p.Rank(), tag))
+	return win.NIC().Put(p.Proc, target, win.UserRegionID(), targetOff, data, imm)
+}
+
+// GetNotify reads len(dst) bytes from target's window at targetOff into
+// dst and notifies the *target* that its buffer has been read and may be
+// reused (MPI_Get_notify) — the consumer-managed-buffering primitive of
+// paper §VI-B. The returned handle completes when the data lands at the
+// origin.
+func GetNotify(win *rma.Win, target, targetOff int, dst []byte, tag int) *fabric.Op {
+	p := win.Proc()
+	imm := fabric.WithImm(EncodeImm(p.Rank(), tag))
+	return win.NIC().Get(p.Proc, target, win.UserRegionID(), targetOff, dst, imm)
+}
+
+// AccumulateNotify applies an element-wise float64 reduction into target's
+// window with a notification (the notified-accumulate extension the paper
+// lists for MPI's accumulate family).
+func AccumulateNotify(win *rma.Win, target, targetOff int, vals []float64, op fabric.AccumOp, tag int) *fabric.Op {
+	p := win.Proc()
+	imm := fabric.WithImm(EncodeImm(p.Rank(), tag))
+	return win.NIC().Accumulate(p.Proc, target, win.UserRegionID(), targetOff, vals, op, imm)
+}
+
+// PendingNotifications returns the depth of win's unexpected queue at this
+// rank (diagnostics for the matching-cost benches).
+func PendingNotifications(win *rma.Win) int {
+	return len(state(win.Proc()).uq[win.UserRegionID()])
+}
+
+// Iprobe reports whether a notification matching (source, tag) is
+// available on win without consuming it, returning its envelope — the
+// probe semantics the paper notes "can be added trivially".
+func Iprobe(win *rma.Win, source, tag int) (Status, bool) {
+	p := win.Proc()
+	s := state(p)
+	for s.drainOne() {
+	}
+	for _, n := range s.uq[win.UserRegionID()] {
+		if n.matches(source, tag) {
+			return Status{Source: n.source, Tag: n.tag}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Probe blocks until a notification matching (source, tag) is available on
+// win without consuming it.
+func Probe(win *rma.Win, source, tag int) Status {
+	p := win.Proc()
+	for {
+		if st, ok := Iprobe(win, source, tag); ok {
+			return st
+		}
+		p.NIC().WaitDest(p.Proc)
+	}
+}
+
+// WaitAll blocks until every request completes (MPI_Waitall). Requests may
+// live on different windows of the same rank.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// TestAll advances matching and reports whether every request is complete
+// (MPI_Testall).
+func TestAll(reqs ...*Request) bool {
+	all := true
+	for _, r := range reqs {
+		if !r.Test() {
+			all = false
+		}
+	}
+	return all
+}
+
+// WaitAny blocks until at least one of the requests completes and returns
+// its index (MPI_Waitany). All requests must belong to the same rank.
+func WaitAny(reqs ...*Request) int {
+	if len(reqs) == 0 {
+		panic("core: WaitAny with no requests")
+	}
+	p := reqs[0].win.Proc()
+	for {
+		for i, r := range reqs {
+			if r.Test() {
+				return i
+			}
+		}
+		p.NIC().WaitDest(p.Proc)
+	}
+}
+
+// TestAny advances matching and returns the index of a completed request,
+// or -1 if none completed (MPI_Testany).
+func TestAny(reqs ...*Request) int {
+	for i, r := range reqs {
+		if r.Test() {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+)
+
+// TestCountingAcrossInterleavedWindows: counting requests on two windows
+// must each see exactly their own window's notifications even when
+// arrivals interleave arbitrarily.
+func TestCountingAcrossInterleavedWindows(t *testing.T) {
+	runBoth(t, 3, func(p *runtime.Proc) {
+		a := rma.Allocate(p, 8)
+		b := rma.Allocate(p, 8)
+		defer a.Free()
+		defer b.Free()
+		if p.Rank() == 0 {
+			reqA := NotifyInit(a, AnySource, AnyTag, 4)
+			reqB := NotifyInit(b, AnySource, AnyTag, 2)
+			reqA.Start()
+			reqB.Start()
+			p.Barrier()
+			WaitAll(reqA, reqB)
+			if reqA.Matched() != 4 || reqB.Matched() != 2 {
+				t.Errorf("matched A=%d B=%d", reqA.Matched(), reqB.Matched())
+			}
+			reqA.Free()
+			reqB.Free()
+		} else {
+			p.Barrier()
+			// Each of ranks 1,2 interleaves: a, b, a.
+			PutNotify(a, 0, 0, nil, 1)
+			PutNotify(b, 0, 0, nil, 2)
+			PutNotify(a, 0, 0, nil, 3)
+			a.Flush(0)
+			b.Flush(0)
+		}
+	})
+}
+
+// TestCountingPartialThenMore: a counting request that has consumed some
+// notifications keeps its progress across Test calls and completes when
+// the stragglers arrive.
+func TestCountingPartialThenMore(t *testing.T) {
+	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Sim}, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 8)
+		defer win.Free()
+		if p.Rank() == 0 {
+			req := NotifyInit(win, 1, 4, 3)
+			req.Start()
+			p.Barrier() // two arrive
+			for req.Matched() < 2 {
+				if req.Test() {
+					t.Fatal("complete too early")
+				}
+				p.Yield()
+			}
+			if req.Test() {
+				t.Fatal("complete with only 2 of 3")
+			}
+			p.Barrier() // third released
+			st := req.Wait()
+			if st.Tag != 4 || req.Matched() != 3 {
+				t.Errorf("status %+v matched %d", st, req.Matched())
+			}
+			req.Free()
+		} else {
+			p.Barrier()
+			PutNotify(win, 0, 0, nil, 4)
+			PutNotify(win, 0, 0, nil, 4)
+			win.Flush(0)
+			p.Barrier()
+			PutNotify(win, 0, 0, nil, 4)
+			win.Flush(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompletedRequestLeavesLaterNotificationsForOthers: once a request
+// completes, further matching notifications stay available to a different
+// request.
+func TestCompletedRequestLeavesLaterNotificationsForOthers(t *testing.T) {
+	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Sim}, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 8)
+		defer win.Free()
+		if p.Rank() == 0 {
+			req1 := NotifyInit(win, 1, 6, 1)
+			req1.Start()
+			p.Barrier()
+			req1.Wait()
+			// Two more tag-6 notifications remain for a fresh request.
+			req2 := NotifyInit(win, 1, 6, 2)
+			req2.Start()
+			req2.Wait()
+			req1.Free()
+			req2.Free()
+		} else {
+			p.Barrier()
+			for i := 0; i < 3; i++ {
+				PutNotify(win, 0, 0, nil, 6)
+			}
+			win.Flush(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroByteCountingBurst: a large burst of pure notifications through a
+// single counting request (stresses the CQ->request fast path).
+func TestZeroByteCountingBurst(t *testing.T) {
+	const burst = 500
+	for _, mode := range []exec.Mode{exec.Sim, exec.Real} {
+		err := runtime.Run(runtime.Options{Ranks: 2, Mode: mode}, func(p *runtime.Proc) {
+			win := rma.Allocate(p, 8)
+			defer win.Free()
+			if p.Rank() == 0 {
+				req := NotifyInit(win, 1, 0, burst)
+				req.Start()
+				p.Barrier()
+				req.Wait()
+				if req.Matched() != burst {
+					t.Errorf("matched %d", req.Matched())
+				}
+				req.Free()
+			} else {
+				p.Barrier()
+				for i := 0; i < burst; i++ {
+					PutNotify(win, 0, 0, nil, 0)
+				}
+				win.Flush(0)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,514 @@
+// Package exec provides the execution engines that host simulated "ranks"
+// (distributed-memory processes).
+//
+// Two engines implement the same Env interface:
+//
+//   - SimEnv is a process-oriented, conservative discrete-event simulator.
+//     Exactly one rank goroutine executes at any instant; ranks hand control
+//     back to the kernel whenever they block (Sleep, Gate.Wait). Time is
+//     virtual (simtime.Time) and runs are deterministic: the same program
+//     produces bit-identical event orders and timings. This engine is used to
+//     regenerate the paper's figures with LogGP network costs.
+//
+//   - RealEnv runs ranks as ordinary goroutines under the wall clock, with
+//     channel-based gates. It validates that the communication stack is
+//     correct under true concurrency and backs the testing.B overhead
+//     benchmarks.
+//
+// Application and library code is written once against Env/Proc/Gate and
+// runs unmodified under either engine.
+package exec
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Mode identifies the engine hosting a run.
+type Mode int
+
+const (
+	// Sim is the deterministic virtual-time engine.
+	Sim Mode = iota
+	// Real is the wall-clock, true-concurrency engine.
+	Real
+)
+
+func (m Mode) String() string {
+	if m == Sim {
+		return "sim"
+	}
+	return "real"
+}
+
+// Event priorities. Lower values fire first among events with equal
+// timestamps. Network deliveries precede process wakeups so that a process
+// woken at time t observes every delivery that "happened" at t.
+const (
+	PrioDelivery = 0
+	PrioWake     = 1
+)
+
+// Env is the interface shared by both engines.
+type Env interface {
+	// Mode reports which engine this is.
+	Mode() Mode
+	// Now returns the current time: virtual nanoseconds under Sim, wall
+	// nanoseconds since the start of the run under Real.
+	Now() simtime.Time
+	// Schedule arranges for fn to run after the given delay. Under Sim, fn
+	// runs in kernel context (it must not block); under Real it runs on its
+	// own goroutine.
+	Schedule(after simtime.Duration, prio int, fn func())
+	// NewGate creates a Gate bound to the locker protecting the state the
+	// gate guards. See Gate.
+	NewGate(l sync.Locker) Gate
+}
+
+// Gate is a condition-variable-like parking primitive. The contract mirrors
+// sync.Cond: callers must hold the gate's locker, check their predicate in a
+// loop, and call Wait while the predicate is false. Wait atomically releases
+// the locker while parked and reacquires it before returning. Broadcast
+// wakes all waiters; spurious wakeups are possible.
+//
+// Under Sim, Broadcast may be called from kernel context (event callbacks)
+// or from a running rank. Wait requires a rank (Proc) because only ranks can
+// park.
+type Gate interface {
+	Wait(p *Proc)
+	Broadcast()
+}
+
+// procAbort is panicked inside rank goroutines to unwind them when the run
+// is aborted (peer panic or deadlock); the spawn wrapper swallows it.
+type procAbort struct{}
+
+// DeadlockError is returned by SimEnv.Run when no events remain but ranks
+// are still parked.
+type DeadlockError struct {
+	Parked []string // descriptions of parked ranks
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("simulation deadlock: %d rank(s) parked: %s",
+		len(e.Parked), strings.Join(e.Parked, ", "))
+}
+
+// Proc is the per-rank handle. Every blocking or time-consuming operation a
+// rank performs goes through its Proc.
+type Proc struct {
+	rank int
+	n    int
+	env  Env
+
+	// Sim-only state.
+	sim      *SimEnv
+	resume   chan struct{}
+	done     bool
+	parked   bool
+	parkNote string // what the rank is blocked on (deadlock reports)
+
+	// Real-only state.
+	real *RealEnv
+}
+
+// Rank returns this process's rank in [0, N).
+func (p *Proc) Rank() int { return p.rank }
+
+// N returns the number of ranks in the run.
+func (p *Proc) N() int { return p.n }
+
+// Env returns the hosting engine.
+func (p *Proc) Env() Env { return p.env }
+
+// Now returns the current (virtual or wall) time.
+func (p *Proc) Now() simtime.Time { return p.env.Now() }
+
+// Sleep advances this rank by d. Under Sim the rank parks and virtual time
+// moves; under Real it is a no-op (modeled costs do not apply to wall-clock
+// runs — real costs are the code itself).
+func (p *Proc) Sleep(d simtime.Duration) {
+	if p.sim != nil {
+		if d < 0 {
+			d = 0
+		}
+		p.sim.scheduleWake(p, d)
+		p.park("sleep")
+		return
+	}
+	p.real.checkAbort()
+}
+
+// Compute charges d of modeled computation time. It is Sleep under Sim and a
+// no-op under Real.
+func (p *Proc) Compute(d simtime.Duration) { p.Sleep(d) }
+
+// Work runs fn (always, for numerical correctness) and charges cost of
+// modeled time under Sim.
+func (p *Proc) Work(cost simtime.Duration, fn func()) {
+	fn()
+	p.Sleep(cost)
+}
+
+// Yield lets other events make progress. Under Sim it advances virtual time
+// by one nanosecond (a busy-poll iteration); under Real it yields the OS
+// thread so peers can run.
+func (p *Proc) Yield() {
+	if p.sim != nil {
+		p.Sleep(1)
+		return
+	}
+	p.real.checkAbort()
+	goruntime.Gosched()
+}
+
+// Poll parks for one busy-poll interval: virtual time under Sim, a
+// scheduler yield under Real. Use it inside loops that watch memory or
+// non-blocking queues.
+func (p *Proc) Poll(interval simtime.Duration) {
+	if p.sim != nil {
+		p.Sleep(interval)
+		return
+	}
+	p.real.checkAbort()
+	goruntime.Gosched()
+}
+
+// park hands control back to the Sim kernel until the rank is resumed.
+func (p *Proc) park(note string) {
+	p.parked = true
+	p.parkNote = note
+	p.sim.yield <- struct{}{}
+	<-p.resume
+	p.parked = false
+	if p.sim.aborting {
+		panic(procAbort{})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sim engine
+// ---------------------------------------------------------------------------
+
+// SimEnv is the deterministic discrete-event engine. Create with NewSimEnv,
+// then call Run exactly once.
+type SimEnv struct {
+	q     *simtime.Queue
+	now   simtime.Time
+	yield chan struct{}
+	procs []*Proc
+
+	live     int
+	aborting bool
+	err      error
+}
+
+// NewSimEnv returns a fresh simulation engine.
+func NewSimEnv() *SimEnv {
+	return &SimEnv{q: simtime.NewQueue(), yield: make(chan struct{})}
+}
+
+// Mode implements Env.
+func (e *SimEnv) Mode() Mode { return Sim }
+
+// Now implements Env.
+func (e *SimEnv) Now() simtime.Time { return e.now }
+
+// Schedule implements Env. fn runs in kernel context and must not block.
+func (e *SimEnv) Schedule(after simtime.Duration, prio int, fn func()) {
+	if after < 0 {
+		after = 0
+	}
+	e.q.Schedule(e.now.Add(after), prio, fn)
+}
+
+// NewGate implements Env.
+func (e *SimEnv) NewGate(l sync.Locker) Gate {
+	return &simGate{env: e, locker: l}
+}
+
+func (e *SimEnv) scheduleWake(p *Proc, after simtime.Duration) {
+	e.q.Schedule(e.now.Add(after), PrioWake, func() { e.dispatch(p) })
+}
+
+// dispatch transfers control to p until it parks or finishes.
+func (e *SimEnv) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// Run spawns n ranks executing body and drives the simulation until all
+// ranks finish, a rank panics, or the system deadlocks.
+func (e *SimEnv) Run(n int, body func(p *Proc)) error {
+	if n <= 0 {
+		return fmt.Errorf("exec: Run needs n > 0, got %d", n)
+	}
+	e.procs = make([]*Proc, n)
+	e.live = n
+	for i := 0; i < n; i++ {
+		p := &Proc{rank: i, n: n, env: e, sim: e, resume: make(chan struct{})}
+		e.procs[i] = p
+		go func() {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isAbort := r.(procAbort); !isAbort && e.err == nil {
+						e.err = fmt.Errorf("rank %d panicked: %v\n%s", p.rank, r, debug.Stack())
+						e.aborting = true
+					}
+				}
+				p.done = true
+				e.live--
+				e.yield <- struct{}{}
+			}()
+			if e.aborting {
+				panic(procAbort{})
+			}
+			body(p)
+		}()
+		e.scheduleWake(p, 0)
+	}
+
+	for !e.aborting {
+		ev := e.q.Pop()
+		if ev == nil {
+			if e.live == 0 {
+				return nil
+			}
+			var parked []string
+			for _, p := range e.procs {
+				if !p.done {
+					parked = append(parked, fmt.Sprintf("rank %d (%s)", p.rank, p.parkNote))
+				}
+			}
+			sort.Strings(parked)
+			e.err = &DeadlockError{Parked: parked}
+			break
+		}
+		e.now = ev.At
+		e.runEvent(ev)
+	}
+
+	return e.shutdown()
+}
+
+// runEvent executes an event callback, converting panics (e.g. a bad remote
+// access detected at delivery time) into a run abort.
+func (e *SimEnv) runEvent(ev *simtime.Event) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e.err == nil {
+				e.err = fmt.Errorf("event panicked at %v: %v\n%s", e.now, r, debug.Stack())
+			}
+			e.aborting = true
+		}
+	}()
+	ev.Fn()
+}
+
+func (e *SimEnv) shutdown() error {
+	// Unwind any ranks that are still parked so their goroutines exit.
+	e.aborting = true
+	for _, p := range e.procs {
+		if !p.done {
+			e.dispatch(p)
+		}
+	}
+	return e.err
+}
+
+type simGate struct {
+	env     *SimEnv
+	locker  sync.Locker
+	waiters []*Proc
+}
+
+func (g *simGate) Wait(p *Proc) {
+	g.waiters = append(g.waiters, p)
+	g.locker.Unlock()
+	defer relockOnUnwind(g.locker)
+	p.park("gate")
+	g.locker.Lock()
+}
+
+// relockOnUnwind balances the locker when a gate wait unwinds with
+// procAbort: callers' deferred Unlocks expect the lock held. A blocking
+// Lock could hang on a mutex left held by another unwinding rank, so try
+// non-blocking first; if some dead rank holds it, the caller's Unlock
+// releases that hold instead — either way the system stays balanced.
+func relockOnUnwind(l sync.Locker) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if m, ok := l.(interface{ TryLock() bool }); ok {
+		m.TryLock()
+	} else {
+		l.Lock()
+	}
+	panic(r)
+}
+
+func (g *simGate) Broadcast() {
+	if len(g.waiters) == 0 {
+		return
+	}
+	ws := g.waiters
+	g.waiters = nil
+	for _, p := range ws {
+		g.env.scheduleWake(p, 0)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Real engine
+// ---------------------------------------------------------------------------
+
+// RealEnv runs ranks as plain goroutines under the wall clock.
+type RealEnv struct {
+	start     time.Time
+	abort     chan struct{}
+	abortOnce sync.Once
+	errMu     sync.Mutex
+	err       error
+}
+
+// NewRealEnv returns a fresh wall-clock engine.
+func NewRealEnv() *RealEnv {
+	return &RealEnv{start: time.Now(), abort: make(chan struct{})}
+}
+
+// Mode implements Env.
+func (e *RealEnv) Mode() Mode { return Real }
+
+// Now implements Env: wall nanoseconds since engine creation.
+func (e *RealEnv) Now() simtime.Time { return simtime.Time(time.Since(e.start)) }
+
+// Schedule implements Env: fn runs on its own goroutine after the delay
+// (which is honored in wall time), unless the run aborts first.
+func (e *RealEnv) Schedule(after simtime.Duration, prio int, fn func()) {
+	go func() {
+		if after > 0 {
+			t := time.NewTimer(time.Duration(after))
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-e.abort:
+				return
+			}
+		}
+		fn()
+	}()
+}
+
+// NewGate implements Env.
+func (e *RealEnv) NewGate(l sync.Locker) Gate {
+	return &realGate{env: e, locker: l, ch: make(chan struct{})}
+}
+
+func (e *RealEnv) setErr(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+	e.abortOnce.Do(func() { close(e.abort) })
+}
+
+func (e *RealEnv) checkAbort() {
+	select {
+	case <-e.abort:
+		panic(procAbort{})
+	default:
+	}
+}
+
+// Aborted returns a channel closed when the run is aborted. Helper
+// goroutines (e.g. NIC receive workers) should select on it.
+func (e *RealEnv) Aborted() <-chan struct{} { return e.abort }
+
+// Fail aborts the run with err, waking all parked ranks. Helper goroutines
+// use it to surface asynchronous failures (e.g. a delivery-time panic in a
+// NIC receive worker).
+func (e *RealEnv) Fail(err error) { e.setErr(err) }
+
+// Run spawns n ranks executing body and waits for all of them.
+func (e *RealEnv) Run(n int, body func(p *Proc)) error {
+	if n <= 0 {
+		return fmt.Errorf("exec: Run needs n > 0, got %d", n)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		p := &Proc{rank: i, n: n, env: e, real: e}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isAbort := r.(procAbort); !isAbort {
+						e.setErr(fmt.Errorf("rank %d panicked: %v\n%s", p.rank, r, debug.Stack()))
+					}
+				}
+			}()
+			body(p)
+		}()
+	}
+	wg.Wait()
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+type realGate struct {
+	env    *RealEnv
+	locker sync.Locker
+	mu     sync.Mutex
+	ch     chan struct{}
+}
+
+func (g *realGate) Wait(p *Proc) {
+	g.mu.Lock()
+	ch := g.ch
+	g.mu.Unlock()
+	g.locker.Unlock()
+	select {
+	case <-ch:
+		g.locker.Lock()
+	case <-g.env.abort:
+		// Same balance-without-blocking rule as the Sim gate.
+		if m, ok := g.locker.(interface{ TryLock() bool }); ok {
+			m.TryLock()
+		} else {
+			g.locker.Lock()
+		}
+		panic(procAbort{})
+	}
+}
+
+func (g *realGate) Broadcast() {
+	g.mu.Lock()
+	close(g.ch)
+	g.ch = make(chan struct{})
+	g.mu.Unlock()
+}
+
+// New returns an engine for the requested mode.
+func New(m Mode) interface {
+	Env
+	Run(n int, body func(p *Proc)) error
+} {
+	if m == Sim {
+		return NewSimEnv()
+	}
+	return NewRealEnv()
+}

@@ -1,0 +1,193 @@
+package exec
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestSimNegativeSleepClamped(t *testing.T) {
+	e := NewSimEnv()
+	err := e.Run(1, func(p *Proc) {
+		p.Sleep(-5)
+		if p.Now() != 0 {
+			t.Errorf("negative sleep advanced time to %v", p.Now())
+		}
+		p.Compute(7)
+		if p.Now() != 7 {
+			t.Errorf("Compute did not advance: %v", p.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimNegativeScheduleClamped(t *testing.T) {
+	e := NewSimEnv()
+	fired := simtime.Time(-1)
+	err := e.Run(1, func(p *Proc) {
+		p.Sleep(100)
+		e.Schedule(-50, PrioDelivery, func() { fired = e.Now() })
+		p.Sleep(10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 100 {
+		t.Errorf("negative-delay event fired at %v, want clamped to now (100)", fired)
+	}
+}
+
+func TestSimEventPanicAbortsRun(t *testing.T) {
+	e := NewSimEnv()
+	err := e.Run(1, func(p *Proc) {
+		e.Schedule(10, PrioDelivery, func() { panic("event exploded") })
+		p.Sleep(100)
+	})
+	if err == nil || !strings.Contains(err.Error(), "event exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSimDispatchOnFinishedProcIsNoop(t *testing.T) {
+	// A wake event scheduled for a rank that already exited must not hang
+	// or panic (e.g. a gate broadcast racing with rank completion).
+	e := NewSimEnv()
+	var mu sync.Mutex
+	gate := e.NewGate(&mu)
+	err := e.Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			// Rank 0 exits immediately; rank 1 broadcasts to a gate rank 0
+			// never waited on, then schedules nothing further.
+			return
+		}
+		p.Sleep(50)
+		gate.Broadcast() // no waiters: no-op
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealSleepAndComputeAreCheap(t *testing.T) {
+	e := NewRealEnv()
+	err := e.Run(1, func(p *Proc) {
+		start := time.Now()
+		p.Sleep(simtime.Second) // modeled: must NOT sleep a real second
+		p.Compute(simtime.Second)
+		p.Yield()
+		ran := false
+		p.Work(simtime.Second, func() { ran = true })
+		if !ran {
+			t.Error("Work skipped fn")
+		}
+		if time.Since(start) > 200*time.Millisecond {
+			t.Error("modeled time leaked into wall time under Real engine")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealScheduleWithDelay(t *testing.T) {
+	e := NewRealEnv()
+	var mu sync.Mutex
+	gate := e.NewGate(&mu)
+	fired := false
+	err := e.Run(1, func(p *Proc) {
+		e.Schedule(simtime.Duration(time.Millisecond), PrioDelivery, func() {
+			mu.Lock()
+			fired = true
+			mu.Unlock()
+			gate.Broadcast()
+		})
+		mu.Lock()
+		for !fired {
+			gate.Wait(p)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealScheduleCancelledByAbort(t *testing.T) {
+	// A delayed callback scheduled before an abort must not fire after the
+	// run ends (it selects on the abort channel).
+	e := NewRealEnv()
+	fired := make(chan struct{}, 1)
+	err := e.Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			e.Schedule(simtime.Duration(5*time.Second), PrioDelivery, func() {
+				fired <- struct{}{}
+			})
+			panic("abort now")
+		}
+	})
+	if err == nil {
+		t.Fatal("expected abort error")
+	}
+	select {
+	case <-fired:
+		t.Fatal("delayed callback fired despite abort")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestRealFailAbortsRun(t *testing.T) {
+	e := NewRealEnv()
+	var mu sync.Mutex
+	gate := e.NewGate(&mu)
+	err := e.Run(1, func(p *Proc) {
+		go func() {
+			e.Fail(errFromHelper{})
+		}()
+		mu.Lock()
+		for {
+			gate.Wait(p) // woken by the abort
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "helper failure") {
+		t.Fatalf("err = %v", err)
+	}
+	select {
+	case <-e.Aborted():
+	default:
+		t.Fatal("Aborted channel not closed")
+	}
+}
+
+type errFromHelper struct{}
+
+func (errFromHelper) Error() string { return "helper failure" }
+
+func TestRealRunZeroRanks(t *testing.T) {
+	if err := NewRealEnv().Run(0, func(*Proc) {}); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestRealCheckAbortPanicsAfterAbort(t *testing.T) {
+	// Sleep under Real checks the abort flag: a rank sleeping after a peer
+	// failure unwinds instead of continuing.
+	e := NewRealEnv()
+	err := e.Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			panic("first failure")
+		}
+		time.Sleep(20 * time.Millisecond) // let the abort land
+		for i := 0; i < 1_000_000; i++ {
+			p.Sleep(1) // must eventually observe the abort and unwind
+		}
+		t.Error("rank 1 survived a dead job")
+	})
+	if err == nil || !strings.Contains(err.Error(), "first failure") {
+		t.Fatalf("err = %v", err)
+	}
+}

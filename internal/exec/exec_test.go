@@ -1,0 +1,397 @@
+package exec
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestSimBasicRun(t *testing.T) {
+	e := NewSimEnv()
+	var order []int
+	err := e.Run(4, func(p *Proc) {
+		order = append(order, p.Rank())
+		if p.N() != 4 {
+			t.Errorf("N = %d", p.N())
+		}
+		if p.Env().Mode() != Sim {
+			t.Errorf("mode = %v", p.Env().Mode())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranks start deterministically in rank order.
+	for i, r := range order {
+		if r != i {
+			t.Fatalf("start order %v", order)
+		}
+	}
+}
+
+func TestSimSleepAdvancesVirtualTime(t *testing.T) {
+	e := NewSimEnv()
+	var t1, t2 simtime.Time
+	err := e.Run(1, func(p *Proc) {
+		t1 = p.Now()
+		p.Sleep(5 * simtime.Microsecond)
+		t2 = p.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != 0 || t2 != 5000 {
+		t.Fatalf("times %v %v", t1, t2)
+	}
+}
+
+func TestSimSleepInterleaving(t *testing.T) {
+	// Two ranks sleeping different amounts interleave in virtual-time order.
+	e := NewSimEnv()
+	var trace []string
+	mu := func(p *Proc, s string) { trace = append(trace, s) }
+	err := e.Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Sleep(10)
+			mu(p, "a")
+			p.Sleep(20) // wakes at 30
+			mu(p, "c")
+		} else {
+			p.Sleep(15)
+			mu(p, "b")
+			p.Sleep(25) // wakes at 40
+			mu(p, "d")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(trace, ""); got != "abcd" {
+		t.Fatalf("trace %q", got)
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() []simtime.Time {
+		e := NewSimEnv()
+		var stamps []simtime.Time
+		err := e.Run(8, func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Sleep(simtime.Duration(1 + (p.Rank()*7+i*13)%29))
+				if p.Rank() == 3 {
+					stamps = append(stamps, p.Now())
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimGateSignal(t *testing.T) {
+	e := NewSimEnv()
+	var mu sync.Mutex
+	gate := e.NewGate(&mu)
+	ready := false
+	var consumerWoke simtime.Time
+	err := e.Run(2, func(p *Proc) {
+		if p.Rank() == 0 { // producer
+			p.Sleep(100)
+			mu.Lock()
+			ready = true
+			mu.Unlock()
+			gate.Broadcast()
+		} else { // consumer
+			mu.Lock()
+			for !ready {
+				gate.Wait(p)
+			}
+			mu.Unlock()
+			consumerWoke = p.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumerWoke != 100 {
+		t.Fatalf("consumer woke at %v, want 100ns", consumerWoke)
+	}
+}
+
+func TestSimGateBroadcastWakesAll(t *testing.T) {
+	e := NewSimEnv()
+	var mu sync.Mutex
+	gate := e.NewGate(&mu)
+	go_ := false
+	woke := 0
+	err := e.Run(5, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Sleep(10)
+			mu.Lock()
+			go_ = true
+			mu.Unlock()
+			gate.Broadcast()
+			return
+		}
+		mu.Lock()
+		for !go_ {
+			gate.Wait(p)
+		}
+		woke++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woke != 4 {
+		t.Fatalf("woke = %d", woke)
+	}
+}
+
+func TestSimScheduleCallback(t *testing.T) {
+	e := NewSimEnv()
+	var mu sync.Mutex
+	gate := e.NewGate(&mu)
+	delivered := false
+	var at simtime.Time
+	err := e.Run(1, func(p *Proc) {
+		e.Schedule(250, PrioDelivery, func() {
+			mu.Lock()
+			delivered = true
+			mu.Unlock()
+			at = e.Now()
+			gate.Broadcast()
+		})
+		mu.Lock()
+		for !delivered {
+			gate.Wait(p)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 250 {
+		t.Fatalf("callback at %v", at)
+	}
+}
+
+func TestSimDeliveryBeforeWakeAtSameTime(t *testing.T) {
+	// A delivery scheduled at the same timestamp as a rank wakeup must be
+	// visible to the woken rank.
+	e := NewSimEnv()
+	seen := false
+	err := e.Run(1, func(p *Proc) {
+		e.Schedule(100, PrioDelivery, func() { seen = true })
+		p.Sleep(100)
+		if !seen {
+			t.Error("delivery at t=100 not visible to rank woken at t=100")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimDeadlockDetection(t *testing.T) {
+	e := NewSimEnv()
+	var mu sync.Mutex
+	gate := e.NewGate(&mu)
+	err := e.Run(2, func(p *Proc) {
+		mu.Lock()
+		gate.Wait(p) // nobody ever broadcasts
+		mu.Unlock()
+	})
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(de.Parked) != 2 {
+		t.Fatalf("parked: %v", de.Parked)
+	}
+	if !strings.Contains(de.Error(), "deadlock") {
+		t.Fatalf("error text: %v", de)
+	}
+}
+
+func TestSimPanicPropagates(t *testing.T) {
+	e := NewSimEnv()
+	err := e.Run(3, func(p *Proc) {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+		p.Sleep(simtime.Second) // would run long; must be aborted
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("err should name rank 1: %v", err)
+	}
+}
+
+func TestSimRunZeroRanks(t *testing.T) {
+	if err := NewSimEnv().Run(0, func(*Proc) {}); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestSimWork(t *testing.T) {
+	e := NewSimEnv()
+	ran := false
+	err := e.Run(1, func(p *Proc) {
+		p.Work(123, func() { ran = true })
+		if p.Now() != 123 {
+			t.Errorf("Work did not charge time: now=%v", p.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("Work did not run fn")
+	}
+}
+
+func TestSimYieldAdvances(t *testing.T) {
+	e := NewSimEnv()
+	err := e.Run(1, func(p *Proc) {
+		before := p.Now()
+		p.Yield()
+		if p.Now() <= before {
+			t.Error("Yield did not advance time")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealBasicRun(t *testing.T) {
+	e := NewRealEnv()
+	var mu sync.Mutex
+	count := 0
+	err := e.Run(8, func(p *Proc) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestRealGateProducerConsumer(t *testing.T) {
+	e := NewRealEnv()
+	var mu sync.Mutex
+	gate := e.NewGate(&mu)
+	queue := []int{}
+	const items = 100
+	var got []int
+	err := e.Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < items; i++ {
+				mu.Lock()
+				queue = append(queue, i)
+				mu.Unlock()
+				gate.Broadcast()
+			}
+		} else {
+			for len(got) < items {
+				mu.Lock()
+				for len(queue) == 0 {
+					gate.Wait(p)
+				}
+				got = append(got, queue...)
+				queue = queue[:0]
+				mu.Unlock()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRealPanicAbortsWaiters(t *testing.T) {
+	e := NewRealEnv()
+	var mu sync.Mutex
+	gate := e.NewGate(&mu)
+	err := e.Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			panic("real boom")
+		}
+		mu.Lock()
+		for {
+			gate.Wait(p) // would block forever without abort
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "real boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRealSchedule(t *testing.T) {
+	e := NewRealEnv()
+	var mu sync.Mutex
+	gate := e.NewGate(&mu)
+	fired := false
+	err := e.Run(1, func(p *Proc) {
+		e.Schedule(0, PrioDelivery, func() {
+			mu.Lock()
+			fired = true
+			mu.Unlock()
+			gate.Broadcast()
+		})
+		mu.Lock()
+		for !fired {
+			gate.Wait(p)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealNowMonotonic(t *testing.T) {
+	e := NewRealEnv()
+	a := e.Now()
+	b := e.Now()
+	if b < a {
+		t.Fatalf("Now went backwards: %v then %v", a, b)
+	}
+}
+
+func TestNewFactory(t *testing.T) {
+	if New(Sim).Mode() != Sim {
+		t.Fatal("New(Sim)")
+	}
+	if New(Real).Mode() != Real {
+		t.Fatal("New(Real)")
+	}
+	if Sim.String() != "sim" || Real.String() != "real" {
+		t.Fatal("Mode.String")
+	}
+}

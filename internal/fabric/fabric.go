@@ -1,0 +1,303 @@
+// Package fabric implements the simulated RDMA interconnect the rest of the
+// stack runs on: the Go stand-in for Cray Aries accessed through uGNI
+// (inter-node FMA/BTE) and XPMEM (intra-node shared memory).
+//
+// Each rank owns a NIC. A NIC exposes:
+//
+//   - registered memory regions remote ranks can Put to / Get from,
+//   - one-sided remote atomics executed at the target without target CPU,
+//   - a 4-byte immediate value attachable to any put or get, delivered into
+//     the target's destination completion queue (the uGNI mechanism the
+//     paper builds Notified Access on),
+//   - small control/data messages (the moral equivalent of FMA mailbox
+//     writes) used by the message-passing and RMA-synchronization layers,
+//   - remote-completion ACKs so Flush can wait for remote commitment.
+//
+// The fabric runs under either execution engine (see internal/exec). Under
+// Sim, every packet is a discrete event whose arrival time follows the LogGP
+// model (internal/loggp) with per-(origin,target) FIFO ordering — latencies
+// in figures emerge from these events. Under Real, packets flow through
+// per-NIC receive workers over channels; no artificial delays are added.
+package fabric
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/loggp"
+	"repro/internal/simtime"
+)
+
+// Config parameterizes a fabric.
+type Config struct {
+	// Ranks is the number of endpoints.
+	Ranks int
+	// RanksPerNode controls topology: ranks r and s share a node (and use
+	// the SHM transport) iff r/RanksPerNode == s/RanksPerNode. A value <= 1
+	// places every rank on its own node; a value >= Ranks makes the whole
+	// job intra-node.
+	RanksPerNode int
+	// Model supplies LogGP parameters and software-overhead constants.
+	Model loggp.Model
+	// InlineThreshold is the largest intra-node put payload (bytes) that is
+	// carried inside the 64-byte notification ring entry ("inline
+	// transfer"); larger intra-node puts pay the memcpy cost. 0 disables
+	// inlining.
+	InlineThreshold int
+	// ChargeOverheads controls whether posting calls charge the modeled
+	// o_s send overhead to the calling proc (Sim engine only).
+	ChargeOverheads bool
+	// GetNotifyMode selects how the target of a notified GET learns its
+	// buffer was read, reflecting the NIC capabilities the paper surveys
+	// (§IV-A, §VIII). Default: GetNotifyImmediate.
+	GetNotifyMode GetNotifyMode
+	// Trace, when non-nil, receives one event per packet delivery (for
+	// protocol audits and tests). Called from delivery context: must not
+	// block. Sim engine only delivers deterministically.
+	Trace func(ev TraceEvent)
+}
+
+// GetNotifyMode is the notified-GET notification protocol.
+type GetNotifyMode int
+
+const (
+	// GetNotifyImmediate: the NIC posts the CQE at the data holder as soon
+	// as the data has been read there — uGNI / Portals 4 semantics on a
+	// reliable network (paper §IV-B). One packet total.
+	GetNotifyImmediate GetNotifyMode = iota
+	// GetNotifyOriginOrdered: the NIC has no "read with immediate"
+	// (InfiniBand, §IV-A); the origin injects a zero-byte notification
+	// write right after the read request on the same connection, and
+	// in-order execution at the responder guarantees it lands after the
+	// read. One extra packet, no extra latency round trip.
+	GetNotifyOriginOrdered
+	// GetNotifyDeferred: the network is unreliable (§VIII); the
+	// notification may only fire once the data safely arrived at the
+	// origin, which then notifies the data holder — an extra round trip.
+	GetNotifyDeferred
+)
+
+func (m GetNotifyMode) String() string {
+	switch m {
+	case GetNotifyImmediate:
+		return "immediate"
+	case GetNotifyOriginOrdered:
+		return "origin-ordered"
+	case GetNotifyDeferred:
+		return "deferred"
+	}
+	return fmt.Sprintf("getnotify(%d)", int(m))
+}
+
+// TraceEvent describes one delivered packet.
+type TraceEvent struct {
+	Kind           string // "put", "get-req", "get-resp", "atomic", "accum", "ack", "ctrl", "data", "notify"
+	Origin, Target int
+	Bytes          int
+	Imm            Imm
+}
+
+// DefaultConfig returns a Config modeling the paper's Piz Daint setup with
+// every rank on its own node.
+func DefaultConfig(ranks int) Config {
+	return Config{
+		Ranks:           ranks,
+		RanksPerNode:    1,
+		Model:           loggp.DefaultCrayXC30(),
+		InlineThreshold: 32,
+		ChargeOverheads: true,
+	}
+}
+
+// Counters aggregates fabric traffic statistics; used by the Fig-2 protocol
+// audit and by tests that assert transaction counts.
+type Counters struct {
+	DataPackets   atomic.Int64 // puts, get responses, rendezvous data
+	CtrlPackets   atomic.Int64 // control messages (RTS/CTS, PSCW, barrier…)
+	AckPackets    atomic.Int64 // remote-completion acknowledgements
+	AtomicPackets atomic.Int64 // atomic requests
+	GetRequests   atomic.Int64 // get request packets
+	NotifyPackets atomic.Int64 // deferred get notifications (unreliable mode)
+	BytesMoved    atomic.Int64 // payload bytes on the wire
+}
+
+// Snapshot returns a plain-struct copy of the counters.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		DataPackets:   c.DataPackets.Load(),
+		CtrlPackets:   c.CtrlPackets.Load(),
+		AckPackets:    c.AckPackets.Load(),
+		AtomicPackets: c.AtomicPackets.Load(),
+		GetRequests:   c.GetRequests.Load(),
+		NotifyPackets: c.NotifyPackets.Load(),
+		BytesMoved:    c.BytesMoved.Load(),
+	}
+}
+
+// CounterSnapshot is an immutable view of Counters.
+type CounterSnapshot struct {
+	DataPackets   int64
+	CtrlPackets   int64
+	AckPackets    int64
+	AtomicPackets int64
+	GetRequests   int64
+	NotifyPackets int64
+	BytesMoved    int64
+}
+
+// Sub returns the per-field difference s - t.
+func (s CounterSnapshot) Sub(t CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		DataPackets:   s.DataPackets - t.DataPackets,
+		CtrlPackets:   s.CtrlPackets - t.CtrlPackets,
+		AckPackets:    s.AckPackets - t.AckPackets,
+		AtomicPackets: s.AtomicPackets - t.AtomicPackets,
+		GetRequests:   s.GetRequests - t.GetRequests,
+		NotifyPackets: s.NotifyPackets - t.NotifyPackets,
+		BytesMoved:    s.BytesMoved - t.BytesMoved,
+	}
+}
+
+// Total returns the total number of network transactions (packets of any
+// kind).
+func (s CounterSnapshot) Total() int64 {
+	return s.DataPackets + s.CtrlPackets + s.AckPackets + s.AtomicPackets + s.GetRequests + s.NotifyPackets
+}
+
+// Fabric is the interconnect connecting Config.Ranks NICs.
+type Fabric struct {
+	cfg  Config
+	env  exec.Env
+	nics []*NIC
+
+	Stats Counters
+
+	// lastArrive[origin*Ranks+target] tracks the previous arrival time on
+	// each ordered pair for FIFO enforcement (Sim engine only; guarded by
+	// the single-threaded kernel).
+	lastArrive []simtime.Time
+}
+
+// New creates a fabric with the given configuration running under env.
+func New(env exec.Env, cfg Config) *Fabric {
+	if cfg.Ranks <= 0 {
+		panic(fmt.Sprintf("fabric: invalid rank count %d", cfg.Ranks))
+	}
+	if cfg.RanksPerNode <= 0 {
+		cfg.RanksPerNode = 1
+	}
+	if cfg.InlineThreshold > RingInlineCapacity {
+		// An entry is one cache line; larger payloads cannot ride inline.
+		cfg.InlineThreshold = RingInlineCapacity
+	}
+	f := &Fabric{
+		cfg:        cfg,
+		env:        env,
+		nics:       make([]*NIC, cfg.Ranks),
+		lastArrive: make([]simtime.Time, cfg.Ranks*cfg.Ranks),
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		f.nics[r] = newNIC(f, r)
+	}
+	if env.Mode() == exec.Real {
+		for _, n := range f.nics {
+			n.startRxWorker()
+		}
+	}
+	return f
+}
+
+// NIC returns rank r's network interface.
+func (f *Fabric) NIC(r int) *NIC {
+	if r < 0 || r >= len(f.nics) {
+		panic(fmt.Sprintf("fabric: rank %d out of range [0,%d)", r, len(f.nics)))
+	}
+	return f.nics[r]
+}
+
+// Ranks returns the number of endpoints.
+func (f *Fabric) Ranks() int { return f.cfg.Ranks }
+
+// Model returns the LogGP model in use.
+func (f *Fabric) Model() loggp.Model { return f.cfg.Model }
+
+// SameNode reports whether two ranks share a node (SHM transport).
+func (f *Fabric) SameNode(a, b int) bool {
+	return a/f.cfg.RanksPerNode == b/f.cfg.RanksPerNode
+}
+
+// Transport returns the transport class used between two ranks for a
+// transfer of the given size.
+func (f *Fabric) Transport(origin, target, size int) loggp.Transport {
+	if f.SameNode(origin, target) {
+		return loggp.SHM
+	}
+	if size >= f.cfg.Model.FMABTECrossover {
+		return loggp.BTE
+	}
+	return loggp.FMA
+}
+
+// wireParams returns LogGP parameters for a transfer.
+func (f *Fabric) wireParams(origin, target, size int) loggp.Params {
+	return f.cfg.Model.Select(f.Transport(origin, target, size))
+}
+
+// wireTime computes the one-way wire duration for a payload, honoring the
+// intra-node inline-transfer optimization: payloads that fit in the
+// notification ring entry cost a single cache-line transfer (L only).
+func (f *Fabric) wireTime(origin, target, size int, inlineEligible bool) simtime.Duration {
+	p := f.wireParams(origin, target, size)
+	if inlineEligible && f.SameNode(origin, target) && size <= f.cfg.InlineThreshold {
+		return p.L
+	}
+	return p.Time(size)
+}
+
+// transmit moves pkt from origin to target. Under Sim it schedules a
+// delivery event at the FIFO-adjusted LogGP arrival time; under Real it
+// enqueues on the target NIC's receive worker.
+func (f *Fabric) transmit(pkt *packet) {
+	f.count(pkt)
+	dst := f.nics[pkt.target]
+	if f.env.Mode() == exec.Real {
+		dst.rx <- pkt
+		return
+	}
+	wire := f.wireTime(pkt.origin, pkt.target, pkt.wireSize, pkt.inlineEligible)
+	now := f.env.Now()
+	arrive := now.Add(wire + simtime.Duration(pkt.extraDelay))
+	idx := pkt.origin*f.cfg.Ranks + pkt.target
+	gap := f.wireParams(pkt.origin, pkt.target, pkt.wireSize).O
+	if earliest := f.lastArrive[idx].Add(gap); arrive < earliest {
+		arrive = earliest
+	}
+	f.lastArrive[idx] = arrive
+	f.env.Schedule(arrive.Sub(now), exec.PrioDelivery, func() { dst.deliver(pkt) })
+}
+
+func (f *Fabric) count(pkt *packet) {
+	switch pkt.kind {
+	case pktPut, pktGetResp, pktData:
+		f.Stats.DataPackets.Add(1)
+	case pktCtrl:
+		f.Stats.CtrlPackets.Add(1)
+	case pktAck:
+		f.Stats.AckPackets.Add(1)
+	case pktAtomic:
+		f.Stats.AtomicPackets.Add(1)
+	case pktGetReq:
+		f.Stats.GetRequests.Add(1)
+	case pktNotify:
+		f.Stats.NotifyPackets.Add(1)
+	}
+	f.Stats.BytesMoved.Add(int64(pkt.wireSize))
+}
+
+// chargeSend charges the modeled o_s overhead to p (Sim only, if enabled).
+func (f *Fabric) chargeSend(p *exec.Proc) {
+	if p != nil && f.cfg.ChargeOverheads {
+		p.Sleep(f.cfg.Model.OSend)
+	}
+}

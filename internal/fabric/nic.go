@@ -1,0 +1,779 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/exec"
+)
+
+// OpKind classifies remote operations as seen in completion-queue entries.
+type OpKind int
+
+const (
+	// OpPut is a remote write.
+	OpPut OpKind = iota
+	// OpGet is a remote read.
+	OpGet
+	// OpAtomic is a remote atomic (fetch-add / compare-and-swap).
+	OpAtomic
+	// OpAccum is a remote element-wise accumulate.
+	OpAccum
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpAtomic:
+		return "atomic"
+	case OpAccum:
+		return "accum"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Imm is an optional 4-byte immediate attached to a remote operation and
+// surfaced in the target's destination completion queue — the uGNI feature
+// Notified Access is built on.
+type Imm struct {
+	Valid bool
+	Val   uint32
+}
+
+// WithImm constructs a valid immediate.
+func WithImm(v uint32) Imm { return Imm{Valid: true, Val: v} }
+
+// CQE is a destination completion queue entry: the record that a remote
+// operation with an immediate committed against local memory.
+type CQE struct {
+	Origin   int    // originating rank (known to the NIC hardware)
+	Imm      uint32 // the 4-byte immediate
+	Kind     OpKind
+	RegionID int
+	Offset   int
+	Len      int
+}
+
+// Msg is a small control or data message delivered to the NIC's message
+// queue — the stand-in for FMA writes into per-rank mailbox rings. The
+// message-passing and RMA-synchronization layers build their protocols on
+// these.
+type Msg struct {
+	Origin  int
+	Class   int    // layer discriminator (each layer picks distinct classes)
+	Payload any    // layer-specific header
+	Data    []byte // optional payload bytes
+	// ChargeCopy tells the receiver the bytes landed in a bounce buffer and
+	// the copy into the user buffer must be charged (eager protocol); when
+	// false the bytes were RDMA-written straight to their destination
+	// (rendezvous) and the receive-side copy is free in modeled time.
+	ChargeCopy bool
+}
+
+// msgHeaderBytes is the modeled wire size of a message header.
+const msgHeaderBytes = 16
+
+// AtomicOp selects the remote atomic operation.
+type AtomicOp int
+
+const (
+	// AtomicFetchAdd atomically adds the operand to the target uint64 and
+	// returns the previous value.
+	AtomicFetchAdd AtomicOp = iota
+	// AtomicCAS compares the target uint64 with Compare and, if equal,
+	// stores the operand; the previous value is returned either way.
+	AtomicCAS
+)
+
+// AccumOp selects the element-wise accumulate operation (float64 elements).
+type AccumOp int
+
+const (
+	// AccumSum adds element-wise.
+	AccumSum AccumOp = iota
+	// AccumReplace overwrites (MPI_REPLACE).
+	AccumReplace
+)
+
+type pktKind int
+
+const (
+	pktPut pktKind = iota
+	pktGetReq
+	pktGetResp
+	pktAtomic
+	pktAccum
+	pktAck
+	pktCtrl
+	pktData
+	pktNotify // deferred get notification (unreliable-network protocol)
+)
+
+func (k pktKind) String() string {
+	switch k {
+	case pktPut:
+		return "put"
+	case pktGetReq:
+		return "get-req"
+	case pktGetResp:
+		return "get-resp"
+	case pktAtomic:
+		return "atomic"
+	case pktAccum:
+		return "accum"
+	case pktAck:
+		return "ack"
+	case pktCtrl:
+		return "ctrl"
+	case pktData:
+		return "data"
+	case pktNotify:
+		return "notify"
+	}
+	return "unknown"
+}
+
+type packet struct {
+	kind           pktKind
+	origin, target int
+	regionID       int
+	offset         int
+	data           []byte
+	imm            Imm
+	wireSize       int
+	inlineEligible bool
+	notifyBack     bool  // getResp: origin must send a pktNotify back
+	extraDelay     int64 // ns added before the packet departs (target CPU/NIC processing)
+
+	op *Op // origin-side handle, echoed back on acks/responses
+
+	aop              AtomicOp
+	operand, compare uint64
+	accOp            AccumOp
+
+	msg *Msg
+}
+
+// Op is the origin-side handle of an outstanding remote operation. Done
+// becomes true at *remote* completion (data committed at the target, get
+// data landed locally, atomic result returned), which is what Flush waits
+// for.
+type Op struct {
+	nic    *NIC
+	target int
+	kind   OpKind
+	dst    []byte // get destination
+	done   bool
+	result uint64 // atomic fetch result
+}
+
+// Done reports whether the operation is remotely complete.
+func (o *Op) Done() bool {
+	o.nic.mu.Lock()
+	defer o.nic.mu.Unlock()
+	return o.done
+}
+
+// Await parks p until the operation is remotely complete.
+func (o *Op) Await(p *exec.Proc) {
+	n := o.nic
+	n.mu.Lock()
+	for !o.done {
+		n.opGate.Wait(p)
+	}
+	n.mu.Unlock()
+}
+
+// Result returns the fetched value of a completed atomic. It panics if the
+// operation has not completed.
+func (o *Op) Result() uint64 {
+	o.nic.mu.Lock()
+	defer o.nic.mu.Unlock()
+	if !o.done {
+		panic("fabric: Result on incomplete op")
+	}
+	return o.result
+}
+
+// MemRegion is a registered memory region remotely accessible by its ID.
+type MemRegion struct {
+	ID  int
+	nic *NIC
+	buf []byte
+}
+
+// Bytes returns the region's backing memory. The owner may access it
+// directly, subject to the usual RMA synchronization rules.
+func (r *MemRegion) Bytes() []byte { return r.buf }
+
+// Len returns the region size in bytes.
+func (r *MemRegion) Len() int { return len(r.buf) }
+
+// NIC is one rank's network endpoint.
+type NIC struct {
+	f    *Fabric
+	rank int
+
+	mu       sync.Mutex
+	regions  []*MemRegion
+	destCQ   []CQE
+	msgs     []*Msg
+	destGate exec.Gate
+	msgGate  exec.Gate
+	opGate   exec.Gate
+
+	outstanding []int // per-target ops awaiting remote completion
+	totalOut    int
+
+	destHighWater int
+	ring          shmRing // intra-node notification ring (paper §IV-C)
+
+	rx   chan *packet // Real engine inbound
+	quit chan struct{}
+}
+
+func newNIC(f *Fabric, rank int) *NIC {
+	n := &NIC{
+		f:           f,
+		rank:        rank,
+		outstanding: make([]int, f.cfg.Ranks),
+		quit:        make(chan struct{}),
+	}
+	n.destGate = f.env.NewGate(&n.mu)
+	n.msgGate = f.env.NewGate(&n.mu)
+	n.opGate = f.env.NewGate(&n.mu)
+	if f.env.Mode() == exec.Real {
+		n.rx = make(chan *packet, 4096)
+	}
+	return n
+}
+
+// Rank returns the owning rank.
+func (n *NIC) Rank() int { return n.rank }
+
+func (n *NIC) startRxWorker() {
+	var abort <-chan struct{}
+	if re, ok := n.f.env.(*exec.RealEnv); ok {
+		abort = re.Aborted()
+	}
+	re, _ := n.f.env.(*exec.RealEnv)
+	go func() {
+		for {
+			select {
+			case pkt := <-n.rx:
+				n.deliverGuarded(re, pkt)
+			case <-abort:
+				return
+			case <-n.quit:
+				return
+			}
+		}
+	}()
+}
+
+// deliverGuarded converts delivery-time panics into a run abort under the
+// Real engine instead of crashing the process.
+func (n *NIC) deliverGuarded(re *exec.RealEnv, pkt *packet) {
+	defer func() {
+		if r := recover(); r != nil && re != nil {
+			re.Fail(fmt.Errorf("rank %d delivery panicked: %v", n.rank, r))
+		}
+	}()
+	n.deliver(pkt)
+}
+
+// Close shuts down the NIC's receive worker (Real engine).
+func (n *NIC) Close() {
+	select {
+	case <-n.quit:
+	default:
+		close(n.quit)
+	}
+}
+
+// Close stops all receive workers. Only needed under the Real engine.
+func (f *Fabric) Close() {
+	for _, n := range f.nics {
+		n.Close()
+	}
+}
+
+// Register exposes buf for remote access and returns its region handle.
+// Registration order must match across ranks when the layers above rely on
+// symmetric region IDs (as MPI window allocation does).
+func (n *NIC) Register(buf []byte) *MemRegion {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r := &MemRegion{ID: len(n.regions), nic: n, buf: buf}
+	n.regions = append(n.regions, r)
+	return r
+}
+
+// Deregister revokes remote access to the region. The ID is not reused.
+func (n *NIC) Deregister(r *MemRegion) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if r.ID < len(n.regions) && n.regions[r.ID] == r {
+		n.regions[r.ID] = nil
+	}
+}
+
+func (n *NIC) region(id int) *MemRegion {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if id < 0 || id >= len(n.regions) || n.regions[id] == nil {
+		panic(fmt.Sprintf("fabric: rank %d: access to unregistered region %d", n.rank, id))
+	}
+	return n.regions[id]
+}
+
+func (n *NIC) checkTarget(target int) {
+	if target < 0 || target >= n.f.cfg.Ranks {
+		panic(fmt.Sprintf("fabric: rank %d: invalid target rank %d", n.rank, target))
+	}
+}
+
+func (n *NIC) beginOp(target int, kind OpKind) *Op {
+	op := &Op{nic: n, target: target, kind: kind}
+	n.mu.Lock()
+	n.outstanding[target]++
+	n.totalOut++
+	n.mu.Unlock()
+	return op
+}
+
+func (n *NIC) completeOp(op *Op, result uint64) {
+	n.mu.Lock()
+	op.done = true
+	op.result = result
+	n.outstanding[op.target]--
+	n.totalOut--
+	n.mu.Unlock()
+	n.opGate.Broadcast()
+}
+
+// Put writes data into (target, regionID, offset) and returns the origin
+// handle. If imm is valid, a CQE carrying it appears in the target's
+// destination completion queue once the data is committed — this is the
+// primitive Notified Access builds on. p may be nil when called outside a
+// rank (no overhead is charged then).
+func (n *NIC) Put(p *exec.Proc, target, regionID, offset int, data []byte, imm Imm) *Op {
+	n.checkTarget(target)
+	n.f.chargeSend(p)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	op := n.beginOp(target, OpPut)
+	n.f.transmit(&packet{
+		kind: pktPut, origin: n.rank, target: target,
+		regionID: regionID, offset: offset, data: cp, imm: imm,
+		wireSize: len(cp), inlineEligible: imm.Valid, op: op,
+	})
+	return op
+}
+
+// Get reads len(dst) bytes from (target, regionID, offset) into dst. If imm
+// is valid, a CQE appears in the *target's* destination completion queue as
+// soon as the data has been read there (the notified-get semantics for
+// reliable networks discussed in the paper §VIII).
+func (n *NIC) Get(p *exec.Proc, target, regionID, offset int, dst []byte, imm Imm) *Op {
+	n.checkTarget(target)
+	n.f.chargeSend(p)
+	op := n.beginOp(target, OpGet)
+	op.dst = dst
+	n.f.transmit(&packet{
+		kind: pktGetReq, origin: n.rank, target: target,
+		regionID: regionID, offset: offset, imm: imm,
+		wireSize: 0, op: op, operand: uint64(len(dst)),
+	})
+	if imm.Valid && n.f.cfg.GetNotifyMode == GetNotifyOriginOrdered {
+		// InfiniBand-style protocol (paper Â§IV-A): no read-with-immediate,
+		// so inject a notification write right behind the read request;
+		// per-pair FIFO ordering guarantees it executes after the read at
+		// the responder.
+		n.f.transmit(&packet{
+			kind: pktNotify, origin: n.rank, target: target,
+			regionID: regionID, offset: offset,
+			imm: imm, wireSize: 0, operand: uint64(len(dst)),
+		})
+	}
+	return op
+}
+
+// Atomic posts a remote atomic on the uint64 at (target, regionID, offset).
+// For AtomicCAS, compare is the expected value and operand the replacement.
+// The fetched previous value is available via Op.Result after completion.
+// A valid imm notifies the target's destination CQ (notified accumulate).
+func (n *NIC) Atomic(p *exec.Proc, target, regionID, offset int, aop AtomicOp, operand, compare uint64, imm Imm) *Op {
+	n.checkTarget(target)
+	n.f.chargeSend(p)
+	op := n.beginOp(target, OpAtomic)
+	n.f.transmit(&packet{
+		kind: pktAtomic, origin: n.rank, target: target,
+		regionID: regionID, offset: offset, imm: imm,
+		aop: aop, operand: operand, compare: compare,
+		wireSize: 8, op: op,
+	})
+	return op
+}
+
+// Accumulate applies an element-wise float64 reduction of data into
+// (target, regionID, offset) at the target, executed by the target NIC
+// (no target CPU involvement). A valid imm notifies the destination CQ.
+func (n *NIC) Accumulate(p *exec.Proc, target, regionID, offset int, data []float64, aop AccumOp, imm Imm) *Op {
+	n.checkTarget(target)
+	n.f.chargeSend(p)
+	raw := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	op := n.beginOp(target, OpAccum)
+	n.f.transmit(&packet{
+		kind: pktAccum, origin: n.rank, target: target,
+		regionID: regionID, offset: offset, data: raw, imm: imm,
+		accOp: aop, wireSize: len(raw), op: op,
+	})
+	return op
+}
+
+// PostMsg sends a small control/data message to target's message queue.
+// extraHeader models additional header bytes beyond the standard 16.
+func (n *NIC) PostMsg(p *exec.Proc, target int, class int, payload any, data []byte, chargeCopy bool) {
+	n.checkTarget(target)
+	n.f.chargeSend(p)
+	var cp []byte
+	if len(data) > 0 {
+		cp = make([]byte, len(data))
+		copy(cp, data)
+	}
+	m := &Msg{Origin: n.rank, Class: class, Payload: payload, Data: cp, ChargeCopy: chargeCopy}
+	kind := pktCtrl
+	if len(cp) > 0 {
+		kind = pktData
+	}
+	n.f.transmit(&packet{
+		kind: kind, origin: n.rank, target: target,
+		wireSize: msgHeaderBytes + len(cp), msg: m,
+	})
+}
+
+// deliver commits an arriving packet against this NIC. Under Sim it runs in
+// kernel context at the packet's arrival time; under Real it runs on the
+// receive worker goroutine.
+func (n *NIC) deliver(pkt *packet) {
+	switch pkt.kind {
+	case pktPut:
+		reg := n.region(pkt.regionID)
+		if pkt.offset < 0 || pkt.offset+len(pkt.data) > len(reg.buf) {
+			panic(fmt.Sprintf("fabric: rank %d: put out of bounds: region %d off %d len %d (region len %d)",
+				n.rank, pkt.regionID, pkt.offset, len(pkt.data), len(reg.buf)))
+		}
+		inline := pkt.imm.Valid && n.f.SameNode(pkt.origin, n.rank) &&
+			len(pkt.data) <= n.f.cfg.InlineThreshold && len(pkt.data) > 0
+		if inline {
+			// Inline transfer (paper §IV-C): the payload rides inside the
+			// notification ring entry; the consumer copies it into the
+			// window when it processes the notification.
+			n.mu.Lock()
+			n.ring.push(ringEntry{source: pkt.origin, imm: pkt.imm.Val, kind: OpPut,
+				regionID: pkt.regionID, offset: pkt.offset, length: len(pkt.data), inline: pkt.data})
+			n.mu.Unlock()
+			n.destGate.Broadcast()
+		} else {
+			n.mu.Lock()
+			copy(reg.buf[pkt.offset:], pkt.data)
+			n.mu.Unlock()
+			n.postCQE(pkt, OpPut, len(pkt.data))
+		}
+		n.sendAck(pkt.op, pkt.origin, 0, 0)
+
+	case pktGetReq:
+		reg := n.region(pkt.regionID)
+		length := int(pkt.operand)
+		if pkt.offset < 0 || pkt.offset+length > len(reg.buf) {
+			panic(fmt.Sprintf("fabric: rank %d: get out of bounds: region %d off %d len %d (region len %d)",
+				n.rank, pkt.regionID, pkt.offset, length, len(reg.buf)))
+		}
+		data := make([]byte, length)
+		n.mu.Lock()
+		copy(data, reg.buf[pkt.offset:])
+		n.mu.Unlock()
+		resp := &packet{
+			kind: pktGetResp, origin: n.rank, target: pkt.origin,
+			data: data, wireSize: length, op: pkt.op,
+		}
+		if pkt.imm.Valid && n.f.cfg.GetNotifyMode == GetNotifyDeferred {
+			// Unreliable network (paper §VIII): the buffer-reusable
+			// notification may only fire once the data has safely arrived
+			// at the origin; the origin then notifies us back.
+			resp.imm = pkt.imm
+			resp.regionID = pkt.regionID
+			resp.offset = pkt.offset
+			resp.notifyBack = true
+		} else if pkt.imm.Valid && n.f.cfg.GetNotifyMode == GetNotifyOriginOrdered {
+			// The origin injected a separate ordered notification write;
+			// do not notify here.
+		} else {
+			// Reliable network with read-with-immediate: notify as soon as
+			// the data has been read here at the data holder.
+			n.postCQE(pkt, OpGet, length)
+		}
+		n.f.transmit(resp)
+
+	case pktGetResp:
+		n.mu.Lock()
+		copy(pkt.op.dst, pkt.data)
+		n.mu.Unlock()
+		n.finishLocal(pkt.op, 0)
+		if pkt.notifyBack {
+			// Data arrived safely: release the target's buffer with a
+			// dedicated notification message (the extra round trip of the
+			// unreliable-network protocol).
+			n.f.transmit(&packet{
+				kind: pktNotify, origin: n.rank, target: pkt.origin,
+				regionID: pkt.regionID, offset: pkt.offset,
+				imm: pkt.imm, wireSize: 0, operand: uint64(len(pkt.data)),
+			})
+		}
+
+	case pktAtomic:
+		reg := n.region(pkt.regionID)
+		if pkt.offset < 0 || pkt.offset+8 > len(reg.buf) {
+			panic(fmt.Sprintf("fabric: rank %d: atomic out of bounds: region %d off %d", n.rank, pkt.regionID, pkt.offset))
+		}
+		n.mu.Lock()
+		old := binary.LittleEndian.Uint64(reg.buf[pkt.offset:])
+		switch pkt.aop {
+		case AtomicFetchAdd:
+			binary.LittleEndian.PutUint64(reg.buf[pkt.offset:], old+pkt.operand)
+		case AtomicCAS:
+			if old == pkt.compare {
+				binary.LittleEndian.PutUint64(reg.buf[pkt.offset:], pkt.operand)
+			}
+		}
+		n.mu.Unlock()
+		n.postCQE(pkt, OpAtomic, 8)
+		n.sendAck(pkt.op, pkt.origin, old, int64(n.f.cfg.Model.TAtomic))
+
+	case pktAccum:
+		reg := n.region(pkt.regionID)
+		if pkt.offset < 0 || pkt.offset+len(pkt.data) > len(reg.buf) {
+			panic(fmt.Sprintf("fabric: rank %d: accumulate out of bounds: region %d off %d len %d",
+				n.rank, pkt.regionID, pkt.offset, len(pkt.data)))
+		}
+		n.mu.Lock()
+		for i := 0; i+8 <= len(pkt.data); i += 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(pkt.data[i:]))
+			at := pkt.offset + i
+			switch pkt.accOp {
+			case AccumSum:
+				cur := math.Float64frombits(binary.LittleEndian.Uint64(reg.buf[at:]))
+				binary.LittleEndian.PutUint64(reg.buf[at:], math.Float64bits(cur+v))
+			case AccumReplace:
+				binary.LittleEndian.PutUint64(reg.buf[at:], math.Float64bits(v))
+			}
+		}
+		n.mu.Unlock()
+		n.postCQE(pkt, OpAccum, len(pkt.data))
+		n.sendAck(pkt.op, pkt.origin, 0, int64(n.f.cfg.Model.TAtomic))
+
+	case pktAck:
+		n.finishLocal(pkt.op, pkt.operand)
+
+	case pktNotify:
+		n.postCQE(&packet{
+			origin: pkt.origin, imm: pkt.imm,
+			regionID: pkt.regionID, offset: pkt.offset,
+		}, OpGet, int(pkt.operand))
+
+	case pktCtrl, pktData:
+		n.mu.Lock()
+		n.msgs = append(n.msgs, pkt.msg)
+		n.mu.Unlock()
+		n.msgGate.Broadcast()
+	}
+	if tr := n.f.cfg.Trace; tr != nil {
+		tr(TraceEvent{Kind: pkt.kind.String(), Origin: pkt.origin, Target: pkt.target,
+			Bytes: pkt.wireSize, Imm: pkt.imm})
+	}
+}
+
+// postCQE records a destination notification if the packet carries an
+// immediate: intra-node notifications go through the shared-memory ring
+// (the XPMEM path), inter-node ones through the uGNI-style destination CQ.
+func (n *NIC) postCQE(pkt *packet, kind OpKind, length int) {
+	if !pkt.imm.Valid {
+		return
+	}
+	n.mu.Lock()
+	if n.f.SameNode(pkt.origin, n.rank) {
+		n.ring.push(ringEntry{source: pkt.origin, imm: pkt.imm.Val, kind: kind,
+			regionID: pkt.regionID, offset: pkt.offset, length: length})
+	} else {
+		n.destCQ = append(n.destCQ, CQE{
+			Origin: pkt.origin, Imm: pkt.imm.Val, Kind: kind,
+			RegionID: pkt.regionID, Offset: pkt.offset, Len: length,
+		})
+		if len(n.destCQ) > n.destHighWater {
+			n.destHighWater = len(n.destCQ)
+		}
+	}
+	n.mu.Unlock()
+	n.destGate.Broadcast()
+}
+
+// sendAck returns a remote-completion acknowledgement to the origin.
+func (n *NIC) sendAck(op *Op, origin int, value uint64, extraDelay int64) {
+	n.f.transmit(&packet{
+		kind: pktAck, origin: n.rank, target: origin,
+		wireSize: 0, op: op, operand: value, extraDelay: extraDelay,
+	})
+}
+
+// finishLocal marks op complete at its origin NIC (this NIC).
+func (n *NIC) finishLocal(op *Op, value uint64) {
+	op.nic.completeOp(op, value)
+}
+
+// Load64 atomically reads the uint64 at off in a local region, with a
+// happens-before edge against concurrent remote deliveries — the primitive
+// a busy-polling consumer (e.g. the paper's One Sided ring-buffer protocol)
+// uses to watch its own window memory.
+func (r *MemRegion) Load64(off int) uint64 {
+	r.nic.mu.Lock()
+	defer r.nic.mu.Unlock()
+	return binary.LittleEndian.Uint64(r.buf[off:])
+}
+
+// Store64 writes the uint64 at off in a local region under the same lock.
+func (r *MemRegion) Store64(off int, v uint64) {
+	r.nic.mu.Lock()
+	defer r.nic.mu.Unlock()
+	binary.LittleEndian.PutUint64(r.buf[off:], v)
+}
+
+// PollDest pops the oldest destination notification, if any: first the
+// uGNI-style CQ, then the shared-memory ring (the target "checks the XPMEM
+// notification queue in addition to the uGNI completion queue", §IV-C).
+// Inline ring payloads are committed to the window here.
+func (n *NIC) PollDest() (CQE, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.destCQ) > 0 {
+		e := n.destCQ[0]
+		n.destCQ = n.destCQ[1:]
+		return e, true
+	}
+	if e, ok := n.ring.pop(); ok {
+		if e.inline != nil {
+			if e.regionID < len(n.regions) && n.regions[e.regionID] != nil {
+				copy(n.regions[e.regionID].buf[e.offset:], e.inline)
+			}
+		}
+		return CQE{Origin: e.source, Imm: e.imm, Kind: e.kind,
+			RegionID: e.regionID, Offset: e.offset, Len: e.length}, true
+	}
+	return CQE{}, false
+}
+
+// WaitDest parks p until a destination notification is available (CQ or
+// shared-memory ring). Only the owning rank may call it (single consumer).
+func (n *NIC) WaitDest(p *exec.Proc) {
+	n.mu.Lock()
+	for len(n.destCQ) == 0 && n.ring.count == 0 {
+		n.destGate.Wait(p)
+	}
+	n.mu.Unlock()
+}
+
+// DestDepth returns the number of pending destination notifications (CQ
+// plus ring).
+func (n *NIC) DestDepth() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.destCQ) + n.ring.count
+}
+
+// RingHighWater returns the maximum shared-memory ring occupancy observed.
+func (n *NIC) RingHighWater() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring.highWater
+}
+
+// DestHighWater returns the maximum destination CQ depth observed.
+func (n *NIC) DestHighWater() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.destHighWater
+}
+
+// PollMsg removes and returns the oldest message satisfying pred.
+func (n *NIC) PollMsg(pred func(*Msg) bool) (*Msg, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, m := range n.msgs {
+		if pred(m) {
+			n.msgs = append(n.msgs[:i], n.msgs[i+1:]...)
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// WaitMsg parks p until a message satisfying pred arrives, removes it from
+// the queue, and returns it. Non-matching messages are left in arrival
+// order for other consumers on this rank.
+func (n *NIC) WaitMsg(p *exec.Proc, pred func(*Msg) bool) *Msg {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		for i, m := range n.msgs {
+			if pred(m) {
+				n.msgs = append(n.msgs[:i], n.msgs[i+1:]...)
+				return m
+			}
+		}
+		n.msgGate.Wait(p)
+	}
+}
+
+// MsgDepth returns the number of queued messages.
+func (n *NIC) MsgDepth() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.msgs)
+}
+
+// Pending returns the number of operations to target awaiting remote
+// completion.
+func (n *NIC) Pending(target int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.outstanding[target]
+}
+
+// Flush parks p until every operation this NIC issued to target is remotely
+// complete (MPI_Win_flush semantics).
+func (n *NIC) Flush(p *exec.Proc, target int) {
+	n.checkTarget(target)
+	n.mu.Lock()
+	for n.outstanding[target] > 0 {
+		n.opGate.Wait(p)
+	}
+	n.mu.Unlock()
+}
+
+// FlushAll parks p until every outstanding operation from this NIC is
+// remotely complete (MPI_Win_flush_all semantics).
+func (n *NIC) FlushAll(p *exec.Proc) {
+	n.mu.Lock()
+	for n.totalOut > 0 {
+		n.opGate.Wait(p)
+	}
+	n.mu.Unlock()
+}

@@ -1,0 +1,170 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+)
+
+func TestPktKindStrings(t *testing.T) {
+	want := map[pktKind]string{
+		pktPut: "put", pktGetReq: "get-req", pktGetResp: "get-resp",
+		pktAtomic: "atomic", pktAccum: "accum", pktAck: "ack",
+		pktCtrl: "ctrl", pktData: "data", pktNotify: "notify",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d -> %q want %q", int(k), k.String(), s)
+		}
+	}
+	if pktKind(99).String() != "unknown" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestGetNotifyModeUnknownString(t *testing.T) {
+	if GetNotifyMode(9).String() != "getnotify(9)" {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestRegionLenAndLoadStore(t *testing.T) {
+	f := New(exec.NewSimEnv(), DefaultConfig(1))
+	nic := f.NIC(0)
+	r := nic.Register(make([]byte, 32))
+	if r.Len() != 32 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	r.Store64(8, 0xdeadbeefcafe)
+	if got := r.Load64(8); got != 0xdeadbeefcafe {
+		t.Fatalf("Load64 = %#x", got)
+	}
+	if r.Load64(0) != 0 {
+		t.Fatal("untouched word non-zero")
+	}
+}
+
+func TestPendingAndMsgDepth(t *testing.T) {
+	env := exec.NewSimEnv()
+	f := New(env, DefaultConfig(2))
+	err := env.Run(2, func(p *exec.Proc) {
+		nic := f.NIC(p.Rank())
+		reg := nic.Register(make([]byte, 8))
+		if p.Rank() == 0 {
+			nic.Put(p, 1, reg.ID, 0, []byte{1}, Imm{})
+			if nic.Pending(1) != 1 {
+				t.Errorf("Pending = %d right after post", nic.Pending(1))
+			}
+			nic.Flush(p, 1)
+			if nic.Pending(1) != 0 {
+				t.Errorf("Pending = %d after flush", nic.Pending(1))
+			}
+			nic.PostMsg(p, 1, 5, "a", nil, false)
+			nic.PostMsg(p, 1, 6, "b", nil, false)
+			nic.PostMsg(p, 1, 7, "done", nil, false)
+		} else {
+			nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 7 })
+			if d := nic.MsgDepth(); d != 2 {
+				t.Errorf("MsgDepth = %d, want 2 unconsumed", d)
+			}
+			if _, ok := nic.PollMsg(func(m *Msg) bool { return m.Class == 99 }); ok {
+				t.Error("PollMsg matched nothing")
+			}
+			if m, ok := nic.PollMsg(func(m *Msg) bool { return m.Class == 6 }); !ok || m.Payload.(string) != "b" {
+				t.Errorf("PollMsg(6) = %+v ok=%v", m, ok)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpResultPanicsBeforeCompletion(t *testing.T) {
+	env := exec.NewSimEnv()
+	f := New(env, DefaultConfig(2))
+	err := env.Run(2, func(p *exec.Proc) {
+		if p.Rank() != 0 {
+			return
+		}
+		nic := f.NIC(0)
+		reg := nic.Register(make([]byte, 8))
+		op := nic.Atomic(p, 1, reg.ID, 0, AtomicFetchAdd, 1, 0, Imm{})
+		_ = op.Result() // incomplete: must panic
+	})
+	if err == nil {
+		t.Fatal("expected panic surfaced as error")
+	}
+}
+
+func TestNICCloseIdempotent(t *testing.T) {
+	env := exec.NewRealEnv()
+	f := New(env, DefaultConfig(2))
+	f.Close()
+	f.Close() // double close must be safe
+}
+
+func TestGetOutOfBoundsPanics(t *testing.T) {
+	env := exec.NewSimEnv()
+	f := New(env, DefaultConfig(2))
+	err := env.Run(2, func(p *exec.Proc) {
+		nic := f.NIC(p.Rank())
+		reg := nic.Register(make([]byte, 8))
+		if p.Rank() == 0 {
+			dst := make([]byte, 16) // longer than the region
+			nic.Get(p, 1, reg.ID, 0, dst, Imm{}).Await(p)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected out-of-bounds get to fail the run")
+	}
+}
+
+func TestAtomicOutOfBoundsPanics(t *testing.T) {
+	env := exec.NewSimEnv()
+	f := New(env, DefaultConfig(2))
+	err := env.Run(2, func(p *exec.Proc) {
+		nic := f.NIC(p.Rank())
+		reg := nic.Register(make([]byte, 8))
+		if p.Rank() == 0 {
+			nic.Atomic(p, 1, reg.ID, 4, AtomicFetchAdd, 1, 0, Imm{}).Await(p)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected out-of-bounds atomic to fail the run")
+	}
+}
+
+func TestAccumulateOutOfBoundsPanics(t *testing.T) {
+	env := exec.NewSimEnv()
+	f := New(env, DefaultConfig(2))
+	err := env.Run(2, func(p *exec.Proc) {
+		nic := f.NIC(p.Rank())
+		reg := nic.Register(make([]byte, 8))
+		if p.Rank() == 0 {
+			nic.Accumulate(p, 1, reg.ID, 0, []float64{1, 2}, AccumSum, Imm{}).Await(p)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected out-of-bounds accumulate to fail the run")
+	}
+}
+
+func TestRealDeliveryPanicAborts(t *testing.T) {
+	// Under the Real engine a delivery-time bounds violation must surface
+	// as a run error via the rx worker guard, not crash the process.
+	env := exec.NewRealEnv()
+	f := New(env, DefaultConfig(2))
+	defer f.Close()
+	err := env.Run(2, func(p *exec.Proc) {
+		nic := f.NIC(p.Rank())
+		reg := nic.Register(make([]byte, 8))
+		if p.Rank() == 0 {
+			nic.Put(p, 1, reg.ID, 4, make([]byte, 8), Imm{}) // overruns at delivery
+			nic.Flush(p, 1)                                  // abort wakes this
+		}
+	})
+	if err == nil {
+		t.Fatal("expected delivery panic to abort the run")
+	}
+}

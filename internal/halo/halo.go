@@ -1,0 +1,438 @@
+// Package halo implements the halo-exchange motif the paper's introduction
+// names as a core producer-consumer pattern: a 2D Jacobi sweep on a
+// process grid where each rank exchanges four boundary strips with its
+// neighbors every iteration.
+//
+// Variants mirror the paper's comparison. Notified Access uses the
+// counting feature exactly as designed for this pattern: each rank arms a
+// single request with expectedCount = number of neighbors, and one
+// notified put per neighbor delivers both the strip and the
+// synchronization — one transaction per halo.
+package halo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mp"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+// Variant selects the communication scheme.
+type Variant int
+
+const (
+	// MP exchanges strips with Irecv/Send pairs.
+	MP Variant = iota
+	// PSCW uses per-iteration general active target epochs.
+	PSCW
+	// NA uses counting notified puts (one request for all neighbors).
+	NA
+)
+
+func (v Variant) String() string {
+	switch v {
+	case MP:
+		return "mp"
+	case PSCW:
+		return "pscw"
+	case NA:
+		return "na"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Variants lists all schemes in presentation order.
+var Variants = []Variant{MP, PSCW, NA}
+
+// Options configures a run.
+type Options struct {
+	// PX, PY is the process grid (PX*PY must equal the rank count).
+	PX, PY int
+	// BX, BY is the local block size (interior cells per rank).
+	BX, BY int
+	// Iters is the number of Jacobi sweeps.
+	Iters int
+	// CellCost is the modeled per-cell update cost (default 1ns).
+	CellCost simtime.Duration
+	Variant  Variant
+}
+
+func (o Options) withDefaults() Options {
+	if o.CellCost == 0 {
+		o.CellCost = 1
+	}
+	if o.Iters == 0 {
+		o.Iters = 1
+	}
+	return o
+}
+
+// Result reports a finished run.
+type Result struct {
+	Elapsed simtime.Duration
+	// Checksum is the sum of all interior cells after the final sweep
+	// (identical on matching Serial runs; validated on every rank's block).
+	Checksum float64
+	Valid    bool
+}
+
+// directions: 0=west, 1=east, 2=north, 3=south.
+const (
+	dirW = iota
+	dirE
+	dirN
+	dirS
+	numDirs
+)
+
+// grid is one rank's block with a one-cell halo ring: (BX+2) x (BY+2),
+// row-major; interior is [1..BY][1..BX].
+type grid struct {
+	p       *runtime.Proc
+	o       Options
+	px, py  int // my grid coordinates
+	w, h    int // interior dims (BX, BY)
+	a, b    []float64
+	nbr     [numDirs]int // neighbor rank or -1
+	sendBuf [numDirs][]float64
+}
+
+func newGrid(p *runtime.Proc, o Options) *grid {
+	if o.PX*o.PY != p.N() {
+		panic(fmt.Sprintf("halo: process grid %dx%d != %d ranks", o.PX, o.PY, p.N()))
+	}
+	g := &grid{
+		p: p, o: o,
+		px: p.Rank() % o.PX, py: p.Rank() / o.PX,
+		w: o.BX, h: o.BY,
+	}
+	stride := g.w + 2
+	g.a = make([]float64, stride*(g.h+2))
+	g.b = make([]float64, stride*(g.h+2))
+	g.nbr = [numDirs]int{-1, -1, -1, -1}
+	if g.px > 0 {
+		g.nbr[dirW] = p.Rank() - 1
+	}
+	if g.px < o.PX-1 {
+		g.nbr[dirE] = p.Rank() + 1
+	}
+	if g.py > 0 {
+		g.nbr[dirN] = p.Rank() - o.PX
+	}
+	if g.py < o.PY-1 {
+		g.nbr[dirS] = p.Rank() + o.PX
+	}
+	for d := 0; d < numDirs; d++ {
+		g.sendBuf[d] = make([]float64, g.stripLen(d))
+	}
+	g.init()
+	return g
+}
+
+func (g *grid) stride() int { return g.w + 2 }
+
+// stripLen is the number of cells in the halo strip for direction d.
+func (g *grid) stripLen(d int) int {
+	if d == dirW || d == dirE {
+		return g.h
+	}
+	return g.w
+}
+
+// init seeds the interior with a deterministic global function of the
+// global cell coordinates, so Serial and distributed runs agree exactly.
+func (g *grid) init() {
+	for y := 1; y <= g.h; y++ {
+		for x := 1; x <= g.w; x++ {
+			gx := g.px*g.w + (x - 1)
+			gy := g.py*g.h + (y - 1)
+			g.a[y*g.stride()+x] = seed(gx, gy)
+		}
+	}
+}
+
+func seed(gx, gy int) float64 {
+	return float64((gx*31+gy*17)%97) / 7
+}
+
+// gatherStrip copies the boundary strip for direction d into buf.
+func (g *grid) gatherStrip(d int, buf []float64) {
+	s := g.stride()
+	switch d {
+	case dirW:
+		for y := 1; y <= g.h; y++ {
+			buf[y-1] = g.a[y*s+1]
+		}
+	case dirE:
+		for y := 1; y <= g.h; y++ {
+			buf[y-1] = g.a[y*s+g.w]
+		}
+	case dirN:
+		copy(buf, g.a[1*s+1:1*s+1+g.w])
+	case dirS:
+		copy(buf, g.a[g.h*s+1:g.h*s+1+g.w])
+	}
+}
+
+// scatterStrip writes a received strip into the halo ring for direction d
+// (d is the direction the strip came FROM).
+func (g *grid) scatterStrip(d int, buf []float64) {
+	s := g.stride()
+	switch d {
+	case dirW:
+		for y := 1; y <= g.h; y++ {
+			g.a[y*s+0] = buf[y-1]
+		}
+	case dirE:
+		for y := 1; y <= g.h; y++ {
+			g.a[y*s+g.w+1] = buf[y-1]
+		}
+	case dirN:
+		copy(g.a[0*s+1:0*s+1+g.w], buf)
+	case dirS:
+		copy(g.a[(g.h+1)*s+1:(g.h+1)*s+1+g.w], buf)
+	}
+}
+
+// sweep performs one Jacobi update of the interior (a -> b, then swap).
+func (g *grid) sweep() {
+	s := g.stride()
+	g.p.Work(g.o.CellCost*simtime.Duration(g.w*g.h), func() {
+		for y := 1; y <= g.h; y++ {
+			for x := 1; x <= g.w; x++ {
+				g.b[y*s+x] = 0.25 * (g.a[y*s+x-1] + g.a[y*s+x+1] + g.a[(y-1)*s+x] + g.a[(y+1)*s+x])
+			}
+		}
+	})
+	g.a, g.b = g.b, g.a
+}
+
+func (g *grid) checksum() float64 {
+	s := g.stride()
+	sum := 0.0
+	for y := 1; y <= g.h; y++ {
+		for x := 1; x <= g.w; x++ {
+			sum += g.a[y*s+x]
+		}
+	}
+	return sum
+}
+
+// opposite direction (the tag a neighbor uses when sending toward us).
+func opposite(d int) int {
+	switch d {
+	case dirW:
+		return dirE
+	case dirE:
+		return dirW
+	case dirN:
+		return dirS
+	}
+	return dirN
+}
+
+func encodeStrip(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func decodeStrip(b []byte, out []float64) {
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// Run executes the halo-exchange Jacobi benchmark collectively.
+func Run(p *runtime.Proc, o Options) Result {
+	o = o.withDefaults()
+	g := newGrid(p, o)
+	var exchange func(iter int)
+
+	switch o.Variant {
+	case MP:
+		c := mp.New(p)
+		recv := make([]float64, max(g.w, g.h))
+		exchange = func(iter int) {
+			var reqs [numDirs]*mp.RecvReq
+			bufs := make([][]byte, numDirs)
+			for d := 0; d < numDirs; d++ {
+				if g.nbr[d] < 0 {
+					continue
+				}
+				bufs[d] = make([]byte, 8*g.stripLen(d))
+				reqs[d] = c.Irecv(bufs[d], g.nbr[d], d)
+			}
+			for d := 0; d < numDirs; d++ {
+				if g.nbr[d] < 0 {
+					continue
+				}
+				g.gatherStrip(d, g.sendBuf[d])
+				// Tag with the direction the RECEIVER sees us from.
+				c.Send(g.nbr[d], opposite(d), encodeStrip(g.sendBuf[d]))
+			}
+			for d := 0; d < numDirs; d++ {
+				if reqs[d] == nil {
+					continue
+				}
+				c.WaitRecv(reqs[d])
+				strip := recv[:g.stripLen(d)]
+				decodeStrip(bufs[d], strip)
+				g.scatterStrip(d, strip)
+			}
+		}
+
+	case PSCW, NA:
+		// Window layout: per parity, one strip slot per direction.
+		maxStrip := max(g.w, g.h)
+		slotBytes := 8 * maxStrip
+		win := rma.Allocate(p, 2*numDirs*slotBytes)
+		defer win.Free()
+		slotOff := func(parity, d int) int { return (parity*numDirs + d) * slotBytes }
+
+		var neighbors []int
+		nNbr := 0
+		for d := 0; d < numDirs; d++ {
+			if g.nbr[d] >= 0 {
+				neighbors = append(neighbors, g.nbr[d])
+				nNbr++
+			}
+		}
+		recv := make([]float64, maxStrip)
+
+		if o.Variant == NA {
+			// One counting request per parity; the tag IS the parity, so a
+			// neighbor running one iteration ahead cannot satisfy the
+			// current request. Slots identify the direction, so the
+			// notification itself needs no per-strip tag.
+			var reqs [2]*core.Request
+			if nNbr > 0 {
+				for par := 0; par < 2; par++ {
+					r := core.NotifyInit(win, core.AnySource, par, nNbr)
+					reqs[par] = r
+					defer r.Free()
+				}
+			}
+			exchange = func(iter int) {
+				parity := iter % 2
+				for d := 0; d < numDirs; d++ {
+					if g.nbr[d] < 0 {
+						continue
+					}
+					g.gatherStrip(d, g.sendBuf[d])
+					od := opposite(d)
+					core.PutNotify(win, g.nbr[d], slotOff(parity, od), encodeStrip(g.sendBuf[d]), parity)
+				}
+				if nNbr == 0 {
+					return
+				}
+				// One counting request covers all neighbors (the paper's
+				// bulk-notification optimization).
+				reqs[parity].Start()
+				reqs[parity].Wait()
+				for d := 0; d < numDirs; d++ {
+					if g.nbr[d] < 0 {
+						continue
+					}
+					strip := recv[:g.stripLen(d)]
+					decodeStrip(win.Buffer()[slotOff(parity, d):], strip)
+					g.scatterStrip(d, strip)
+				}
+			}
+		} else { // PSCW
+			exchange = func(iter int) {
+				parity := iter % 2
+				if nNbr == 0 {
+					return
+				}
+				win.Post(neighbors)
+				win.Start(neighbors)
+				for d := 0; d < numDirs; d++ {
+					if g.nbr[d] < 0 {
+						continue
+					}
+					g.gatherStrip(d, g.sendBuf[d])
+					od := opposite(d)
+					win.Put(g.nbr[d], slotOff(parity, od), encodeStrip(g.sendBuf[d]))
+				}
+				win.Complete()
+				win.Wait()
+				for d := 0; d < numDirs; d++ {
+					if g.nbr[d] < 0 {
+						continue
+					}
+					strip := recv[:g.stripLen(d)]
+					decodeStrip(win.Buffer()[slotOff(parity, d):], strip)
+					g.scatterStrip(d, strip)
+				}
+			}
+		}
+
+	default:
+		panic(fmt.Sprintf("halo: unknown variant %d", int(o.Variant)))
+	}
+
+	p.Barrier()
+	start := p.Now()
+	for iter := 0; iter < o.Iters; iter++ {
+		exchange(iter)
+		g.sweep()
+	}
+	elapsed := p.Now().Sub(start)
+	p.Barrier()
+
+	res := Result{Elapsed: elapsed, Checksum: g.checksum()}
+	// Validate this rank's block against the serial reference.
+	ref := Serial(o)
+	res.Valid = true
+	s := g.stride()
+	refStride := o.PX*o.BX + 2
+	for y := 1; y <= g.h; y++ {
+		for x := 1; x <= g.w; x++ {
+			gx := g.px*g.w + x
+			gy := g.py*g.h + y
+			if math.Abs(g.a[y*s+x]-ref[gy*refStride+gx]) > 1e-12 {
+				res.Valid = false
+			}
+		}
+	}
+	return res
+}
+
+// Serial computes the same Jacobi sweeps on one thread over the global
+// domain ((PX*BX+2) x (PY*BY+2) with zero boundary) and returns the grid.
+func Serial(o Options) []float64 {
+	o = o.withDefaults()
+	W, H := o.PX*o.BX, o.PY*o.BY
+	s := W + 2
+	a := make([]float64, s*(H+2))
+	b := make([]float64, s*(H+2))
+	for y := 1; y <= H; y++ {
+		for x := 1; x <= W; x++ {
+			a[y*s+x] = seed(x-1, y-1)
+		}
+	}
+	for it := 0; it < o.Iters; it++ {
+		for y := 1; y <= H; y++ {
+			for x := 1; x <= W; x++ {
+				b[y*s+x] = 0.25 * (a[y*s+x-1] + a[y*s+x+1] + a[(y-1)*s+x] + a[(y+1)*s+x])
+			}
+		}
+		a, b = b, a
+	}
+	return a
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

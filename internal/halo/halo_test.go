@@ -1,0 +1,145 @@
+package halo
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+func TestAllVariantsMatchSerial(t *testing.T) {
+	for _, mode := range []exec.Mode{exec.Sim, exec.Real} {
+		for _, v := range Variants {
+			v, mode := v, mode
+			t.Run(mode.String()+"/"+v.String(), func(t *testing.T) {
+				o := Options{PX: 3, PY: 2, BX: 5, BY: 4, Iters: 4, Variant: v}
+				err := runtime.Run(runtime.Options{Ranks: 6, Mode: mode}, func(p *runtime.Proc) {
+					res := Run(p, o)
+					if !res.Valid {
+						t.Errorf("rank %d: block diverges from serial reference", p.Rank())
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestGridShapes(t *testing.T) {
+	// 1xN and Nx1 grids (pure E/W or N/S pipelines) and a single rank.
+	for _, cfg := range []struct{ px, py, ranks int }{
+		{1, 1, 1}, {4, 1, 4}, {1, 4, 4}, {2, 2, 4},
+	} {
+		for _, v := range Variants {
+			o := Options{PX: cfg.px, PY: cfg.py, BX: 3, BY: 3, Iters: 3, Variant: v}
+			err := runtime.Run(runtime.Options{Ranks: cfg.ranks, Mode: exec.Sim}, func(p *runtime.Proc) {
+				res := Run(p, o)
+				if !res.Valid {
+					t.Errorf("grid %dx%d variant %v rank %d invalid", cfg.px, cfg.py, v, p.Rank())
+				}
+			})
+			if err != nil {
+				t.Fatalf("grid %dx%d variant %v: %v", cfg.px, cfg.py, v, err)
+			}
+		}
+	}
+}
+
+func TestProcessGridMismatchPanics(t *testing.T) {
+	err := runtime.Run(runtime.Options{Ranks: 4, Mode: exec.Sim}, func(p *runtime.Proc) {
+		Run(p, Options{PX: 3, PY: 2, BX: 2, BY: 2, Variant: MP})
+	})
+	if err == nil {
+		t.Fatal("expected process-grid mismatch panic")
+	}
+}
+
+func TestManyIterationsParityReuse(t *testing.T) {
+	// Many sweeps stress the parity double-buffering and per-parity
+	// counting requests of the NA variant.
+	o := Options{PX: 2, PY: 2, BX: 4, BY: 4, Iters: 21, Variant: NA}
+	err := runtime.Run(runtime.Options{Ranks: 4, Mode: exec.Sim}, func(p *runtime.Proc) {
+		res := Run(p, o)
+		if !res.Valid {
+			t.Errorf("rank %d invalid after %d iters", p.Rank(), o.Iters)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimNAFastest(t *testing.T) {
+	// Latency-bound halo exchange: NA < MP < PSCW per iteration.
+	times := map[Variant]simtime.Duration{}
+	for _, v := range Variants {
+		v := v
+		o := Options{PX: 4, PY: 4, BX: 8, BY: 8, Iters: 10, Variant: v}
+		err := runtime.Run(runtime.Options{Ranks: 16, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := Run(p, o)
+			if p.Rank() == 0 {
+				if !res.Valid {
+					t.Errorf("%v invalid", v)
+				}
+				times[v] = res.Elapsed
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !(times[NA] < times[MP]) {
+		t.Errorf("NA (%v) should beat MP (%v)", times[NA], times[MP])
+	}
+	if !(times[MP] < times[PSCW]) {
+		t.Errorf("MP (%v) should beat PSCW (%v)", times[MP], times[PSCW])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() simtime.Duration {
+		var d simtime.Duration
+		err := runtime.Run(runtime.Options{Ranks: 4, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := Run(p, Options{PX: 2, PY: 2, BX: 6, BY: 6, Iters: 5, Variant: NA})
+			if p.Rank() == 0 {
+				d = res.Elapsed
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSerialConservesNothingButIsStable(t *testing.T) {
+	// Smoke property of the reference: repeated averaging shrinks the max.
+	o := Options{PX: 1, PY: 1, BX: 8, BY: 8, Iters: 1}
+	one := Serial(o)
+	o.Iters = 10
+	ten := Serial(o)
+	maxAbs := func(a []float64) float64 {
+		m := 0.0
+		for _, v := range a {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if !(maxAbs(ten) < maxAbs(one)) {
+		t.Errorf("Jacobi with zero boundary should decay: %v vs %v", maxAbs(ten), maxAbs(one))
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if MP.String() != "mp" || PSCW.String() != "pscw" || NA.String() != "na" {
+		t.Fatal("names")
+	}
+}

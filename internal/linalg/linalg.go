@@ -1,0 +1,271 @@
+// Package linalg supplies the dense kernels the task-based Cholesky
+// factorization (paper §VI-C) is built from — DPOTRF, DTRSM, DSYRK, DGEMM
+// on square column-major tiles — plus a full-matrix reference factorization
+// and an SPD test-matrix generator for validation.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tile is a square b×b column-major block of float64s: element (i,j) is
+// Data[i+j*B].
+type Tile struct {
+	B    int
+	Data []float64
+}
+
+// NewTile returns a zeroed b×b tile.
+func NewTile(b int) *Tile {
+	return &Tile{B: b, Data: make([]float64, b*b)}
+}
+
+// At returns element (i, j).
+func (t *Tile) At(i, j int) float64 { return t.Data[i+j*t.B] }
+
+// Set assigns element (i, j).
+func (t *Tile) Set(i, j int, v float64) { t.Data[i+j*t.B] = v }
+
+// Clone returns a deep copy.
+func (t *Tile) Clone() *Tile {
+	c := NewTile(t.B)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Bytes returns the tile's footprint in bytes (the paper's 8 KB transfers
+// are 32×32 tiles).
+func (t *Tile) Bytes() int { return 8 * len(t.Data) }
+
+// Potrf factors the tile in place as its lower-triangular Cholesky factor
+// (DPOTRF, lower). The strictly upper triangle is zeroed. It returns an
+// error if the tile is not positive definite.
+func Potrf(a *Tile) error {
+	b := a.B
+	for j := 0; j < b; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= a.At(j, k) * a.At(j, k)
+		}
+		if d <= 0 {
+			return fmt.Errorf("linalg: Potrf: not positive definite at column %d (pivot %g)", j, d)
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < b; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s/d)
+		}
+	}
+	// Zero the upper triangle so tiles compare cleanly.
+	for j := 1; j < b; j++ {
+		for i := 0; i < j; i++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// Trsm solves X * L^T = B in place over tile b, where l is the lower
+// Cholesky factor of the diagonal tile (DTRSM, right, lower, transposed):
+// b <- b * l^{-T}.
+func Trsm(l, b *Tile) {
+	n := b.B
+	for j := 0; j < n; j++ {
+		ljj := l.At(j, j)
+		for i := 0; i < n; i++ {
+			s := b.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= b.At(i, k) * l.At(j, k)
+			}
+			b.Set(i, j, s/ljj)
+		}
+	}
+}
+
+// Syrk applies the symmetric rank-b update C <- C - A*A^T to the lower
+// triangle of c (DSYRK, lower, no-transpose).
+func Syrk(c, a *Tile) {
+	n := c.B
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			s := c.At(i, j)
+			for k := 0; k < n; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			c.Set(i, j, s)
+		}
+	}
+}
+
+// Gemm applies C <- C - A*B^T (DGEMM, no-transpose × transpose), the
+// off-diagonal trailing update of the tiled factorization.
+func Gemm(c, a, b *Tile) {
+	n := c.B
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			s := c.At(i, j)
+			for k := 0; k < n; k++ {
+				s -= a.At(i, k) * b.At(j, k)
+			}
+			c.Set(i, j, s)
+		}
+	}
+}
+
+// Matrix is a dense column-major n×n matrix.
+type Matrix struct {
+	N    int
+	Data []float64
+}
+
+// NewMatrix returns a zeroed n×n matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i+j*m.N] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i+j*m.N] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// SPD generates a deterministic, well-conditioned symmetric positive
+// definite n×n matrix: A = R^T R + n*I with R uniform in [0,1).
+func SPD(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	r := NewMatrix(n)
+	for i := range r.Data {
+		r.Data[i] = rng.Float64()
+	}
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += r.At(k, i) * r.At(k, j)
+			}
+			if i == j {
+				s += float64(n)
+			}
+			a.Set(i, j, s)
+			a.Set(j, i, s)
+		}
+	}
+	return a
+}
+
+// ReferenceCholesky returns the lower Cholesky factor of a (non-tiled,
+// textbook algorithm) for validating the distributed versions.
+func ReferenceCholesky(a *Matrix) (*Matrix, error) {
+	n := a.N
+	l := NewMatrix(n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("linalg: ReferenceCholesky: not positive definite at %d", j)
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}
+
+// ExtractTile copies tile (ti, tj) of a b-tiled matrix.
+func ExtractTile(m *Matrix, b, ti, tj int) *Tile {
+	t := NewTile(b)
+	for j := 0; j < b; j++ {
+		for i := 0; i < b; i++ {
+			t.Set(i, j, m.At(ti*b+i, tj*b+j))
+		}
+	}
+	return t
+}
+
+// MaxAbsDiff returns the largest elementwise |x - y| over the lower
+// triangles of two same-size matrices.
+func MaxAbsDiff(x, y *Matrix) float64 {
+	worst := 0.0
+	for j := 0; j < x.N; j++ {
+		for i := j; i < x.N; i++ {
+			d := math.Abs(x.At(i, j) - y.At(i, j))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TileMaxAbsDiff returns the largest elementwise |x - y| over two tiles.
+func TileMaxAbsDiff(x, y *Tile) float64 {
+	worst := 0.0
+	for k := range x.Data {
+		d := math.Abs(x.Data[k] - y.Data[k])
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TiledCholesky factors a b-tiled SPD matrix serially using the four tile
+// kernels (the reference for the distributed task versions): it returns
+// the T×T grid of factor tiles, where T = n/b.
+func TiledCholesky(a *Matrix, b int) ([][]*Tile, error) {
+	if a.N%b != 0 {
+		return nil, fmt.Errorf("linalg: TiledCholesky: n=%d not divisible by b=%d", a.N, b)
+	}
+	T := a.N / b
+	tiles := make([][]*Tile, T)
+	for i := range tiles {
+		tiles[i] = make([]*Tile, T)
+		for j := 0; j <= i; j++ {
+			tiles[i][j] = ExtractTile(a, b, i, j)
+		}
+	}
+	for j := 0; j < T; j++ {
+		for k := 0; k < j; k++ {
+			Syrk(tiles[j][j], tiles[j][k])
+		}
+		if err := Potrf(tiles[j][j]); err != nil {
+			return nil, err
+		}
+		for i := j + 1; i < T; i++ {
+			for k := 0; k < j; k++ {
+				Gemm(tiles[i][j], tiles[i][k], tiles[j][k])
+			}
+			Trsm(tiles[j][j], tiles[i][j])
+		}
+	}
+	return tiles, nil
+}
+
+// CholeskyFlops returns the floating-point operation count of an n×n real
+// Cholesky factorization, n³/3 + n²/2 + n/6.
+func CholeskyFlops(n int) float64 {
+	nf := float64(n)
+	return nf*nf*nf/3 + nf*nf/2 + nf/6
+}

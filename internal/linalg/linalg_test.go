@@ -1,0 +1,256 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func TestPotrfKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]]
+	a := NewTile(2)
+	a.Set(0, 0, 4)
+	a.Set(1, 0, 2)
+	a.Set(0, 1, 2)
+	a.Set(1, 1, 3)
+	if err := Potrf(a); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.At(0, 0)-2) > tol || math.Abs(a.At(1, 0)-1) > tol ||
+		math.Abs(a.At(1, 1)-math.Sqrt2) > tol || a.At(0, 1) != 0 {
+		t.Fatalf("L = %v", a.Data)
+	}
+}
+
+func TestPotrfRejectsIndefinite(t *testing.T) {
+	a := NewTile(2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -5)
+	if err := Potrf(a); err == nil {
+		t.Fatal("expected error for indefinite tile")
+	}
+}
+
+func TestPotrfMatchesReference(t *testing.T) {
+	n := 16
+	m := SPD(n, 7)
+	want, err := ReferenceCholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile := ExtractTile(m, n, 0, 0)
+	if err := Potrf(tile); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if math.Abs(tile.At(i, j)-want.At(i, j)) > tol {
+				t.Fatalf("(%d,%d): %v vs %v", i, j, tile.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestReferenceCholeskyReconstructs(t *testing.T) {
+	n := 24
+	a := SPD(n, 3)
+	l, err := ReferenceCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L L^T must equal A.
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for k := 0; k <= j; k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			if math.Abs(s-a.At(i, j)) > 1e-8 {
+				t.Fatalf("reconstruction (%d,%d): %v vs %v", i, j, s, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTiledCholeskyMatchesReference(t *testing.T) {
+	for _, cfg := range []struct{ n, b int }{{8, 4}, {32, 8}, {64, 16}, {96, 32}} {
+		a := SPD(cfg.n, int64(cfg.n))
+		want, err := ReferenceCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tiles, err := TiledCholesky(a, cfg.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		T := cfg.n / cfg.b
+		for ti := 0; ti < T; ti++ {
+			for tj := 0; tj <= ti; tj++ {
+				ref := ExtractTile(want, cfg.b, ti, tj)
+				if ti == tj {
+					// Reference upper triangle of diagonal blocks is zero
+					// in `want` already (NewMatrix zeroed + algorithm).
+				}
+				if d := TileMaxAbsDiff(tiles[ti][tj], ref); d > 1e-8 {
+					t.Fatalf("n=%d b=%d tile (%d,%d): max diff %g", cfg.n, cfg.b, ti, tj, d)
+				}
+			}
+		}
+	}
+}
+
+func TestTiledCholeskyBadTileSize(t *testing.T) {
+	if _, err := TiledCholesky(SPD(10, 1), 4); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+}
+
+func TestKernelsComposeLikeFullFactorization(t *testing.T) {
+	// Drive the four kernels exactly as the distributed version does and
+	// compare tile by tile: validates Trsm/Syrk/Gemm conventions.
+	n, b := 48, 12
+	a := SPD(n, 99)
+	want, _ := ReferenceCholesky(a)
+	T := n / b
+	// Simulate "one rank per tile row".
+	rows := make([][]*Tile, T)
+	for i := 0; i < T; i++ {
+		rows[i] = make([]*Tile, T)
+		for j := 0; j <= i; j++ {
+			rows[i][j] = ExtractTile(a, b, i, j)
+		}
+	}
+	factored := make([][]*Tile, T) // broadcast store
+	for i := range factored {
+		factored[i] = make([]*Tile, T)
+	}
+	for r := 0; r < T; r++ {
+		for j := 0; j < r; j++ {
+			for k := 0; k < j; k++ {
+				Gemm(rows[r][j], rows[r][k], factored[j][k])
+			}
+			Trsm(factored[j][j], rows[r][j])
+		}
+		for k := 0; k < r; k++ {
+			Syrk(rows[r][r], rows[r][k])
+		}
+		if err := Potrf(rows[r][r]); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j <= r; j++ {
+			factored[r][j] = rows[r][j]
+		}
+	}
+	for i := 0; i < T; i++ {
+		for j := 0; j <= i; j++ {
+			ref := ExtractTile(want, b, i, j)
+			if d := TileMaxAbsDiff(factored[i][j], ref); d > 1e-8 {
+				t.Fatalf("tile (%d,%d): diff %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestSPDDeterministic(t *testing.T) {
+	a := SPD(8, 42)
+	b := SPD(8, 42)
+	for k := range a.Data {
+		if a.Data[k] != b.Data[k] {
+			t.Fatal("SPD not deterministic")
+		}
+	}
+	c := SPD(8, 43)
+	same := true
+	for k := range a.Data {
+		if a.Data[k] != c.Data[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestSPDIsSymmetric(t *testing.T) {
+	a := SPD(12, 5)
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if a.At(i, j) != a.At(j, i) {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// Property: SPD matrices of random small sizes/seeds always factor, and the
+// factor reconstructs the input.
+func TestSPDAlwaysFactorsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%14
+		a := SPD(n, seed)
+		l, err := ReferenceCholesky(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				s := 0.0
+				for k := 0; k <= j; k++ {
+					s += l.At(i, k) * l.At(j, k)
+				}
+				if math.Abs(s-a.At(i, j)) > 1e-7*float64(n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("At/Set")
+	}
+	c := m.Clone()
+	c.Set(1, 2, 6)
+	if m.At(1, 2) != 5 {
+		t.Fatal("Clone aliases")
+	}
+	tl := NewTile(2)
+	tl.Set(0, 1, 3)
+	tc := tl.Clone()
+	tc.Set(0, 1, 4)
+	if tl.At(0, 1) != 3 {
+		t.Fatal("Tile Clone aliases")
+	}
+	if tl.Bytes() != 32 {
+		t.Fatalf("Bytes = %d", tl.Bytes())
+	}
+}
+
+func TestCholeskyFlops(t *testing.T) {
+	if f := CholeskyFlops(1); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("flops(1) = %v", f)
+	}
+	// Leading term dominates for large n.
+	if f := CholeskyFlops(1000); math.Abs(f/(1e9/3)-1) > 0.01 {
+		t.Fatalf("flops(1000) = %v", f)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewMatrix(2)
+	b := NewMatrix(2)
+	b.Set(1, 0, 0.5)
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Fatalf("diff = %v", d)
+	}
+}

@@ -1,0 +1,196 @@
+// Package loggp implements the LogGP network cost model (Alexandrov et al.,
+// SPAA'95) used to parameterize the simulated fabric, plus least-squares
+// fitting of L and G from measured (size, latency) samples so Table I of the
+// paper can be regenerated from benchmark output rather than echoed.
+//
+// Model: the time for a message of s bytes between two nodes is
+//
+//	T(s) = o_s + L + G*(s-1) + o_r
+//
+// where o_s/o_r are the CPU send/receive overheads, L the wire latency and G
+// the per-byte gap. We fold (s-1) to s for simplicity (sub-nanosecond
+// difference at any realistic size). The per-message gap g bounds injection
+// rate for back-to-back messages.
+package loggp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// Transport identifies a transfer mechanism with its own L/G parameters.
+type Transport int
+
+const (
+	// SHM is the intra-node XPMEM-style shared-memory transport.
+	SHM Transport = iota
+	// FMA is Cray Fast Memory Access: low-latency small transfers.
+	FMA
+	// BTE is the Block Transfer Engine: offloaded large transfers.
+	BTE
+)
+
+func (t Transport) String() string {
+	switch t {
+	case SHM:
+		return "shm"
+	case FMA:
+		return "fma"
+	case BTE:
+		return "bte"
+	}
+	return fmt.Sprintf("transport(%d)", int(t))
+}
+
+// Params holds LogGP parameters for one transport.
+type Params struct {
+	L simtime.Duration // zero-byte wire latency
+	O simtime.Duration // per-message injection overhead at the NIC (g)
+	G float64          // per-byte cost, nanoseconds per byte
+}
+
+// Time returns the wire time for a message of size bytes: L + G*size.
+// Software overheads (o_s, o_r) are charged separately by the layers that
+// incur them.
+func (p Params) Time(size int) simtime.Duration {
+	return p.L + simtime.Duration(math.Round(p.G*float64(size)))
+}
+
+// Model aggregates the per-transport parameters and the software overhead
+// constants measured in the paper (§V-A), and the protocol thresholds.
+type Model struct {
+	// Per-transport wire parameters (Table I).
+	SHM, FMA, BTE Params
+
+	// FMABTECrossover is the message size (bytes) at and above which the
+	// BTE engine is used instead of FMA for inter-node transfers.
+	FMABTECrossover int
+
+	// Software overheads (paper §V-A performance model).
+	TInit  simtime.Duration // MPI_Notify_init
+	TFree  simtime.Duration // MPI_Request_free
+	TStart simtime.Duration // MPI_Start (reset matched counter)
+	OSend  simtime.Duration // o_s: issuing a put/get (notified or not)
+	ORecv  simtime.Duration // o_r: receiving/matching one notification
+
+	// Host memory copy cost (eager-protocol receive copy, shm memcpy),
+	// nanoseconds per byte. The paper attributes MP's small-message
+	// disadvantage to this copy.
+	CopyPerByte float64
+
+	// TMatchScan is the cost of scanning one non-matching unexpected-queue
+	// entry during matching.
+	TMatchScan simtime.Duration
+
+	// MPSendExtra and MPRecvExtra are the additional software overheads of
+	// the message-passing library beyond the raw RDMA path (envelope
+	// construction, matching bookkeeping, bounce-buffer management) — the
+	// costs the paper cites to explain why eager message passing trails
+	// Notified Access on small transfers.
+	MPSendExtra simtime.Duration
+	MPRecvExtra simtime.Duration
+
+	// TAtomic is the target-side execution cost of one remote atomic.
+	TAtomic simtime.Duration
+}
+
+// DefaultCrayXC30 returns the model populated with the constants the paper
+// measured on Piz Daint (Cray XC30, Aries): Table I and §V-A.
+func DefaultCrayXC30() Model {
+	return Model{
+		SHM: Params{L: simtime.FromMicros(0.25), O: 10, G: 0.08},
+		FMA: Params{L: simtime.FromMicros(1.02), O: 25, G: 0.105},
+		BTE: Params{L: simtime.FromMicros(1.32), O: 25, G: 0.101},
+
+		FMABTECrossover: 4096,
+
+		TInit:  simtime.FromMicros(0.07),
+		TFree:  simtime.FromMicros(0.04),
+		TStart: simtime.FromMicros(0.008),
+		OSend:  simtime.FromMicros(0.29),
+		ORecv:  simtime.FromMicros(0.07),
+
+		CopyPerByte: 0.08, // matches SHM G: one memory-bandwidth-bound copy
+		TMatchScan:  5,
+		TAtomic:     30,
+
+		MPSendExtra: simtime.FromMicros(0.15),
+		MPRecvExtra: simtime.FromMicros(0.25),
+	}
+}
+
+// Inter returns the wire parameters for an inter-node transfer of the given
+// size, applying the FMA/BTE crossover.
+func (m Model) Inter(size int) Params {
+	if size >= m.FMABTECrossover {
+		return m.BTE
+	}
+	return m.FMA
+}
+
+// Select returns the parameters for the given transport.
+func (m Model) Select(t Transport) Params {
+	switch t {
+	case SHM:
+		return m.SHM
+	case BTE:
+		return m.BTE
+	default:
+		return m.FMA
+	}
+}
+
+// CopyTime returns the host memcpy cost for size bytes.
+func (m Model) CopyTime(size int) simtime.Duration {
+	return simtime.Duration(math.Round(m.CopyPerByte * float64(size)))
+}
+
+// Sample is one measured (size, latency) observation.
+type Sample struct {
+	Size    int
+	Latency simtime.Duration
+}
+
+// Fit performs an ordinary least-squares fit of Latency = L + G*Size over
+// the samples and returns the estimated parameters. It returns an error if
+// fewer than two distinct sizes are present (the system is underdetermined).
+func Fit(samples []Sample) (Params, error) {
+	if len(samples) < 2 {
+		return Params{}, fmt.Errorf("loggp: need >= 2 samples, got %d", len(samples))
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(samples))
+	distinct := map[int]bool{}
+	for _, s := range samples {
+		x := float64(s.Size)
+		y := float64(s.Latency)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		distinct[s.Size] = true
+	}
+	if len(distinct) < 2 {
+		return Params{}, fmt.Errorf("loggp: need >= 2 distinct sizes")
+	}
+	den := n*sxx - sx*sx
+	g := (n*sxy - sx*sy) / den
+	l := (sy - g*sx) / n
+	return Params{L: simtime.Duration(math.Round(l)), G: g}, nil
+}
+
+// FitResidual returns the maximum absolute residual of the fit over the
+// samples, in nanoseconds — a goodness-of-fit check used by tests.
+func FitResidual(p Params, samples []Sample) float64 {
+	var worst float64
+	for _, s := range samples {
+		pred := float64(p.L) + p.G*float64(s.Size)
+		r := math.Abs(pred - float64(s.Latency))
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

@@ -1,0 +1,173 @@
+package loggp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestDefaultModelMatchesTableI(t *testing.T) {
+	m := DefaultCrayXC30()
+	if m.SHM.L != 250 {
+		t.Errorf("SHM L = %v, want 0.25us", m.SHM.L)
+	}
+	if m.FMA.L != 1020 {
+		t.Errorf("FMA L = %v, want 1.02us", m.FMA.L)
+	}
+	if m.BTE.L != 1320 {
+		t.Errorf("BTE L = %v, want 1.32us", m.BTE.L)
+	}
+	if m.SHM.G != 0.08 || m.FMA.G != 0.105 || m.BTE.G != 0.101 {
+		t.Errorf("G values: %v %v %v", m.SHM.G, m.FMA.G, m.BTE.G)
+	}
+	if m.OSend != 290 || m.ORecv != 70 || m.TInit != 70 || m.TFree != 40 || m.TStart != 8 {
+		t.Errorf("overheads: os=%v or=%v init=%v free=%v start=%v",
+			m.OSend, m.ORecv, m.TInit, m.TFree, m.TStart)
+	}
+}
+
+func TestParamsTime(t *testing.T) {
+	p := Params{L: 1000, G: 0.1}
+	if got := p.Time(0); got != 1000 {
+		t.Errorf("Time(0) = %v", got)
+	}
+	if got := p.Time(10000); got != 2000 {
+		t.Errorf("Time(10000) = %v", got)
+	}
+}
+
+func TestInterCrossover(t *testing.T) {
+	m := DefaultCrayXC30()
+	if m.Inter(8) != m.FMA {
+		t.Error("small message should use FMA")
+	}
+	if m.Inter(m.FMABTECrossover-1) != m.FMA {
+		t.Error("just below crossover should use FMA")
+	}
+	if m.Inter(m.FMABTECrossover) != m.BTE {
+		t.Error("at crossover should use BTE")
+	}
+	if m.Inter(1<<20) != m.BTE {
+		t.Error("large message should use BTE")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	m := DefaultCrayXC30()
+	if m.Select(SHM) != m.SHM || m.Select(FMA) != m.FMA || m.Select(BTE) != m.BTE {
+		t.Fatal("Select mismatch")
+	}
+}
+
+func TestTransportString(t *testing.T) {
+	if SHM.String() != "shm" || FMA.String() != "fma" || BTE.String() != "bte" {
+		t.Fatal("Transport.String")
+	}
+	if Transport(9).String() == "" {
+		t.Fatal("unknown transport should still stringify")
+	}
+}
+
+func TestCopyTime(t *testing.T) {
+	m := DefaultCrayXC30()
+	if got := m.CopyTime(1000); got != simtime.Duration(80) {
+		t.Errorf("CopyTime(1000) = %v", got)
+	}
+	if got := m.CopyTime(0); got != 0 {
+		t.Errorf("CopyTime(0) = %v", got)
+	}
+}
+
+func TestFitRecoversKnownParameters(t *testing.T) {
+	// Generate exact samples from known parameters; the fit must recover
+	// them (this is exactly how the Table I harness works).
+	truth := Params{L: 1020, G: 0.105}
+	var samples []Sample
+	for size := 8; size <= 1<<19; size *= 2 {
+		samples = append(samples, Sample{Size: size, Latency: truth.Time(size)})
+	}
+	got, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(got.L-truth.L)) > 2 {
+		t.Errorf("fitted L = %v, want %v", got.L, truth.L)
+	}
+	if math.Abs(got.G-truth.G) > 1e-4 {
+		t.Errorf("fitted G = %v, want %v", got.G, truth.G)
+	}
+	if r := FitResidual(got, samples); r > 2 {
+		t.Errorf("residual %v too large", r)
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	truth := Params{L: 250, G: 0.08}
+	var samples []Sample
+	for size := 64; size <= 1<<20; size *= 2 {
+		noise := simtime.Duration(rng.Intn(21) - 10)
+		samples = append(samples, Sample{Size: size, Latency: truth.Time(size) + noise})
+	}
+	got, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.G-truth.G) > 1e-3 {
+		t.Errorf("fitted G = %v, want %v", got.G, truth.G)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Error("Fit(nil) should fail")
+	}
+	if _, err := Fit([]Sample{{Size: 8, Latency: 100}}); err == nil {
+		t.Error("Fit with one sample should fail")
+	}
+	same := []Sample{{Size: 8, Latency: 100}, {Size: 8, Latency: 110}}
+	if _, err := Fit(same); err == nil {
+		t.Error("Fit with one distinct size should fail")
+	}
+}
+
+// Property: fitting exact linear data recovers parameters for arbitrary
+// positive L and G.
+func TestFitProperty(t *testing.T) {
+	f := func(lRaw uint16, gRaw uint16) bool {
+		truth := Params{
+			L: simtime.Duration(100 + int(lRaw)%5000),
+			G: 0.01 + float64(gRaw%1000)/1000.0,
+		}
+		var samples []Sample
+		for size := 1; size <= 1<<16; size *= 4 {
+			samples = append(samples, Sample{Size: size, Latency: truth.Time(size)})
+		}
+		got, err := Fit(samples)
+		if err != nil {
+			return false
+		}
+		return math.Abs(float64(got.L-truth.L)) <= 2 && math.Abs(got.G-truth.G) <= 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Time is monotone in size.
+func TestTimeMonotoneProperty(t *testing.T) {
+	m := DefaultCrayXC30()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.Inter(x).Time(x) <= m.Inter(y).Time(y)+m.BTE.L
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

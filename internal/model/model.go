@@ -1,0 +1,98 @@
+// Package model is the paper's §V-A analytic performance model: closed-form
+// LogGP predictions for each communication scheme's latency. The `model`
+// experiment validates the simulator against these predictions (and tests
+// assert agreement within a few percent), closing the loop the paper draws
+// between its microbenchmarks and its model.
+package model
+
+import (
+	"repro/internal/loggp"
+	"repro/internal/simtime"
+)
+
+// wire returns the one-way wire time for an inter-node (or intra-node)
+// transfer of size bytes.
+func wire(m loggp.Model, size int, shm bool) simtime.Duration {
+	if shm {
+		return m.SHM.Time(size)
+	}
+	return m.Inter(size).Time(size)
+}
+
+// smallWire is the wire time of a zero-byte control packet.
+func smallWire(m loggp.Model, shm bool) simtime.Duration {
+	if shm {
+		return m.SHM.L
+	}
+	return m.FMA.L
+}
+
+// NAPutLatency predicts the notified-put half-latency: the time from the
+// origin's call until the target's Wait returns —
+//
+//	t = o_s + L + G·s + o_r + t_match
+//
+// (the paper's o_s + L + G·s + o_r with one matching step).
+func NAPutLatency(m loggp.Model, size int, shm bool) simtime.Duration {
+	return m.OSend + wire(m, size, shm) + m.ORecv + m.TMatchScan
+}
+
+// NAGetLatency predicts the notified-get completion at the origin: request
+// leg (small) plus the data return —
+//
+//	t = o_s + L_req + L + G·s
+func NAGetLatency(m loggp.Model, size int, shm bool) simtime.Duration {
+	return m.OSend + smallWire(m, shm) + wire(m, size, shm)
+}
+
+// MPEagerLatency predicts the eager send/recv one-way latency: envelope
+// software on both sides plus the bounce-buffer copy —
+//
+//	t = (o_s + mp_s) + L + G·(s+hdr) + (o_r + mp_r) + copy(s) + t_match
+func MPEagerLatency(m loggp.Model, size int, shm bool) simtime.Duration {
+	const hdr = 16
+	return m.MPSendExtra + m.OSend + wire(m, size+hdr, shm) +
+		m.ORecv + m.MPRecvExtra + m.CopyTime(size) + m.TMatchScan
+}
+
+// MPRendezvousLatency predicts the rendezvous one-way latency: RTS and CTS
+// control legs plus the zero-copy payload —
+//
+//	t = send_sw + L_rts + recv_sw(match) + o_s + L_cts + recv_sw + o_s + L + G·(s+hdr) + recv_sw
+func MPRendezvousLatency(m loggp.Model, size int, shm bool) simtime.Duration {
+	const hdr = 16
+	ctrl := wire(m, hdr, shm)
+	recvSW := m.ORecv + m.MPRecvExtra
+	return m.MPSendExtra + m.OSend + ctrl + // RTS
+		recvSW + m.TMatchScan + m.OSend + ctrl + // match + CTS
+		recvSW + m.OSend + wire(m, size+hdr, shm) + // CTS handled + DATA
+		recvSW // DATA handled into the posted buffer
+}
+
+// MPLatency dispatches on the eager threshold.
+func MPLatency(m loggp.Model, size, eagerThreshold int, shm bool) simtime.Duration {
+	if size <= eagerThreshold {
+		return MPEagerLatency(m, size, shm)
+	}
+	return MPRendezvousLatency(m, size, shm)
+}
+
+// PSCWPutLatency predicts the general-active-target producer-consumer
+// half-latency (post, data, ack wait inside complete, completion message):
+//
+//	t = o_s(post) + L_post + [o_s + L + G·s + L_ack] + o_s + L_complete
+//
+// The post leg is pipelined in steady state (pre-posted), so the critical
+// path is the put with its remote-completion ack plus the completion
+// control message.
+func PSCWPutLatency(m loggp.Model, size int, shm bool) simtime.Duration {
+	const hdr = 16
+	return m.OSend + wire(m, size, shm) + smallWire(m, shm) + // put + ack (flush in Complete)
+		m.OSend + wire(m, hdr, shm) // completion message
+}
+
+// UnsyncLatency is the illegal busy-wait lower bound: o_s + L + G·s plus
+// half a poll interval on average (poll not modeled here).
+func UnsyncLatency(m loggp.Model, size int, shm bool) simtime.Duration {
+	return m.OSend + wire(m, size, shm)
+}

@@ -1,0 +1,36 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/loggp"
+)
+
+// TestModelOrderings: the closed forms themselves must encode the paper's
+// claims (independent of the simulator).
+func TestModelOrderings(t *testing.T) {
+	m := loggp.DefaultCrayXC30()
+	for _, size := range []int{8, 256, 4096} {
+		na := NAPutLatency(m, size, false)
+		mp := MPEagerLatency(m, size, false)
+		ps := PSCWPutLatency(m, size, false)
+		if !(na < mp && mp < ps) {
+			t.Errorf("size %d: model ordering broken: na=%v mp=%v pscw=%v", size, na, mp, ps)
+		}
+		if float64(na) > 0.5*float64(ps) {
+			t.Errorf("size %d: model NA (%v) not < 50%% of PSCW (%v)", size, na, ps)
+		}
+	}
+	if !(MPRendezvousLatency(m, 8192, false) > MPEagerLatency(m, 8192, false)) {
+		t.Error("rendezvous should exceed eager at the threshold")
+	}
+	if !(NAGetLatency(m, 8, false) > MPEagerLatency(m, 8, false)) {
+		t.Error("MP should beat notified get at 8B (paper Fig 3b)")
+	}
+	if !(NAPutLatency(m, 64, true) < NAPutLatency(m, 64, false)) {
+		t.Error("intra-node should beat inter-node")
+	}
+	if UnsyncLatency(m, 8, false) >= NAPutLatency(m, 8, false) {
+		t.Error("unsync must lower-bound NA")
+	}
+}

@@ -1,0 +1,178 @@
+package mp
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/runtime"
+)
+
+// TestMatchingEquivalentToReferenceModel drives random send/recv schedules
+// through the mp layer and checks every delivery against a sequential
+// reference matcher implementing MPI semantics (arrival order per pair,
+// posted order, wildcards).
+func TestMatchingEquivalentToReferenceModel(t *testing.T) {
+	type msg struct {
+		tag  int
+		size int
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nMsgs := 3 + rng.Intn(10)
+		msgs := make([]msg, nMsgs)
+		for i := range msgs {
+			msgs[i] = msg{tag: rng.Intn(3), size: 1 + rng.Intn(16000)}
+		}
+		// Receives: random (tag-or-wildcard) sequence covering all sends.
+		recvs := make([]int, nMsgs) // tag or -1
+		perm := rng.Perm(nMsgs)
+		for i := range recvs {
+			if rng.Intn(2) == 0 {
+				recvs[i] = AnyTag
+			} else {
+				recvs[i] = msgs[perm[i]].tag
+			}
+		}
+		// Reference: messages arrive in send order (single pair, FIFO);
+		// each receive takes the oldest arrival matching its tag.
+		type ref struct {
+			idx  int
+			used bool
+		}
+		queue := make([]ref, nMsgs)
+		for i := range queue {
+			queue[i] = ref{idx: i}
+		}
+		want := make([]int, len(recvs)) // message index matched by recv i
+		feasible := true
+		for i, tag := range recvs {
+			found := -1
+			for qi := range queue {
+				if queue[qi].used {
+					continue
+				}
+				m := msgs[queue[qi].idx]
+				if tag == AnyTag || tag == m.tag {
+					found = qi
+					break
+				}
+			}
+			if found < 0 {
+				feasible = false
+				break
+			}
+			queue[found].used = true
+			want[i] = queue[found].idx
+		}
+		if !feasible {
+			return true // skip infeasible schedules (recv would block forever)
+		}
+
+		var got []int
+		err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Sim}, func(p *runtime.Proc) {
+			c := New(p)
+			if p.Rank() == 0 {
+				// Isend: a blocking rendezvous send would deadlock against
+				// the receiver parked in the barrier.
+				var reqs []*SendReq
+				for i, m := range msgs {
+					payload := bytes.Repeat([]byte{byte(i)}, m.size)
+					reqs = append(reqs, c.Isend(1, m.tag, payload))
+				}
+				p.Barrier()
+				for _, r := range reqs {
+					c.WaitSend(r)
+				}
+			} else {
+				// Drain sends first so arrival order is fixed (the
+				// reference assumes all messages arrived).
+				p.Barrier()
+				for _, tag := range recvs {
+					buf := make([]byte, 16000)
+					st := c.Recv(buf, 0, tag)
+					got = append(got, int(buf[0]))
+					if st.Count != msgs[buf[0]].size {
+						t.Errorf("size mismatch for msg %d", buf[0])
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("seed %d: recv %d matched msg %d, reference %d", seed, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRendezvousProtocolOrder uses the fabric trace to assert the RTS →
+// CTS → DATA sequence of the rendezvous protocol (paper Fig 2b).
+func TestRendezvousProtocolOrder(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	opts := runtime.Options{Ranks: 2, Mode: exec.Sim, Trace: func(ev fabric.TraceEvent) {
+		if ev.Kind == "ctrl" || ev.Kind == "data" {
+			mu.Lock()
+			order = append(order, ev.Kind)
+			mu.Unlock()
+		}
+	}}
+	err := runtime.Run(opts, func(p *runtime.Proc) {
+		c := New(p)
+		const size = 64 * 1024
+		if p.Rank() == 0 {
+			c.Send(1, 1, make([]byte, size))
+		} else {
+			c.Recv(make([]byte, size), 0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "ctrl" || order[1] != "ctrl" || order[2] != "data" {
+		t.Fatalf("rendezvous delivery order = %v, want [ctrl ctrl data]", order)
+	}
+}
+
+// TestEagerDeliveredAsSingleDataPacket asserts the eager path's single
+// transaction via the trace.
+func TestEagerDeliveredAsSingleDataPacket(t *testing.T) {
+	var mu sync.Mutex
+	count := map[string]int{}
+	opts := runtime.Options{Ranks: 2, Mode: exec.Sim, Trace: func(ev fabric.TraceEvent) {
+		mu.Lock()
+		count[ev.Kind]++
+		mu.Unlock()
+	}}
+	err := runtime.Run(opts, func(p *runtime.Proc) {
+		c := New(p)
+		if p.Rank() == 0 {
+			c.Send(1, 1, make([]byte, 100))
+		} else {
+			c.Recv(make([]byte, 100), 0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count["data"] != 1 || count["ctrl"] != 0 || count["ack"] != 0 {
+		t.Fatalf("eager packet counts = %v, want exactly one data", count)
+	}
+}

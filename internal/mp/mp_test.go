@@ -1,0 +1,499 @@
+package mp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+func runBoth(t *testing.T, ranks int, opts func(*runtime.Options), body func(p *runtime.Proc, c *Comm)) {
+	t.Helper()
+	for _, mode := range []exec.Mode{exec.Sim, exec.Real} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			o := runtime.Options{Ranks: ranks, Mode: mode}
+			if opts != nil {
+				opts(&o)
+			}
+			if err := runtime.Run(o, func(p *runtime.Proc) { body(p, New(p)) }); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func fill(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i*7)
+	}
+	return b
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		msg := fill(100, 3)
+		if p.Rank() == 0 {
+			c.Send(1, 42, msg)
+		} else {
+			buf := make([]byte, 100)
+			st := c.Recv(buf, 0, 42)
+			if st.Source != 0 || st.Tag != 42 || st.Count != 100 {
+				t.Errorf("status %+v", st)
+			}
+			if !bytes.Equal(buf, msg) {
+				t.Error("payload mismatch")
+			}
+		}
+	})
+}
+
+func TestRendezvousSendRecv(t *testing.T) {
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		const size = 64 * 1024 // above the 8 KB eager threshold
+		msg := fill(size, 9)
+		if p.Rank() == 0 {
+			c.Send(1, 7, msg)
+		} else {
+			buf := make([]byte, size)
+			st := c.Recv(buf, 0, 7)
+			if st.Count != size {
+				t.Errorf("count %d", st.Count)
+			}
+			if !bytes.Equal(buf, msg) {
+				t.Error("payload mismatch")
+			}
+		}
+	})
+}
+
+func TestEagerThresholdBoundary(t *testing.T) {
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		at := c.EagerThreshold()
+		if p.Rank() == 0 {
+			c.Send(1, 1, fill(at, 1))   // eager
+			c.Send(1, 2, fill(at+1, 2)) // rendezvous
+		} else {
+			a := make([]byte, at)
+			b := make([]byte, at+1)
+			c.Recv(a, 0, 1)
+			c.Recv(b, 0, 2)
+			if !bytes.Equal(a, fill(at, 1)) || !bytes.Equal(b, fill(at+1, 2)) {
+				t.Error("boundary payloads mismatch")
+			}
+		}
+	})
+}
+
+func TestNonOvertakingSameEnvelope(t *testing.T) {
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		const n = 50
+		if p.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 5, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				var b [1]byte
+				c.Recv(b[:], 0, 5)
+				if b[0] != byte(i) {
+					t.Fatalf("recv %d got %d", i, b[0])
+				}
+			}
+		}
+	})
+}
+
+func TestWildcardSourceAndTag(t *testing.T) {
+	runBoth(t, 3, nil, func(p *runtime.Proc, c *Comm) {
+		if p.Rank() != 0 {
+			c.Send(0, 100+p.Rank(), []byte{byte(p.Rank())})
+			return
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			var b [1]byte
+			st := c.Recv(b[:], AnySource, AnyTag)
+			if st.Tag != 100+st.Source || b[0] != byte(st.Source) {
+				t.Errorf("status %+v data %d", st, b[0])
+			}
+			seen[st.Source] = true
+		}
+		if len(seen) != 2 {
+			t.Errorf("sources %v", seen)
+		}
+	})
+}
+
+func TestSelectiveTagMatching(t *testing.T) {
+	// Receive tag 2 before tag 1 even though tag 1 arrived first.
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		if p.Rank() == 0 {
+			c.Send(1, 1, []byte{1})
+			c.Send(1, 2, []byte{2})
+		} else {
+			var b [1]byte
+			st := c.Recv(b[:], 0, 2)
+			if b[0] != 2 || st.Tag != 2 {
+				t.Fatalf("tag-2 recv got %d", b[0])
+			}
+			st = c.Recv(b[:], 0, 1)
+			if b[0] != 1 || st.Tag != 1 {
+				t.Fatalf("tag-1 recv got %d", b[0])
+			}
+			if c.UnexpectedDepth() != 0 {
+				t.Errorf("UQ depth %d", c.UnexpectedDepth())
+			}
+		}
+	})
+}
+
+func TestIrecvPostedBeforeArrival(t *testing.T) {
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		if p.Rank() == 1 {
+			buf := make([]byte, 8)
+			req := c.Irecv(buf, 0, 3)
+			p.Barrier() // ensure posting precedes the send
+			st := c.WaitRecv(req)
+			if st.Count != 8 || buf[0] != 11 {
+				t.Errorf("st %+v buf %v", st, buf)
+			}
+		} else {
+			p.Barrier()
+			c.Send(1, 3, fill(8, 11))
+		}
+	})
+}
+
+func TestIsendTestSendPolling(t *testing.T) {
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		const size = 32 * 1024
+		if p.Rank() == 0 {
+			req := c.Isend(1, 9, fill(size, 5))
+			if req.Done() {
+				t.Error("rendezvous send done before CTS")
+			}
+			for !c.TestSend(req) {
+				p.Yield()
+			}
+		} else {
+			buf := make([]byte, size)
+			c.Recv(buf, 0, 9)
+			if !bytes.Equal(buf, fill(size, 5)) {
+				t.Error("payload mismatch")
+			}
+		}
+	})
+}
+
+func TestTestRecvPolling(t *testing.T) {
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		if p.Rank() == 0 {
+			p.Barrier()
+			c.Send(1, 4, []byte{77})
+		} else {
+			buf := make([]byte, 1)
+			req := c.Irecv(buf, 0, 4)
+			if _, done := c.TestRecv(req); done {
+				t.Error("recv done before send")
+			}
+			p.Barrier()
+			for {
+				if st, done := c.TestRecv(req); done {
+					if st.Count != 1 || buf[0] != 77 {
+						t.Errorf("st %+v buf %v", st, buf)
+					}
+					break
+				}
+				p.Yield()
+			}
+		}
+	})
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	// The paper's MP Cholesky pattern: probe for an unknown tag, size the
+	// receive from the status.
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		if p.Rank() == 0 {
+			c.Send(1, 1234, fill(48, 2))
+		} else {
+			st := c.Probe(AnySource, AnyTag)
+			if st.Tag != 1234 || st.Count != 48 || st.Source != 0 {
+				t.Fatalf("probe %+v", st)
+			}
+			buf := make([]byte, st.Count)
+			got := c.Recv(buf, st.Source, st.Tag)
+			if got.Count != 48 || !bytes.Equal(buf, fill(48, 2)) {
+				t.Error("recv after probe mismatch")
+			}
+		}
+	})
+}
+
+func TestIprobeNonBlocking(t *testing.T) {
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		if p.Rank() == 0 {
+			p.Barrier()
+			c.Send(1, 6, []byte{1})
+		} else {
+			if _, ok := c.Iprobe(AnySource, AnyTag); ok {
+				t.Error("Iprobe found phantom message")
+			}
+			p.Barrier()
+			for {
+				if st, ok := c.Iprobe(0, 6); ok {
+					if st.Tag != 6 {
+						t.Errorf("probe %+v", st)
+					}
+					break
+				}
+				p.Yield()
+			}
+			var b [1]byte
+			c.Recv(b[:], 0, 6)
+		}
+	})
+}
+
+func TestRendezvousProbeReportsCount(t *testing.T) {
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		const size = 100 * 1024
+		if p.Rank() == 0 {
+			c.Send(1, 8, fill(size, 1))
+		} else {
+			st := c.Probe(0, 8)
+			if st.Count != size {
+				t.Fatalf("probed count %d", st.Count)
+			}
+			buf := make([]byte, size)
+			c.Recv(buf, 0, 8)
+		}
+	})
+}
+
+func TestExchangeIrecvFirst(t *testing.T) {
+	// Safe bidirectional exchange: post Irecv, then send, then wait.
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		const size = 20 * 1024 // rendezvous both ways
+		peer := 1 - p.Rank()
+		buf := make([]byte, size)
+		req := c.Irecv(buf, peer, 0)
+		c.Send(peer, 0, fill(size, byte(p.Rank())))
+		c.WaitRecv(req)
+		if !bytes.Equal(buf, fill(size, byte(peer))) {
+			t.Error("exchange mismatch")
+		}
+	})
+}
+
+func TestManyToOne(t *testing.T) {
+	const ranks = 8
+	runBoth(t, ranks, nil, func(p *runtime.Proc, c *Comm) {
+		if p.Rank() == 0 {
+			total := 0
+			for i := 1; i < ranks; i++ {
+				var b [4]byte
+				st := c.Recv(b[:], AnySource, 1)
+				total += int(b[0])
+				_ = st
+			}
+			want := 0
+			for i := 1; i < ranks; i++ {
+				want += i
+			}
+			if total != want {
+				t.Errorf("sum %d want %d", total, want)
+			}
+		} else {
+			c.Send(0, 1, []byte{byte(p.Rank()), 0, 0, 0})
+		}
+	})
+}
+
+func TestTruncationPanics(t *testing.T) {
+	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Sim}, func(p *runtime.Proc) {
+		c := New(p)
+		if p.Rank() == 0 {
+			c.Send(1, 1, fill(16, 1))
+		} else {
+			var b [4]byte
+			c.Recv(b[:], 0, 1) // too small
+		}
+	})
+	if err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestSimEagerLatencyModel(t *testing.T) {
+	// Eager half-round-trip should cost o_s + L + G*(s+16) + o_r + copy
+	// (+ matching scan); verify against the model within a tight bound.
+	w := runtime.NewWorld(runtime.Options{Ranks: 2, Mode: exec.Sim})
+	m := w.Options().Model
+	size := 1024
+	var observed simtime.Duration
+	err := w.Run(func(p *runtime.Proc) {
+		c := New(p)
+		if p.Rank() == 0 {
+			p.Barrier()
+			start := p.Now()
+			c.Send(1, 1, make([]byte, size))
+			var b [1]byte
+			c.Recv(b[:], 1, 2)
+			observed = p.Now().Sub(start) // full round trip
+		} else {
+			p.Barrier()
+			buf := make([]byte, size)
+			c.Recv(buf, 0, 1)
+			c.Send(0, 2, []byte{1})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneWay := m.MPSendExtra + m.OSend + m.FMA.Time(size+16) + m.ORecv + m.MPRecvExtra + m.CopyTime(size)
+	back := m.MPSendExtra + m.OSend + m.FMA.Time(1+16) + m.ORecv + m.MPRecvExtra + m.CopyTime(1)
+	want := oneWay + back
+	slack := 4 * m.TMatchScan
+	if observed < want || observed > want+slack {
+		t.Errorf("RTT = %v, want in [%v, %v]", observed, want, want+slack)
+	}
+}
+
+func TestSimRendezvousUsesThreeTransactions(t *testing.T) {
+	// Fig 2b: rendezvous = RTS + CTS + DATA.
+	w := runtime.NewWorld(runtime.Options{Ranks: 2, Mode: exec.Sim})
+	before := w.Fabric().Stats.Snapshot()
+	err := w.Run(func(p *runtime.Proc) {
+		c := New(p)
+		const size = 32 * 1024
+		if p.Rank() == 0 {
+			c.Send(1, 1, make([]byte, size))
+		} else {
+			buf := make([]byte, size)
+			c.Recv(buf, 0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := w.Fabric().Stats.Snapshot().Sub(before)
+	if d.CtrlPackets != 2 { // RTS + CTS
+		t.Errorf("ctrl packets = %d, want 2", d.CtrlPackets)
+	}
+	if d.DataPackets != 1 {
+		t.Errorf("data packets = %d, want 1", d.DataPackets)
+	}
+	if d.AckPackets != 0 {
+		t.Errorf("ack packets = %d, want 0", d.AckPackets)
+	}
+}
+
+func TestSimEagerUsesOneTransaction(t *testing.T) {
+	w := runtime.NewWorld(runtime.Options{Ranks: 2, Mode: exec.Sim})
+	before := w.Fabric().Stats.Snapshot()
+	err := w.Run(func(p *runtime.Proc) {
+		c := New(p)
+		if p.Rank() == 0 {
+			c.Send(1, 1, make([]byte, 256))
+		} else {
+			buf := make([]byte, 256)
+			c.Recv(buf, 0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := w.Fabric().Stats.Snapshot().Sub(before)
+	if d.Total() != 1 || d.DataPackets != 1 {
+		t.Errorf("eager transactions = %+v, want exactly 1 data packet", d)
+	}
+}
+
+func TestCommAttachSingleton(t *testing.T) {
+	err := runtime.Run(runtime.Options{Ranks: 1, Mode: exec.Sim}, func(p *runtime.Proc) {
+		if New(p) != New(p) {
+			t.Error("New should return the same endpoint per rank")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomEagerThreshold(t *testing.T) {
+	o := func(opts *runtime.Options) { opts.EagerThreshold = 64 }
+	runBoth(t, 2, o, func(p *runtime.Proc, c *Comm) {
+		if c.EagerThreshold() != 64 {
+			t.Errorf("threshold = %d", c.EagerThreshold())
+		}
+		if p.Rank() == 0 {
+			c.Send(1, 1, fill(65, 1)) // rendezvous at this threshold
+		} else {
+			buf := make([]byte, 65)
+			c.Recv(buf, 0, 1)
+			if !bytes.Equal(buf, fill(65, 1)) {
+				t.Error("payload mismatch")
+			}
+		}
+	})
+}
+
+func TestZeroByteMessage(t *testing.T) {
+	runBoth(t, 2, nil, func(p *runtime.Proc, c *Comm) {
+		if p.Rank() == 0 {
+			c.Send(1, 1, nil)
+		} else {
+			st := c.Recv(nil, 0, 1)
+			if st.Count != 0 {
+				t.Errorf("count %d", st.Count)
+			}
+		}
+	})
+}
+
+func TestStressRandomTraffic(t *testing.T) {
+	// All-pairs pseudo-random messages with per-pair sequence tags.
+	const ranks = 6
+	const msgs = 20
+	runBoth(t, ranks, nil, func(p *runtime.Proc, c *Comm) {
+		me := p.Rank()
+		var reqs []*RecvReq
+		bufs := map[string][]byte{}
+		for src := 0; src < ranks; src++ {
+			if src == me {
+				continue
+			}
+			for k := 0; k < msgs; k++ {
+				size := 1 + (src*131+k*17)%9000 // straddles eager threshold
+				buf := make([]byte, size)
+				bufs[fmt.Sprintf("%d.%d", src, k)] = buf
+				reqs = append(reqs, c.Irecv(buf, src, k))
+			}
+		}
+		for dst := 0; dst < ranks; dst++ {
+			if dst == me {
+				continue
+			}
+			for k := 0; k < msgs; k++ {
+				size := 1 + (me*131+k*17)%9000
+				c.Send(dst, k, fill(size, byte(me*3+k)))
+			}
+		}
+		for _, r := range reqs {
+			c.WaitRecv(r)
+		}
+		for key, buf := range bufs {
+			var src, k int
+			fmt.Sscanf(key, "%d.%d", &src, &k)
+			if !bytes.Equal(buf, fill(len(buf), byte(src*3+k))) {
+				t.Errorf("rank %d: payload from %d tag %d corrupt", me, src, k)
+			}
+		}
+	})
+}

@@ -1,0 +1,306 @@
+// Package rma implements the MPI-3 One Sided baseline the paper compares
+// against: windows with put/get/accumulate/fetch-and-op/compare-and-swap,
+// memory synchronization (flush family), and process synchronization —
+// fence, general active target (PSCW: post/start/complete/wait), and
+// passive target (lock/unlock) — all built on the fabric's RDMA verbs.
+//
+// Synchronization costs are *not* hand-modeled: fence runs a real
+// dissemination barrier over control messages, PSCW exchanges real
+// post/complete messages, and flush waits for real remote-completion ACKs,
+// so the extra round trips the paper attributes to One Sided
+// producer-consumer patterns (Figure 2c) arise from actual protocol
+// traffic.
+package rma
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/runtime"
+)
+
+// winSysBytes is the per-window system region holding the passive-target
+// lock word (offset 0).
+const winSysBytes = 64
+
+// worldWinKey tracks per-rank window-creation order so region IDs stay
+// symmetric across ranks.
+type worldWinKey struct{}
+
+type winCounter struct{ next int }
+
+// Win is one rank's handle on a collectively allocated RMA window.
+type Win struct {
+	p   *runtime.Proc
+	nic *fabric.NIC
+
+	ID     int // collective window id (creation order)
+	user   *fabric.MemRegion
+	sys    *fabric.MemRegion
+	userID int
+	sysID  int
+
+	fenceEpoch int
+	postedBy   []int // PSCW: origins of the current exposure epoch
+	startedTo  []int // PSCW: targets of the current access epoch
+}
+
+// pscwHeader tags PSCW control messages with their window.
+type pscwHeader struct {
+	WinID int
+}
+
+// fenceHeader tags fence-barrier rounds.
+type fenceHeader struct {
+	WinID int
+	Epoch int
+	Round int
+}
+
+// Allocate collectively creates a window of size bytes on every rank
+// (MPI_Win_allocate). Every rank must call it in the same program order.
+func Allocate(p *runtime.Proc, size int) *Win {
+	ctr := p.Attach(worldWinKey{}, func() any { return &winCounter{} }).(*winCounter)
+	id := ctr.next
+	ctr.next++
+
+	nic := p.NIC()
+	sys := nic.Register(make([]byte, winSysBytes))
+	user := nic.Register(make([]byte, size))
+	w := &Win{
+		p: p, nic: nic, ID: id,
+		user: user, sys: sys,
+		userID: user.ID, sysID: sys.ID,
+	}
+	p.Barrier() // remote ranks may access once everyone has registered
+	return w
+}
+
+// Free collectively releases the window.
+func (w *Win) Free() {
+	w.p.Barrier()
+	w.nic.Deregister(w.user)
+	w.nic.Deregister(w.sys)
+}
+
+// Buffer returns the local window memory.
+func (w *Win) Buffer() []byte { return w.user.Bytes() }
+
+// Load64 atomically reads the uint64 at off in the local window memory
+// (safe against concurrent remote deliveries; used by polling consumers).
+func (w *Win) Load64(off int) uint64 { return w.user.Load64(off) }
+
+// Store64 atomically writes the uint64 at off in the local window memory.
+func (w *Win) Store64(off int, v uint64) { w.user.Store64(off, v) }
+
+// Size returns the window size in bytes.
+func (w *Win) Size() int { return w.user.Len() }
+
+// Put writes data to target's window at targetOff (MPI_Put). Completion
+// requires a flush or a synchronization call.
+func (w *Win) Put(target, targetOff int, data []byte) *fabric.Op {
+	return w.nic.Put(w.p.Proc, target, w.userID, targetOff, data, fabric.Imm{})
+}
+
+// Get reads len(dst) bytes from target's window at targetOff (MPI_Get).
+func (w *Win) Get(target, targetOff int, dst []byte) *fabric.Op {
+	return w.nic.Get(w.p.Proc, target, w.userID, targetOff, dst, fabric.Imm{})
+}
+
+// Accumulate applies an element-wise float64 reduction into target's
+// window (MPI_Accumulate with MPI_SUM or MPI_REPLACE).
+func (w *Win) Accumulate(target, targetOff int, vals []float64, op fabric.AccumOp) *fabric.Op {
+	return w.nic.Accumulate(w.p.Proc, target, w.userID, targetOff, vals, op, fabric.Imm{})
+}
+
+// IFetchAndOp starts an atomic fetch-and-add of delta on the uint64 at
+// targetOff in target's window and returns the handle; the previous value
+// is Op.Result() after completion (MPI_Fetch_and_op with MPI_SUM).
+func (w *Win) IFetchAndOp(target, targetOff int, delta uint64) *fabric.Op {
+	return w.nic.Atomic(w.p.Proc, target, w.userID, targetOff, fabric.AtomicFetchAdd, delta, 0, fabric.Imm{})
+}
+
+// FetchAndOp is the blocking convenience form of IFetchAndOp.
+func (w *Win) FetchAndOp(target, targetOff int, delta uint64) uint64 {
+	op := w.IFetchAndOp(target, targetOff, delta)
+	op.Await(w.p.Proc)
+	return op.Result()
+}
+
+// CompareAndSwap atomically replaces the uint64 at targetOff with swap if
+// it equals compare, returning the previous value (MPI_Compare_and_swap).
+func (w *Win) CompareAndSwap(target, targetOff int, compare, swap uint64) uint64 {
+	op := w.nic.Atomic(w.p.Proc, target, w.userID, targetOff, fabric.AtomicCAS, swap, compare, fabric.Imm{})
+	op.Await(w.p.Proc)
+	return op.Result()
+}
+
+// Flush blocks until all operations this rank issued to target are
+// complete at the target (MPI_Win_flush).
+func (w *Win) Flush(target int) { w.nic.Flush(w.p.Proc, target) }
+
+// FlushAll blocks until all operations this rank issued are complete at
+// their targets (MPI_Win_flush_all).
+func (w *Win) FlushAll() { w.nic.FlushAll(w.p.Proc) }
+
+// FlushLocal completes operations locally (MPI_Win_flush_local): origin
+// buffers are reusable. The fabric copies at post time, so this is
+// immediate.
+func (w *Win) FlushLocal(target int) {}
+
+// Fence completes the current epoch on all ranks (MPI_Win_fence): a full
+// flush followed by a dissemination barrier over the window.
+func (w *Win) Fence() {
+	w.FlushAll()
+	n := w.p.N()
+	me := w.p.Rank()
+	epoch := w.fenceEpoch
+	w.fenceEpoch++
+	for k, round := 1, 0; k < n; k, round = k*2, round+1 {
+		to := (me + k) % n
+		from := (me - k + n) % n
+		w.nic.PostMsg(w.p.Proc, to, runtime.ClassRMAFence, fenceHeader{WinID: w.ID, Epoch: epoch, Round: round}, nil, false)
+		w.nic.WaitMsg(w.p.Proc, func(m *fabric.Msg) bool {
+			h, ok := m.Payload.(fenceHeader)
+			return ok && m.Origin == from && h.WinID == w.ID && h.Epoch == epoch && h.Round == round
+		})
+	}
+}
+
+// Post opens an exposure epoch to the given origin group
+// (MPI_Win_post): each origin's Start unblocks once the post arrives.
+func (w *Win) Post(origins []int) {
+	if w.postedBy != nil {
+		panic(fmt.Sprintf("rma: rank %d: Post during an open exposure epoch", w.p.Rank()))
+	}
+	w.postedBy = append([]int(nil), origins...)
+	for _, o := range origins {
+		w.nic.PostMsg(w.p.Proc, o, runtime.ClassRMAPost, pscwHeader{WinID: w.ID}, nil, false)
+	}
+}
+
+// Start opens an access epoch to the given target group (MPI_Win_start),
+// blocking until every target has posted.
+func (w *Win) Start(targets []int) {
+	if w.startedTo != nil {
+		panic(fmt.Sprintf("rma: rank %d: Start during an open access epoch", w.p.Rank()))
+	}
+	w.startedTo = append([]int(nil), targets...)
+	for _, t := range targets {
+		t := t
+		w.nic.WaitMsg(w.p.Proc, func(m *fabric.Msg) bool {
+			h, ok := m.Payload.(pscwHeader)
+			return ok && m.Class == runtime.ClassRMAPost && m.Origin == t && h.WinID == w.ID
+		})
+	}
+}
+
+// Complete closes the access epoch (MPI_Win_complete): flushes all
+// operations to the start group and notifies each target.
+func (w *Win) Complete() {
+	if w.startedTo == nil {
+		panic(fmt.Sprintf("rma: rank %d: Complete without Start", w.p.Rank()))
+	}
+	for _, t := range w.startedTo {
+		w.nic.Flush(w.p.Proc, t)
+	}
+	for _, t := range w.startedTo {
+		w.nic.PostMsg(w.p.Proc, t, runtime.ClassRMAComplete, pscwHeader{WinID: w.ID}, nil, false)
+	}
+	w.startedTo = nil
+}
+
+// Wait closes the exposure epoch (MPI_Win_wait): blocks until every origin
+// in the post group has completed.
+func (w *Win) Wait() {
+	if w.postedBy == nil {
+		panic(fmt.Sprintf("rma: rank %d: Wait without Post", w.p.Rank()))
+	}
+	for _, o := range w.postedBy {
+		o := o
+		w.nic.WaitMsg(w.p.Proc, func(m *fabric.Msg) bool {
+			h, ok := m.Payload.(pscwHeader)
+			return ok && m.Class == runtime.ClassRMAComplete && m.Origin == o && h.WinID == w.ID
+		})
+	}
+	w.postedBy = nil
+}
+
+// Passive-target lock word encoding (in the window's system region at
+// offset 0): bit 0 = exclusive held, bits 1.. = shared holder count * 2.
+const (
+	lockExclusive = 1
+	lockSharedInc = 2
+)
+
+// Lock opens a passive-target access epoch (MPI_Win_lock). exclusive
+// selects MPI_LOCK_EXCLUSIVE vs MPI_LOCK_SHARED. The lock is taken with
+// remote atomics only — no target CPU involvement.
+func (w *Win) Lock(target int, exclusive bool) {
+	backoff := w.p.Model().FMA.L
+	if exclusive {
+		for {
+			old := w.nic.Atomic(w.p.Proc, target, w.sysID, 0, fabric.AtomicCAS, lockExclusive, 0, fabric.Imm{})
+			old.Await(w.p.Proc)
+			if old.Result() == 0 {
+				return
+			}
+			w.p.Sleep(backoff)
+		}
+	}
+	for {
+		op := w.nic.Atomic(w.p.Proc, target, w.sysID, 0, fabric.AtomicFetchAdd, lockSharedInc, 0, fabric.Imm{})
+		op.Await(w.p.Proc)
+		if op.Result()&lockExclusive == 0 {
+			return
+		}
+		// A writer holds it: undo and retry.
+		undo := w.nic.Atomic(w.p.Proc, target, w.sysID, 0, fabric.AtomicFetchAdd, ^uint64(lockSharedInc-1), 0, fabric.Imm{})
+		undo.Await(w.p.Proc)
+		w.p.Sleep(backoff)
+	}
+}
+
+// Unlock closes a passive-target access epoch (MPI_Win_unlock), flushing
+// first.
+func (w *Win) Unlock(target int, exclusive bool) {
+	w.Flush(target)
+	var delta uint64
+	if exclusive {
+		delta = ^uint64(lockExclusive - 1) // -1
+	} else {
+		delta = ^uint64(lockSharedInc - 1) // -2
+	}
+	op := w.nic.Atomic(w.p.Proc, target, w.sysID, 0, fabric.AtomicFetchAdd, delta, 0, fabric.Imm{})
+	op.Await(w.p.Proc)
+}
+
+// LockAll opens a shared passive-target epoch to every rank
+// (MPI_Win_lock_all).
+func (w *Win) LockAll() {
+	for t := 0; t < w.p.N(); t++ {
+		w.Lock(t, false)
+	}
+}
+
+// UnlockAll closes the epoch opened by LockAll (MPI_Win_unlock_all).
+func (w *Win) UnlockAll() {
+	for t := 0; t < w.p.N(); t++ {
+		w.Unlock(t, false)
+	}
+}
+
+// Sync synchronizes the private and public window copies
+// (MPI_Win_sync). The fabric has a single copy, so this is a memory
+// ordering no-op kept for API completeness.
+func (w *Win) Sync() {}
+
+// Proc returns the owning rank handle.
+func (w *Win) Proc() *runtime.Proc { return w.p }
+
+// UserRegionID exposes the window's fabric region id (used by the Notified
+// Access layer, which shares window memory).
+func (w *Win) UserRegionID() int { return w.userID }
+
+// NIC returns the owning rank's NIC.
+func (w *Win) NIC() *fabric.NIC { return w.nic }

@@ -1,0 +1,346 @@
+package rma
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/runtime"
+)
+
+func runBoth(t *testing.T, ranks int, body func(p *runtime.Proc)) {
+	t.Helper()
+	for _, mode := range []exec.Mode{exec.Sim, exec.Real} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			if err := runtime.Run(runtime.Options{Ranks: ranks, Mode: mode}, body); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPutFlushFence(t *testing.T) {
+	runBoth(t, 2, func(p *runtime.Proc) {
+		w := Allocate(p, 64)
+		defer w.Free()
+		if w.Size() != 64 {
+			t.Errorf("Size = %d", w.Size())
+		}
+		if p.Rank() == 0 {
+			w.Put(1, 8, []byte("onesided"))
+			w.Flush(1)
+		}
+		w.Fence()
+		if p.Rank() == 1 {
+			if !bytes.Equal(w.Buffer()[8:16], []byte("onesided")) {
+				t.Errorf("buffer = %q", w.Buffer()[8:16])
+			}
+		}
+	})
+}
+
+func TestFenceSynchronizesWithoutFlush(t *testing.T) {
+	// Fence alone must complete outstanding puts (it flushes internally).
+	runBoth(t, 4, func(p *runtime.Proc) {
+		w := Allocate(p, 8)
+		defer w.Free()
+		next := (p.Rank() + 1) % p.N()
+		w.Fence()
+		w.Put(next, 0, []byte{byte(p.Rank() + 1)})
+		w.Fence()
+		prev := (p.Rank() - 1 + p.N()) % p.N()
+		if w.Buffer()[0] != byte(prev+1) {
+			t.Errorf("rank %d: got %d want %d", p.Rank(), w.Buffer()[0], prev+1)
+		}
+	})
+}
+
+func TestRepeatedFences(t *testing.T) {
+	runBoth(t, 3, func(p *runtime.Proc) {
+		w := Allocate(p, 8)
+		defer w.Free()
+		for i := 0; i < 10; i++ {
+			if p.Rank() == 0 {
+				w.Put(1, 0, []byte{byte(i)})
+			}
+			w.Fence()
+			if p.Rank() == 1 && w.Buffer()[0] != byte(i) {
+				t.Errorf("iter %d: %d", i, w.Buffer()[0])
+			}
+			w.Fence()
+		}
+	})
+}
+
+func TestGet(t *testing.T) {
+	runBoth(t, 2, func(p *runtime.Proc) {
+		w := Allocate(p, 32)
+		defer w.Free()
+		if p.Rank() == 1 {
+			copy(w.Buffer(), []byte("remote window contents!"))
+		}
+		w.Fence()
+		if p.Rank() == 0 {
+			dst := make([]byte, 6)
+			op := w.Get(1, 7, dst)
+			op.Await(p.Proc)
+			if !bytes.Equal(dst, []byte("window")) {
+				t.Errorf("got %q", dst)
+			}
+		}
+		w.Fence()
+	})
+}
+
+func TestPSCWProducerConsumer(t *testing.T) {
+	runBoth(t, 2, func(p *runtime.Proc) {
+		w := Allocate(p, 16)
+		defer w.Free()
+		// Paper Figure 2c general active target: start/put/complete at the
+		// origin, post/wait at the target.
+		for iter := 0; iter < 5; iter++ {
+			if p.Rank() == 0 {
+				w.Start([]int{1})
+				w.Put(1, 0, []byte{byte(iter + 1)})
+				w.Complete()
+			} else {
+				w.Post([]int{0})
+				w.Wait()
+				if w.Buffer()[0] != byte(iter+1) {
+					t.Errorf("iter %d: buffer %d", iter, w.Buffer()[0])
+				}
+			}
+		}
+	})
+}
+
+func TestPSCWMultipleOrigins(t *testing.T) {
+	const ranks = 5
+	runBoth(t, ranks, func(p *runtime.Proc) {
+		w := Allocate(p, 8*ranks)
+		defer w.Free()
+		if p.Rank() == 0 {
+			origins := []int{1, 2, 3, 4}
+			w.Post(origins)
+			w.Wait()
+			for _, o := range origins {
+				if w.Buffer()[8*o] != byte(o) {
+					t.Errorf("origin %d missing", o)
+				}
+			}
+		} else {
+			w.Start([]int{0})
+			w.Put(0, 8*p.Rank(), []byte{byte(p.Rank())})
+			w.Complete()
+		}
+	})
+}
+
+func TestPSCWErrors(t *testing.T) {
+	err := runtime.Run(runtime.Options{Ranks: 1, Mode: exec.Sim}, func(p *runtime.Proc) {
+		w := Allocate(p, 8)
+		w.Complete() // without Start
+	})
+	if err == nil {
+		t.Fatal("Complete without Start must fail")
+	}
+	err = runtime.Run(runtime.Options{Ranks: 1, Mode: exec.Sim}, func(p *runtime.Proc) {
+		w := Allocate(p, 8)
+		w.Wait() // without Post
+	})
+	if err == nil {
+		t.Fatal("Wait without Post must fail")
+	}
+}
+
+func TestFetchAndOp(t *testing.T) {
+	const ranks = 4
+	runBoth(t, ranks, func(p *runtime.Proc) {
+		w := Allocate(p, 16)
+		defer w.Free()
+		if p.Rank() != 0 {
+			old := w.FetchAndOp(0, 0, uint64(p.Rank()))
+			_ = old
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			got := binary.LittleEndian.Uint64(w.Buffer())
+			if got != 1+2+3 {
+				t.Errorf("counter = %d", got)
+			}
+		}
+	})
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	runBoth(t, 2, func(p *runtime.Proc) {
+		w := Allocate(p, 8)
+		defer w.Free()
+		if p.Rank() == 0 {
+			if old := w.CompareAndSwap(1, 0, 0, 42); old != 0 {
+				t.Errorf("first CAS old = %d", old)
+			}
+			if old := w.CompareAndSwap(1, 0, 0, 77); old != 42 {
+				t.Errorf("second CAS old = %d", old)
+			}
+		}
+		p.Barrier()
+		if p.Rank() == 1 {
+			if v := binary.LittleEndian.Uint64(w.Buffer()); v != 42 {
+				t.Errorf("value = %d", v)
+			}
+		}
+	})
+}
+
+func TestAccumulate(t *testing.T) {
+	runBoth(t, 3, func(p *runtime.Proc) {
+		w := Allocate(p, 32)
+		defer w.Free()
+		if p.Rank() != 0 {
+			w.Accumulate(0, 0, []float64{1, 2, 3, 4}, fabric.AccumSum)
+			w.Flush(0)
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			for i := 0; i < 4; i++ {
+				got := lef64(w.Buffer()[8*i:])
+				if got != float64(2*(i+1)) {
+					t.Errorf("elem %d = %v", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestExclusiveLockMutualExclusion(t *testing.T) {
+	const ranks = 4
+	const iters = 25
+	runBoth(t, ranks, func(p *runtime.Proc) {
+		w := Allocate(p, 16)
+		defer w.Free()
+		for i := 0; i < iters; i++ {
+			w.Lock(0, true)
+			// Non-atomic read-modify-write under the lock: races would lose
+			// increments.
+			var cur [8]byte
+			w.Get(0, 0, cur[:]).Await(p.Proc)
+			v := binary.LittleEndian.Uint64(cur[:])
+			binary.LittleEndian.PutUint64(cur[:], v+1)
+			w.Put(0, 0, cur[:])
+			w.Unlock(0, true)
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			got := binary.LittleEndian.Uint64(w.Buffer())
+			if got != uint64(ranks*iters) {
+				t.Errorf("counter = %d, want %d", got, ranks*iters)
+			}
+		}
+	})
+}
+
+func TestSharedLocksDoNotExclude(t *testing.T) {
+	runBoth(t, 3, func(p *runtime.Proc) {
+		w := Allocate(p, 8)
+		defer w.Free()
+		// All ranks hold a shared lock concurrently; a barrier inside the
+		// locked section would deadlock if shared locks excluded each other.
+		w.Lock(0, false)
+		p.Barrier()
+		w.Unlock(0, false)
+		p.Barrier()
+	})
+}
+
+func TestMultipleWindowsSymmetricIDs(t *testing.T) {
+	runBoth(t, 2, func(p *runtime.Proc) {
+		a := Allocate(p, 16)
+		b := Allocate(p, 16)
+		defer a.Free()
+		defer b.Free()
+		if a.ID == b.ID {
+			t.Errorf("window ids collide")
+		}
+		if p.Rank() == 0 {
+			a.Put(1, 0, []byte{1})
+			b.Put(1, 0, []byte{2})
+			a.Flush(1)
+			b.Flush(1)
+		}
+		p.Barrier()
+		if p.Rank() == 1 {
+			if a.Buffer()[0] != 1 || b.Buffer()[0] != 2 {
+				t.Errorf("windows crossed: a=%d b=%d", a.Buffer()[0], b.Buffer()[0])
+			}
+		}
+	})
+}
+
+func TestFenceIsolationBetweenWindows(t *testing.T) {
+	// Concurrent fences on different windows must not steal each other's
+	// messages.
+	runBoth(t, 4, func(p *runtime.Proc) {
+		a := Allocate(p, 8)
+		b := Allocate(p, 8)
+		defer a.Free()
+		defer b.Free()
+		for i := 0; i < 5; i++ {
+			a.Fence()
+			b.Fence()
+		}
+	})
+}
+
+func TestSimPSCWCostsMoreThanPut(t *testing.T) {
+	// The synchronization overhead the paper targets: a PSCW epoch must
+	// cost at least 3 network transactions vs 1 for the bare (notified)
+	// put.
+	w := runtime.NewWorld(runtime.Options{Ranks: 2, Mode: exec.Sim})
+	var before, after fabric.CounterSnapshot
+	err := w.Run(func(p *runtime.Proc) {
+		win := Allocate(p, 8)
+		p.Barrier()
+		if p.Rank() == 0 {
+			before = w.Fabric().Stats.Snapshot()
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			win.Start([]int{1})
+			win.Put(1, 0, []byte{9})
+			win.Complete()
+		} else {
+			win.Post([]int{0})
+			win.Wait()
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			after = w.Fabric().Stats.Snapshot()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := after.Sub(before)
+	// post + complete ctrl messages, 1 data put, 1 ack (+ barrier traffic
+	// excluded by construction? The barrier between snapshots adds ctrl
+	// packets; subtract the known barrier cost: 2 barriers x 2 msgs).
+	ctrl := d.CtrlPackets - 4
+	if ctrl < 2 {
+		t.Errorf("PSCW ctrl packets = %d, want >= 2 (post+complete)", ctrl)
+	}
+	if d.DataPackets != 1 {
+		t.Errorf("data packets = %d", d.DataPackets)
+	}
+	if d.DataPackets+ctrl < 3 {
+		t.Errorf("PSCW transactions = %d, want >= 3 (paper Fig 2c)", d.DataPackets+ctrl)
+	}
+}
+
+func lef64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

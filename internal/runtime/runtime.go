@@ -1,0 +1,199 @@
+// Package runtime wires the execution engine and the fabric into a "job":
+// N ranks running an SPMD body, each holding a Proc handle that bundles its
+// exec.Proc with its NIC. The communication layers (internal/mp,
+// internal/rma, internal/core) attach per-rank endpoints to the Proc.
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/loggp"
+)
+
+// Message-class registry: every layer multiplexing the NIC message queue
+// draws its discriminator values from here so they can never collide.
+const (
+	// ClassBarrier is used by Proc.Barrier.
+	ClassBarrier = 1
+	// ClassMPEager carries an eager message-passing payload.
+	ClassMPEager = 10
+	// ClassMPRTS is a rendezvous request-to-send.
+	ClassMPRTS = 11
+	// ClassMPCTS is a rendezvous clear-to-send.
+	ClassMPCTS = 12
+	// ClassMPData is a rendezvous payload.
+	ClassMPData = 13
+	// ClassRMAPost is a PSCW post notification (target -> origin).
+	ClassRMAPost = 20
+	// ClassRMAComplete is a PSCW completion notification (origin -> target).
+	ClassRMAComplete = 21
+	// ClassRMAFence is the fence barrier.
+	ClassRMAFence = 22
+	// ClassUser is the first class value free for applications.
+	ClassUser = 100
+)
+
+// Options configures a job.
+type Options struct {
+	// Ranks is the number of SPMD processes.
+	Ranks int
+	// Mode selects the engine: exec.Sim (deterministic virtual time) or
+	// exec.Real (wall clock).
+	Mode exec.Mode
+	// RanksPerNode controls which rank pairs use the SHM transport
+	// (default 1: all inter-node).
+	RanksPerNode int
+	// Model supplies LogGP/overhead constants; zero value means
+	// loggp.DefaultCrayXC30.
+	Model *loggp.Model
+	// EagerThreshold is the largest message (bytes) sent eagerly by the
+	// message-passing layer; larger messages use rendezvous. Default 8192
+	// (the kink the paper observes at 8 KB).
+	EagerThreshold int
+	// InlineThreshold is the largest intra-node put carried inline in a
+	// notification ring entry. Default 32.
+	InlineThreshold int
+	// DisableOverheads turns off modeled o_s charging (used by a few
+	// calibration tests).
+	DisableOverheads bool
+	// UnreliableNetwork switches notified gets to the deferred-notification
+	// protocol (paper §VIII: the target learns its buffer is free only
+	// after the data reached the origin). Shorthand for
+	// GetNotifyMode = fabric.GetNotifyDeferred.
+	UnreliableNetwork bool
+	// GetNotifyMode selects the notified-GET notification protocol
+	// (immediate / origin-ordered / deferred); see fabric.GetNotifyMode.
+	GetNotifyMode fabric.GetNotifyMode
+	// Trace receives one event per delivered packet (protocol audits).
+	Trace func(fabric.TraceEvent)
+}
+
+func (o Options) withDefaults() Options {
+	if o.RanksPerNode <= 0 {
+		o.RanksPerNode = 1
+	}
+	if o.Model == nil {
+		m := loggp.DefaultCrayXC30()
+		o.Model = &m
+	}
+	if o.EagerThreshold == 0 {
+		o.EagerThreshold = 8192
+	}
+	if o.InlineThreshold == 0 {
+		o.InlineThreshold = 32
+	}
+	return o
+}
+
+// World is one job: engine + fabric + configuration.
+type World struct {
+	opts Options
+	env  interface {
+		exec.Env
+		Run(n int, body func(p *exec.Proc)) error
+	}
+	fab *fabric.Fabric
+}
+
+// NewWorld builds a world without running it (tests and benchmarks that
+// need access to the fabric before/after the run use this).
+func NewWorld(opts Options) *World {
+	opts = opts.withDefaults()
+	if opts.Ranks <= 0 {
+		panic(fmt.Sprintf("runtime: invalid rank count %d", opts.Ranks))
+	}
+	env := exec.New(opts.Mode)
+	if opts.UnreliableNetwork {
+		opts.GetNotifyMode = fabric.GetNotifyDeferred
+	}
+	cfg := fabric.Config{
+		Ranks:           opts.Ranks,
+		RanksPerNode:    opts.RanksPerNode,
+		Model:           *opts.Model,
+		InlineThreshold: opts.InlineThreshold,
+		ChargeOverheads: !opts.DisableOverheads,
+		GetNotifyMode:   opts.GetNotifyMode,
+		Trace:           opts.Trace,
+	}
+	return &World{opts: opts, env: env, fab: fabric.New(env, cfg)}
+}
+
+// Fabric returns the world's interconnect.
+func (w *World) Fabric() *fabric.Fabric { return w.fab }
+
+// Env returns the world's execution engine.
+func (w *World) Env() exec.Env { return w.env }
+
+// Options returns the (defaulted) options.
+func (w *World) Options() Options { return w.opts }
+
+// Run executes body on every rank and returns when all ranks finish.
+func (w *World) Run(body func(p *Proc)) error {
+	defer w.fab.Close()
+	return w.env.Run(w.opts.Ranks, func(ep *exec.Proc) {
+		body(&Proc{Proc: ep, world: w, nic: w.fab.NIC(ep.Rank())})
+	})
+}
+
+// Run is the one-call entry point: build a world and run body on each rank.
+func Run(opts Options, body func(p *Proc)) error {
+	return NewWorld(opts).Run(body)
+}
+
+// Proc is the per-rank handle: the exec.Proc plus this rank's NIC and world.
+type Proc struct {
+	*exec.Proc
+	world *World
+	nic   *fabric.NIC
+
+	// attachments holds per-rank layer endpoints (mp.Comm etc.), keyed by
+	// a layer-chosen key. Only the owning rank touches it.
+	attachments map[any]any
+}
+
+// World returns the job this rank belongs to.
+func (p *Proc) World() *World { return p.world }
+
+// NIC returns this rank's network interface.
+func (p *Proc) NIC() *fabric.NIC { return p.nic }
+
+// Model returns the LogGP model in force.
+func (p *Proc) Model() loggp.Model { return *p.world.opts.Model }
+
+// Attach stores a per-rank layer endpoint under key if absent and returns
+// the stored value. Layers use it to hang their per-rank state off the Proc.
+func (p *Proc) Attach(key any, mk func() any) any {
+	if p.attachments == nil {
+		p.attachments = map[any]any{}
+	}
+	if v, ok := p.attachments[key]; ok {
+		return v
+	}
+	v := mk()
+	p.attachments[key] = v
+	return v
+}
+
+// Barrier blocks until every rank has entered it. It is a centralized
+// (gather + release) barrier over control messages; the layers above use it
+// for setup synchronization (e.g. after memory registration, mirroring real
+// RDMA rkey exchange).
+func (p *Proc) Barrier() {
+	n := p.N()
+	if n == 1 {
+		return
+	}
+	if p.Rank() == 0 {
+		for i := 1; i < n; i++ {
+			p.nic.WaitMsg(p.Proc, func(m *fabric.Msg) bool { return m.Class == ClassBarrier && m.Payload.(int) == 0 })
+		}
+		for i := 1; i < n; i++ {
+			p.nic.PostMsg(p.Proc, i, ClassBarrier, 1, nil, false)
+		}
+	} else {
+		p.nic.PostMsg(p.Proc, 0, ClassBarrier, 0, nil, false)
+		p.nic.WaitMsg(p.Proc, func(m *fabric.Msg) bool { return m.Class == ClassBarrier && m.Payload.(int) == 1 })
+	}
+}

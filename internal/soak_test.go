@@ -1,0 +1,144 @@
+package internal_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/mp"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+)
+
+// TestSoakMixedLayers drives message passing, one-sided operations, and
+// notified access concurrently on one job for many rounds — the
+// cross-layer integration the individual suites don't exercise. Every
+// value is checked; the test runs under both engines.
+func TestSoakMixedLayers(t *testing.T) {
+	const (
+		ranks  = 6
+		rounds = 30
+	)
+	for _, mode := range []exec.Mode{exec.Sim, exec.Real} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			err := runtime.Run(runtime.Options{Ranks: ranks, Mode: mode}, func(p *runtime.Proc) {
+				me := p.Rank()
+				right := (me + 1) % ranks
+				left := (me - 1 + ranks) % ranks
+				comm := mp.New(p)
+				// No deferred collective Free: a rank panic during the round
+				// would deadlock inside the deferred barrier instead of
+				// surfacing; the window dies with the world.
+				win := rma.Allocate(p, 256)
+				naReq := core.NotifyInit(win, left, core.AnyTag, 1)
+				rng := rand.New(rand.NewSource(int64(me) + 77))
+
+				for round := 0; round < rounds; round++ {
+					// 1) Two-sided ring exchange, size varies across the
+					//    eager/rendezvous boundary.
+					size := 1 + rng.Intn(12000)
+					_ = size
+					// Deterministic per (sender, round) so the receiver can
+					// reconstruct independently of rng state divergence.
+					sz := func(sender, round int) int { return 1 + (sender*131+round*977)%12000 }
+					payload := func(sender, round, n int) []byte {
+						b := make([]byte, n)
+						for i := range b {
+							b[i] = byte(sender*7 + round*3 + i)
+						}
+						return b
+					}
+					rr := comm.Irecv(make([]byte, 12001), left, round)
+					comm.Send(right, round, payload(me, round, sz(me, round)))
+					st := comm.WaitRecv(rr)
+					if st.Count != sz(left, round) {
+						panic(fmt.Sprintf("rank %d round %d: mp size %d want %d", me, round, st.Count, sz(left, round)))
+					}
+
+					// 2) One-sided: fetch-and-op counter on rank 0, put a
+					//    marker into the right neighbor's window.
+					win.FetchAndOp(0, 0, 1)
+					var marker [8]byte
+					binary.LittleEndian.PutUint64(marker[:], uint64(me*1000+round))
+					win.Put(right, 8+8*me, marker[:])
+					win.Flush(right)
+
+					// 3) Notified access: tagged ring notification.
+					core.PutNotify(win, right, 8+8*ranks, payload(me, round, 16), round%core.MaxTag)
+					naReq.Start()
+					nst := naReq.Wait()
+					if nst.Source != left || nst.Tag != round%core.MaxTag {
+						panic(fmt.Sprintf("rank %d round %d: na status %+v", me, round, nst))
+					}
+					got := win.Buffer()[8+8*ranks : 8+8*ranks+16]
+					if !bytes.Equal(got, payload(left, round, 16)) {
+						panic(fmt.Sprintf("rank %d round %d: na payload mismatch", me, round))
+					}
+
+					// Verify the put marker BEFORE the barrier: the left
+					// neighbor flushed it before its notified put (FIFO), and
+					// cannot overwrite it until this round's barrier — after
+					// the barrier it may already be in the next round.
+					if round%7 == 3 {
+						v := binary.LittleEndian.Uint64(win.Buffer()[8+8*left:])
+						if v != uint64(left*1000+round) {
+							panic(fmt.Sprintf("rank %d round %d: marker %d", me, round, v))
+						}
+					}
+
+					// Settle before the next round so window slots can be
+					// reused safely.
+					p.Barrier()
+				}
+				p.Barrier()
+				if me == 0 {
+					total := binary.LittleEndian.Uint64(win.Buffer()[:8])
+					if total != uint64(ranks*rounds) {
+						panic(fmt.Sprintf("counter %d want %d", total, ranks*rounds))
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSoakLockAllSharedCounters hammers shared locks and atomics from all
+// ranks (passive target, no target CPU).
+func TestSoakLockAllSharedCounters(t *testing.T) {
+	for _, mode := range []exec.Mode{exec.Sim, exec.Real} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			const ranks = 4
+			const iters = 10
+			err := runtime.Run(runtime.Options{Ranks: ranks, Mode: mode}, func(p *runtime.Proc) {
+				win := rma.Allocate(p, 8*ranks)
+				defer win.Free()
+				for i := 0; i < iters; i++ {
+					win.LockAll()
+					for tgt := 0; tgt < ranks; tgt++ {
+						win.FetchAndOp(tgt, 8*p.Rank(), 1)
+					}
+					win.UnlockAll()
+				}
+				win.Sync()
+				p.Barrier()
+				for r := 0; r < ranks; r++ {
+					if v := win.Load64(8 * r); v != iters {
+						t.Errorf("rank %d: slot %d = %d want %d", p.Rank(), r, v, iters)
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+// Package stats provides the summary statistics the benchmark harness
+// reports: medians (the paper's headline statistic), means, and 99%
+// confidence intervals (the shaded bands in the paper's application
+// figures).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (NaN for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	// Halve before adding so extreme values cannot overflow.
+	return s[n/2-1]/2 + s[n/2]/2
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// z99 is the two-sided 99% normal quantile.
+const z99 = 2.5758293035489004
+
+// CI99 returns the half-width of the 99% confidence interval of the mean
+// under a normal approximation (the paper plots 99% CIs as shades).
+func CI99(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return z99 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// MinMax returns the extrema (NaNs for empty input).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median([]float64{7}) != 7 {
+		t.Fatal("single median")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("empty median")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if math.Abs(StdDev(xs)-2.138089935299395) > 1e-12 {
+		t.Fatalf("stddev = %v", StdDev(xs))
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Fatal("stddev of singleton")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestCI99ShrinksWithSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		return xs
+	}
+	small := CI99(mk(10))
+	large := CI99(mk(10000))
+	if !(large < small) {
+		t.Fatalf("CI99 did not shrink: %v vs %v", small, large)
+	}
+	if CI99([]float64{5}) != 0 {
+		t.Fatal("CI of singleton")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("min=%v max=%v", min, max)
+	}
+	m, _ := MinMax(nil)
+	if !math.IsNaN(m) {
+		t.Fatal("empty MinMax")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("extremes")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Fatal("median percentile")
+	}
+	if Percentile(xs, 25) != 2 {
+		t.Fatalf("p25 = %v", Percentile(xs, 25))
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile")
+	}
+}
+
+// Property: the median lies between min and max and equals the 50th
+// percentile.
+func TestMedianProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Median(xs)
+		min, max := MinMax(xs)
+		if m < min || m > max {
+			return false
+		}
+		return m == Percentile(xs, 50)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+int(n)%40)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		ps := []float64{0, 10, 25, 50, 75, 90, 100}
+		var vals []float64
+		for _, p := range ps {
+			vals = append(vals, Percentile(xs, p))
+		}
+		return sort.Float64sAreSorted(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,461 @@
+// Package stencil implements the paper's first motif application (§VI-A):
+// the Intel PRK Sync_p2p pipelined 3-point stencil,
+//
+//	A(i,j) = A(i-1,j) + A(i,j-1) - A(i-1,j-1),
+//
+// over an m-row × n-column domain decomposed column-blockwise. Each rank
+// computes its segment of row i after receiving the halo value of row i
+// from its left neighbor, then forwards its own right edge — the canonical
+// small-message producer-consumer pipeline. After each full sweep, the last
+// rank feeds the corner value back (negated) to rank 0.
+//
+// Four communication variants mirror the paper's comparison: Message
+// Passing, One Sided with fence, One Sided with general active target
+// (PSCW), and Notified Access.
+package stencil
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mp"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+// Variant selects the communication scheme.
+type Variant int
+
+const (
+	// MP is two-sided message passing (per-row send/recv).
+	MP Variant = iota
+	// Fence is One Sided with per-round global fence synchronization.
+	Fence
+	// PSCW is One Sided with general active target (post/start/complete/
+	// wait) between neighbors.
+	PSCW
+	// NA is Notified Access (per-row notified put, tag = row index).
+	NA
+)
+
+func (v Variant) String() string {
+	switch v {
+	case MP:
+		return "mp"
+	case Fence:
+		return "fence"
+	case PSCW:
+		return "pscw"
+	case NA:
+		return "na"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Variants lists all schemes in presentation order.
+var Variants = []Variant{MP, Fence, PSCW, NA}
+
+// Options configures a run.
+type Options struct {
+	Rows  int // m: pipeline depth
+	Cols  int // n: split across ranks (must divide evenly)
+	Iters int // full sweeps (feedback after each)
+	// CellCost is the modeled compute cost per grid-point update under the
+	// Sim engine (default 1ns).
+	CellCost simtime.Duration
+	Variant  Variant
+}
+
+func (o Options) withDefaults() Options {
+	if o.CellCost == 0 {
+		o.CellCost = 1
+	}
+	if o.Iters == 0 {
+		o.Iters = 1
+	}
+	return o
+}
+
+// Result reports one rank's view of a finished run (identical on all ranks
+// except Corner, which is authoritative on rank 0).
+type Result struct {
+	Corner  float64
+	Elapsed simtime.Duration
+	GMOPS   float64
+	Valid   bool
+}
+
+// ExpectedCorner returns the analytically known final corner value,
+// iters * (rows + cols - 2) — the PRK verification.
+func ExpectedCorner(o Options) float64 {
+	return float64(o.Iters) * float64(o.Rows+o.Cols-2)
+}
+
+// MemOps returns the modeled memory-operation count (4 references per
+// update), from which GMOPS is derived.
+func MemOps(o Options) float64 {
+	return 4 * float64(o.Rows-1) * float64(o.Cols-1) * float64(o.Iters)
+}
+
+// grid is one rank's block: w local columns over m rows, plus the received
+// left-halo column.
+type grid struct {
+	p           *runtime.Proc
+	o           Options
+	w           int // local columns
+	c0          int // first global column
+	a           []float64
+	halo        []float64 // halo[i] = A(i, c0-1)
+	left, right int
+}
+
+func newGrid(p *runtime.Proc, o Options) *grid {
+	n := p.N()
+	if o.Cols%n != 0 {
+		panic(fmt.Sprintf("stencil: cols %d not divisible by ranks %d", o.Cols, n))
+	}
+	w := o.Cols / n
+	if w < 2 && n > 1 {
+		// With a single column per rank, rank 1's row-0 halo would be
+		// A(0,0), which the corner feedback rewrites each sweep; PRK
+		// always runs with wide blocks, so require them.
+		panic(fmt.Sprintf("stencil: need >= 2 columns per rank, got %d", w))
+	}
+	g := &grid{
+		p: p, o: o, w: w, c0: p.Rank() * w,
+		a:    make([]float64, o.Rows*w),
+		halo: make([]float64, o.Rows),
+		left: p.Rank() - 1, right: p.Rank() + 1,
+	}
+	if g.right == n {
+		g.right = -1
+	}
+	g.reset()
+	return g
+}
+
+func (g *grid) reset() {
+	for i := range g.a {
+		g.a[i] = 0
+	}
+	// Row 0: A(0, j) = j.
+	for j := 0; j < g.w; j++ {
+		g.a[j] = float64(g.c0 + j)
+	}
+	// Column 0 boundary on rank 0: A(i, 0) = i.
+	if g.p.Rank() == 0 {
+		for i := 0; i < g.o.Rows; i++ {
+			g.a[i*g.w] = float64(i)
+		}
+	}
+	// The left halo of row 0 is the constant initial value c0-1.
+	if g.left >= 0 {
+		g.halo[0] = float64(g.c0 - 1)
+	}
+}
+
+// at returns A(i, local j).
+func (g *grid) at(i, j int) float64 { return g.a[i*g.w+j] }
+
+// computeRow updates row i of the local block and returns the right-edge
+// value. The arithmetic always runs; the modeled cost is charged under Sim.
+func (g *grid) computeRow(i int) float64 {
+	g.p.Work(g.o.CellCost*simtime.Duration(g.w), func() {
+		jStart := 0
+		if g.p.Rank() == 0 {
+			jStart = 1 // global column 0 is boundary
+		}
+		for j := jStart; j < g.w; j++ {
+			var left, upLeft float64
+			if j == 0 {
+				left, upLeft = g.halo[i], g.halo[i-1]
+			} else {
+				left, upLeft = g.at(i, j-1), g.at(i-1, j-1)
+			}
+			g.a[i*g.w+j] = g.at(i-1, j) + left - upLeft
+		}
+	})
+	return g.at(i, g.w-1)
+}
+
+// corner returns A(rows-1, cols-1); only meaningful on the last rank.
+func (g *grid) corner() float64 { return g.at(g.o.Rows-1, g.w-1) }
+
+// applyFeedback sets A(0,0) = -corner on rank 0.
+func (g *grid) applyFeedback(corner float64) {
+	if g.p.Rank() == 0 {
+		g.a[0] = -corner
+	}
+}
+
+const feedbackTag = 60000 // distinct from row tags (rows < 60000)
+
+// Run executes the stencil with the selected variant and returns the
+// result. All ranks must call it collectively.
+func Run(p *runtime.Proc, o Options) Result {
+	o = o.withDefaults()
+	if o.Rows >= feedbackTag {
+		panic("stencil: rows exceed tag space")
+	}
+	g := newGrid(p, o)
+	var corner float64
+	p.Barrier()
+	start := p.Now()
+	switch o.Variant {
+	case MP:
+		corner = runMP(g)
+	case Fence:
+		corner = runFence(g)
+	case PSCW:
+		corner = runPSCW(g)
+	case NA:
+		corner = runNA(g)
+	default:
+		panic(fmt.Sprintf("stencil: unknown variant %d", int(o.Variant)))
+	}
+	elapsed := p.Now().Sub(start)
+	res := Result{Corner: corner, Elapsed: elapsed}
+	if p.Rank() == 0 {
+		res.Valid = math.Abs(corner-ExpectedCorner(o)) < 1e-6
+		if elapsed > 0 {
+			res.GMOPS = MemOps(o) / elapsed.Seconds() / 1e9
+		}
+	}
+	p.Barrier()
+	return res
+}
+
+func f64bytes(v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+func f64of(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// runMP: per-row blocking send/recv; feedback via a tagged message.
+func runMP(g *grid) float64 {
+	p, o := g.p, g.o
+	c := mp.New(p)
+	last := p.N() - 1
+	var corner float64
+	for iter := 0; iter < o.Iters; iter++ {
+		for i := 1; i < o.Rows; i++ {
+			if g.left >= 0 {
+				var b [8]byte
+				c.Recv(b[:], g.left, i)
+				g.halo[i] = f64of(b[:])
+			}
+			edge := g.computeRow(i)
+			if g.right >= 0 {
+				c.Send(g.right, i, f64bytes(edge))
+			}
+		}
+		// Feedback: last rank sends the corner to rank 0.
+		if p.Rank() == last {
+			corner = g.corner()
+			if last != 0 {
+				c.Send(0, feedbackTag, f64bytes(corner))
+			}
+		}
+		if p.Rank() == 0 {
+			if last != 0 {
+				var b [8]byte
+				c.Recv(b[:], last, feedbackTag)
+				corner = f64of(b[:])
+			}
+			g.applyFeedback(corner)
+		}
+	}
+	return corner
+}
+
+// haloWin lays out the one-sided halo window: rows doubles of halo plus one
+// feedback slot.
+func haloWin(p *runtime.Proc, rows int) *rma.Win {
+	return rma.Allocate(p, 8*(rows+1))
+}
+
+func haloAt(w *rma.Win, i int) float64 {
+	return f64of(w.Buffer()[8*i:])
+}
+
+// runFence: staircase schedule with a global fence per round — the
+// variant the paper expects to be slowest: every row of pipeline progress
+// costs a full-job synchronization.
+func runFence(g *grid) float64 {
+	p, o := g.p, g.o
+	win := haloWin(p, o.Rows)
+	defer win.Free()
+	last := p.N() - 1
+	feedOff := 8 * o.Rows
+	var corner float64
+	for iter := 0; iter < o.Iters; iter++ {
+		rounds := (o.Rows - 1) + last
+		win.Fence()
+		for t := 1; t <= rounds; t++ {
+			i := t - p.Rank() // rank r computes row i during round i+r
+			if i >= 1 && i < o.Rows {
+				if g.left >= 0 {
+					g.halo[i] = haloAt(win, i)
+				}
+				edge := g.computeRow(i)
+				if g.right >= 0 {
+					win.Put(g.right, 8*i, f64bytes(edge))
+				}
+			}
+			win.Fence()
+		}
+		if p.Rank() == last {
+			corner = g.corner()
+			if last != 0 {
+				win.Put(0, feedOff, f64bytes(corner))
+			}
+		}
+		win.Fence()
+		if p.Rank() == 0 {
+			if last != 0 {
+				corner = haloAt(win, o.Rows)
+			}
+			g.applyFeedback(corner)
+		}
+		win.Fence()
+	}
+	return corner
+}
+
+// runPSCW: per-row general active target epochs between neighbor pairs.
+// Exposure epochs are pre-posted (the next row's Post is issued as soon as
+// the previous Wait returns) so the origin's Start finds the post already
+// delivered — the standard PSCW pipelining idiom.
+func runPSCW(g *grid) float64 {
+	p, o := g.p, g.o
+	win := haloWin(p, o.Rows)
+	defer win.Free()
+	last := p.N() - 1
+	feedOff := 8 * o.Rows
+	var corner float64
+	for iter := 0; iter < o.Iters; iter++ {
+		if g.left >= 0 {
+			win.Post([]int{g.left}) // exposure for row 1
+		} else if p.Rank() == 0 && last != 0 {
+			win.Post([]int{last}) // rank 0: feedback exposure
+		}
+		for i := 1; i < o.Rows; i++ {
+			if g.left >= 0 {
+				win.Wait()
+				g.halo[i] = haloAt(win, i)
+				if i+1 < o.Rows {
+					win.Post([]int{g.left}) // pre-post next row
+				}
+			}
+			edge := g.computeRow(i)
+			if g.right >= 0 {
+				win.Start([]int{g.right})
+				win.Put(g.right, 8*i, f64bytes(edge))
+				win.Complete()
+			}
+		}
+		if p.Rank() == last {
+			corner = g.corner()
+			if last != 0 {
+				win.Start([]int{0})
+				win.Put(0, feedOff, f64bytes(corner))
+				win.Complete()
+			}
+		}
+		if p.Rank() == 0 && last != 0 {
+			win.Wait()
+			corner = haloAt(win, o.Rows)
+		}
+		if p.Rank() == 0 {
+			g.applyFeedback(corner)
+		}
+	}
+	return corner
+}
+
+// runNA: per-row notified put; one persistent wildcard-tag request per
+// rank, matched in arrival (= row) order.
+func runNA(g *grid) float64 {
+	p, o := g.p, g.o
+	win := haloWin(p, o.Rows)
+	defer win.Free()
+	last := p.N() - 1
+	feedOff := 8 * o.Rows
+	var rowReq, feedReq *core.Request
+	if g.left >= 0 {
+		rowReq = core.NotifyInit(win, g.left, core.AnyTag, 1)
+		defer rowReq.Free()
+	}
+	if p.Rank() == 0 && last != 0 {
+		feedReq = core.NotifyInit(win, last, feedbackTag, 1)
+		defer feedReq.Free()
+	}
+	var corner float64
+	for iter := 0; iter < o.Iters; iter++ {
+		for i := 1; i < o.Rows; i++ {
+			if g.left >= 0 {
+				rowReq.Start()
+				st := rowReq.Wait()
+				if st.Tag != i {
+					panic(fmt.Sprintf("stencil: rank %d expected row %d notification, got tag %d", p.Rank(), i, st.Tag))
+				}
+				g.halo[i] = haloAt(win, i)
+			}
+			edge := g.computeRow(i)
+			if g.right >= 0 {
+				core.PutNotify(win, g.right, 8*i, f64bytes(edge), i)
+			}
+		}
+		if g.right >= 0 {
+			win.Flush(g.right) // origin buffer reuse across iterations
+		}
+		if p.Rank() == last {
+			corner = g.corner()
+			if last != 0 {
+				core.PutNotify(win, 0, feedOff, f64bytes(corner), feedbackTag)
+				win.Flush(0)
+			}
+		}
+		if p.Rank() == 0 && last != 0 {
+			feedReq.Start()
+			feedReq.Wait()
+			corner = haloAt(win, o.Rows)
+		}
+		if p.Rank() == 0 {
+			g.applyFeedback(corner)
+		}
+	}
+	return corner
+}
+
+// Serial computes the stencil on one thread for validation and returns the
+// final corner value.
+func Serial(o Options) float64 {
+	o = o.withDefaults()
+	m, n := o.Rows, o.Cols
+	a := make([]float64, m*n)
+	for j := 0; j < n; j++ {
+		a[j] = float64(j)
+	}
+	for i := 0; i < m; i++ {
+		a[i*n] = float64(i)
+	}
+	for iter := 0; iter < o.Iters; iter++ {
+		for i := 1; i < m; i++ {
+			for j := 1; j < n; j++ {
+				a[i*n+j] = a[(i-1)*n+j] + a[i*n+j-1] - a[(i-1)*n+j-1]
+			}
+		}
+		a[0] = -a[m*n-1]
+	}
+	// Note: feedback happens after the final sweep in PRK as well; the
+	// corner of the last sweep is the verified value.
+	return a[m*n-1]
+}

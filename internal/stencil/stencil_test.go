@@ -1,0 +1,147 @@
+package stencil
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+func TestSerialMatchesAnalyticCorner(t *testing.T) {
+	for _, o := range []Options{
+		{Rows: 2, Cols: 2, Iters: 1},
+		{Rows: 5, Cols: 7, Iters: 1},
+		{Rows: 8, Cols: 4, Iters: 3},
+		{Rows: 16, Cols: 16, Iters: 2},
+	} {
+		got := Serial(o)
+		want := ExpectedCorner(o)
+		if got != want {
+			t.Errorf("%+v: serial corner = %v, want %v", o, got, want)
+		}
+	}
+}
+
+func TestAllVariantsValidateBothModes(t *testing.T) {
+	for _, mode := range []exec.Mode{exec.Sim, exec.Real} {
+		for _, v := range Variants {
+			v := v
+			mode := mode
+			t.Run(mode.String()+"/"+v.String(), func(t *testing.T) {
+				o := Options{Rows: 12, Cols: 12, Iters: 2, Variant: v}
+				err := runtime.Run(runtime.Options{Ranks: 4, Mode: mode}, func(p *runtime.Proc) {
+					res := Run(p, o)
+					if p.Rank() == 0 {
+						if !res.Valid {
+							t.Errorf("corner = %v, want %v", res.Corner, ExpectedCorner(o))
+						}
+						if mode == exec.Sim && res.GMOPS <= 0 {
+							t.Errorf("GMOPS = %v", res.GMOPS)
+						}
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestVariantsVariousRankCounts(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 6} {
+		for _, v := range Variants {
+			o := Options{Rows: 9, Cols: 12, Iters: 1, Variant: v}
+			if 12%ranks != 0 {
+				continue
+			}
+			err := runtime.Run(runtime.Options{Ranks: ranks, Mode: exec.Sim}, func(p *runtime.Proc) {
+				res := Run(p, o)
+				if p.Rank() == 0 && !res.Valid {
+					t.Errorf("ranks=%d variant=%v: corner %v want %v", p.N(), v, res.Corner, ExpectedCorner(o))
+				}
+			})
+			if err != nil {
+				t.Fatalf("ranks=%d variant=%v: %v", ranks, v, err)
+			}
+		}
+	}
+}
+
+func TestIndivisibleColsPanics(t *testing.T) {
+	err := runtime.Run(runtime.Options{Ranks: 3, Mode: exec.Sim}, func(p *runtime.Proc) {
+		Run(p, Options{Rows: 4, Cols: 4, Iters: 1, Variant: MP})
+	})
+	if err == nil {
+		t.Fatal("expected panic for indivisible columns")
+	}
+}
+
+func TestSimVariantOrdering(t *testing.T) {
+	// The paper's headline shape (Fig 1 / Fig 4b): NA > MP > PSCW > fence
+	// in GMOPS on a communication-dominated configuration.
+	o := Options{Rows: 256, Cols: 64, Iters: 1, CellCost: 1}
+	perf := map[Variant]float64{}
+	for _, v := range Variants {
+		v := v
+		ov := o
+		ov.Variant = v
+		err := runtime.Run(runtime.Options{Ranks: 8, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := Run(p, ov)
+			if p.Rank() == 0 {
+				if !res.Valid {
+					t.Errorf("%v invalid", v)
+				}
+				perf[v] = res.GMOPS
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !(perf[NA] > perf[MP]) {
+		t.Errorf("NA (%.4f) should beat MP (%.4f)", perf[NA], perf[MP])
+	}
+	if !(perf[MP] > perf[PSCW]) {
+		t.Errorf("MP (%.4f) should beat PSCW (%.4f)", perf[MP], perf[PSCW])
+	}
+	if !(perf[PSCW] > perf[Fence]) {
+		t.Errorf("PSCW (%.4f) should beat fence (%.4f)", perf[PSCW], perf[Fence])
+	}
+}
+
+func TestSimDeterministicTiming(t *testing.T) {
+	run := func() simtime.Duration {
+		var d simtime.Duration
+		err := runtime.Run(runtime.Options{Ranks: 4, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := Run(p, Options{Rows: 32, Cols: 16, Iters: 2, Variant: NA})
+			if p.Rank() == 0 {
+				d = res.Elapsed
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if MP.String() != "mp" || Fence.String() != "fence" || PSCW.String() != "pscw" || NA.String() != "na" {
+		t.Fatal("variant names")
+	}
+	if Variant(9).String() == "" {
+		t.Fatal("unknown variant")
+	}
+}
+
+func TestMemOps(t *testing.T) {
+	o := Options{Rows: 3, Cols: 3, Iters: 2}
+	if MemOps(o) != 4*2*2*2 {
+		t.Fatalf("MemOps = %v", MemOps(o))
+	}
+}

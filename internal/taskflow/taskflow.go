@@ -1,0 +1,357 @@
+// Package taskflow is the generalized dataflow tasking system the paper's
+// §III motivates: "the tag can be selected to identify accessed memory
+// regions at the target and can thus be used to efficiently implement
+// starvation-free dataflow-based tasking systems."
+//
+// A Graph is a static DAG of tasks. Each task runs on its owner rank,
+// consumes data objects (possibly produced on other ranks), and produces
+// one object. When a producer finishes, it pushes the object to every rank
+// that consumes it; under the NA variant a single notified put per
+// consumer carries the data and its identity (tag = object id), and each
+// rank's scheduler sits in one wildcard Wait dispatching whatever arrives
+// — no polling, no buffer negotiation, no starvation. The MP variant is
+// the tag-coded Probe/Recv scheme the paper's Cholesky uses as baseline.
+package taskflow
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mp"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+// Variant selects the communication scheme.
+type Variant int
+
+const (
+	// MP moves objects with tag-coded messages (probe + recv).
+	MP Variant = iota
+	// NA moves objects with tag-matched notified puts.
+	NA
+)
+
+func (v Variant) String() string {
+	if v == MP {
+		return "mp"
+	}
+	return "na"
+}
+
+// Variants lists the schemes.
+var Variants = []Variant{MP, NA}
+
+// ObjID names a data object (must be dense, 0..NumObjects-1).
+type ObjID int
+
+// Task is one node of the DAG.
+type Task struct {
+	ID     int
+	Owner  int     // executing rank
+	Inputs []ObjID // consumed objects (any producer rank)
+	Output ObjID   // produced object (unique per task)
+	// Run computes the output from the inputs (always executed, for
+	// correctness); Cost is the modeled compute time under Sim.
+	Run  func(inputs [][]byte, out []byte)
+	Cost simtime.Duration
+}
+
+// Graph is a static task DAG over fixed-size objects.
+type Graph struct {
+	Tasks   []Task
+	ObjSize int // bytes per object (uniform)
+}
+
+// Validate checks graph invariants: unique outputs, dense object ids,
+// acyclicity, input producers exist.
+func (g *Graph) Validate(ranks int) error {
+	producer := map[ObjID]int{}
+	maxObj := ObjID(-1)
+	for _, t := range g.Tasks {
+		if t.Owner < 0 || t.Owner >= ranks {
+			return fmt.Errorf("taskflow: task %d owner %d out of range", t.ID, t.Owner)
+		}
+		if _, dup := producer[t.Output]; dup {
+			return fmt.Errorf("taskflow: object %d produced twice", t.Output)
+		}
+		producer[t.Output] = t.ID
+		if t.Output > maxObj {
+			maxObj = t.Output
+		}
+		for _, in := range t.Inputs {
+			if in > maxObj {
+				maxObj = in
+			}
+		}
+	}
+	for _, t := range g.Tasks {
+		for _, in := range t.Inputs {
+			if _, ok := producer[in]; !ok {
+				return fmt.Errorf("taskflow: task %d consumes object %d that no task produces", t.ID, in)
+			}
+		}
+	}
+	if int(maxObj)+1 != len(g.Tasks) {
+		return fmt.Errorf("taskflow: object ids not dense: max %d with %d tasks", maxObj, len(g.Tasks))
+	}
+	// Acyclicity via Kahn's algorithm on object dependencies.
+	indeg := make([]int, len(g.Tasks))
+	consumers := map[ObjID][]int{}
+	byOutput := map[ObjID]int{}
+	for i, t := range g.Tasks {
+		byOutput[t.Output] = i
+		indeg[i] = len(t.Inputs)
+		for _, in := range t.Inputs {
+			consumers[in] = append(consumers[in], i)
+		}
+	}
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, c := range consumers[g.Tasks[i].Output] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if seen != len(g.Tasks) {
+		return fmt.Errorf("taskflow: graph has a cycle (%d of %d tasks reachable)", seen, len(g.Tasks))
+	}
+	return nil
+}
+
+// SerialExecute runs the whole graph on one thread (topological order) and
+// returns every object's bytes — the correctness reference.
+func (g *Graph) SerialExecute() ([][]byte, error) {
+	objs := make([][]byte, len(g.Tasks))
+	done := make([]bool, len(g.Tasks))
+	byOutput := map[ObjID]*Task{}
+	for i := range g.Tasks {
+		byOutput[g.Tasks[i].Output] = &g.Tasks[i]
+	}
+	var exec func(t *Task) error
+	exec = func(t *Task) error {
+		if done[t.Output] {
+			return nil
+		}
+		ins := make([][]byte, len(t.Inputs))
+		for i, in := range t.Inputs {
+			if err := exec(byOutput[in]); err != nil {
+				return err
+			}
+			ins[i] = objs[in]
+		}
+		out := make([]byte, g.ObjSize)
+		t.Run(ins, out)
+		objs[t.Output] = out
+		done[t.Output] = true
+		return nil
+	}
+	for i := range g.Tasks {
+		if err := exec(&g.Tasks[i]); err != nil {
+			return nil, err
+		}
+	}
+	return objs, nil
+}
+
+// Result reports one rank's execution.
+type Result struct {
+	// Elapsed spans the whole collective execution including the final
+	// drain and flush.
+	Elapsed simtime.Duration
+	// LastTask is when this rank finished its last local task (relative to
+	// the start): max over ranks = the DAG makespan, the fair comparison
+	// metric (the producer-side flush is off the application's critical
+	// path).
+	LastTask simtime.Duration
+	Executed int // tasks run on this rank
+}
+
+const taskflowMPTagBase = 9 << 16 // distinct mp tag space
+
+// Execute runs the graph collectively and returns this rank's result.
+// Objects this rank produced or received stay accessible via the returned
+// fetch function (object id -> bytes, nil if never needed here).
+func Execute(p *runtime.Proc, g *Graph, variant Variant) (Result, func(ObjID) []byte) {
+	if err := g.Validate(p.N()); err != nil {
+		panic(err)
+	}
+	n := len(g.Tasks)
+	me := p.Rank()
+
+	// Index the graph.
+	byOutput := make([]*Task, n)
+	consumers := make([][]int, n) // object -> consuming ranks (dedup)
+	var myTasks []*Task
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		byOutput[t.Output] = t
+		if t.Owner == me {
+			myTasks = append(myTasks, t)
+		}
+	}
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		for _, in := range t.Inputs {
+			rs := consumers[in]
+			found := false
+			for _, r := range rs {
+				if r == t.Owner {
+					found = true
+				}
+			}
+			if !found && t.Owner != byOutput[in].Owner {
+				consumers[in] = append(rs, t.Owner)
+			}
+		}
+	}
+	// needHere: objects this rank must hold (inputs of local tasks).
+	needHere := make([]bool, n)
+	for _, t := range myTasks {
+		for _, in := range t.Inputs {
+			needHere[in] = true
+		}
+	}
+	// expect: number of remote objects that will arrive here.
+	expect := 0
+	for obj := 0; obj < n; obj++ {
+		if needHere[obj] && byOutput[obj].Owner != me {
+			expect++
+		}
+	}
+
+	// Storage: one slot per object in an RMA window (used by both
+	// variants; MP copies received payloads into it).
+	win := rma.Allocate(p, n*g.ObjSize)
+	defer win.Free()
+	slot := func(obj ObjID) []byte {
+		return win.Buffer()[int(obj)*g.ObjSize : (int(obj)+1)*g.ObjSize]
+	}
+	present := make([]bool, n)
+
+	var comm *mp.Comm
+	var req *core.Request
+	switch variant {
+	case MP:
+		comm = mp.New(p)
+	case NA:
+		req = core.NotifyInit(win, core.AnySource, core.AnyTag, 1)
+		defer req.Free()
+	}
+
+	var pendingSends []*mp.SendReq
+	publish := func(obj ObjID) {
+		for _, r := range consumers[obj] {
+			switch variant {
+			case MP:
+				// Isend: a blocking rendezvous send could deadlock two
+				// ranks publishing to each other.
+				pendingSends = append(pendingSends, comm.Isend(r, taskflowMPTagBase+int(obj), slot(obj)))
+			case NA:
+				core.PutNotify(win, r, int(obj)*g.ObjSize, slot(obj), int(obj))
+			}
+		}
+	}
+
+	// receiveOne blocks for the next arriving object and marks it present.
+	receiveOne := func() ObjID {
+		switch variant {
+		case MP:
+			st := comm.Probe(mp.AnySource, mp.AnyTag)
+			obj := ObjID(st.Tag - taskflowMPTagBase)
+			comm.Recv(slot(obj), st.Source, st.Tag)
+			present[obj] = true
+			return obj
+		default:
+			req.Start()
+			s := req.Wait()
+			obj := ObjID(s.Tag)
+			present[obj] = true
+			return obj
+		}
+	}
+
+	// Scheduler: run local tasks whose inputs are present; otherwise block
+	// for the next arrival — the starvation-free dispatch loop.
+	pending := append([]*Task(nil), myTasks...)
+	sort.Slice(pending, func(i, j int) bool { return pending[i].ID < pending[j].ID })
+	ready := func(t *Task) bool {
+		for _, in := range t.Inputs {
+			if !present[in] {
+				return false
+			}
+		}
+		return true
+	}
+
+	p.Barrier()
+	start := p.Now()
+	executed := 0
+	received := 0
+	var lastTask simtime.Time
+	for len(pending) > 0 {
+		ran := false
+		for i := 0; i < len(pending); i++ {
+			t := pending[i]
+			if !ready(t) {
+				continue
+			}
+			ins := make([][]byte, len(t.Inputs))
+			for k, in := range t.Inputs {
+				ins[k] = slot(in)
+			}
+			out := slot(t.Output)
+			p.Work(t.Cost, func() { t.Run(ins, out) })
+			present[t.Output] = true
+			lastTask = p.Now()
+			publish(t.Output)
+			pending = append(pending[:i], pending[i+1:]...)
+			i--
+			executed++
+			ran = true
+		}
+		if len(pending) == 0 {
+			break
+		}
+		if !ran {
+			receiveOne()
+			received++
+		}
+	}
+	// Drain remaining incoming objects (late arrivals other ranks pushed).
+	for received < expect {
+		receiveOne()
+		received++
+	}
+	for _, sr := range pendingSends {
+		comm.WaitSend(sr)
+	}
+	win.FlushAll()
+	elapsed := p.Now().Sub(start)
+	p.Barrier()
+	lastDur := simtime.Duration(0)
+	if executed > 0 {
+		lastDur = lastTask.Sub(start)
+	}
+
+	fetch := func(obj ObjID) []byte {
+		if int(obj) >= n || !present[obj] {
+			return nil
+		}
+		return slot(obj)
+	}
+	return Result{Elapsed: elapsed, LastTask: lastDur, Executed: executed}, fetch
+}

@@ -1,0 +1,214 @@
+package taskflow
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+// sumTask builds a Run that writes (sum of first input bytes + own id).
+func sumTask(id int) func(ins [][]byte, out []byte) {
+	return func(ins [][]byte, out []byte) {
+		acc := byte(id)
+		for _, in := range ins {
+			acc += in[0]
+		}
+		for i := range out {
+			out[i] = acc + byte(i)
+		}
+	}
+}
+
+// diamond returns the classic 4-task diamond DAG spread over `ranks`.
+func diamond(ranks int) *Graph {
+	own := func(i int) int { return i % ranks }
+	return &Graph{
+		ObjSize: 16,
+		Tasks: []Task{
+			{ID: 0, Owner: own(0), Inputs: nil, Output: 0, Run: sumTask(0), Cost: 10},
+			{ID: 1, Owner: own(1), Inputs: []ObjID{0}, Output: 1, Run: sumTask(1), Cost: 10},
+			{ID: 2, Owner: own(2), Inputs: []ObjID{0}, Output: 2, Run: sumTask(2), Cost: 10},
+			{ID: 3, Owner: own(3), Inputs: []ObjID{1, 2}, Output: 3, Run: sumTask(3), Cost: 10},
+		},
+	}
+}
+
+func TestDiamondMatchesSerial(t *testing.T) {
+	for _, mode := range []exec.Mode{exec.Sim, exec.Real} {
+		for _, v := range Variants {
+			v, mode := v, mode
+			t.Run(mode.String()+"/"+v.String(), func(t *testing.T) {
+				g := diamond(3)
+				want, err := g.SerialExecute()
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = runtime.Run(runtime.Options{Ranks: 3, Mode: mode}, func(p *runtime.Proc) {
+					res, fetch := Execute(p, g, v)
+					// The rank that ran task 3 must hold the final object.
+					if g.Tasks[3].Owner == p.Rank() {
+						got := fetch(3)
+						if !bytes.Equal(got, want[3]) {
+							t.Errorf("final object: got %v want %v", got[:4], want[3][:4])
+						}
+					}
+					total := 0
+					for _, task := range g.Tasks {
+						if task.Owner == p.Rank() {
+							total++
+						}
+					}
+					if res.Executed != total {
+						t.Errorf("rank %d executed %d tasks, want %d", p.Rank(), res.Executed, total)
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// randomDAG builds a random layered DAG: each task consumes 0-3 objects
+// from strictly earlier tasks.
+func randomDAG(rng *rand.Rand, nTasks, ranks int) *Graph {
+	g := &Graph{ObjSize: 8 + rng.Intn(64)}
+	for i := 0; i < nTasks; i++ {
+		t := Task{ID: i, Owner: rng.Intn(ranks), Output: ObjID(i), Run: sumTask(i), Cost: simtime.Duration(rng.Intn(200))}
+		if i > 0 {
+			nIn := rng.Intn(4)
+			if nIn > i {
+				nIn = i
+			}
+			seen := map[int]bool{}
+			for k := 0; k < nIn; k++ {
+				in := rng.Intn(i)
+				if !seen[in] {
+					seen[in] = true
+					t.Inputs = append(t.Inputs, ObjID(in))
+				}
+			}
+		}
+		g.Tasks = append(g.Tasks, t)
+	}
+	return g
+}
+
+func TestRandomDAGsMatchSerialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 2 + rng.Intn(4)
+		g := randomDAG(rng, 5+rng.Intn(20), ranks)
+		want, err := g.SerialExecute()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		ok := true
+		for _, v := range Variants {
+			err = runtime.Run(runtime.Options{Ranks: ranks, Mode: exec.Sim}, func(p *runtime.Proc) {
+				_, fetch := Execute(p, g, v)
+				for _, task := range g.Tasks {
+					if task.Owner != p.Rank() {
+						continue
+					}
+					got := fetch(task.Output)
+					if !bytes.Equal(got, want[task.Output]) {
+						ok = false
+					}
+				}
+			})
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNAFasterThanMPOnWideDAG(t *testing.T) {
+	// A wide, shallow DAG with small objects: communication dominated.
+	rng := rand.New(rand.NewSource(7))
+	g := &Graph{ObjSize: 64}
+	const width = 24
+	g.Tasks = append(g.Tasks, Task{ID: 0, Owner: 0, Output: 0, Run: sumTask(0), Cost: 100})
+	for i := 1; i <= width; i++ {
+		g.Tasks = append(g.Tasks, Task{ID: i, Owner: i % 8, Inputs: []ObjID{0}, Output: ObjID(i), Run: sumTask(i), Cost: 100})
+	}
+	_ = rng
+	// Compare makespans: the time the last task anywhere completed.
+	times := map[Variant]simtime.Duration{}
+	for _, v := range Variants {
+		v := v
+		var makespan simtime.Duration
+		err := runtime.Run(runtime.Options{Ranks: 8, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res, _ := Execute(p, g, v)
+			if res.LastTask > makespan {
+				makespan = res.LastTask // Sim kernel serializes ranks
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[v] = makespan
+	}
+	if !(times[NA] < times[MP]) {
+		t.Errorf("NA (%v) should beat MP (%v) on the latency-bound DAG", times[NA], times[MP])
+	}
+}
+
+func TestValidateRejectsBadGraphs(t *testing.T) {
+	mk := func(tasks []Task) error {
+		g := &Graph{ObjSize: 8, Tasks: tasks}
+		return g.Validate(4)
+	}
+	if err := mk([]Task{{ID: 0, Owner: 9, Output: 0}}); err == nil {
+		t.Error("owner out of range accepted")
+	}
+	if err := mk([]Task{{ID: 0, Owner: 0, Output: 0}, {ID: 1, Owner: 1, Output: 0}}); err == nil {
+		t.Error("duplicate output accepted")
+	}
+	if err := mk([]Task{{ID: 0, Owner: 0, Output: 0, Inputs: []ObjID{5}}}); err == nil {
+		t.Error("missing producer accepted")
+	}
+	if err := mk([]Task{{ID: 0, Owner: 0, Output: 0, Inputs: []ObjID{1}},
+		{ID: 1, Owner: 0, Output: 1, Inputs: []ObjID{0}}}); err == nil {
+		t.Error("cycle accepted")
+	}
+	if err := mk([]Task{{ID: 0, Owner: 0, Output: 3}}); err == nil {
+		t.Error("non-dense object ids accepted")
+	}
+}
+
+func TestSingleRankDAG(t *testing.T) {
+	g := diamond(1)
+	want, _ := g.SerialExecute()
+	err := runtime.Run(runtime.Options{Ranks: 1, Mode: exec.Sim}, func(p *runtime.Proc) {
+		res, fetch := Execute(p, g, NA)
+		if res.Executed != 4 {
+			t.Errorf("executed %d", res.Executed)
+		}
+		if !bytes.Equal(fetch(3), want[3]) {
+			t.Error("result mismatch")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if MP.String() != "mp" || NA.String() != "na" {
+		t.Fatal("names")
+	}
+}

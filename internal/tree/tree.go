@@ -1,0 +1,295 @@
+// Package tree implements the paper's hierarchical computation motif
+// (§VI-B): a k-ary (default 16-ary) tree reduction of small vectors,
+// representing fan-in/fan-out patterns (FMM, Barnes-Hut, hierarchical
+// matrices). Variants: Message Passing, One Sided general active target,
+// Notified Access (using the counting feature: one request waits for all
+// children), and an optimized binomial reduce standing in for the vendor
+// MPI_Reduce.
+package tree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/mp"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+// Variant selects the communication scheme.
+type Variant int
+
+const (
+	// MP is two-sided message passing.
+	MP Variant = iota
+	// PSCW is One Sided with general active target synchronization.
+	PSCW
+	// NA is Notified Access with one counting request per parent.
+	NA
+	// Reduce is the optimized binomial reduction (the vendor MPI_Reduce
+	// stand-in).
+	Reduce
+)
+
+func (v Variant) String() string {
+	switch v {
+	case MP:
+		return "mp"
+	case PSCW:
+		return "pscw"
+	case NA:
+		return "na"
+	case Reduce:
+		return "reduce"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Variants lists all schemes in presentation order.
+var Variants = []Variant{MP, PSCW, NA, Reduce}
+
+// Options configures a reduction.
+type Options struct {
+	Arity   int // tree fan-in (paper: 16)
+	Len     int // vector length in float64s (small: latency-bound)
+	Variant Variant
+	// ElemCost is the modeled cost of one element-wise add (default 1ns).
+	ElemCost simtime.Duration
+	// Rounds repeats the reduction to amortize noise (default 1).
+	Rounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Arity == 0 {
+		o.Arity = 16
+	}
+	if o.Len == 0 {
+		o.Len = 8
+	}
+	if o.ElemCost == 0 {
+		o.ElemCost = 1
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 1
+	}
+	return o
+}
+
+// Result reports a finished run; Valid and Sum are authoritative on rank 0.
+type Result struct {
+	Elapsed simtime.Duration // total over Rounds
+	Sum     []float64
+	Valid   bool
+}
+
+// Expected returns the analytic reduction result for contribution(rank) =
+// rank+1 at every element offset e: sum over ranks of (rank+1+e).
+func Expected(n, length int) []float64 {
+	out := make([]float64, length)
+	for e := range out {
+		s := 0.0
+		for r := 0; r < n; r++ {
+			s += float64(r + 1 + e)
+		}
+		out[e] = s
+	}
+	return out
+}
+
+// contribution is rank r's input vector.
+func contribution(r, length int) []float64 {
+	v := make([]float64, length)
+	for e := range v {
+		v[e] = float64(r + 1 + e)
+	}
+	return v
+}
+
+func children(r, arity, n int) []int {
+	var cs []int
+	for c := arity*r + 1; c <= arity*r+arity && c < n; c++ {
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+func parent(r, arity int) int { return (r - 1) / arity }
+
+func encodeVec(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+func decodeVec(b []byte, out []float64) {
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// Run executes the reduction collectively and returns the result.
+func Run(p *runtime.Proc, o Options) Result {
+	o = o.withDefaults()
+	kids := children(p.Rank(), o.Arity, p.N())
+	var res Result
+
+	// One window reused across rounds for the RMA variants: one slot of
+	// Len doubles per possible child, double-buffered by round parity for
+	// NA (slots must not be overwritten before the parent reads them).
+	var win *rma.Win
+	var reqs [2]*core.Request // one counting request per round parity
+	var creditReq *core.Request
+	needWin := o.Variant == PSCW || o.Variant == NA
+	if needWin {
+		win = rma.Allocate(p, 2*8*o.Len*o.Arity)
+		defer win.Free()
+	}
+	if o.Variant == NA {
+		if len(kids) > 0 {
+			// The counting feature: a single request completes after all
+			// children have deposited (paper §VI-B). One request per round
+			// parity keeps successive rounds' notifications apart.
+			for par := 0; par < 2; par++ {
+				r := core.NotifyInit(win, core.AnySource, treeTag+par, len(kids))
+				reqs[par] = r
+				defer r.Free()
+			}
+		}
+		if p.Rank() != 0 {
+			creditReq = core.NotifyInit(win, parent(p.Rank(), o.Arity), creditTag, 1)
+			defer creditReq.Free()
+		}
+	}
+
+	p.Barrier()
+	start := p.Now()
+	var sum []float64
+	for round := 0; round < o.Rounds; round++ {
+		switch o.Variant {
+		case MP:
+			sum = runMP(p, o, kids, round)
+		case PSCW:
+			sum = runPSCW(p, o, kids, win)
+		case NA:
+			sum = runNA(p, o, kids, win, reqs[round%2], creditReq, round)
+		case Reduce:
+			sum = coll.Reduce(mp.New(p), 0, contribution(p.Rank(), o.Len))
+		default:
+			panic(fmt.Sprintf("tree: unknown variant %d", int(o.Variant)))
+		}
+	}
+	res.Elapsed = p.Now().Sub(start)
+	if p.Rank() == 0 {
+		res.Sum = sum
+		res.Valid = true
+		want := Expected(p.N(), o.Len)
+		for i := range want {
+			if math.Abs(sum[i]-want[i]) > 1e-9 {
+				res.Valid = false
+			}
+		}
+	}
+	p.Barrier()
+	return res
+}
+
+// reduceLocal folds child vectors into acc, charging the modeled cost.
+func reduceLocal(p *runtime.Proc, o Options, acc []float64, child []float64) {
+	p.Work(o.ElemCost*simtime.Duration(len(acc)), func() {
+		for i := range acc {
+			acc[i] += child[i]
+		}
+	})
+}
+
+const (
+	treeTag   = 77 // data notifications use treeTag+parity (77, 78)
+	creditTag = 90
+)
+
+func runMP(p *runtime.Proc, o Options, kids []int, round int) []float64 {
+	c := mp.New(p)
+	acc := contribution(p.Rank(), o.Len)
+	buf := make([]byte, 8*o.Len)
+	child := make([]float64, o.Len)
+	// The round is folded into the tag so overlapping rounds cannot mix
+	// (wildcard receives would otherwise double-count a fast child).
+	tag := treeTag + 2 + round
+	for range kids {
+		c.Recv(buf, mp.AnySource, tag)
+		decodeVec(buf, child)
+		reduceLocal(p, o, acc, child)
+	}
+	if p.Rank() != 0 {
+		c.Send(parent(p.Rank(), o.Arity), tag, encodeVec(acc))
+		return nil
+	}
+	return acc
+}
+
+func runPSCW(p *runtime.Proc, o Options, kids []int, win *rma.Win) []float64 {
+	acc := contribution(p.Rank(), o.Len)
+	child := make([]float64, o.Len)
+	if len(kids) > 0 {
+		win.Post(kids)
+		win.Wait()
+		for ci := range kids {
+			decodeVec(win.Buffer()[8*o.Len*ci:], child)
+			reduceLocal(p, o, acc, child)
+		}
+	}
+	if p.Rank() != 0 {
+		par := parent(p.Rank(), o.Arity)
+		slot := (p.Rank() - 1) % o.Arity
+		win.Start([]int{par})
+		win.Put(par, 8*o.Len*slot, encodeVec(acc))
+		win.Complete()
+		return nil
+	}
+	return acc
+}
+
+func runNA(p *runtime.Proc, o Options, kids []int, win *rma.Win, req, creditReq *core.Request, round int) []float64 {
+	acc := contribution(p.Rank(), o.Len)
+	child := make([]float64, o.Len)
+	parity := round % 2
+	base := parity * 8 * o.Len * o.Arity
+	if len(kids) > 0 {
+		req.Start()
+		req.Wait() // one counting request for all children
+		for ci := range kids {
+			decodeVec(win.Buffer()[base+8*o.Len*ci:], child)
+			reduceLocal(p, o, acc, child)
+		}
+	}
+	if p.Rank() != 0 {
+		if round >= 2 {
+			// Wait for the credit releasing this parity's slot.
+			creditReq.Start()
+			creditReq.Wait()
+		}
+		par := parent(p.Rank(), o.Arity)
+		slot := (p.Rank() - 1) % o.Arity
+		// Local completion at post suffices for buffer reuse (the fabric,
+		// like FMA, consumes the source buffer at injection) — no flush on
+		// the critical path.
+		core.PutNotify(win, par, base+8*o.Len*slot, encodeVec(acc), treeTag+parity)
+	}
+	// Flow-control credits go out after the upward put so they stay off
+	// the critical path: release this parity's slots for round+2.
+	if len(kids) > 0 && round+2 < o.Rounds {
+		for _, k := range kids {
+			core.PutNotify(win, k, 0, nil, creditTag)
+		}
+	}
+	if p.Rank() != 0 {
+		return nil
+	}
+	return acc
+}

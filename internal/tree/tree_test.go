@@ -1,0 +1,147 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+func TestTreeTopology(t *testing.T) {
+	// 16-ary: rank 0's children are 1..16; parent of 17 is 1.
+	kids := children(0, 16, 40)
+	if len(kids) != 16 || kids[0] != 1 || kids[15] != 16 {
+		t.Fatalf("children(0) = %v", kids)
+	}
+	if got := children(1, 16, 40); len(got) != 16 || got[0] != 17 || got[15] != 32 {
+		t.Fatalf("children(1) = %v", got)
+	}
+	if got := children(2, 16, 40); len(got) != 7 || got[0] != 33 || got[6] != 39 {
+		// rank 2's children 33..48 capped at n=40.
+		t.Fatalf("children(2) = %v", got)
+	}
+	if parent(17, 16) != 1 || parent(16, 16) != 0 || parent(1, 16) != 0 {
+		t.Fatal("parent mapping")
+	}
+	if children(5, 4, 6) != nil {
+		t.Fatal("leaf should have no children")
+	}
+}
+
+func TestExpected(t *testing.T) {
+	got := Expected(3, 2)
+	// e=0: 1+2+3=6; e=1: 2+3+4=9.
+	if got[0] != 6 || got[1] != 9 {
+		t.Fatalf("Expected = %v", got)
+	}
+}
+
+func TestAllVariantsValidate(t *testing.T) {
+	for _, mode := range []exec.Mode{exec.Sim, exec.Real} {
+		for _, v := range Variants {
+			v, mode := v, mode
+			t.Run(mode.String()+"/"+v.String(), func(t *testing.T) {
+				err := runtime.Run(runtime.Options{Ranks: 9, Mode: mode}, func(p *runtime.Proc) {
+					res := Run(p, Options{Arity: 4, Len: 8, Variant: v, Rounds: 3})
+					if p.Rank() == 0 && !res.Valid {
+						t.Errorf("variant %v: sum %v, want %v", v, res.Sum, Expected(p.N(), 8))
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestSixteenAryLargerJob(t *testing.T) {
+	for _, v := range Variants {
+		v := v
+		err := runtime.Run(runtime.Options{Ranks: 40, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := Run(p, Options{Arity: 16, Len: 4, Variant: v, Rounds: 2})
+			if p.Rank() == 0 && !res.Valid {
+				t.Errorf("variant %v invalid at 40 ranks", v)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestSingleRank(t *testing.T) {
+	for _, v := range Variants {
+		err := runtime.Run(runtime.Options{Ranks: 1, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := Run(p, Options{Variant: v})
+			if !res.Valid {
+				t.Errorf("variant %v invalid for 1 rank", v)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSimNAFastestForSmallMessages(t *testing.T) {
+	// Fig 4c shape: for latency-bound small messages, NA beats MP and
+	// PSCW; it even beats the optimized binomial reduce at scale.
+	times := map[Variant]simtime.Duration{}
+	for _, v := range Variants {
+		v := v
+		err := runtime.Run(runtime.Options{Ranks: 64, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := Run(p, Options{Arity: 16, Len: 8, Variant: v, Rounds: 1})
+			if p.Rank() == 0 {
+				if !res.Valid {
+					t.Errorf("%v invalid", v)
+				}
+				times[v] = res.Elapsed
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !(times[NA] < times[MP]) {
+		t.Errorf("NA (%v) should beat MP (%v)", times[NA], times[MP])
+	}
+	if !(times[NA] < times[PSCW]) {
+		t.Errorf("NA (%v) should beat PSCW (%v)", times[NA], times[PSCW])
+	}
+	if !(times[NA] < times[Reduce]) {
+		t.Errorf("NA (%v) should beat optimized reduce (%v) on small messages", times[NA], times[Reduce])
+	}
+	if !(times[MP] < times[PSCW]) {
+		t.Errorf("MP (%v) should beat PSCW (%v)", times[MP], times[PSCW])
+	}
+}
+
+func TestDeterministicTiming(t *testing.T) {
+	run := func() simtime.Duration {
+		var d simtime.Duration
+		err := runtime.Run(runtime.Options{Ranks: 20, Mode: exec.Sim}, func(p *runtime.Proc) {
+			res := Run(p, Options{Arity: 16, Variant: NA, Rounds: 3})
+			if p.Rank() == 0 {
+				d = res.Elapsed
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	want := map[Variant]string{MP: "mp", PSCW: "pscw", NA: "na", Reduce: "reduce"}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d -> %q", int(v), v.String())
+		}
+	}
+}
