@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/fompi"
@@ -248,22 +249,22 @@ func BenchmarkRealNotifyRoundTrip(b *testing.B) {
 }
 
 // BenchmarkMatchOverhead measures the Test/Wait matching path with a deep
-// unexpected queue — the cost the paper bounds at two compulsory cache
-// misses. The metric of interest is ns/op with the UQ populated.
+// unexpected store — the cost the paper bounds at two compulsory cache
+// misses. The metric of interest is ns/op with the store populated.
 func BenchmarkMatchOverhead(b *testing.B) {
 	const uqDepth = 64
 	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Real}, func(p *runtime.Proc) {
 		win := rma.Allocate(p, 8)
 		defer win.Free()
 		if p.Rank() == 0 {
-			// Park uqDepth non-matching notifications in the UQ.
+			// Park uqDepth non-matching notifications in the store.
 			p.Barrier()
 			probe := core.NotifyInit(win, 1, 500, 1)
 			probe.Start()
-			probe.Wait() // pulls everything into the UQ
+			probe.Wait()
 			probe.Free()
 			if got := core.PendingNotifications(win); got != uqDepth {
-				b.Fatalf("UQ depth %d", got)
+				b.Fatalf("store depth %d", got)
 			}
 			req := core.NotifyInit(win, 1, 999, 1) // never matches
 			req.Start()
@@ -289,6 +290,64 @@ func BenchmarkMatchOverhead(b *testing.B) {
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkNotifyMatch measures the cost of one Test() probe with K
+// outstanding never-matching requests and K stale notifications parked in
+// the unexpected store. The seed implementation scans the whole unexpected
+// queue on every Test (O(K)); the matching engine answers from per-request
+// credit counters (O(1)), so ns/op should stay roughly flat in K.
+func BenchmarkNotifyMatch(b *testing.B) {
+	for _, k := range []int{1, 16, 64, 256} {
+		k := k
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Real}, func(p *runtime.Proc) {
+				win := rma.Allocate(p, 8)
+				defer win.Free()
+				if p.Rank() == 0 {
+					// Pull k stale tag-7 notifications into the store.
+					p.Barrier()
+					probe := core.NotifyInit(win, 1, 500, 1)
+					probe.Start()
+					probe.Wait()
+					probe.Free()
+					if got := core.PendingNotifications(win); got != k {
+						b.Fatalf("unexpected store depth %d, want %d", got, k)
+					}
+					// Arm k outstanding requests that never match.
+					reqs := make([]*core.Request, k)
+					for i := range reqs {
+						reqs[i] = core.NotifyInit(win, 1, 1000+i, 1)
+						reqs[i].Start()
+					}
+					req := reqs[k-1]
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if req.Test() {
+							b.Fatal("unexpected completion")
+						}
+					}
+					b.StopTimer()
+					for _, r := range reqs {
+						r.Free()
+					}
+					p.Barrier()
+				} else {
+					for i := 0; i < k; i++ {
+						core.PutNotify(win, 0, 0, nil, 7) // tag 7: never matches
+					}
+					win.Flush(0)
+					core.PutNotify(win, 0, 0, nil, 500)
+					win.Flush(0)
+					p.Barrier()
+					p.Barrier()
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -55,6 +55,10 @@ const (
 // uGNI immediate-value constraint the paper describes).
 const MaxTag = core.MaxTag
 
+// MaxSource is the largest source rank encodable in a notification (the
+// other 16-bit half of the immediate).
+const MaxSource = core.MaxSource
+
 // Time is virtual (Sim) or wall (Real) nanoseconds since the job started.
 type Time = simtime.Time
 
@@ -282,6 +286,44 @@ func (w *Win) ProbeNotify(source, tag int) Status {
 func (w *Win) IprobeNotify(source, tag int) (Status, bool) {
 	st, ok := core.Iprobe(w.w, source, tag)
 	return Status{Source: st.Source, Tag: st.Tag}, ok
+}
+
+// MatchStats is a snapshot of one window's notification-matcher counters:
+// unexpected-store depth and high water, armed-request depth and high
+// water, and ingest/match totals.
+type MatchStats = core.MatchStats
+
+// MatchStats returns this rank's matcher counters for the window
+// (diagnostics; zero value before any notification activity).
+func (w *Win) MatchStats() MatchStats { return core.MatcherStats(w.w) }
+
+// PendingNotifications returns the depth of this rank's unexpected
+// notification store for the window (notifications not yet claimed by any
+// armed request).
+func (w *Win) PendingNotifications() int { return core.PendingNotifications(w.w) }
+
+// QueueStats is a snapshot of one rank's NIC queue occupancy high-water
+// marks (diagnostics).
+type QueueStats struct {
+	// DestCQHighWater is the maximum shared destination-CQ depth observed
+	// (notifications delivered before a window matcher took ownership).
+	DestCQHighWater int
+	// RingHighWater is the maximum intra-node notification-ring occupancy.
+	RingHighWater int
+	// MsgHighWater is the maximum control/data message-queue depth. PollMsg
+	// and WaitMsg still scan that queue linearly; this measures how much
+	// such a scan could cost (the fix is tracked for a later change).
+	MsgHighWater int
+}
+
+// QueueStats returns this rank's NIC queue high-water marks.
+func (p *Proc) QueueStats() QueueStats {
+	n := p.p.NIC()
+	return QueueStats{
+		DestCQHighWater: n.DestHighWater(),
+		RingHighWater:   n.RingHighWater(),
+		MsgHighWater:    n.MsgHighWater(),
+	}
 }
 
 // WaitAll blocks until every request completes (MPI_Waitall).

@@ -86,7 +86,8 @@ func Registry() []Experiment {
 		{"fig5", "Task-based Cholesky weak scaling, 32x32-double tiles (time ms / GFLOPS)", Fig5},
 		{"ablation", "Notification scheme ablation: queue vs counting vs overwriting", Ablation},
 		{"getnotify", "Notified-get protocols: uGNI vs InfiniBand vs unreliable network (paper sections IV-A, VIII)", GetNotifyProtocols},
-		{"uqdepth", "Matching cost vs unexpected-queue depth", UQDepth},
+		{"uqdepth", "Matching cost vs unexpected-store depth", UQDepth},
+		{"notifymatch", "Matching-rate microbenchmark: Test cost vs outstanding requests K", NotifyMatch},
 		{"halo", "2D halo exchange latency (introduction motif)", Halo},
 		{"model", "Analytic LogGP model vs simulation (paper section V-A)", ModelValidation},
 		{"sensitivity", "NA/MP advantage vs network latency (exascale claim)", Sensitivity},

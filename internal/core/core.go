@@ -4,22 +4,34 @@
 // (MPI_Put_notify / MPI_Get_notify / MPI_Notify_init / MPI_Start /
 // MPI_Test / MPI_Wait) rebuilt in Go on the simulated fabric.
 //
-// Implementation follows the paper §IV-B:
+// Implementation follows the paper §IV-B, with the target-side matching
+// done by a per-window dispatch engine instead of a scanned queue:
 //
 //   - The origin attaches a 4-byte immediate to the RDMA operation; source
 //     rank and tag are encoded in its two half-words. The data movement is
 //     entirely "hardware" (fabric); only the lightweight notification is
 //     processed in software at the target.
-//   - The target keeps a single Unexpected Queue (UQ) per window preserving
-//     notification arrival order. Requests advance only inside Test/Wait:
-//     first the UQ is searched, then the NIC destination completion queue
-//     is drained; non-matching notifications are appended to their
-//     window's UQ.
+//   - Each window registers a notification sink with the NIC, which
+//     dispatches destination-CQ entries to the owning window's matcher at
+//     delivery time. The matcher keeps a hash table of armed persistent
+//     requests keyed by <source, tag> plus ordered wildcard lists
+//     (AnySource / AnyTag / both), so an arriving notification finds the
+//     earliest-armed matching request in O(1) — there is no shared queue
+//     to drain and no cross-window interference.
+//   - Notifications with no armed match land in a bucketed unexpected
+//     store: one hash bucket per <source, tag> plus per-source, per-tag,
+//     and global arrival-order FIFOs over shared nodes. A newly Started
+//     request consumes its backlog from the one FIFO matching its wildcard
+//     class — oldest first, without scanning unrelated notifications.
+//     Together with delivery-time crediting this preserves the paper's
+//     arrival-order matching semantics: a request is only credited fresh
+//     notifications once its stored backlog is exhausted.
 //   - Requests are persistent: Notify_init allocates (the 32-byte structure
-//     of the paper), Start re-arms by resetting the matched counter, Test
-//     and Wait advance, Free releases. A request completes after
-//     ExpectedCount matching notifications; its Status reports the last
-//     match.
+//     of the paper), Start re-arms (resetting the matched counter and
+//     draining backlog), Test and Wait charge the modeled receive/match
+//     overheads for credits accumulated since the last call, Free releases.
+//     A request completes after ExpectedCount matching notifications; its
+//     Status reports the last match.
 //   - AnySource / AnyTag wildcards match in arrival order; counting
 //     requests (ExpectedCount > 1) implement the bulk-notification
 //     optimization used by the tree reduction.
@@ -30,7 +42,6 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/rma"
-	"repro/internal/runtime"
 )
 
 // Wildcards for notification matching.
@@ -41,15 +52,21 @@ const (
 	AnyTag = -1
 )
 
-// MaxTag is the largest encodable tag: the immediate carries the tag in 16
-// bits (the hardware constraint the paper notes for uGNI's 4-byte values).
+// MaxTag is the largest encodable tag: the immediate carries the tag in its
+// low 16 bits (the hardware constraint the paper notes for uGNI's 4-byte
+// values).
 const MaxTag = 1<<16 - 1
 
+// MaxSource is the largest encodable source rank: the immediate carries the
+// source in its high 16 bits.
+const MaxSource = 1<<16 - 1
+
 // EncodeImm packs source rank and tag into the 4-byte immediate ("we encode
-// the source rank and tag into the first and last two bytes").
+// the source rank and tag into the first and last two bytes"). It panics if
+// source is outside [0, MaxSource] or tag is outside [0, MaxTag].
 func EncodeImm(source, tag int) uint32 {
-	if source < 0 || source > MaxTag {
-		panic(fmt.Sprintf("core: source %d not encodable in 16 bits", source))
+	if source < 0 || source > MaxSource {
+		panic(fmt.Sprintf("core: source %d out of range [0,%d]", source, MaxSource))
 	}
 	if tag < 0 || tag > MaxTag {
 		panic(fmt.Sprintf("core: tag %d out of range [0,%d]", tag, MaxTag))
@@ -68,46 +85,6 @@ type Status struct {
 	Tag    int
 }
 
-// notification is one UQ entry (decoded from a CQE immediate).
-type notification struct {
-	source int
-	tag    int
-}
-
-func (n notification) matches(source, tag int) bool {
-	return (source == AnySource || source == n.source) && (tag == AnyTag || tag == n.tag)
-}
-
-// naState is the per-rank Notified Access engine: it owns the routing of
-// destination-CQ entries to per-window unexpected queues.
-type naState struct {
-	p *runtime.Proc
-	// uq maps a window's user region ID to its unexpected queue (arrival
-	// order preserved).
-	uq map[int][]notification
-}
-
-type naKey struct{}
-
-func state(p *runtime.Proc) *naState {
-	return p.Attach(naKey{}, func() any {
-		return &naState{p: p, uq: map[int][]notification{}}
-	}).(*naState)
-}
-
-// drainOne pops one destination CQ entry and appends it to its window's
-// UQ, charging the receive overhead. Returns false if the CQ was empty.
-func (s *naState) drainOne() bool {
-	cqe, ok := s.p.NIC().PollDest()
-	if !ok {
-		return false
-	}
-	s.p.Sleep(s.p.Model().ORecv)
-	src, tag := DecodeImm(cqe.Imm)
-	s.uq[cqe.RegionID] = append(s.uq[cqe.RegionID], notification{source: src, tag: tag})
-	return true
-}
-
 // Request is a persistent notification request (the paper's 32-byte
 // structure: window, rank, tag, type, count, matched).
 type Request struct {
@@ -116,11 +93,20 @@ type Request struct {
 	source int
 	tag    int
 	count  int
-	// matched counts matching notifications consumed since the last Start.
-	matched int
-	active  bool
-	freed   bool
-	last    Status
+
+	// active and freed are owner-rank lifecycle flags: active is set by
+	// Start and cleared when Test/Wait observes completion (or by Free).
+	active bool
+	freed  bool
+
+	// The fields below are guarded by state.mu: the matcher credits armed
+	// requests at delivery time, which under the Real engine happens on the
+	// NIC receive goroutine.
+	matched   int // matching notifications consumed since the last Start
+	uncharged int // credits whose modeled overhead Test/Wait has not yet charged
+	last      Status
+	posted    bool   // linked in the matcher's armed-request index
+	postSeq   uint64 // arming epoch of the live index entry
 }
 
 // NotifyInit allocates a persistent notification request bound to win,
@@ -143,8 +129,10 @@ func NotifyInit(win *rma.Win, source, tag, expectedCount int) *Request {
 }
 
 // Start arms the request for a new round of matching (MPI_Start): it
-// resets the matched counter. Notifications that arrived before Start are
-// still matchable — they wait in the UQ.
+// resets the matched counter, consumes any matching backlog from the
+// window's unexpected store (oldest first), and — if still incomplete —
+// posts the request in the matcher's index so arriving notifications are
+// credited to it at delivery time.
 func (r *Request) Start() {
 	if r.freed {
 		panic("core: Start on freed request")
@@ -154,14 +142,32 @@ func (r *Request) Start() {
 	}
 	p := r.win.Proc()
 	p.Sleep(p.Model().TStart)
-	r.matched = 0
 	r.active = true
+	s := r.state
+	s.mu.Lock()
+	r.matched = 0
+	r.uncharged = 0
+	m := s.matcherLocked(r.win.UserRegionID())
+	for r.matched < r.count {
+		nd := m.popStore(r.source, r.tag)
+		if nd == nil {
+			break
+		}
+		m.stats.BacklogMatched++
+		r.matched++
+		r.uncharged++
+		r.last = Status{Source: nd.source, Tag: nd.tag}
+	}
+	if r.matched < r.count {
+		s.postLocked(m, r)
+	}
+	s.mu.Unlock()
 }
 
-// Test advances matching without blocking (MPI_Test): it searches the
-// window's UQ, then drains the NIC destination CQ, and reports whether the
-// request completed. On completion the request de-activates and Status
-// returns the last matching access.
+// Test advances matching without blocking (MPI_Test): it charges the
+// modeled receive + match overhead for every notification credited since
+// the last call and reports whether the request completed. On completion
+// the request de-activates and Status returns the last matching access.
 func (r *Request) Test() bool {
 	if r.freed {
 		panic("core: Test on freed request")
@@ -171,87 +177,76 @@ func (r *Request) Test() bool {
 		// returns true with an empty status.
 		return true
 	}
-	if r.scanUQ() {
-		return true
+	s := r.state
+	s.mu.Lock()
+	credits := r.uncharged
+	r.uncharged = 0
+	done := r.matched >= r.count
+	s.mu.Unlock()
+	if credits > 0 {
+		p := r.win.Proc()
+		m := p.Model()
+		for i := 0; i < credits; i++ {
+			p.Sleep(m.ORecv)
+			p.Sleep(m.TMatchScan)
+		}
 	}
-	// Poll the destination CQ directly: each polled notification is either
-	// consumed by this request or appended to its window's UQ — exactly the
-	// paper's algorithm, O(1) per polled entry.
-	p := r.win.Proc()
-	myReg := r.win.UserRegionID()
-	for {
-		cqe, ok := p.NIC().PollDest()
-		if !ok {
-			return false
-		}
-		p.Sleep(p.Model().ORecv)
-		src, tag := DecodeImm(cqe.Imm)
-		n := notification{source: src, tag: tag}
-		if cqe.RegionID == myReg && r.matched < r.count && n.matches(r.source, r.tag) {
-			r.matched++
-			r.last = Status{Source: src, Tag: tag}
-			if r.matched >= r.count {
-				r.active = false
-				return true
-			}
-			continue
-		}
-		r.state.uq[cqe.RegionID] = append(r.state.uq[cqe.RegionID], n)
-	}
-}
-
-// scanUQ consumes matching notifications from this request's window UQ.
-func (r *Request) scanUQ() bool {
-	regID := r.win.UserRegionID()
-	q := r.state.uq[regID]
-	p := r.win.Proc()
-	kept := q[:0]
-	for i, n := range q {
-		if r.matched < r.count && n.matches(r.source, r.tag) {
-			p.Sleep(p.Model().TMatchScan)
-			r.matched++
-			r.last = Status{Source: n.source, Tag: n.tag}
-			continue
-		}
-		if r.matched >= r.count {
-			// Done: keep the remainder untouched.
-			kept = append(kept, q[i:]...)
-			break
-		}
-		p.Sleep(p.Model().TMatchScan)
-		kept = append(kept, n)
-	}
-	r.state.uq[regID] = kept
-	if r.matched >= r.count {
+	if done {
 		r.active = false
-		return true
 	}
-	return false
+	return done
 }
 
 // Wait blocks until the request completes and returns the status of the
 // last matching notified access (MPI_Wait).
 func (r *Request) Wait() Status {
 	p := r.win.Proc()
+	s := r.state
 	for !r.Test() {
-		p.NIC().WaitDest(p.Proc)
+		s.mu.Lock()
+		for r.uncharged == 0 && r.matched < r.count {
+			s.gate.Wait(p.Proc)
+		}
+		s.mu.Unlock()
 	}
-	return r.last
+	return r.Status()
 }
 
 // Status returns the last matching access of the most recent completion.
-func (r *Request) Status() Status { return r.last }
+func (r *Request) Status() Status {
+	s := r.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return r.last
+}
 
 // Matched returns the current matched count (diagnostics).
-func (r *Request) Matched() int { return r.matched }
+func (r *Request) Matched() int {
+	s := r.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return r.matched
+}
 
-// Free releases the persistent request (MPI_Request_free).
+// Free releases the persistent request (MPI_Request_free). An armed
+// request is unposted from the matcher first.
 func (r *Request) Free() {
 	if r.freed {
 		panic("core: double Free")
 	}
 	p := r.win.Proc()
 	p.Sleep(p.Model().TFree)
+	s := r.state
+	s.mu.Lock()
+	if r.posted {
+		if m := s.wins[r.win.UserRegionID()]; m != nil {
+			s.unpostLocked(m, r)
+		} else {
+			r.posted = false
+		}
+	}
+	s.mu.Unlock()
+	r.active = false
 	r.freed = true
 }
 
@@ -286,24 +281,29 @@ func AccumulateNotify(win *rma.Win, target, targetOff int, vals []float64, op fa
 	return win.NIC().Accumulate(p.Proc, target, win.UserRegionID(), targetOff, vals, op, imm)
 }
 
-// PendingNotifications returns the depth of win's unexpected queue at this
+// PendingNotifications returns the depth of win's unexpected store at this
 // rank (diagnostics for the matching-cost benches).
 func PendingNotifications(win *rma.Win) int {
-	return len(state(win.Proc()).uq[win.UserRegionID()])
+	s := state(win.Proc())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.wins[win.UserRegionID()]; m != nil {
+		return m.stats.Depth
+	}
+	return 0
 }
 
 // Iprobe reports whether a notification matching (source, tag) is
 // available on win without consuming it, returning its envelope — the
-// probe semantics the paper notes "can be added trivially".
+// probe semantics the paper notes "can be added trivially". Notifications
+// already claimed by an armed request are not probeable.
 func Iprobe(win *rma.Win, source, tag int) (Status, bool) {
-	p := win.Proc()
-	s := state(p)
-	for s.drainOne() {
-	}
-	for _, n := range s.uq[win.UserRegionID()] {
-		if n.matches(source, tag) {
-			return Status{Source: n.source, Tag: n.tag}, true
-		}
+	s := state(win.Proc())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.matcherLocked(win.UserRegionID())
+	if nd := m.peekStore(source, tag); nd != nil {
+		return Status{Source: nd.source, Tag: nd.tag}, true
 	}
 	return Status{}, false
 }
@@ -312,11 +312,15 @@ func Iprobe(win *rma.Win, source, tag int) (Status, bool) {
 // win without consuming it.
 func Probe(win *rma.Win, source, tag int) Status {
 	p := win.Proc()
+	s := state(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for {
-		if st, ok := Iprobe(win, source, tag); ok {
-			return st
+		m := s.matcherLocked(win.UserRegionID())
+		if nd := m.peekStore(source, tag); nd != nil {
+			return Status{Source: nd.source, Tag: nd.tag}
 		}
-		p.NIC().WaitDest(p.Proc)
+		s.gate.Wait(p.Proc)
 	}
 }
 
@@ -347,14 +351,30 @@ func WaitAny(reqs ...*Request) int {
 		panic("core: WaitAny with no requests")
 	}
 	p := reqs[0].win.Proc()
+	s := reqs[0].state
 	for {
 		for i, r := range reqs {
 			if r.Test() {
 				return i
 			}
 		}
-		p.NIC().WaitDest(p.Proc)
+		s.mu.Lock()
+		for !anyReadyLocked(reqs) {
+			s.gate.Wait(p.Proc)
+		}
+		s.mu.Unlock()
 	}
+}
+
+// anyReadyLocked reports whether some request has progress for Test to
+// observe. Callers hold the state mutex.
+func anyReadyLocked(reqs []*Request) bool {
+	for _, r := range reqs {
+		if !r.active || r.uncharged > 0 || r.matched >= r.count {
+			return true
+		}
+	}
+	return false
 }
 
 // TestAny advances matching and returns the index of a completed request,

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+)
+
+// TestWildcardArrivalOrderProperty: for a random notification sequence and
+// a random wildcard class, matching consumes notifications in arrival
+// order — both from the unexpected store (backlog drained at Start) and
+// via delivery-time crediting (request armed while traffic streams in).
+// This is the core-level analogue of the fabric FIFO property test.
+func TestWildcardArrivalOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(24)
+		tagMod := 1 + rng.Intn(4)
+		tags := make([]int, n)
+		for i := range tags {
+			tags[i] = 100 + rng.Intn(tagMod)
+		}
+		pickTag := 100 + rng.Intn(tagMod)
+		ok := true
+		err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Sim}, func(p *runtime.Proc) {
+			win := rma.Allocate(p, 8)
+			defer win.Free()
+			if p.Rank() == 1 {
+				// Phase A+B backlog: everything lands before the consumer
+				// arms anything.
+				for _, tag := range tags {
+					PutNotify(win, 0, 0, nil, tag)
+				}
+				win.Flush(0)
+				p.Barrier()
+				p.Barrier()
+				// Phase C stream: send while the consumer re-arms.
+				for _, tag := range tags {
+					PutNotify(win, 0, 0, nil, tag)
+				}
+				win.Flush(0)
+				p.Barrier()
+				return
+			}
+			p.Barrier() // all n notifications are now in the store
+
+			// Phase A: a tag-specific request consumes exactly the pickTag
+			// subsequence, oldest first.
+			var wantPick int
+			for _, tag := range tags {
+				if tag == pickTag {
+					wantPick++
+				}
+			}
+			reqT := NotifyInit(win, 1, pickTag, 1)
+			for i := 0; i < wantPick; i++ {
+				reqT.Start()
+				if st := reqT.Wait(); st.Tag != pickTag || st.Source != 1 {
+					ok = false
+				}
+			}
+			reqT.Free()
+
+			// Phase B: a double wildcard consumes the remainder in arrival
+			// order (the pickTag entries are gone, order of the rest holds).
+			var rest []int
+			for _, tag := range tags {
+				if tag != pickTag {
+					rest = append(rest, tag)
+				}
+			}
+			reqAny := NotifyInit(win, AnySource, AnyTag, 1)
+			for _, want := range rest {
+				reqAny.Start()
+				if st := reqAny.Wait(); st.Tag != want {
+					ok = false
+				}
+			}
+			if PendingNotifications(win) != 0 {
+				ok = false
+			}
+			p.Barrier()
+
+			// Phase C: re-armed wildcard against streaming traffic — a mix
+			// of direct credits and store hits must still yield arrival
+			// order.
+			for _, want := range tags {
+				reqAny.Start()
+				if st := reqAny.Wait(); st.Tag != want {
+					ok = false
+				}
+			}
+			reqAny.Free()
+			p.Barrier()
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -58,6 +58,30 @@ func TestImmEncodeOutOfRangePanics(t *testing.T) {
 	}
 }
 
+// TestImmEncodeBounds pins the documented panic bounds of both immediate
+// half-words: MaxSource and MaxTag are the largest encodable values, and
+// one past either bound panics.
+func TestImmEncodeBounds(t *testing.T) {
+	if MaxSource != 1<<16-1 || MaxTag != 1<<16-1 {
+		t.Fatalf("immediate half-word bounds changed: MaxSource=%d MaxTag=%d", MaxSource, MaxTag)
+	}
+	imm := EncodeImm(MaxSource, MaxTag)
+	if s, tag := DecodeImm(imm); s != MaxSource || tag != MaxTag {
+		t.Fatalf("round trip at bounds: got (%d,%d)", s, tag)
+	}
+	mustPanic := func(source, tag int) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("EncodeImm(%d,%d) should panic", source, tag)
+			}
+		}()
+		EncodeImm(source, tag)
+	}
+	mustPanic(MaxSource+1, 0)
+	mustPanic(0, MaxTag+1)
+}
+
 func TestPingPongListing1(t *testing.T) {
 	// The paper's Listing 1 ping-pong, transcribed.
 	runBoth(t, 2, func(p *runtime.Proc) {

@@ -59,6 +59,15 @@ type CQE struct {
 	Len      int
 }
 
+// NotifySink receives destination notifications for one registered region
+// at delivery time, instead of the region's consumer draining the shared
+// destination CQ. A sink's Deliver is invoked outside the NIC lock: under
+// Sim in kernel context at the packet's arrival time, under Real on the
+// receive worker goroutine — it must not block in either case.
+type NotifySink interface {
+	Deliver(cqe CQE)
+}
+
 // Msg is a small control or data message delivered to the NIC's message
 // queue — the stand-in for FMA writes into per-rank mailbox rings. The
 // message-passing and RMA-synchronization layers build their protocols on
@@ -223,6 +232,7 @@ type NIC struct {
 	regions  []*MemRegion
 	destCQ   []CQE
 	msgs     []*Msg
+	sinks    map[int]NotifySink // per-region delivery-time dispatch
 	destGate exec.Gate
 	msgGate  exec.Gate
 	opGate   exec.Gate
@@ -231,6 +241,7 @@ type NIC struct {
 	totalOut    int
 
 	destHighWater int
+	msgHighWater  int
 	ring          shmRing // intra-node notification ring (paper §IV-C)
 
 	rx   chan *packet // Real engine inbound
@@ -479,10 +490,19 @@ func (n *NIC) deliver(pkt *packet) {
 			// notification ring entry; the consumer copies it into the
 			// window when it processes the notification.
 			n.mu.Lock()
-			n.ring.push(ringEntry{source: pkt.origin, imm: pkt.imm.Val, kind: OpPut,
-				regionID: pkt.regionID, offset: pkt.offset, length: len(pkt.data), inline: pkt.data})
-			n.mu.Unlock()
-			n.destGate.Broadcast()
+			if sink := n.sinks[pkt.regionID]; sink != nil {
+				// A sink owns this region: commit the inline payload now and
+				// dispatch the notification directly, bypassing the ring.
+				copy(reg.buf[pkt.offset:], pkt.data)
+				n.mu.Unlock()
+				sink.Deliver(CQE{Origin: pkt.origin, Imm: pkt.imm.Val, Kind: OpPut,
+					RegionID: pkt.regionID, Offset: pkt.offset, Len: len(pkt.data)})
+			} else {
+				n.ring.push(ringEntry{source: pkt.origin, imm: pkt.imm.Val, kind: OpPut,
+					regionID: pkt.regionID, offset: pkt.offset, length: len(pkt.data), inline: pkt.data})
+				n.mu.Unlock()
+				n.destGate.Broadcast()
+			}
 		} else {
 			n.mu.Lock()
 			copy(reg.buf[pkt.offset:], pkt.data)
@@ -593,6 +613,9 @@ func (n *NIC) deliver(pkt *packet) {
 	case pktCtrl, pktData:
 		n.mu.Lock()
 		n.msgs = append(n.msgs, pkt.msg)
+		if len(n.msgs) > n.msgHighWater {
+			n.msgHighWater = len(n.msgs)
+		}
 		n.mu.Unlock()
 		n.msgGate.Broadcast()
 	}
@@ -603,13 +626,23 @@ func (n *NIC) deliver(pkt *packet) {
 }
 
 // postCQE records a destination notification if the packet carries an
-// immediate: intra-node notifications go through the shared-memory ring
-// (the XPMEM path), inter-node ones through the uGNI-style destination CQ.
+// immediate. When the owning region has a registered sink the entry is
+// dispatched to it directly at delivery time; otherwise intra-node
+// notifications go through the shared-memory ring (the XPMEM path) and
+// inter-node ones through the uGNI-style destination CQ.
 func (n *NIC) postCQE(pkt *packet, kind OpKind, length int) {
 	if !pkt.imm.Valid {
 		return
 	}
 	n.mu.Lock()
+	if sink := n.sinks[pkt.regionID]; sink != nil {
+		n.mu.Unlock()
+		sink.Deliver(CQE{
+			Origin: pkt.origin, Imm: pkt.imm.Val, Kind: kind,
+			RegionID: pkt.regionID, Offset: pkt.offset, Len: length,
+		})
+		return
+	}
 	if n.f.SameNode(pkt.origin, n.rank) {
 		n.ring.push(ringEntry{source: pkt.origin, imm: pkt.imm.Val, kind: kind,
 			regionID: pkt.regionID, offset: pkt.offset, length: length})
@@ -747,6 +780,75 @@ func (n *NIC) MsgDepth() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.msgs)
+}
+
+// MsgHighWater returns the maximum message-queue depth observed. PollMsg
+// and WaitMsg still scan this queue linearly under their predicates; the
+// high-water mark measures how much that scan could cost before the queue
+// gets the same bucketed treatment as the notification path.
+func (n *NIC) MsgHighWater() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.msgHighWater
+}
+
+// InstallNotifySink routes all future destination notifications for
+// regionID directly to sink at delivery time, and extracts any backlog that
+// already accumulated in the shared queues: destination-CQ entries first,
+// then shared-memory ring entries, matching PollDest's drain order so
+// arrival order is preserved across the handover. Inline ring payloads are
+// committed to the region during extraction. The returned backlog must be
+// ingested by the caller before it releases whatever lock serializes the
+// sink's Deliver, or handover ordering is lost.
+func (n *NIC) InstallNotifySink(regionID int, sink NotifySink) []CQE {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.sinks == nil {
+		n.sinks = make(map[int]NotifySink)
+	}
+	n.sinks[regionID] = sink
+	var backlog []CQE
+	kept := n.destCQ[:0]
+	for _, e := range n.destCQ {
+		if e.RegionID == regionID {
+			backlog = append(backlog, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	n.destCQ = kept
+	if n.ring.count > 0 {
+		var keep []ringEntry
+		for {
+			e, ok := n.ring.pop()
+			if !ok {
+				break
+			}
+			if e.regionID != regionID {
+				keep = append(keep, e)
+				continue
+			}
+			if e.inline != nil {
+				if e.regionID < len(n.regions) && n.regions[e.regionID] != nil {
+					copy(n.regions[e.regionID].buf[e.offset:], e.inline)
+				}
+			}
+			backlog = append(backlog, CQE{Origin: e.source, Imm: e.imm, Kind: e.kind,
+				RegionID: e.regionID, Offset: e.offset, Len: e.length})
+		}
+		for _, e := range keep {
+			n.ring.push(e)
+		}
+	}
+	return backlog
+}
+
+// RemoveNotifySink stops delivery-time dispatch for regionID. Notifications
+// arriving afterwards fall back to the shared destination CQ / ring.
+func (n *NIC) RemoveNotifySink(regionID int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.sinks, regionID)
 }
 
 // Pending returns the number of operations to target awaiting remote

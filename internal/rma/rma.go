@@ -72,6 +72,10 @@ func Allocate(p *runtime.Proc, size int) *Win {
 		user: user, sys: sys,
 		userID: user.ID, sysID: sys.ID,
 	}
+	// Announce before the barrier: once remote ranks are released they may
+	// target this window, and observers (the notification dispatcher) must
+	// already own its delivery path.
+	p.AnnounceWindow(w.userID)
 	p.Barrier() // remote ranks may access once everyone has registered
 	return w
 }
@@ -79,6 +83,7 @@ func Allocate(p *runtime.Proc, size int) *Win {
 // Free collectively releases the window.
 func (w *Win) Free() {
 	w.p.Barrier()
+	w.p.AnnounceWindowFreed(w.userID)
 	w.nic.Deregister(w.user)
 	w.nic.Deregister(w.sys)
 }

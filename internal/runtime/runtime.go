@@ -142,6 +142,19 @@ func Run(opts Options, body func(p *Proc)) error {
 	return NewWorld(opts).Run(body)
 }
 
+// WindowObserver is notified of RMA window lifecycle events on this rank.
+// The Notified Access layer uses it to install and remove per-window
+// notification sinks on the NIC. Observers run on the owning rank's
+// goroutine, in window creation/teardown program order.
+type WindowObserver interface {
+	// WindowCreated reports that the window backed by the given user region
+	// is registered and remotely accessible on this rank.
+	WindowCreated(userRegionID int)
+	// WindowFreed reports that the window is being torn down; the region is
+	// still registered when the call is made.
+	WindowFreed(userRegionID int)
+}
+
 // Proc is the per-rank handle: the exec.Proc plus this rank's NIC and world.
 type Proc struct {
 	*exec.Proc
@@ -151,6 +164,10 @@ type Proc struct {
 	// attachments holds per-rank layer endpoints (mp.Comm etc.), keyed by
 	// a layer-chosen key. Only the owning rank touches it.
 	attachments map[any]any
+
+	// Window lifecycle registry (owning rank only, like attachments).
+	windowObservers []WindowObserver
+	liveWindows     []int // user region IDs of currently live windows
 }
 
 // World returns the job this rank belongs to.
@@ -174,6 +191,40 @@ func (p *Proc) Attach(key any, mk func() any) any {
 	v := mk()
 	p.attachments[key] = v
 	return v
+}
+
+// AddWindowObserver registers o for window lifecycle events on this rank
+// and replays WindowCreated for every window already live, so an observer
+// attached lazily (on first use of its layer) still learns about earlier
+// windows. Only the owning rank may call it.
+func (p *Proc) AddWindowObserver(o WindowObserver) {
+	p.windowObservers = append(p.windowObservers, o)
+	for _, id := range p.liveWindows {
+		o.WindowCreated(id)
+	}
+}
+
+// AnnounceWindow reports a newly registered window's user region to all
+// observers. The rma layer calls it from Allocate.
+func (p *Proc) AnnounceWindow(userRegionID int) {
+	p.liveWindows = append(p.liveWindows, userRegionID)
+	for _, o := range p.windowObservers {
+		o.WindowCreated(userRegionID)
+	}
+}
+
+// AnnounceWindowFreed reports window teardown to all observers. The rma
+// layer calls it from Win.Free before deregistering the region.
+func (p *Proc) AnnounceWindowFreed(userRegionID int) {
+	for i, id := range p.liveWindows {
+		if id == userRegionID {
+			p.liveWindows = append(p.liveWindows[:i], p.liveWindows[i+1:]...)
+			break
+		}
+	}
+	for _, o := range p.windowObservers {
+		o.WindowFreed(userRegionID)
+	}
 }
 
 // Barrier blocks until every rank has entered it. It is a centralized
