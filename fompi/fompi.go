@@ -310,19 +310,26 @@ type QueueStats struct {
 	DestCQHighWater int
 	// RingHighWater is the maximum intra-node notification-ring occupancy.
 	RingHighWater int
-	// MsgHighWater is the maximum control/data message-queue depth. PollMsg
-	// and WaitMsg still scan that queue linearly; this measures how much
-	// such a scan could cost (the fix is tracked for a later change).
+	// MsgHighWater is the maximum total control/data message backlog
+	// observed across all class buckets. Polls and waits are keyed by
+	// message class, so this is a protocol-pressure statistic (how far
+	// producers ran ahead of consumers), not a scan-cost bound.
 	MsgHighWater int
+	// MsgClassHighWater breaks MsgHighWater down per message class
+	// (barrier, MP eager/RTS/CTS/data, RMA post/complete/fence, user); a
+	// class is present once its bucket exists — that is, once a message of
+	// it has been enqueued, polled for, or waited on.
+	MsgClassHighWater map[int]int
 }
 
 // QueueStats returns this rank's NIC queue high-water marks.
 func (p *Proc) QueueStats() QueueStats {
 	n := p.p.NIC()
 	return QueueStats{
-		DestCQHighWater: n.DestHighWater(),
-		RingHighWater:   n.RingHighWater(),
-		MsgHighWater:    n.MsgHighWater(),
+		DestCQHighWater:   n.DestHighWater(),
+		RingHighWater:     n.RingHighWater(),
+		MsgHighWater:      n.MsgHighWater(),
+		MsgClassHighWater: n.MsgClassHighWater(),
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/match"
 	"repro/internal/rma"
 )
 
@@ -105,8 +106,8 @@ type Request struct {
 	matched   int // matching notifications consumed since the last Start
 	uncharged int // credits whose modeled overhead Test/Wait has not yet charged
 	last      Status
-	posted    bool   // linked in the matcher's armed-request index
-	postSeq   uint64 // arming epoch of the live index entry
+	posted    bool                          // linked in the matcher's armed-request index
+	entry     *match.PostedEntry[*Request] // live index entry handle
 }
 
 // NotifyInit allocates a persistent notification request bound to win,
@@ -149,14 +150,14 @@ func (r *Request) Start() {
 	r.uncharged = 0
 	m := s.matcherLocked(r.win.UserRegionID())
 	for r.matched < r.count {
-		nd := m.popStore(r.source, r.tag)
+		nd := m.store.Pop(r.source, r.tag)
 		if nd == nil {
 			break
 		}
-		m.stats.BacklogMatched++
+		m.backlogMatched++
 		r.matched++
 		r.uncharged++
-		r.last = Status{Source: nd.source, Tag: nd.tag}
+		r.last = Status{Source: nd.Source, Tag: nd.Tag}
 	}
 	if r.matched < r.count {
 		s.postLocked(m, r)
@@ -288,7 +289,7 @@ func PendingNotifications(win *rma.Win) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if m := s.wins[win.UserRegionID()]; m != nil {
-		return m.stats.Depth
+		return m.store.Depth()
 	}
 	return 0
 }
@@ -302,8 +303,8 @@ func Iprobe(win *rma.Win, source, tag int) (Status, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := s.matcherLocked(win.UserRegionID())
-	if nd := m.peekStore(source, tag); nd != nil {
-		return Status{Source: nd.source, Tag: nd.tag}, true
+	if nd := m.store.Peek(source, tag); nd != nil {
+		return Status{Source: nd.Source, Tag: nd.Tag}, true
 	}
 	return Status{}, false
 }
@@ -317,8 +318,8 @@ func Probe(win *rma.Win, source, tag int) Status {
 	defer s.mu.Unlock()
 	for {
 		m := s.matcherLocked(win.UserRegionID())
-		if nd := m.peekStore(source, tag); nd != nil {
-			return Status{Source: nd.source, Tag: nd.tag}
+		if nd := m.store.Peek(source, tag); nd != nil {
+			return Status{Source: nd.Source, Tag: nd.Tag}
 		}
 		s.gate.Wait(p.Proc)
 	}

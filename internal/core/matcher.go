@@ -5,37 +5,10 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/fabric"
+	"repro/internal/match"
 	"repro/internal/rma"
 	"repro/internal/runtime"
 )
-
-// matchKey identifies one fully-specified <source, tag> pair — the hash key
-// of both the posted-request index and the unexpected store.
-type matchKey struct {
-	source, tag int
-}
-
-// notifNode is one stored unexpected notification. The same node is linked
-// into up to four FIFOs (exact bucket, per-source, per-tag, global order);
-// consumption marks it and the FIFOs skip consumed heads lazily, so a
-// notification can be popped through any wildcard class in O(1) amortized.
-type notifNode struct {
-	source, tag int
-	consumed    bool
-}
-
-// postRef is one entry of the posted-request index. seq snapshots the
-// request's arming epoch: a request that completed, was freed, or was
-// re-armed leaves stale refs behind, and validity is re-checked lazily at
-// the head of each list (r.posted && r.postSeq == seq).
-type postRef struct {
-	r   *Request
-	seq uint64
-}
-
-func (ref postRef) valid() bool {
-	return ref.r.posted && ref.r.postSeq == ref.seq
-}
 
 // MatchStats is a snapshot of one window matcher's counters.
 type MatchStats struct {
@@ -60,39 +33,30 @@ type MatchStats struct {
 // winMatcher is one window's matching engine: a hash-bucketed index of
 // armed persistent requests plus a hash-bucketed unexpected store, both
 // with ordered wildcard views so arrival-order semantics survive O(1)
-// dispatch.
+// dispatch. The containers live in internal/match and are shared with the
+// message-passing tag matcher; a stored notification carries no payload
+// beyond its envelope, hence the empty-struct item type.
 type winMatcher struct {
 	regionID int
 
-	// Posted-request index, split by wildcard class. exact holds requests
-	// with both fields specified; bySrc holds <source, AnyTag>; byTag holds
-	// <AnySource, tag>; anyAny holds the double wildcard. Each list is in
-	// arming order, so the earliest-armed candidate is always at a head.
-	exact  map[matchKey][]postRef
-	bySrc  map[int][]postRef
-	byTag  map[int][]postRef
-	anyAny []postRef
+	posted match.Posted[*Request]
+	store  match.Store[struct{}]
 
-	// Unexpected store: every stored node appears in its exact bucket, its
-	// per-source FIFO, its per-tag FIFO, and the global arrival-order list,
-	// so any wildcard class finds its oldest match at a head.
-	buckets map[matchKey][]*notifNode
-	srcIdx  map[int][]*notifNode
-	tagIdx  map[int][]*notifNode
-	order   []*notifNode
-
-	stats MatchStats
+	ingested       uint64
+	directMatched  uint64
+	backlogMatched uint64
 }
 
-func newWinMatcher(regionID int) *winMatcher {
-	return &winMatcher{
-		regionID: regionID,
-		exact:    map[matchKey][]postRef{},
-		bySrc:    map[int][]postRef{},
-		byTag:    map[int][]postRef{},
-		buckets:  map[matchKey][]*notifNode{},
-		srcIdx:   map[int][]*notifNode{},
-		tagIdx:   map[int][]*notifNode{},
+// statsLocked assembles the public counter snapshot.
+func (m *winMatcher) statsLocked() MatchStats {
+	return MatchStats{
+		Depth:           m.store.Depth(),
+		HighWater:       m.store.HighWater(),
+		PostedDepth:     m.posted.Depth(),
+		PostedHighWater: m.posted.HighWater(),
+		Ingested:        m.ingested,
+		DirectMatched:   m.directMatched,
+		BacklogMatched:  m.backlogMatched,
 	}
 }
 
@@ -107,10 +71,6 @@ type naState struct {
 	mu   sync.Mutex
 	gate exec.Gate
 	wins map[int]*winMatcher
-
-	// armSeq numbers arming epochs rank-wide, giving the earliest-armed
-	// tie-break across wildcard classes.
-	armSeq uint64
 }
 
 type naKey struct{}
@@ -129,7 +89,7 @@ func state(p *runtime.Proc) *naState {
 func (s *naState) matcherLocked(regionID int) *winMatcher {
 	m := s.wins[regionID]
 	if m == nil {
-		m = newWinMatcher(regionID)
+		m = &winMatcher{regionID: regionID}
 		s.wins[regionID] = m
 	}
 	return m
@@ -179,13 +139,13 @@ func (s *naState) Deliver(cqe fabric.CQE) {
 func (s *naState) ingestLocked(cqe fabric.CQE) {
 	m := s.matcherLocked(cqe.RegionID)
 	src, tag := DecodeImm(cqe.Imm)
-	m.stats.Ingested++
-	if r := m.earliestPosted(src, tag); r != nil {
-		m.stats.DirectMatched++
-		s.creditLocked(m, r, src, tag)
+	m.ingested++
+	if e := m.posted.Match(src, tag); e != nil {
+		m.directMatched++
+		s.creditLocked(m, e.Item, src, tag)
 		return
 	}
-	m.storeNode(src, tag)
+	m.store.Add(src, tag, struct{}{})
 }
 
 // creditLocked applies one matching notification to an armed request and
@@ -202,147 +162,18 @@ func (s *naState) creditLocked(m *winMatcher, r *Request, src, tag int) {
 
 // postLocked inserts an armed request into its wildcard-class list.
 func (s *naState) postLocked(m *winMatcher, r *Request) {
-	s.armSeq++
 	r.posted = true
-	r.postSeq = s.armSeq
-	ref := postRef{r: r, seq: s.armSeq}
-	switch {
-	case r.source != AnySource && r.tag != AnyTag:
-		k := matchKey{r.source, r.tag}
-		m.exact[k] = append(m.exact[k], ref)
-	case r.source != AnySource:
-		m.bySrc[r.source] = append(m.bySrc[r.source], ref)
-	case r.tag != AnyTag:
-		m.byTag[r.tag] = append(m.byTag[r.tag], ref)
-	default:
-		m.anyAny = append(m.anyAny, ref)
-	}
-	m.stats.PostedDepth++
-	if m.stats.PostedDepth > m.stats.PostedHighWater {
-		m.stats.PostedHighWater = m.stats.PostedDepth
-	}
+	r.entry = m.posted.Add(r.source, r.tag, r)
 }
 
-// unpostLocked removes a request from the index (lazily: the stale ref is
-// skipped when it surfaces at a list head).
+// unpostLocked removes a request from the index (lazily: the dead entry
+// is skipped when it surfaces at a list head).
 func (s *naState) unpostLocked(m *winMatcher, r *Request) {
 	r.posted = false
-	m.stats.PostedDepth--
-}
-
-// trimRefs drops invalid refs from the head of a posted list.
-func trimRefs(q []postRef) []postRef {
-	for len(q) > 0 && !q[0].valid() {
-		q = q[1:]
+	if r.entry != nil {
+		m.posted.Remove(r.entry)
+		r.entry = nil
 	}
-	return q
-}
-
-// earliestPosted returns the earliest-armed request matching <src, tag>,
-// or nil. Only the four candidate list heads are consulted — O(1) plus
-// amortized lazy trimming.
-func (m *winMatcher) earliestPosted(src, tag int) *Request {
-	var best *Request
-	var bestSeq uint64
-	consider := func(q []postRef) []postRef {
-		q = trimRefs(q)
-		if len(q) > 0 && (best == nil || q[0].seq < bestSeq) {
-			best = q[0].r
-			bestSeq = q[0].seq
-		}
-		return q
-	}
-	k := matchKey{src, tag}
-	if q, ok := m.exact[k]; ok {
-		if q = consider(q); len(q) == 0 {
-			delete(m.exact, k)
-		} else {
-			m.exact[k] = q
-		}
-	}
-	if q, ok := m.bySrc[src]; ok {
-		if q = consider(q); len(q) == 0 {
-			delete(m.bySrc, src)
-		} else {
-			m.bySrc[src] = q
-		}
-	}
-	if q, ok := m.byTag[tag]; ok {
-		if q = consider(q); len(q) == 0 {
-			delete(m.byTag, tag)
-		} else {
-			m.byTag[tag] = q
-		}
-	}
-	m.anyAny = consider(m.anyAny)
-	return best
-}
-
-// storeNode appends an unexpected notification to all four store FIFOs.
-func (m *winMatcher) storeNode(src, tag int) {
-	nd := &notifNode{source: src, tag: tag}
-	k := matchKey{src, tag}
-	m.buckets[k] = append(m.buckets[k], nd)
-	m.srcIdx[src] = append(m.srcIdx[src], nd)
-	m.tagIdx[tag] = append(m.tagIdx[tag], nd)
-	m.order = append(m.order, nd)
-	m.stats.Depth++
-	if m.stats.Depth > m.stats.HighWater {
-		m.stats.HighWater = m.stats.Depth
-	}
-}
-
-// trimNodes drops consumed nodes from the head of a store FIFO.
-func trimNodes(q []*notifNode) []*notifNode {
-	for len(q) > 0 && q[0].consumed {
-		q = q[1:]
-	}
-	return q
-}
-
-// storeFIFO selects the single FIFO whose head is the oldest stored
-// notification matching <source, tag> (wildcards allowed): each FIFO
-// preserves global arrival order restricted to its subset, so no scan of
-// unrelated notifications is ever needed.
-func (m *winMatcher) storeFIFO(source, tag int) []*notifNode {
-	switch {
-	case source != AnySource && tag != AnyTag:
-		m.buckets[matchKey{source, tag}] = trimNodes(m.buckets[matchKey{source, tag}])
-		return m.buckets[matchKey{source, tag}]
-	case source != AnySource:
-		m.srcIdx[source] = trimNodes(m.srcIdx[source])
-		return m.srcIdx[source]
-	case tag != AnyTag:
-		m.tagIdx[tag] = trimNodes(m.tagIdx[tag])
-		return m.tagIdx[tag]
-	default:
-		m.order = trimNodes(m.order)
-		return m.order
-	}
-}
-
-// peekStore returns the oldest stored notification matching <source, tag>
-// without consuming it, or nil.
-func (m *winMatcher) peekStore(source, tag int) *notifNode {
-	q := m.storeFIFO(source, tag)
-	if len(q) == 0 {
-		return nil
-	}
-	return q[0]
-}
-
-// popStore consumes and returns the oldest stored notification matching
-// <source, tag>, or nil. The node stays linked in the other FIFOs and is
-// skipped lazily there.
-func (m *winMatcher) popStore(source, tag int) *notifNode {
-	q := m.storeFIFO(source, tag)
-	if len(q) == 0 {
-		return nil
-	}
-	nd := q[0]
-	nd.consumed = true
-	m.stats.Depth--
-	return nd
 }
 
 // MatcherStats returns a snapshot of win's matcher counters at this rank
@@ -352,7 +183,7 @@ func MatcherStats(win *rma.Win) MatchStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if m := s.wins[win.UserRegionID()]; m != nil {
-		return m.stats
+		return m.statsLocked()
 	}
 	return MatchStats{}
 }

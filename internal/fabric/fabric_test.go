@@ -44,14 +44,14 @@ func barrier(f *Fabric, p *exec.Proc) {
 	}
 	if p.Rank() == 0 {
 		for i := 1; i < n; i++ {
-			nic.WaitMsg(p, func(m *Msg) bool { return m.Class == class })
+			nic.WaitMsgClass(p, class)
 		}
 		for i := 1; i < n; i++ {
 			nic.PostMsg(p, i, class+1, nil, nil, false)
 		}
 	} else {
 		nic.PostMsg(p, 0, class, nil, nil, false)
-		nic.WaitMsg(p, func(m *Msg) bool { return m.Class == class+1 })
+		nic.WaitMsgClass(p, class+1)
 	}
 }
 
@@ -98,7 +98,7 @@ func TestPutWithoutImmNoNotification(t *testing.T) {
 			// Signal completion to rank 1 via a ctrl message.
 			nic.PostMsg(p, 1, 7, "done", nil, false)
 		} else {
-			nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 7 })
+			nic.WaitMsgClass(p, 7)
 			if d := nic.DestDepth(); d != 0 {
 				t.Errorf("unexpected CQE count %d for un-notified put", d)
 			}
@@ -137,7 +137,7 @@ func TestGetReadsRemoteAndNotifiesTarget(t *testing.T) {
 			if cqe.Imm != 42 || cqe.Kind != OpGet || cqe.Origin != 0 {
 				t.Fatalf("cqe = %+v", cqe)
 			}
-			nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 7 })
+			nic.WaitMsgClass(p, 7)
 		}
 	})
 }
@@ -160,7 +160,7 @@ func TestAtomicFetchAdd(t *testing.T) {
 			nic.PostMsg(p, 0, 7, "done", nil, false)
 		} else {
 			for done := 0; done < 2; done++ {
-				nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 7 })
+				nic.WaitMsgClass(p, 7)
 			}
 			if v := binary.LittleEndian.Uint64(reg.Bytes()); v != 100 {
 				t.Fatalf("counter = %d, want 100", v)
@@ -188,7 +188,7 @@ func TestAtomicCAS(t *testing.T) {
 			}
 			nic.PostMsg(p, 1, 7, "done", nil, false)
 		} else {
-			nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 7 })
+			nic.WaitMsgClass(p, 7)
 			if v := binary.LittleEndian.Uint64(reg.Bytes()); v != 99 {
 				t.Fatalf("value = %d, want 99 (second CAS must not apply)", v)
 			}
@@ -208,7 +208,7 @@ func TestAccumulateSumAndReplace(t *testing.T) {
 			nic.Accumulate(p, 1, reg.ID, 8, []float64{-5}, AccumReplace, WithImm(5)).Await(p)
 			nic.PostMsg(p, 1, 7, "done", nil, false)
 		} else {
-			nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 7 })
+			nic.WaitMsgClass(p, 7)
 			want := []float64{11, -5, 33, 44}
 			for i, w := range want {
 				got := lef64(reg.Bytes()[8*i:])
@@ -378,7 +378,7 @@ func TestFIFOOrderingPerPair(t *testing.T) {
 	}
 }
 
-func TestMsgPredicateMatching(t *testing.T) {
+func TestMsgClassMatching(t *testing.T) {
 	runBoth(t, 2, nil, func(f *Fabric, p *exec.Proc) {
 		nic := f.NIC(p.Rank())
 		if p.Rank() == 0 {
@@ -386,18 +386,19 @@ func TestMsgPredicateMatching(t *testing.T) {
 			nic.PostMsg(p, 1, 2, "second", []byte("payload"), true)
 			nic.PostMsg(p, 1, 1, "third", nil, false)
 		} else {
-			// Wait for class 2 first: classes 1 stay queued.
-			m2 := nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 2 })
+			// Wait for class 2 first: class-1 messages stay queued in
+			// their own bucket.
+			m2 := nic.WaitMsgClass(p, 2)
 			if m2.Payload.(string) != "second" || !bytes.Equal(m2.Data, []byte("payload")) || !m2.ChargeCopy {
 				t.Fatalf("m2 = %+v", m2)
 			}
-			a := nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 1 })
-			b := nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 1 })
+			a := nic.WaitMsgClass(p, 1)
+			b := nic.WaitMsgClass(p, 1)
 			if a.Payload.(string) != "first" || b.Payload.(string) != "third" {
 				t.Fatalf("order: %v, %v", a.Payload, b.Payload)
 			}
-			if _, ok := nic.PollMsg(func(*Msg) bool { return true }); ok {
-				t.Fatal("queue should be empty")
+			if d := nic.MsgDepth(); d != 0 {
+				t.Fatalf("queue should be empty, depth %d", d)
 			}
 		}
 	})
@@ -415,7 +416,7 @@ func TestCountersClassifyTraffic(t *testing.T) {
 			nic.Atomic(p, 1, reg.ID, 0, AtomicFetchAdd, 1, 0, Imm{}).Await(p)
 			nic.PostMsg(p, 1, 9, nil, nil, false)
 		} else {
-			nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 9 })
+			nic.WaitMsgClass(p, 9)
 		}
 	})
 	if err != nil {
@@ -512,7 +513,7 @@ func TestDestHighWater(t *testing.T) {
 			}
 			nic.PostMsg(p, 1, 7, nil, nil, false)
 		} else {
-			nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 7 })
+			nic.WaitMsgClass(p, 7)
 			if hw := nic.DestHighWater(); hw != 5 {
 				t.Errorf("high water = %d, want 5", hw)
 			}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/exec"
+	"repro/internal/match"
 )
 
 // OpKind classifies remote operations as seen in completion-queue entries.
@@ -193,7 +194,9 @@ func (o *Op) Await(p *exec.Proc) {
 	n := o.nic
 	n.mu.Lock()
 	for !o.done {
+		n.opAwaitWaiters++
 		n.opGate.Wait(p)
+		n.opAwaitWaiters--
 	}
 	n.mu.Unlock()
 }
@@ -223,6 +226,30 @@ func (r *MemRegion) Bytes() []byte { return r.buf }
 // Len returns the region size in bytes.
 func (r *MemRegion) Len() int { return len(r.buf) }
 
+// msgEntry stamps a queued message with its rank-wide arrival sequence so
+// multi-class consumers can merge class FIFOs back into arrival order.
+type msgEntry struct {
+	m   *Msg
+	seq uint64
+}
+
+// msgClassQ is one message class's bucket: its FIFO, its depth high-water
+// mark, and the waiters currently parked on the class.
+type msgClassQ struct {
+	q         match.FIFO[msgEntry]
+	highWater int
+	waiters   []*msgWaiter
+}
+
+// msgWaiter parks one consumer on a set of classes. Each waiter owns a
+// dedicated gate; an arrival broadcasts only the gates registered under
+// its class.
+type msgWaiter struct {
+	gate    exec.Gate
+	ready   bool
+	classes []int
+}
+
 // NIC is one rank's network endpoint.
 type NIC struct {
 	f    *Fabric
@@ -230,18 +257,32 @@ type NIC struct {
 
 	mu       sync.Mutex
 	regions  []*MemRegion
-	destCQ   []CQE
-	msgs     []*Msg
+	destCQ   match.FIFO[CQE]
 	sinks    map[int]NotifySink // per-region delivery-time dispatch
 	destGate exec.Gate
-	msgGate  exec.Gate
 	opGate   exec.Gate
+
+	// Class-bucketed message dispatch engine: one FIFO per Msg.Class,
+	// created on first use, plus a rank-wide arrival sequence so
+	// multi-class consumers interleave buckets in arrival order. Waiters
+	// register per class with dedicated gates, so an arrival wakes exactly
+	// the consumers whose class set contains it — a barrier message never
+	// wakes an MP receiver.
+	msgQs         map[int]*msgClassQ
+	msgSeq        uint64
+	msgDepth      int
+	msgHighWater  int
+	msgWaiterPool []*msgWaiter
 
 	outstanding []int // per-target ops awaiting remote completion
 	totalOut    int
+	// Waiter counts gating completeOp's opGate broadcast: awaiters need
+	// every completion, flushers only care when an outstanding count
+	// reaches zero. With both zero, completions stay silent.
+	opAwaitWaiters int
+	opFlushWaiters int
 
 	destHighWater int
-	msgHighWater  int
 	ring          shmRing // intra-node notification ring (paper §IV-C)
 
 	rx   chan *packet // Real engine inbound
@@ -256,7 +297,6 @@ func newNIC(f *Fabric, rank int) *NIC {
 		quit:        make(chan struct{}),
 	}
 	n.destGate = f.env.NewGate(&n.mu)
-	n.msgGate = f.env.NewGate(&n.mu)
 	n.opGate = f.env.NewGate(&n.mu)
 	if f.env.Mode() == exec.Real {
 		n.rx = make(chan *packet, 4096)
@@ -364,8 +404,17 @@ func (n *NIC) completeOp(op *Op, result uint64) {
 	op.result = result
 	n.outstanding[op.target]--
 	n.totalOut--
+	// Broadcast only when a waiter can observe this completion: Await
+	// waiters re-check on every completion, Flush/FlushAll waiters only
+	// when an outstanding count they watch hits zero. A completion with
+	// nobody parked (the overwhelmingly common case on pipelined put
+	// streams) stays silent instead of stampeding every sleeper.
+	wake := n.opAwaitWaiters > 0 ||
+		(n.opFlushWaiters > 0 && (n.outstanding[op.target] == 0 || n.totalOut == 0))
 	n.mu.Unlock()
-	n.opGate.Broadcast()
+	if wake {
+		n.opGate.Broadcast()
+	}
 }
 
 // Put writes data into (target, regionID, offset) and returns the origin
@@ -612,12 +661,11 @@ func (n *NIC) deliver(pkt *packet) {
 
 	case pktCtrl, pktData:
 		n.mu.Lock()
-		n.msgs = append(n.msgs, pkt.msg)
-		if len(n.msgs) > n.msgHighWater {
-			n.msgHighWater = len(n.msgs)
-		}
+		wake := n.enqueueMsgLocked(pkt.msg)
 		n.mu.Unlock()
-		n.msgGate.Broadcast()
+		for _, w := range wake {
+			w.gate.Broadcast()
+		}
 	}
 	if tr := n.f.cfg.Trace; tr != nil {
 		tr(TraceEvent{Kind: pkt.kind.String(), Origin: pkt.origin, Target: pkt.target,
@@ -647,12 +695,12 @@ func (n *NIC) postCQE(pkt *packet, kind OpKind, length int) {
 		n.ring.push(ringEntry{source: pkt.origin, imm: pkt.imm.Val, kind: kind,
 			regionID: pkt.regionID, offset: pkt.offset, length: length})
 	} else {
-		n.destCQ = append(n.destCQ, CQE{
+		n.destCQ.Push(CQE{
 			Origin: pkt.origin, Imm: pkt.imm.Val, Kind: kind,
 			RegionID: pkt.regionID, Offset: pkt.offset, Len: length,
 		})
-		if len(n.destCQ) > n.destHighWater {
-			n.destHighWater = len(n.destCQ)
+		if n.destCQ.Len() > n.destHighWater {
+			n.destHighWater = n.destCQ.Len()
 		}
 	}
 	n.mu.Unlock()
@@ -696,10 +744,8 @@ func (r *MemRegion) Store64(off int, v uint64) {
 func (n *NIC) PollDest() (CQE, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if len(n.destCQ) > 0 {
-		e := n.destCQ[0]
-		n.destCQ = n.destCQ[1:]
-		return e, true
+	if n.destCQ.Len() > 0 {
+		return n.destCQ.Pop(), true
 	}
 	if e, ok := n.ring.pop(); ok {
 		if e.inline != nil {
@@ -717,7 +763,7 @@ func (n *NIC) PollDest() (CQE, bool) {
 // shared-memory ring). Only the owning rank may call it (single consumer).
 func (n *NIC) WaitDest(p *exec.Proc) {
 	n.mu.Lock()
-	for len(n.destCQ) == 0 && n.ring.count == 0 {
+	for n.destCQ.Len() == 0 && n.ring.count == 0 {
 		n.destGate.Wait(p)
 	}
 	n.mu.Unlock()
@@ -728,7 +774,7 @@ func (n *NIC) WaitDest(p *exec.Proc) {
 func (n *NIC) DestDepth() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return len(n.destCQ) + n.ring.count
+	return n.destCQ.Len() + n.ring.count
 }
 
 // RingHighWater returns the maximum shared-memory ring occupancy observed.
@@ -745,51 +791,187 @@ func (n *NIC) DestHighWater() int {
 	return n.destHighWater
 }
 
-// PollMsg removes and returns the oldest message satisfying pred.
-func (n *NIC) PollMsg(pred func(*Msg) bool) (*Msg, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for i, m := range n.msgs {
-		if pred(m) {
-			n.msgs = append(n.msgs[:i], n.msgs[i+1:]...)
-			return m, true
+// classQLocked returns class's bucket, creating it on first use.
+func (n *NIC) classQLocked(class int) *msgClassQ {
+	q := n.msgQs[class]
+	if q == nil {
+		if n.msgQs == nil {
+			n.msgQs = make(map[int]*msgClassQ)
 		}
+		q = &msgClassQ{}
+		n.msgQs[class] = q
 	}
-	return nil, false
+	return q
 }
 
-// WaitMsg parks p until a message satisfying pred arrives, removes it from
-// the queue, and returns it. Non-matching messages are left in arrival
-// order for other consumers on this rank.
-func (n *NIC) WaitMsg(p *exec.Proc, pred func(*Msg) bool) *Msg {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for {
-		for i, m := range n.msgs {
-			if pred(m) {
-				n.msgs = append(n.msgs[:i], n.msgs[i+1:]...)
-				return m
+// enqueueMsgLocked buckets an arriving message and collects the waiters
+// to wake: exactly those parked on the message's class. Broadcasts happen
+// after the caller drops n.mu, per the Gate contract convention.
+func (n *NIC) enqueueMsgLocked(m *Msg) []*msgWaiter {
+	q := n.classQLocked(m.Class)
+	n.msgSeq++
+	q.q.Push(msgEntry{m: m, seq: n.msgSeq})
+	n.msgDepth++
+	if n.msgDepth > n.msgHighWater {
+		n.msgHighWater = n.msgDepth
+	}
+	if d := q.q.Len(); d > q.highWater {
+		q.highWater = d
+	}
+	var wake []*msgWaiter
+	for _, w := range q.waiters {
+		if !w.ready {
+			w.ready = true
+			wake = append(wake, w)
+		}
+	}
+	return wake
+}
+
+// popMsgLocked removes the oldest queued message across the given
+// classes: the per-class FIFO heads are compared by arrival sequence, so
+// a multi-class consumer sees the same arrival order a single shared
+// queue would have given it.
+func (n *NIC) popMsgLocked(classes []int) (*Msg, bool) {
+	var best *msgClassQ
+	for _, c := range classes {
+		q := n.msgQs[c]
+		if q == nil || q.q.Len() == 0 {
+			continue
+		}
+		if best == nil || q.q.Front().seq < best.q.Front().seq {
+			best = q
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	n.msgDepth--
+	return best.q.Pop().m, true
+}
+
+// acquireMsgWaiterLocked registers a (pooled) waiter record under every
+// class in classes.
+func (n *NIC) acquireMsgWaiterLocked(classes []int) *msgWaiter {
+	var w *msgWaiter
+	if k := len(n.msgWaiterPool); k > 0 {
+		w = n.msgWaiterPool[k-1]
+		n.msgWaiterPool = n.msgWaiterPool[:k-1]
+	} else {
+		w = &msgWaiter{gate: n.f.env.NewGate(&n.mu)}
+	}
+	w.ready = false
+	w.classes = append(w.classes[:0], classes...)
+	for _, c := range classes {
+		q := n.classQLocked(c)
+		q.waiters = append(q.waiters, w)
+	}
+	return w
+}
+
+// releaseMsgWaiterLocked deregisters w from its classes and returns it to
+// the pool. The waiter lists are tiny (one entry per concurrently parked
+// consumer on the class), so the removal scan is cheap.
+func (n *NIC) releaseMsgWaiterLocked(w *msgWaiter) {
+	for _, c := range w.classes {
+		q := n.msgQs[c]
+		for i, o := range q.waiters {
+			if o == w {
+				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+				break
 			}
 		}
-		n.msgGate.Wait(p)
+	}
+	w.classes = w.classes[:0]
+	n.msgWaiterPool = append(n.msgWaiterPool, w)
+}
+
+// waitMsgLocked parks p until a message in one of classes is available
+// and pops it.
+func (n *NIC) waitMsgLocked(p *exec.Proc, classes []int) *Msg {
+	for {
+		if m, ok := n.popMsgLocked(classes); ok {
+			return m
+		}
+		w := n.acquireMsgWaiterLocked(classes)
+		for !w.ready {
+			w.gate.Wait(p)
+		}
+		n.releaseMsgWaiterLocked(w)
 	}
 }
 
-// MsgDepth returns the number of queued messages.
+// PollMsgClass removes and returns the oldest queued message of class.
+// The probe touches only that class's bucket — O(1) regardless of what
+// other classes have queued.
+func (n *NIC) PollMsgClass(class int) (*Msg, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.popMsgLocked([]int{class})
+}
+
+// PollMsgClasses removes and returns the oldest queued message whose
+// class is in classes, in cross-class arrival order.
+func (n *NIC) PollMsgClasses(classes ...int) (*Msg, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.popMsgLocked(classes)
+}
+
+// WaitMsgClass parks p until a message of class is available, removes it,
+// and returns it. Arrivals in other classes do not wake the waiter.
+func (n *NIC) WaitMsgClass(p *exec.Proc, class int) *Msg {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.waitMsgLocked(p, []int{class})
+}
+
+// WaitMsgClasses parks p until a message in any of classes is available
+// and returns the oldest such arrival.
+func (n *NIC) WaitMsgClasses(p *exec.Proc, classes ...int) *Msg {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.waitMsgLocked(p, classes)
+}
+
+// MsgDepth returns the number of queued messages across all classes.
 func (n *NIC) MsgDepth() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return len(n.msgs)
+	return n.msgDepth
 }
 
-// MsgHighWater returns the maximum message-queue depth observed. PollMsg
-// and WaitMsg still scan this queue linearly under their predicates; the
-// high-water mark measures how much that scan could cost before the queue
-// gets the same bucketed treatment as the notification path.
+// MsgClassDepth returns the number of queued messages of one class.
+func (n *NIC) MsgClassDepth(class int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if q := n.msgQs[class]; q != nil {
+		return q.q.Len()
+	}
+	return 0
+}
+
+// MsgHighWater returns the maximum total message-queue depth observed
+// across all class buckets. Since the bucketed engine dispatches by
+// class, depth no longer translates into scan cost — the mark is a
+// protocol-pressure statistic (how far consumers fell behind arrivals),
+// not a matching-cost bound.
 func (n *NIC) MsgHighWater() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.msgHighWater
+}
+
+// MsgClassHighWater returns the per-class maximum queue depths observed,
+// keyed by message class. Only classes that ever queued a message appear.
+func (n *NIC) MsgClassHighWater() map[int]int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[int]int, len(n.msgQs))
+	for c, q := range n.msgQs {
+		out[c] = q.highWater
+	}
+	return out
 }
 
 // InstallNotifySink routes all future destination notifications for
@@ -808,15 +990,20 @@ func (n *NIC) InstallNotifySink(regionID int, sink NotifySink) []CQE {
 	}
 	n.sinks[regionID] = sink
 	var backlog []CQE
-	kept := n.destCQ[:0]
-	for _, e := range n.destCQ {
-		if e.RegionID == regionID {
-			backlog = append(backlog, e)
-		} else {
-			kept = append(kept, e)
+	if n.destCQ.Len() > 0 {
+		var kept []CQE
+		for n.destCQ.Len() > 0 {
+			e := n.destCQ.Pop()
+			if e.RegionID == regionID {
+				backlog = append(backlog, e)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		for _, e := range kept {
+			n.destCQ.Push(e)
 		}
 	}
-	n.destCQ = kept
 	if n.ring.count > 0 {
 		var keep []ringEntry
 		for {
@@ -865,7 +1052,9 @@ func (n *NIC) Flush(p *exec.Proc, target int) {
 	n.checkTarget(target)
 	n.mu.Lock()
 	for n.outstanding[target] > 0 {
+		n.opFlushWaiters++
 		n.opGate.Wait(p)
+		n.opFlushWaiters--
 	}
 	n.mu.Unlock()
 }
@@ -875,7 +1064,9 @@ func (n *NIC) Flush(p *exec.Proc, target int) {
 func (n *NIC) FlushAll(p *exec.Proc) {
 	n.mu.Lock()
 	for n.totalOut > 0 {
+		n.opFlushWaiters++
 		n.opGate.Wait(p)
+		n.opFlushWaiters--
 	}
 	n.mu.Unlock()
 }

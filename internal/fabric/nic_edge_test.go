@@ -63,15 +63,18 @@ func TestPendingAndMsgDepth(t *testing.T) {
 			nic.PostMsg(p, 1, 6, "b", nil, false)
 			nic.PostMsg(p, 1, 7, "done", nil, false)
 		} else {
-			nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 7 })
+			nic.WaitMsgClass(p, 7)
 			if d := nic.MsgDepth(); d != 2 {
 				t.Errorf("MsgDepth = %d, want 2 unconsumed", d)
 			}
-			if _, ok := nic.PollMsg(func(m *Msg) bool { return m.Class == 99 }); ok {
-				t.Error("PollMsg matched nothing")
+			if _, ok := nic.PollMsgClass(99); ok {
+				t.Error("PollMsgClass matched nothing")
 			}
-			if m, ok := nic.PollMsg(func(m *Msg) bool { return m.Class == 6 }); !ok || m.Payload.(string) != "b" {
-				t.Errorf("PollMsg(6) = %+v ok=%v", m, ok)
+			if m, ok := nic.PollMsgClass(6); !ok || m.Payload.(string) != "b" {
+				t.Errorf("PollMsgClass(6) = %+v ok=%v", m, ok)
+			}
+			if d := nic.MsgClassDepth(5); d != 1 {
+				t.Errorf("MsgClassDepth(5) = %d, want class-5 message untouched", d)
 			}
 		}
 	})

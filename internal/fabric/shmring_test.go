@@ -105,7 +105,7 @@ func TestLargeShmPutBypassesInline(t *testing.T) {
 			nic.Put(p, 1, reg.ID, 0, payload, WithImm(9)).Await(p)
 			nic.PostMsg(p, 1, 7, nil, nil, false)
 		} else {
-			nic.WaitMsg(p, func(m *Msg) bool { return m.Class == 7 })
+			nic.WaitMsgClass(p, 7)
 			// Data committed at delivery, before any poll.
 			if !bytes.Equal(reg.Bytes()[:1000], payload) {
 				t.Fatal("large payload not committed at delivery")

@@ -1,0 +1,332 @@
+// Package match holds the hash-bucketed <source, tag> matching containers
+// shared by the Notified Access notification matcher (internal/core) and
+// the Message Passing tag matcher (internal/mp), plus the head-indexed
+// FIFO the fabric's completion and message queues are built on.
+//
+// The containers implement MPI-style matching semantics generically:
+//
+//   - Posted[T] indexes armed receive requests by <source, tag> with
+//     AnySource/AnyTag wildcards. An incoming <source, tag> pair is
+//     matched against at most four candidate lists (exact, source-only,
+//     tag-only, fully wild) and the earliest-armed candidate wins, so a
+//     probe costs O(1) in the number of armed requests.
+//   - Store[T] buffers unexpected arrivals in four views of the same
+//     nodes (exact bucket, per-source, per-tag, global arrival order) so
+//     a consumer with or without wildcards pops the oldest matching
+//     arrival in O(1) in the store depth.
+//
+// Both containers remove lazily: a dequeued or cancelled entry is marked
+// and skipped when it later surfaces at a list head, which keeps Remove
+// O(1) without doubly-linked bookkeeping.
+package match
+
+// AnySource and AnyTag are the wildcard values understood by Posted and
+// Store. They mirror MPI_ANY_SOURCE/MPI_ANY_TAG and the values used by
+// internal/core and internal/mp.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// key is a concrete <source, tag> bucket address.
+type key struct {
+	source, tag int
+}
+
+// fifoCompactMin is the dead-prefix length at which a FIFO copies its
+// live suffix down to index zero. Compacting only when the dead prefix
+// is both long and at least half the buffer keeps Pop amortized O(1).
+const fifoCompactMin = 32
+
+// FIFO is a head-indexed queue. Pop advances a head index instead of
+// re-slicing (`q = q[1:]` keeps the popped prefix reachable through the
+// backing array), zeroes the vacated slot so popped elements are
+// collectable immediately, and compacts the buffer once the dead prefix
+// dominates so a long-lived queue's footprint tracks its live depth, not
+// its all-time high water.
+type FIFO[T any] struct {
+	buf  []T
+	head int
+}
+
+// Len reports the number of queued elements.
+func (f *FIFO[T]) Len() int { return len(f.buf) - f.head }
+
+// Push appends v at the tail.
+func (f *FIFO[T]) Push(v T) { f.buf = append(f.buf, v) }
+
+// Front returns the head element without removing it. It panics on an
+// empty FIFO, like indexing an empty slice would.
+func (f *FIFO[T]) Front() T { return f.buf[f.head] }
+
+// Pop removes and returns the head element.
+func (f *FIFO[T]) Pop() T {
+	v := f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	} else if f.head >= fifoCompactMin && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		clear(f.buf[n:len(f.buf)])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return v
+}
+
+// PostedEntry is one armed entry in a Posted index. Entries stay linked
+// in their wildcard-class list after removal and are skipped lazily when
+// they surface at a head.
+type PostedEntry[T any] struct {
+	Item    T
+	Source  int
+	Tag     int
+	seq     uint64
+	removed bool
+}
+
+// Posted is the wildcard-aware posted-receive index. Entries are armed
+// with a (possibly wildcard) <source, tag> selector; Match resolves a
+// concrete arrival to the earliest-armed entry whose selector accepts
+// it.
+type Posted[T any] struct {
+	exact     map[key]*FIFO[*PostedEntry[T]] // concrete source, concrete tag
+	bySrc     map[int]*FIFO[*PostedEntry[T]] // concrete source, AnyTag
+	byTag     map[int]*FIFO[*PostedEntry[T]] // AnySource, concrete tag
+	anyAny    FIFO[*PostedEntry[T]]          // AnySource, AnyTag
+	seq       uint64
+	depth     int
+	highWater int
+}
+
+// Add arms item under the given (possibly wildcard) selector and returns
+// the entry handle used to Remove it later.
+func (p *Posted[T]) Add(source, tag int, item T) *PostedEntry[T] {
+	p.seq++
+	e := &PostedEntry[T]{Item: item, Source: source, Tag: tag, seq: p.seq}
+	switch {
+	case source != AnySource && tag != AnyTag:
+		if p.exact == nil {
+			p.exact = make(map[key]*FIFO[*PostedEntry[T]])
+		}
+		pushBucket(p.exact, key{source, tag}, e)
+	case source != AnySource:
+		if p.bySrc == nil {
+			p.bySrc = make(map[int]*FIFO[*PostedEntry[T]])
+		}
+		pushBucket(p.bySrc, source, e)
+	case tag != AnyTag:
+		if p.byTag == nil {
+			p.byTag = make(map[int]*FIFO[*PostedEntry[T]])
+		}
+		pushBucket(p.byTag, tag, e)
+	default:
+		p.anyAny.Push(e)
+	}
+	p.depth++
+	if p.depth > p.highWater {
+		p.highWater = p.depth
+	}
+	return e
+}
+
+// Remove unarms a previously added entry. The entry is skipped lazily
+// when it reaches the head of its list.
+func (p *Posted[T]) Remove(e *PostedEntry[T]) {
+	if e.removed {
+		return
+	}
+	e.removed = true
+	p.depth--
+}
+
+// Match returns the earliest-armed entry whose selector accepts the
+// concrete <source, tag>, or nil. The entry stays armed; the caller
+// decides whether to Remove it (consume) or leave it (peek).
+func (p *Posted[T]) Match(source, tag int) *PostedEntry[T] {
+	var best *PostedEntry[T]
+	consider := func(f *FIFO[*PostedEntry[T]]) {
+		if f == nil {
+			return
+		}
+		trimPosted(f)
+		if f.Len() == 0 {
+			return
+		}
+		if e := f.Front(); best == nil || e.seq < best.seq {
+			best = e
+		}
+	}
+	consider(p.exact[key{source, tag}])
+	consider(p.bySrc[source])
+	consider(p.byTag[tag])
+	consider(&p.anyAny)
+	if best != nil {
+		return best
+	}
+	p.sweepEmpty()
+	return nil
+}
+
+// sweepEmpty drops bucket FIFOs that trimmed down to nothing so the maps
+// don't accumulate one empty bucket per distinct selector ever used.
+func (p *Posted[T]) sweepEmpty() {
+	for k, f := range p.exact {
+		if trimPosted(f); f.Len() == 0 {
+			delete(p.exact, k)
+		}
+	}
+	for k, f := range p.bySrc {
+		if trimPosted(f); f.Len() == 0 {
+			delete(p.bySrc, k)
+		}
+	}
+	for k, f := range p.byTag {
+		if trimPosted(f); f.Len() == 0 {
+			delete(p.byTag, k)
+		}
+	}
+}
+
+// Depth reports the number of currently armed entries.
+func (p *Posted[T]) Depth() int { return p.depth }
+
+// HighWater reports the maximum armed depth ever reached.
+func (p *Posted[T]) HighWater() int { return p.highWater }
+
+// trimPosted pops removed entries off the head of a posted list.
+func trimPosted[T any](f *FIFO[*PostedEntry[T]]) {
+	for f.Len() > 0 && f.Front().removed {
+		f.Pop()
+	}
+}
+
+// pushBucket appends e to the bucket for k, creating it on first use.
+func pushBucket[K comparable, E any](m map[K]*FIFO[E], k K, e E) {
+	f := m[k]
+	if f == nil {
+		f = &FIFO[E]{}
+		m[k] = f
+	}
+	f.Push(e)
+}
+
+// StoreNode is one buffered arrival in a Store. Its concrete Source and
+// Tag are exposed so wildcard consumers learn what they matched.
+type StoreNode[T any] struct {
+	Item     T
+	Source   int
+	Tag      int
+	seq      uint64
+	consumed bool
+}
+
+// Store is the bucketed unexpected-arrival queue. Every node is linked
+// into four views — its exact <source, tag> bucket, a per-source list, a
+// per-tag list, and the global arrival order — so Peek/Pop serve any
+// wildcard combination from a single list head.
+type Store[T any] struct {
+	exact     map[key]*FIFO[*StoreNode[T]]
+	bySrc     map[int]*FIFO[*StoreNode[T]]
+	byTag     map[int]*FIFO[*StoreNode[T]]
+	order     FIFO[*StoreNode[T]]
+	seq       uint64
+	depth     int
+	highWater int
+}
+
+// Add buffers an arrival with concrete <source, tag>.
+func (s *Store[T]) Add(source, tag int, item T) *StoreNode[T] {
+	s.seq++
+	nd := &StoreNode[T]{Item: item, Source: source, Tag: tag, seq: s.seq}
+	if s.exact == nil {
+		s.exact = make(map[key]*FIFO[*StoreNode[T]])
+		s.bySrc = make(map[int]*FIFO[*StoreNode[T]])
+		s.byTag = make(map[int]*FIFO[*StoreNode[T]])
+	}
+	pushBucket(s.exact, key{source, tag}, nd)
+	pushBucket(s.bySrc, source, nd)
+	pushBucket(s.byTag, tag, nd)
+	s.order.Push(nd)
+	s.depth++
+	if s.depth > s.highWater {
+		s.highWater = s.depth
+	}
+	return nd
+}
+
+// view picks the single list that serves a (possibly wildcard) selector.
+func (s *Store[T]) view(source, tag int) *FIFO[*StoreNode[T]] {
+	switch {
+	case source != AnySource && tag != AnyTag:
+		return s.exact[key{source, tag}]
+	case source != AnySource:
+		return s.bySrc[source]
+	case tag != AnyTag:
+		return s.byTag[tag]
+	default:
+		return &s.order
+	}
+}
+
+// Peek returns the oldest buffered arrival matching the selector without
+// consuming it, or nil.
+func (s *Store[T]) Peek(source, tag int) *StoreNode[T] {
+	f := s.view(source, tag)
+	if f == nil {
+		return nil
+	}
+	trimStore(f)
+	if f.Len() == 0 {
+		s.sweepEmpty()
+		return nil
+	}
+	return f.Front()
+}
+
+// Pop consumes and returns the oldest buffered arrival matching the
+// selector, or nil. The node is unlinked lazily from its other views.
+func (s *Store[T]) Pop(source, tag int) *StoreNode[T] {
+	nd := s.Peek(source, tag)
+	if nd == nil {
+		return nil
+	}
+	nd.consumed = true
+	s.depth--
+	return nd
+}
+
+// sweepEmpty drops bucket FIFOs that trimmed down to nothing.
+func (s *Store[T]) sweepEmpty() {
+	for k, f := range s.exact {
+		if trimStore(f); f.Len() == 0 {
+			delete(s.exact, k)
+		}
+	}
+	for k, f := range s.bySrc {
+		if trimStore(f); f.Len() == 0 {
+			delete(s.bySrc, k)
+		}
+	}
+	for k, f := range s.byTag {
+		if trimStore(f); f.Len() == 0 {
+			delete(s.byTag, k)
+		}
+	}
+}
+
+// Depth reports the number of live (unconsumed) buffered arrivals.
+func (s *Store[T]) Depth() int { return s.depth }
+
+// HighWater reports the maximum live depth ever reached.
+func (s *Store[T]) HighWater() int { return s.highWater }
+
+// trimStore pops consumed nodes off the head of a store view.
+func trimStore[T any](f *FIFO[*StoreNode[T]]) {
+	for f.Len() > 0 && f.Front().consumed {
+		f.Pop()
+	}
+}

@@ -1,0 +1,212 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFIFOOrder checks plain queue semantics across interleaved push/pop.
+func TestFIFOOrder(t *testing.T) {
+	var f FIFO[int]
+	next, want := 0, 0
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		if f.Len() == 0 || rng.Intn(2) == 0 {
+			f.Push(next)
+			next++
+		} else {
+			if got := f.Front(); got != want {
+				t.Fatalf("Front = %d, want %d", got, want)
+			}
+			if got := f.Pop(); got != want {
+				t.Fatalf("Pop = %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	for f.Len() > 0 {
+		if got := f.Pop(); got != want {
+			t.Fatalf("drain Pop = %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d, pushed %d", want, next)
+	}
+}
+
+// TestFIFONoPinning is the regression test for the `q = q[1:]` bug the
+// deque replaces: a steady-state queue must not accumulate a dead prefix
+// proportional to total throughput, and popped slots must be zeroed so
+// their contents are collectable.
+func TestFIFONoPinning(t *testing.T) {
+	var f FIFO[*int]
+	const depth = 8
+	for i := 0; i < depth; i++ {
+		v := i
+		f.Push(&v)
+	}
+	for i := 0; i < 100000; i++ {
+		f.Pop()
+		v := i
+		f.Push(&v)
+		if f.head > 2*fifoCompactMin+depth {
+			t.Fatalf("dead prefix grew to %d after %d ops", f.head, i)
+		}
+		if len(f.buf) > 2*(fifoCompactMin+depth) {
+			t.Fatalf("buffer length grew to %d after %d ops", len(f.buf), i)
+		}
+	}
+	// Every slot behind the head must have been zeroed.
+	for i := 0; i < f.head; i++ {
+		if f.buf[i] != nil {
+			t.Fatalf("popped slot %d still holds a pointer", i)
+		}
+	}
+}
+
+// TestPostedWildcardOrder arms entries of all four wildcard classes and
+// checks that Match always returns the earliest-armed acceptor.
+func TestPostedWildcardOrder(t *testing.T) {
+	var p Posted[string]
+	e1 := p.Add(3, 7, "exact")            // 1st
+	e2 := p.Add(3, AnyTag, "bySrc")       // 2nd
+	e3 := p.Add(AnySource, 7, "byTag")    // 3rd
+	e4 := p.Add(AnySource, AnyTag, "any") // 4th
+	if p.Depth() != 4 || p.HighWater() != 4 {
+		t.Fatalf("depth %d highWater %d", p.Depth(), p.HighWater())
+	}
+	pick := func(want string) {
+		t.Helper()
+		e := p.Match(3, 7)
+		if e == nil || e.Item != want {
+			t.Fatalf("Match(3,7) = %v, want %q", e, want)
+		}
+		p.Remove(e)
+	}
+	pick("exact")
+	pick("bySrc")
+	pick("byTag")
+	pick("any")
+	if e := p.Match(3, 7); e != nil {
+		t.Fatalf("empty Match returned %q", e.Item)
+	}
+	_ = e1
+	_ = e2
+	_ = e3
+	_ = e4
+	// A selector that accepts a different arrival still works.
+	p.Add(5, AnyTag, "late")
+	if e := p.Match(5, 99); e == nil || e.Item != "late" {
+		t.Fatal("bySrc selector did not accept wildcard tag")
+	}
+}
+
+// TestPostedRemoveMidList cancels an entry in the middle of a bucket and
+// checks that Match skips it.
+func TestPostedRemoveMidList(t *testing.T) {
+	var p Posted[int]
+	p.Add(1, 1, 100)
+	e := p.Add(1, 1, 200)
+	p.Add(1, 1, 300)
+	p.Remove(e)
+	if p.Depth() != 2 {
+		t.Fatalf("depth %d after remove", p.Depth())
+	}
+	got := p.Match(1, 1)
+	p.Remove(got)
+	if got.Item != 100 {
+		t.Fatalf("first match %d", got.Item)
+	}
+	got = p.Match(1, 1)
+	p.Remove(got)
+	if got.Item != 300 {
+		t.Fatalf("second match %d, want removed entry skipped", got.Item)
+	}
+}
+
+// TestStoreViews buffers arrivals and pops through every wildcard
+// combination, checking oldest-first order per view and depth
+// accounting across lazily-unlinked nodes.
+func TestStoreViews(t *testing.T) {
+	var s Store[int]
+	s.Add(1, 10, 0)
+	s.Add(2, 10, 1)
+	s.Add(1, 20, 2)
+	s.Add(2, 20, 3)
+	if s.Depth() != 4 || s.HighWater() != 4 {
+		t.Fatalf("depth %d highWater %d", s.Depth(), s.HighWater())
+	}
+	if nd := s.Peek(AnySource, AnyTag); nd == nil || nd.Item != 0 {
+		t.Fatalf("global peek = %v", nd)
+	}
+	if nd := s.Pop(2, AnyTag); nd == nil || nd.Item != 1 || nd.Tag != 10 {
+		t.Fatalf("bySrc pop = %v", nd)
+	}
+	if nd := s.Pop(AnySource, 20); nd == nil || nd.Item != 2 || nd.Source != 1 {
+		t.Fatalf("byTag pop = %v", nd)
+	}
+	if nd := s.Pop(2, 20); nd == nil || nd.Item != 3 {
+		t.Fatalf("exact pop = %v", nd)
+	}
+	// Node 1 was consumed through the bySrc view; the global view must
+	// skip it and surface node 0.
+	if nd := s.Pop(AnySource, AnyTag); nd == nil || nd.Item != 0 {
+		t.Fatalf("global pop = %v", nd)
+	}
+	if s.Depth() != 0 {
+		t.Fatalf("depth %d after drain", s.Depth())
+	}
+	if nd := s.Pop(AnySource, AnyTag); nd != nil {
+		t.Fatalf("pop on empty store = %v", nd)
+	}
+}
+
+// TestStoreRandomAgainstReference drives a Store with random adds and
+// wildcard pops and checks every answer against a brute-force reference
+// queue.
+func TestStoreRandomAgainstReference(t *testing.T) {
+	type arrival struct {
+		source, tag, item int
+		consumed          bool
+	}
+	var ref []*arrival
+	refPop := func(source, tag int) *arrival {
+		for _, a := range ref {
+			if a.consumed {
+				continue
+			}
+			if (source == AnySource || a.source == source) && (tag == AnyTag || a.tag == tag) {
+				a.consumed = true
+				return a
+			}
+		}
+		return nil
+	}
+	var s Store[int]
+	rng := rand.New(rand.NewSource(42))
+	sel := func() int {
+		if rng.Intn(3) == 0 {
+			return -1 // wildcard (AnySource / AnyTag)
+		}
+		return rng.Intn(4)
+	}
+	for i := 0; i < 20000; i++ {
+		if rng.Intn(2) == 0 {
+			src, tag := rng.Intn(4), rng.Intn(4)
+			s.Add(src, tag, i)
+			ref = append(ref, &arrival{source: src, tag: tag, item: i})
+		} else {
+			src, tag := sel(), sel()
+			got := s.Pop(src, tag)
+			want := refPop(src, tag)
+			switch {
+			case got == nil && want == nil:
+			case got == nil || want == nil:
+				t.Fatalf("op %d Pop(%d,%d): got %v want %v", i, src, tag, got, want)
+			case got.Item != want.item:
+				t.Fatalf("op %d Pop(%d,%d): got item %d want %d", i, src, tag, got.Item, want.item)
+			}
+		}
+	}
+}

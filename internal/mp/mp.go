@@ -14,8 +14,11 @@
 //
 // Matching follows MPI semantics: a posted-receive queue (PRQ) and an
 // unexpected queue (UQ), non-overtaking per (source, tag), with
-// AnySource/AnyTag wildcards. Progress is made inside blocking calls only
-// (no asynchronous software agent), as in the paper's discussion of
+// AnySource/AnyTag wildcards. Both queues are hash-bucketed on
+// <source, tag> (internal/match) with wildcard-ordered side lists, so a
+// match probe costs O(1) in queue depth — the same treatment foMPI gives
+// its matching path. Progress is made inside blocking calls only (no
+// asynchronous software agent), as in the paper's discussion of
 // receiver-side matching costs.
 package mp
 
@@ -23,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/match"
 	"repro/internal/runtime"
 	"repro/internal/simtime"
 )
@@ -30,9 +34,9 @@ import (
 // Wildcards for Recv/Probe matching.
 const (
 	// AnySource matches messages from every rank.
-	AnySource = -1
+	AnySource = match.AnySource
 	// AnyTag matches every tag.
-	AnyTag = -1
+	AnyTag = match.AnyTag
 )
 
 // Status describes a received (or probed) message.
@@ -118,8 +122,8 @@ type Comm struct {
 
 	eagerThreshold int
 
-	prq []*RecvReq // posted receives, in post order
-	uq  []*uqEntry // unexpected messages, in arrival order
+	prq match.Posted[*RecvReq] // posted receives, hashed, post-ordered
+	uq  match.Store[*uqEntry]  // unexpected messages, hashed, arrival-ordered
 
 	pendingSends map[int]*SendReq
 	pendingRecvs map[int]*RecvReq // rendezvous receives awaiting data
@@ -147,13 +151,9 @@ func (c *Comm) EagerThreshold() int { return c.eagerThreshold }
 // Proc returns the owning rank handle.
 func (c *Comm) Proc() *runtime.Proc { return c.p }
 
-func isMPClass(m *fabric.Msg) bool {
-	switch m.Class {
-	case runtime.ClassMPEager, runtime.ClassMPRTS, runtime.ClassMPCTS, runtime.ClassMPData:
-		return true
-	}
-	return false
-}
+// mpClasses are the message classes the progress loop consumes, in one
+// multi-class wait so handling preserves cross-class arrival order.
+var mpClasses = []int{runtime.ClassMPEager, runtime.ClassMPRTS, runtime.ClassMPCTS, runtime.ClassMPData}
 
 // handle processes one incoming message-passing packet.
 func (c *Comm) handle(m *fabric.Msg) {
@@ -166,7 +166,7 @@ func (c *Comm) handle(m *fabric.Msg) {
 			c.completeEager(req, env, m.Data)
 			return
 		}
-		c.uq = append(c.uq, &uqEntry{env: env, eager: true, data: m.Data, count: len(m.Data)})
+		c.uq.Add(env.source, env.tag, &uqEntry{env: env, eager: true, data: m.Data, count: len(m.Data)})
 
 	case runtime.ClassMPRTS:
 		h := m.Payload.(sendHeader)
@@ -175,7 +175,7 @@ func (c *Comm) handle(m *fabric.Msg) {
 			c.sendCTS(req, env, h.SendID)
 			return
 		}
-		c.uq = append(c.uq, &uqEntry{env: env, sendID: h.SendID, count: h.Count})
+		c.uq.Add(env.source, env.tag, &uqEntry{env: env, sendID: h.SendID, count: h.Count})
 
 	case runtime.ClassMPCTS:
 		h := m.Payload.(ctsHeader)
@@ -205,15 +205,20 @@ func (c *Comm) handle(m *fabric.Msg) {
 }
 
 // matchPRQ removes and returns the oldest posted receive matching env.
+// The hashed table answers in O(1); one TMatchScan covers the probe (the
+// analytic model charges exactly one scan per transfer, and the seed's
+// linear scan also cost one unit on the depth-1 fast path).
 func (c *Comm) matchPRQ(env envelope) *RecvReq {
-	for i, r := range c.prq {
-		c.charge(c.p.Model().TMatchScan)
-		if env.matches(r.source, r.tag) {
-			c.prq = append(c.prq[:i], c.prq[i+1:]...)
-			return r
-		}
+	if c.prq.Depth() == 0 {
+		return nil
 	}
-	return nil
+	c.charge(c.p.Model().TMatchScan)
+	e := c.prq.Match(env.source, env.tag)
+	if e == nil {
+		return nil
+	}
+	c.prq.Remove(e)
+	return e.Item
 }
 
 // completeEager copies an eager payload into the matched receive.
@@ -243,14 +248,14 @@ func (c *Comm) charge(d simtime.Duration) { c.p.Sleep(d) }
 // progress consumes one incoming packet, blocking if block is set. Returns
 // whether a packet was handled.
 func (c *Comm) progress(block bool) bool {
-	if m, ok := c.nic.PollMsg(isMPClass); ok {
+	if m, ok := c.nic.PollMsgClasses(mpClasses...); ok {
 		c.handle(m)
 		return true
 	}
 	if !block {
 		return false
 	}
-	m := c.nic.WaitMsg(c.p.Proc, isMPClass)
+	m := c.nic.WaitMsgClasses(c.p.Proc, mpClasses...)
 	c.handle(m)
 	return true
 }
@@ -300,11 +305,12 @@ func (c *Comm) TestSend(req *SendReq) bool {
 func (c *Comm) Irecv(buf []byte, source, tag int) *RecvReq {
 	c.nextID++
 	req := &RecvReq{buf: buf, source: source, tag: tag, id: c.nextID}
-	// Unexpected queue first (arrival order), then post.
-	for i, u := range c.uq {
+	// Unexpected queue first (arrival order), then post. One TMatchScan
+	// covers the bucketed probe, whatever the store depth.
+	if c.uq.Depth() > 0 {
 		c.charge(c.p.Model().TMatchScan)
-		if u.env.matches(source, tag) {
-			c.uq = append(c.uq[:i], c.uq[i+1:]...)
+		if nd := c.uq.Pop(source, tag); nd != nil {
+			u := nd.Item
 			if u.eager {
 				c.completeEager(req, u.env, u.data)
 			} else {
@@ -313,7 +319,7 @@ func (c *Comm) Irecv(buf []byte, source, tag int) *RecvReq {
 			return req
 		}
 	}
-	c.prq = append(c.prq, req)
+	c.prq.Add(source, tag, req)
 	return req
 }
 
@@ -355,17 +361,34 @@ func (c *Comm) Probe(source, tag int) Status {
 func (c *Comm) Iprobe(source, tag int) (Status, bool) {
 	for c.progress(false) {
 	}
-	for _, u := range c.uq {
-		if u.env.matches(source, tag) {
-			return Status{Source: u.env.source, Tag: u.env.tag, Count: u.count}, true
-		}
+	if nd := c.uq.Peek(source, tag); nd != nil {
+		u := nd.Item
+		return Status{Source: u.env.source, Tag: u.env.tag, Count: u.count}, true
 	}
 	return Status{}, false
 }
 
 // UnexpectedDepth returns the current unexpected-queue length (used by the
 // scalability discussion benches).
-func (c *Comm) UnexpectedDepth() int { return len(c.uq) }
+func (c *Comm) UnexpectedDepth() int { return c.uq.Depth() }
+
+// MatchStats reports the matcher's depth accounting for the benchmarks.
+type MatchStats struct {
+	PostedDepth         int // receives currently armed in the PRQ
+	PostedHighWater     int // maximum PRQ depth observed
+	UnexpectedDepth     int // messages currently buffered in the UQ
+	UnexpectedHighWater int // maximum UQ depth observed
+}
+
+// MatchStats returns a snapshot of the PRQ/UQ depth counters.
+func (c *Comm) MatchStats() MatchStats {
+	return MatchStats{
+		PostedDepth:         c.prq.Depth(),
+		PostedHighWater:     c.prq.HighWater(),
+		UnexpectedDepth:     c.uq.Depth(),
+		UnexpectedHighWater: c.uq.HighWater(),
+	}
+}
 
 // Sendrecv posts the receive, sends, and waits for both — the deadlock-free
 // neighbor-exchange primitive (MPI_Sendrecv).

@@ -57,6 +57,55 @@ type fenceHeader struct {
 	Round int
 }
 
+// syncKey attaches the per-rank synchronization stash.
+type syncKey struct{}
+
+// fenceKey identifies one expected fence-barrier message.
+type fenceKey struct {
+	winID, epoch, round, origin int
+}
+
+// pscwKey identifies one expected PSCW post/complete message.
+type pscwKey struct {
+	winID, origin int
+}
+
+// syncState buffers synchronization messages a rank popped from its class
+// queues while waiting for a different one. The class FIFOs only order by
+// class; a fence wait cares about <window, epoch, round, origin> and a
+// PSCW wait about <window, origin>, and with several windows (or an
+// origin running epochs ahead, which PSCW permits) a pop can surface a
+// message destined for a later wait on this same rank. Counts rather than
+// flags: a peer may legitimately send the same pscwKey twice before we
+// consume once.
+type syncState struct {
+	fence     map[fenceKey]int
+	posts     map[pscwKey]int
+	completes map[pscwKey]int
+}
+
+func syncStateOf(p *runtime.Proc) *syncState {
+	return p.Attach(syncKey{}, func() any {
+		return &syncState{
+			fence:     make(map[fenceKey]int),
+			posts:     make(map[pscwKey]int),
+			completes: make(map[pscwKey]int),
+		}
+	}).(*syncState)
+}
+
+// take consumes one buffered message under key, if any.
+func take[K comparable](m map[K]int, k K) bool {
+	if m[k] == 0 {
+		return false
+	}
+	m[k]--
+	if m[k] == 0 {
+		delete(m, k)
+	}
+	return true
+}
+
 // Allocate collectively creates a window of size bytes on every rank
 // (MPI_Win_allocate). Every rank must call it in the same program order.
 func Allocate(p *runtime.Proc, size int) *Win {
@@ -161,14 +210,17 @@ func (w *Win) Fence() {
 	me := w.p.Rank()
 	epoch := w.fenceEpoch
 	w.fenceEpoch++
+	st := syncStateOf(w.p)
 	for k, round := 1, 0; k < n; k, round = k*2, round+1 {
 		to := (me + k) % n
 		from := (me - k + n) % n
 		w.nic.PostMsg(w.p.Proc, to, runtime.ClassRMAFence, fenceHeader{WinID: w.ID, Epoch: epoch, Round: round}, nil, false)
-		w.nic.WaitMsg(w.p.Proc, func(m *fabric.Msg) bool {
-			h, ok := m.Payload.(fenceHeader)
-			return ok && m.Origin == from && h.WinID == w.ID && h.Epoch == epoch && h.Round == round
-		})
+		want := fenceKey{w.ID, epoch, round, from}
+		for !take(st.fence, want) {
+			m := w.nic.WaitMsgClass(w.p.Proc, runtime.ClassRMAFence)
+			h := m.Payload.(fenceHeader)
+			st.fence[fenceKey{h.WinID, h.Epoch, h.Round, m.Origin}]++
+		}
 	}
 }
 
@@ -191,12 +243,14 @@ func (w *Win) Start(targets []int) {
 		panic(fmt.Sprintf("rma: rank %d: Start during an open access epoch", w.p.Rank()))
 	}
 	w.startedTo = append([]int(nil), targets...)
+	st := syncStateOf(w.p)
 	for _, t := range targets {
-		t := t
-		w.nic.WaitMsg(w.p.Proc, func(m *fabric.Msg) bool {
-			h, ok := m.Payload.(pscwHeader)
-			return ok && m.Class == runtime.ClassRMAPost && m.Origin == t && h.WinID == w.ID
-		})
+		want := pscwKey{w.ID, t}
+		for !take(st.posts, want) {
+			m := w.nic.WaitMsgClass(w.p.Proc, runtime.ClassRMAPost)
+			h := m.Payload.(pscwHeader)
+			st.posts[pscwKey{h.WinID, m.Origin}]++
+		}
 	}
 }
 
@@ -221,12 +275,14 @@ func (w *Win) Wait() {
 	if w.postedBy == nil {
 		panic(fmt.Sprintf("rma: rank %d: Wait without Post", w.p.Rank()))
 	}
+	st := syncStateOf(w.p)
 	for _, o := range w.postedBy {
-		o := o
-		w.nic.WaitMsg(w.p.Proc, func(m *fabric.Msg) bool {
-			h, ok := m.Payload.(pscwHeader)
-			return ok && m.Class == runtime.ClassRMAComplete && m.Origin == o && h.WinID == w.ID
-		})
+		want := pscwKey{w.ID, o}
+		for !take(st.completes, want) {
+			m := w.nic.WaitMsgClass(w.p.Proc, runtime.ClassRMAComplete)
+			h := m.Payload.(pscwHeader)
+			st.completes[pscwKey{h.WinID, m.Origin}]++
+		}
 	}
 	w.postedBy = nil
 }

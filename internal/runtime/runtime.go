@@ -236,15 +236,25 @@ func (p *Proc) Barrier() {
 	if n == 1 {
 		return
 	}
+	// Plain class-FIFO pops are safe here: rank 0 only ever receives the
+	// payload-0 gather messages (and cannot observe barrier k+1 arrivals
+	// before it finishes collecting barrier k), while non-roots only ever
+	// receive the payload-1 release.
 	if p.Rank() == 0 {
 		for i := 1; i < n; i++ {
-			p.nic.WaitMsg(p.Proc, func(m *fabric.Msg) bool { return m.Class == ClassBarrier && m.Payload.(int) == 0 })
+			m := p.nic.WaitMsgClass(p.Proc, ClassBarrier)
+			if m.Payload.(int) != 0 {
+				panic("runtime: barrier release received at root")
+			}
 		}
 		for i := 1; i < n; i++ {
 			p.nic.PostMsg(p.Proc, i, ClassBarrier, 1, nil, false)
 		}
 	} else {
 		p.nic.PostMsg(p.Proc, 0, ClassBarrier, 0, nil, false)
-		p.nic.WaitMsg(p.Proc, func(m *fabric.Msg) bool { return m.Class == ClassBarrier && m.Payload.(int) == 1 })
+		m := p.nic.WaitMsgClass(p.Proc, ClassBarrier)
+		if m.Payload.(int) != 1 {
+			panic("runtime: barrier gather received at non-root")
+		}
 	}
 }
