@@ -18,8 +18,10 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	list := flag.Bool("list", false, "list available experiments")
 	format := flag.String("format", "text", "output format: text, markdown, csv")
+	quick := flag.Bool("quick", false, "shrink wall-clock experiments to a fast smoke pass (CI)")
 	flag.Parse()
 	outputFormat = *format
+	bench.Quick = *quick
 
 	switch {
 	case *list:

@@ -188,17 +188,23 @@ func (w *Win) Buffer() []byte { return w.w.Buffer() }
 // Size returns the window size in bytes.
 func (w *Win) Size() int { return w.w.Size() }
 
-// Put writes data to target's window at targetOff (MPI_Put).
-func (w *Win) Put(target, targetOff int, data []byte) { w.w.Put(target, targetOff, data) }
+// Put writes data to target's window at targetOff (MPI_Put). The handle
+// is detached — completion is observed via Flush — so the NIC can recycle
+// it and keep the steady-state put path allocation-free.
+func (w *Win) Put(target, targetOff int, data []byte) {
+	w.w.Put(target, targetOff, data).Detach()
+}
 
 // Get reads len(dst) bytes from target's window at targetOff (MPI_Get);
 // completion requires Flush or an epoch close.
-func (w *Win) Get(target, targetOff int, dst []byte) { w.w.Get(target, targetOff, dst) }
+func (w *Win) Get(target, targetOff int, dst []byte) {
+	w.w.Get(target, targetOff, dst).Detach()
+}
 
 // Accumulate applies an element-wise float64 reduction at the target
 // (MPI_Accumulate with MPI_SUM or MPI_REPLACE).
 func (w *Win) Accumulate(target, targetOff int, vals []float64, op AccumOp) {
-	w.w.Accumulate(target, targetOff, vals, op)
+	w.w.Accumulate(target, targetOff, vals, op).Detach()
 }
 
 // FetchAndOp atomically adds delta to the uint64 at targetOff and returns
@@ -252,7 +258,7 @@ func (w *Win) Store64(off int, v uint64) { w.w.Store64(off, v) }
 // notification with it in a single network transaction (MPI_Put_notify).
 // Zero-length data sends a pure notification.
 func (w *Win) PutNotify(target, targetOff int, data []byte, tag int) {
-	core.PutNotify(w.w, target, targetOff, data, tag)
+	core.PutNotify(w.w, target, targetOff, data, tag).Detach()
 }
 
 // GetNotify reads from target's window into dst and notifies the target
@@ -264,7 +270,7 @@ func (w *Win) GetNotify(target, targetOff int, dst []byte, tag int) *GetHandle {
 
 // AccumulateNotify is the notified variant of Accumulate.
 func (w *Win) AccumulateNotify(target, targetOff int, vals []float64, op AccumOp, tag int) {
-	core.AccumulateNotify(w.w, target, targetOff, vals, op, tag)
+	core.AccumulateNotify(w.w, target, targetOff, vals, op, tag).Detach()
 }
 
 // NotifyInit allocates a persistent notification request matching
@@ -320,16 +326,28 @@ type QueueStats struct {
 	// class is present once its bucket exists — that is, once a message of
 	// it has been enqueued, polled for, or waited on.
 	MsgClassHighWater map[int]int
+	// Pool is the job-wide transfer-buffer pool snapshot: how many payload
+	// stagings hit the registered-buffer freelists instead of allocating
+	// (Pool.HitRate() approaches 1 in steady state).
+	Pool fabric.PoolStats
+	// RegionLockContention counts data-plane region-lock acquisitions on
+	// this rank's NIC that found the lock held — how often concurrent
+	// traffic actually collided on one region after lock sharding (always 0
+	// under the deterministic Sim engine).
+	RegionLockContention int64
 }
 
-// QueueStats returns this rank's NIC queue high-water marks.
+// QueueStats returns this rank's NIC queue high-water marks and data-plane
+// counters.
 func (p *Proc) QueueStats() QueueStats {
 	n := p.p.NIC()
 	return QueueStats{
-		DestCQHighWater:   n.DestHighWater(),
-		RingHighWater:     n.RingHighWater(),
-		MsgHighWater:      n.MsgHighWater(),
-		MsgClassHighWater: n.MsgClassHighWater(),
+		DestCQHighWater:      n.DestHighWater(),
+		RingHighWater:        n.RingHighWater(),
+		MsgHighWater:         n.MsgHighWater(),
+		MsgClassHighWater:    n.MsgClassHighWater(),
+		Pool:                 p.p.World().Fabric().PoolStats(),
+		RegionLockContention: n.RegionLockContention(),
 	}
 }
 

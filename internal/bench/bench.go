@@ -89,6 +89,7 @@ func Registry() []Experiment {
 		{"uqdepth", "Matching cost vs unexpected-store depth", UQDepth},
 		{"notifymatch", "Matching-rate microbenchmark: Test cost vs outstanding requests K", NotifyMatch},
 		{"msgmatch", "Message matching microbenchmark: control-plane cost vs queue depth / waiter count K", MsgMatch},
+		{"databw", "Multi-producer put saturation: aggregate bandwidth and allocs/op vs producer count", DataBW},
 		{"halo", "2D halo exchange latency (introduction motif)", Halo},
 		{"model", "Analytic LogGP model vs simulation (paper section V-A)", ModelValidation},
 		{"sensitivity", "NA/MP advantage vs network latency (exascale claim)", Sensitivity},

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDataBW tracks the data-plane saturation benchmark under the Go
+// benchmark harness: aggregate put bandwidth and steady-state allocs per
+// put for one producer vs eight, on both the pooled bounce-buffer path and
+// the intra-node zero-copy path. The custom metrics carry the numbers the
+// acceptance criteria watch (MB/s scaling with producers, allocs/op-put
+// pinned at ~0).
+func BenchmarkDataBW(b *testing.B) {
+	for _, tc := range []struct {
+		mode      string
+		producers int
+	}{
+		{"pooled", 1},
+		{"pooled", 8},
+		{"zerocopy", 8},
+	} {
+		b.Run(fmt.Sprintf("%s-producers-%d", tc.mode, tc.producers), func(b *testing.B) {
+			var last dataBWResult
+			for i := 0; i < b.N; i++ {
+				last = dataBWRun(tc.mode, tc.producers, 16384, 300, 60)
+			}
+			b.ReportMetric(last.mbps, "MB/s")
+			b.ReportMetric(last.allocsPerOp, "allocs/op-put")
+			b.ReportMetric(0, "ns/op") // wall time is dominated by job setup; MB/s is the signal
+		})
+	}
+}

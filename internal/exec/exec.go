@@ -413,7 +413,7 @@ func (e *RealEnv) Schedule(after simtime.Duration, prio int, fn func()) {
 
 // NewGate implements Env.
 func (e *RealEnv) NewGate(l sync.Locker) Gate {
-	return &realGate{env: e, locker: l, ch: make(chan struct{})}
+	return &realGate{env: e, locker: l}
 }
 
 func (e *RealEnv) setErr(err error) {
@@ -436,6 +436,22 @@ func (e *RealEnv) checkAbort() {
 // Aborted returns a channel closed when the run is aborted. Helper
 // goroutines (e.g. NIC receive workers) should select on it.
 func (e *RealEnv) Aborted() <-chan struct{} { return e.abort }
+
+// AbortUnwind unwinds the calling goroutine with the engine's abort
+// sentinel. Guard paths that observe Aborted() while blocked mid-protocol
+// (e.g. a transmit into a full receive lane of a dead consumer) call it so
+// the rank tears down through the spawn wrapper's recover instead of
+// wedging; helper goroutines that call it must treat the panic as benign
+// (see IsAbortPanic).
+func (e *RealEnv) AbortUnwind() { panic(procAbort{}) }
+
+// IsAbortPanic reports whether a recovered panic value is the engine's
+// internal abort sentinel, letting helper goroutines distinguish a benign
+// abort unwind from a genuine failure.
+func IsAbortPanic(r any) bool {
+	_, ok := r.(procAbort)
+	return ok
+}
 
 // Fail aborts the run with err, waking all parked ranks. Helper goroutines
 // use it to surface asynchronous failures (e.g. a delivery-time panic in a
@@ -469,15 +485,23 @@ func (e *RealEnv) Run(n int, body func(p *Proc)) error {
 	return e.err
 }
 
+// realGate parks goroutines on a lazily-created channel: the first waiter
+// since the last broadcast allocates it, and a broadcast with nobody
+// parked is a mutex round trip and nothing else. Hot delivery paths
+// broadcast once per packet, so an eager channel-per-broadcast would put
+// an allocation on every operation of a steady-state data stream.
 type realGate struct {
 	env    *RealEnv
 	locker sync.Locker
 	mu     sync.Mutex
-	ch     chan struct{}
+	ch     chan struct{} // nil when no waiter is registered
 }
 
 func (g *realGate) Wait(p *Proc) {
 	g.mu.Lock()
+	if g.ch == nil {
+		g.ch = make(chan struct{})
+	}
 	ch := g.ch
 	g.mu.Unlock()
 	g.locker.Unlock()
@@ -497,8 +521,10 @@ func (g *realGate) Wait(p *Proc) {
 
 func (g *realGate) Broadcast() {
 	g.mu.Lock()
-	close(g.ch)
-	g.ch = make(chan struct{})
+	if g.ch != nil {
+		close(g.ch)
+		g.ch = nil
+	}
 	g.mu.Unlock()
 }
 

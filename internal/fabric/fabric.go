@@ -173,6 +173,11 @@ type Fabric struct {
 
 	Stats Counters
 
+	// pool is the fabric-wide registered transfer-buffer allocator; every
+	// pooled payload (put bounce buffers, get replies, accumulate operand
+	// encodings, message payload staging) draws from it.
+	pool bufPool
+
 	// lastArrive[origin*Ranks+target] tracks the previous arrival time on
 	// each ordered pair for FIFO enforcement (Sim engine only; guarded by
 	// the single-threaded kernel).
@@ -202,7 +207,7 @@ func New(env exec.Env, cfg Config) *Fabric {
 	}
 	if env.Mode() == exec.Real {
 		for _, n := range f.nics {
-			n.startRxWorker()
+			n.startRxWorkers()
 		}
 	}
 	return f
@@ -255,14 +260,43 @@ func (f *Fabric) wireTime(origin, target, size int, inlineEligible bool) simtime
 	return p.Time(size)
 }
 
+// zeroCopyEligible reports whether a transfer may skip the bounce buffer
+// and copy source → destination memory directly at delivery time: Real
+// engine only (under Sim the staging copy keeps delivered bytes — and so
+// modeled timings — independent of later source mutations), intra-node,
+// and at least BTE-sized (small transfers gain nothing, and inline-ring
+// payloads must stay staged copies).
+func (f *Fabric) zeroCopyEligible(origin, target, size int) bool {
+	return f.env.Mode() == exec.Real &&
+		size >= f.cfg.Model.FMABTECrossover &&
+		size > f.cfg.InlineThreshold &&
+		f.SameNode(origin, target)
+}
+
 // transmit moves pkt from origin to target. Under Sim it schedules a
 // delivery event at the FIFO-adjusted LogGP arrival time; under Real it
-// enqueues on the target NIC's receive worker.
+// enqueues on the target NIC's per-origin receive lane, unwinding the
+// sending proc if the run aborts while the lane is full (a dead consumer
+// must not wedge the producer forever).
 func (f *Fabric) transmit(pkt *packet) {
 	f.count(pkt)
 	dst := f.nics[pkt.target]
 	if f.env.Mode() == exec.Real {
-		dst.rx <- pkt
+		ch := dst.rx[pkt.origin]
+		select {
+		case ch <- pkt:
+		default:
+			re, _ := f.env.(*exec.RealEnv)
+			if re == nil {
+				ch <- pkt
+				return
+			}
+			select {
+			case ch <- pkt:
+			case <-re.Aborted():
+				re.AbortUnwind()
+			}
+		}
 		return
 	}
 	wire := f.wireTime(pkt.origin, pkt.target, pkt.wireSize, pkt.inlineEligible)

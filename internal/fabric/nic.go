@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/match"
@@ -63,8 +64,10 @@ type CQE struct {
 // NotifySink receives destination notifications for one registered region
 // at delivery time, instead of the region's consumer draining the shared
 // destination CQ. A sink's Deliver is invoked outside the NIC lock: under
-// Sim in kernel context at the packet's arrival time, under Real on the
-// receive worker goroutine — it must not block in either case.
+// Sim in kernel context at the packet's arrival time, under Real on a
+// receive worker goroutine — it must not block in either case. Under the
+// Real engine deliveries from different origins run on different workers,
+// so Deliver must be safe for concurrent calls.
 type NotifySink interface {
 	Deliver(cqe CQE)
 }
@@ -154,6 +157,8 @@ type packet struct {
 	regionID       int
 	offset         int
 	data           []byte
+	pooled         bool // data came from the fabric's buffer pool; recycle at commit
+	dstDirect      bool // getResp: payload already committed straight into op.dst (zero-copy)
 	imm            Imm
 	wireSize       int
 	inlineEligible bool
@@ -174,12 +179,13 @@ type packet struct {
 // data landed locally, atomic result returned), which is what Flush waits
 // for.
 type Op struct {
-	nic    *NIC
-	target int
-	kind   OpKind
-	dst    []byte // get destination
-	done   bool
-	result uint64 // atomic fetch result
+	nic      *NIC
+	target   int
+	kind     OpKind
+	dst      []byte // get destination
+	done     bool
+	detached bool // fire-and-forget: recycle into the NIC's op freelist at completion
+	result   uint64
 }
 
 // Done reports whether the operation is remotely complete.
@@ -212,11 +218,32 @@ func (o *Op) Result() uint64 {
 	return o.result
 }
 
+// Detach declares the caller will never touch this handle again (no Done,
+// Await, or Result), letting the NIC recycle it into its op freelist at
+// remote completion. Fire-and-forget posting paths (put streams completed
+// by Flush, blocking helpers that already consumed the result) use it to
+// keep the steady-state hot path allocation-free.
+func (o *Op) Detach() {
+	n := o.nic
+	n.mu.Lock()
+	if o.done {
+		n.recycleOpLocked(o)
+	} else {
+		o.detached = true
+	}
+	n.mu.Unlock()
+}
+
 // MemRegion is a registered memory region remotely accessible by its ID.
+// Each region carries its own read-write lock guarding the backing bytes,
+// so payload commits to different regions never serialize on the NIC-wide
+// lock (lock order: NIC.mu, then regMu, then MemRegion.mu — payload paths
+// that need no queue state take only the region lock).
 type MemRegion struct {
 	ID  int
 	nic *NIC
 	buf []byte
+	mu  sync.RWMutex
 }
 
 // Bytes returns the region's backing memory. The owner may access it
@@ -225,6 +252,37 @@ func (r *MemRegion) Bytes() []byte { return r.buf }
 
 // Len returns the region size in bytes.
 func (r *MemRegion) Len() int { return len(r.buf) }
+
+// lockW acquires the region write lock, counting contended acquisitions.
+func (r *MemRegion) lockW() {
+	if !r.mu.TryLock() {
+		r.nic.regionContention.Add(1)
+		r.mu.Lock()
+	}
+}
+
+// lockR acquires the region read lock, counting contended acquisitions.
+func (r *MemRegion) lockR() {
+	if !r.mu.TryRLock() {
+		r.nic.regionContention.Add(1)
+		r.mu.RLock()
+	}
+}
+
+// commit copies data into the region at off under the region write lock.
+func (r *MemRegion) commit(off int, data []byte) {
+	r.lockW()
+	copy(r.buf[off:], data)
+	r.mu.Unlock()
+}
+
+// readInto copies length bytes at off into dst under the region read lock,
+// so concurrent gets against one region proceed in parallel.
+func (r *MemRegion) readInto(off int, dst []byte) {
+	r.lockR()
+	copy(dst, r.buf[off:])
+	r.mu.RUnlock()
+}
 
 // msgEntry stamps a queued message with its rank-wide arrival sequence so
 // multi-class consumers can merge class FIFOs back into arrival order.
@@ -250,17 +308,36 @@ type msgWaiter struct {
 	classes []int
 }
 
+// rxQueueDepth is the per-origin receive queue capacity under the Real
+// engine (per-origin lanes preserve the per-(origin,target) FIFO the
+// protocols rely on while letting different origins deliver concurrently).
+const rxQueueDepth = 1024
+
+// opFreeCap bounds the NIC's recycled-op freelist.
+const opFreeCap = 1024
+
 // NIC is one rank's network endpoint.
 type NIC struct {
 	f    *Fabric
 	rank int
 
+	// regMu guards the region table only; the payload bytes of each region
+	// are guarded by the region's own lock. The data plane therefore takes
+	// a read lock for the table lookup and the region lock for the copy,
+	// never the control-plane mu.
+	regMu   sync.RWMutex
+	regions []*MemRegion
+
+	// regionContention counts region-lock acquisitions that found the lock
+	// held (TryLock failed) — the sharded data plane's contention signal.
+	regionContention atomic.Int64
+
 	mu       sync.Mutex
-	regions  []*MemRegion
 	destCQ   match.FIFO[CQE]
 	sinks    map[int]NotifySink // per-region delivery-time dispatch
 	destGate exec.Gate
 	opGate   exec.Gate
+	opFree   []*Op // recycled detached op handles
 
 	// Class-bucketed message dispatch engine: one FIFO per Msg.Class,
 	// created on first use, plus a rank-wide arrival sequence so
@@ -285,7 +362,11 @@ type NIC struct {
 	destHighWater int
 	ring          shmRing // intra-node notification ring (paper §IV-C)
 
-	rx   chan *packet // Real engine inbound
+	// rx holds one inbound lane per origin rank (Real engine): lane i
+	// carries packets whose origin is rank i, drained by a dedicated
+	// worker. Per-pair FIFO survives; different origins deliver in
+	// parallel against the sharded data plane.
+	rx   []chan *packet
 	quit chan struct{}
 }
 
@@ -299,7 +380,10 @@ func newNIC(f *Fabric, rank int) *NIC {
 	n.destGate = f.env.NewGate(&n.mu)
 	n.opGate = f.env.NewGate(&n.mu)
 	if f.env.Mode() == exec.Real {
-		n.rx = make(chan *packet, 4096)
+		n.rx = make([]chan *packet, f.cfg.Ranks)
+		for i := range n.rx {
+			n.rx[i] = make(chan *packet, rxQueueDepth)
+		}
 	}
 	return n
 }
@@ -307,38 +391,44 @@ func newNIC(f *Fabric, rank int) *NIC {
 // Rank returns the owning rank.
 func (n *NIC) Rank() int { return n.rank }
 
-func (n *NIC) startRxWorker() {
+// startRxWorkers launches one receive worker per origin lane (Real engine).
+func (n *NIC) startRxWorkers() {
 	var abort <-chan struct{}
-	if re, ok := n.f.env.(*exec.RealEnv); ok {
+	re, _ := n.f.env.(*exec.RealEnv)
+	if re != nil {
 		abort = re.Aborted()
 	}
-	re, _ := n.f.env.(*exec.RealEnv)
-	go func() {
-		for {
-			select {
-			case pkt := <-n.rx:
-				n.deliverGuarded(re, pkt)
-			case <-abort:
-				return
-			case <-n.quit:
-				return
+	for _, ch := range n.rx {
+		ch := ch
+		go func() {
+			for {
+				select {
+				case pkt := <-ch:
+					n.deliverGuarded(re, pkt)
+				case <-abort:
+					return
+				case <-n.quit:
+					return
+				}
 			}
-		}
-	}()
+		}()
+	}
 }
 
 // deliverGuarded converts delivery-time panics into a run abort under the
-// Real engine instead of crashing the process.
+// Real engine instead of crashing the process. Abort-sentinel unwinds
+// (exec.RealEnv.AbortUnwind from a blocked transmit) pass through silently:
+// the run already holds its first error.
 func (n *NIC) deliverGuarded(re *exec.RealEnv, pkt *packet) {
 	defer func() {
-		if r := recover(); r != nil && re != nil {
+		if r := recover(); r != nil && !exec.IsAbortPanic(r) && re != nil {
 			re.Fail(fmt.Errorf("rank %d delivery panicked: %v", n.rank, r))
 		}
 	}()
 	n.deliver(pkt)
 }
 
-// Close shuts down the NIC's receive worker (Real engine).
+// Close shuts down the NIC's receive workers (Real engine).
 func (n *NIC) Close() {
 	select {
 	case <-n.quit:
@@ -358,8 +448,8 @@ func (f *Fabric) Close() {
 // Registration order must match across ranks when the layers above rely on
 // symmetric region IDs (as MPI window allocation does).
 func (n *NIC) Register(buf []byte) *MemRegion {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
 	r := &MemRegion{ID: len(n.regions), nic: n, buf: buf}
 	n.regions = append(n.regions, r)
 	return r
@@ -367,18 +457,29 @@ func (n *NIC) Register(buf []byte) *MemRegion {
 
 // Deregister revokes remote access to the region. The ID is not reused.
 func (n *NIC) Deregister(r *MemRegion) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
 	if r.ID < len(n.regions) && n.regions[r.ID] == r {
 		n.regions[r.ID] = nil
 	}
 }
 
 func (n *NIC) region(id int) *MemRegion {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.regMu.RLock()
+	defer n.regMu.RUnlock()
 	if id < 0 || id >= len(n.regions) || n.regions[id] == nil {
 		panic(fmt.Sprintf("fabric: rank %d: access to unregistered region %d", n.rank, id))
+	}
+	return n.regions[id]
+}
+
+// regionOrNil is the tolerant lookup used when draining stale ring entries
+// whose region may have been deregistered.
+func (n *NIC) regionOrNil(id int) *MemRegion {
+	n.regMu.RLock()
+	defer n.regMu.RUnlock()
+	if id < 0 || id >= len(n.regions) {
+		return nil
 	}
 	return n.regions[id]
 }
@@ -390,12 +491,29 @@ func (n *NIC) checkTarget(target int) {
 }
 
 func (n *NIC) beginOp(target int, kind OpKind) *Op {
-	op := &Op{nic: n, target: target, kind: kind}
 	n.mu.Lock()
+	var op *Op
+	if k := len(n.opFree); k > 0 {
+		op = n.opFree[k-1]
+		n.opFree[k-1] = nil
+		n.opFree = n.opFree[:k-1]
+	} else {
+		op = &Op{}
+	}
+	op.nic, op.target, op.kind = n, target, kind
+	op.dst, op.done, op.detached, op.result = nil, false, false, 0
 	n.outstanding[target]++
 	n.totalOut++
 	n.mu.Unlock()
 	return op
+}
+
+// recycleOpLocked returns a finished, detached op to the freelist.
+func (n *NIC) recycleOpLocked(op *Op) {
+	if len(n.opFree) < opFreeCap {
+		op.dst = nil
+		n.opFree = append(n.opFree, op)
+	}
 }
 
 func (n *NIC) completeOp(op *Op, result uint64) {
@@ -411,6 +529,9 @@ func (n *NIC) completeOp(op *Op, result uint64) {
 	// streams) stays silent instead of stampeding every sleeper.
 	wake := n.opAwaitWaiters > 0 ||
 		(n.opFlushWaiters > 0 && (n.outstanding[op.target] == 0 || n.totalOut == 0))
+	if op.detached {
+		n.recycleOpLocked(op)
+	}
 	n.mu.Unlock()
 	if wake {
 		n.opGate.Broadcast()
@@ -422,17 +543,36 @@ func (n *NIC) completeOp(op *Op, result uint64) {
 // destination completion queue once the data is committed — this is the
 // primitive Notified Access builds on. p may be nil when called outside a
 // rank (no overhead is charged then).
+//
+// The payload is staged in a pooled bounce buffer (recycled when the
+// target commits it), except on the intra-node zero-copy fast path: above
+// the BTE crossover under the Real engine the packet references data
+// directly and the target copies source → region in a single copy (XPMEM
+// single-copy semantics, paper §IV-C). Per MPI one-sided rules the caller
+// must not modify data until the operation completes locally.
 func (n *NIC) Put(p *exec.Proc, target, regionID, offset int, data []byte, imm Imm) *Op {
 	n.checkTarget(target)
 	n.f.chargeSend(p)
-	cp := make([]byte, len(data))
-	copy(cp, data)
+	var payload []byte
+	pooled := false
+	switch {
+	case len(data) == 0:
+		// Pure notification: nothing to stage.
+	case n.f.zeroCopyEligible(n.rank, target, len(data)):
+		payload = data
+	default:
+		payload = n.f.pool.get(len(data))
+		copy(payload, data)
+		pooled = true
+	}
 	op := n.beginOp(target, OpPut)
-	n.f.transmit(&packet{
+	pkt := newPacket()
+	*pkt = packet{
 		kind: pktPut, origin: n.rank, target: target,
-		regionID: regionID, offset: offset, data: cp, imm: imm,
-		wireSize: len(cp), inlineEligible: imm.Valid, op: op,
-	})
+		regionID: regionID, offset: offset, data: payload, pooled: pooled, imm: imm,
+		wireSize: len(data), inlineEligible: imm.Valid, op: op,
+	}
+	n.f.transmit(pkt)
 	return op
 }
 
@@ -445,21 +585,25 @@ func (n *NIC) Get(p *exec.Proc, target, regionID, offset int, dst []byte, imm Im
 	n.f.chargeSend(p)
 	op := n.beginOp(target, OpGet)
 	op.dst = dst
-	n.f.transmit(&packet{
+	pkt := newPacket()
+	*pkt = packet{
 		kind: pktGetReq, origin: n.rank, target: target,
 		regionID: regionID, offset: offset, imm: imm,
 		wireSize: 0, op: op, operand: uint64(len(dst)),
-	})
+	}
+	n.f.transmit(pkt)
 	if imm.Valid && n.f.cfg.GetNotifyMode == GetNotifyOriginOrdered {
-		// InfiniBand-style protocol (paper Â§IV-A): no read-with-immediate,
+		// InfiniBand-style protocol (paper §IV-A): no read-with-immediate,
 		// so inject a notification write right behind the read request;
 		// per-pair FIFO ordering guarantees it executes after the read at
 		// the responder.
-		n.f.transmit(&packet{
+		note := newPacket()
+		*note = packet{
 			kind: pktNotify, origin: n.rank, target: target,
 			regionID: regionID, offset: offset,
 			imm: imm, wireSize: 0, operand: uint64(len(dst)),
-		})
+		}
+		n.f.transmit(note)
 	}
 	return op
 }
@@ -472,42 +616,49 @@ func (n *NIC) Atomic(p *exec.Proc, target, regionID, offset int, aop AtomicOp, o
 	n.checkTarget(target)
 	n.f.chargeSend(p)
 	op := n.beginOp(target, OpAtomic)
-	n.f.transmit(&packet{
+	pkt := newPacket()
+	*pkt = packet{
 		kind: pktAtomic, origin: n.rank, target: target,
 		regionID: regionID, offset: offset, imm: imm,
 		aop: aop, operand: operand, compare: compare,
 		wireSize: 8, op: op,
-	})
+	}
+	n.f.transmit(pkt)
 	return op
 }
 
 // Accumulate applies an element-wise float64 reduction of data into
 // (target, regionID, offset) at the target, executed by the target NIC
 // (no target CPU involvement). A valid imm notifies the destination CQ.
+// Operands are encoded into a pooled buffer, recycled once applied.
 func (n *NIC) Accumulate(p *exec.Proc, target, regionID, offset int, data []float64, aop AccumOp, imm Imm) *Op {
 	n.checkTarget(target)
 	n.f.chargeSend(p)
-	raw := make([]byte, 8*len(data))
+	raw := n.f.pool.get(8 * len(data))
 	for i, v := range data {
 		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
 	}
 	op := n.beginOp(target, OpAccum)
-	n.f.transmit(&packet{
+	pkt := newPacket()
+	*pkt = packet{
 		kind: pktAccum, origin: n.rank, target: target,
-		regionID: regionID, offset: offset, data: raw, imm: imm,
+		regionID: regionID, offset: offset, data: raw, pooled: true, imm: imm,
 		accOp: aop, wireSize: len(raw), op: op,
-	})
+	}
+	n.f.transmit(pkt)
 	return op
 }
 
 // PostMsg sends a small control/data message to target's message queue.
-// extraHeader models additional header bytes beyond the standard 16.
+// Payload bytes are staged in a pooled buffer; the consuming layer should
+// hand the buffer back via RecycleMsgData once it has copied the payload
+// out (layers that retain Msg.Data simply leave it to the collector).
 func (n *NIC) PostMsg(p *exec.Proc, target int, class int, payload any, data []byte, chargeCopy bool) {
 	n.checkTarget(target)
 	n.f.chargeSend(p)
 	var cp []byte
 	if len(data) > 0 {
-		cp = make([]byte, len(data))
+		cp = n.f.pool.get(len(data))
 		copy(cp, data)
 	}
 	m := &Msg{Origin: n.rank, Class: class, Payload: payload, Data: cp, ChargeCopy: chargeCopy}
@@ -515,98 +666,74 @@ func (n *NIC) PostMsg(p *exec.Proc, target int, class int, payload any, data []b
 	if len(cp) > 0 {
 		kind = pktData
 	}
-	n.f.transmit(&packet{
+	pkt := newPacket()
+	*pkt = packet{
 		kind: kind, origin: n.rank, target: target,
 		wireSize: msgHeaderBytes + len(cp), msg: m,
-	})
+	}
+	n.f.transmit(pkt)
+}
+
+// AcquireBuf returns a pooled staging buffer of the given length for a
+// layer's own payload staging (e.g. the message-passing rendezvous copy).
+// Hand it back with ReleaseBuf when done.
+func (n *NIC) AcquireBuf(size int) []byte { return n.f.pool.get(size) }
+
+// ReleaseBuf returns a buffer obtained from AcquireBuf (or a Msg payload)
+// to the fabric's pool. The caller must not touch it afterwards.
+func (n *NIC) ReleaseBuf(b []byte) { n.f.pool.put(b) }
+
+// RecycleMsgData returns m's payload buffer to the pool and clears the
+// reference. Consumers call it after copying the payload out; calling it
+// at most once per message is the caller's responsibility.
+func (n *NIC) RecycleMsgData(m *Msg) {
+	if m.Data != nil {
+		n.f.pool.put(m.Data)
+		m.Data = nil
+	}
+}
+
+// recycleData returns the packet's pooled payload buffer, if any.
+func (n *NIC) recycleData(pkt *packet) {
+	if pkt.pooled {
+		n.f.pool.put(pkt.data)
+	}
+	pkt.data, pkt.pooled = nil, false
 }
 
 // deliver commits an arriving packet against this NIC. Under Sim it runs in
 // kernel context at the packet's arrival time; under Real it runs on the
-// receive worker goroutine.
+// origin lane's receive worker, concurrently with other origins' workers —
+// payload copies take only the target region's lock, queue state only the
+// control-plane mu. The packet descriptor is recycled on return.
 func (n *NIC) deliver(pkt *packet) {
 	switch pkt.kind {
 	case pktPut:
-		reg := n.region(pkt.regionID)
-		if pkt.offset < 0 || pkt.offset+len(pkt.data) > len(reg.buf) {
-			panic(fmt.Sprintf("fabric: rank %d: put out of bounds: region %d off %d len %d (region len %d)",
-				n.rank, pkt.regionID, pkt.offset, len(pkt.data), len(reg.buf)))
-		}
-		inline := pkt.imm.Valid && n.f.SameNode(pkt.origin, n.rank) &&
-			len(pkt.data) <= n.f.cfg.InlineThreshold && len(pkt.data) > 0
-		if inline {
-			// Inline transfer (paper §IV-C): the payload rides inside the
-			// notification ring entry; the consumer copies it into the
-			// window when it processes the notification.
-			n.mu.Lock()
-			if sink := n.sinks[pkt.regionID]; sink != nil {
-				// A sink owns this region: commit the inline payload now and
-				// dispatch the notification directly, bypassing the ring.
-				copy(reg.buf[pkt.offset:], pkt.data)
-				n.mu.Unlock()
-				sink.Deliver(CQE{Origin: pkt.origin, Imm: pkt.imm.Val, Kind: OpPut,
-					RegionID: pkt.regionID, Offset: pkt.offset, Len: len(pkt.data)})
-			} else {
-				n.ring.push(ringEntry{source: pkt.origin, imm: pkt.imm.Val, kind: OpPut,
-					regionID: pkt.regionID, offset: pkt.offset, length: len(pkt.data), inline: pkt.data})
-				n.mu.Unlock()
-				n.destGate.Broadcast()
-			}
-		} else {
-			n.mu.Lock()
-			copy(reg.buf[pkt.offset:], pkt.data)
-			n.mu.Unlock()
-			n.postCQE(pkt, OpPut, len(pkt.data))
-		}
-		n.sendAck(pkt.op, pkt.origin, 0, 0)
+		n.deliverPut(pkt)
 
 	case pktGetReq:
-		reg := n.region(pkt.regionID)
-		length := int(pkt.operand)
-		if pkt.offset < 0 || pkt.offset+length > len(reg.buf) {
-			panic(fmt.Sprintf("fabric: rank %d: get out of bounds: region %d off %d len %d (region len %d)",
-				n.rank, pkt.regionID, pkt.offset, length, len(reg.buf)))
-		}
-		data := make([]byte, length)
-		n.mu.Lock()
-		copy(data, reg.buf[pkt.offset:])
-		n.mu.Unlock()
-		resp := &packet{
-			kind: pktGetResp, origin: n.rank, target: pkt.origin,
-			data: data, wireSize: length, op: pkt.op,
-		}
-		if pkt.imm.Valid && n.f.cfg.GetNotifyMode == GetNotifyDeferred {
-			// Unreliable network (paper §VIII): the buffer-reusable
-			// notification may only fire once the data has safely arrived
-			// at the origin; the origin then notifies us back.
-			resp.imm = pkt.imm
-			resp.regionID = pkt.regionID
-			resp.offset = pkt.offset
-			resp.notifyBack = true
-		} else if pkt.imm.Valid && n.f.cfg.GetNotifyMode == GetNotifyOriginOrdered {
-			// The origin injected a separate ordered notification write;
-			// do not notify here.
-		} else {
-			// Reliable network with read-with-immediate: notify as soon as
-			// the data has been read here at the data holder.
-			n.postCQE(pkt, OpGet, length)
-		}
-		n.f.transmit(resp)
+		n.deliverGetReq(pkt)
 
 	case pktGetResp:
-		n.mu.Lock()
-		copy(pkt.op.dst, pkt.data)
-		n.mu.Unlock()
+		if !pkt.dstDirect {
+			// The copy is unsynchronized: only this rank's lane touches
+			// dst, and completeOp's mutex publishes it to the origin.
+			copy(pkt.op.dst, pkt.data)
+		}
+		length := int(pkt.operand)
+		n.recycleData(pkt)
 		n.finishLocal(pkt.op, 0)
 		if pkt.notifyBack {
 			// Data arrived safely: release the target's buffer with a
 			// dedicated notification message (the extra round trip of the
 			// unreliable-network protocol).
-			n.f.transmit(&packet{
+			note := newPacket()
+			*note = packet{
 				kind: pktNotify, origin: n.rank, target: pkt.origin,
 				regionID: pkt.regionID, offset: pkt.offset,
-				imm: pkt.imm, wireSize: 0, operand: uint64(len(pkt.data)),
-			})
+				imm: pkt.imm, wireSize: 0, operand: uint64(length),
+			}
+			n.f.transmit(note)
 		}
 
 	case pktAtomic:
@@ -614,7 +741,7 @@ func (n *NIC) deliver(pkt *packet) {
 		if pkt.offset < 0 || pkt.offset+8 > len(reg.buf) {
 			panic(fmt.Sprintf("fabric: rank %d: atomic out of bounds: region %d off %d", n.rank, pkt.regionID, pkt.offset))
 		}
-		n.mu.Lock()
+		reg.lockW()
 		old := binary.LittleEndian.Uint64(reg.buf[pkt.offset:])
 		switch pkt.aop {
 		case AtomicFetchAdd:
@@ -624,8 +751,8 @@ func (n *NIC) deliver(pkt *packet) {
 				binary.LittleEndian.PutUint64(reg.buf[pkt.offset:], pkt.operand)
 			}
 		}
-		n.mu.Unlock()
-		n.postCQE(pkt, OpAtomic, 8)
+		reg.mu.Unlock()
+		n.postCQE(pkt.origin, pkt.imm, pkt.regionID, pkt.offset, OpAtomic, 8)
 		n.sendAck(pkt.op, pkt.origin, old, int64(n.f.cfg.Model.TAtomic))
 
 	case pktAccum:
@@ -634,7 +761,8 @@ func (n *NIC) deliver(pkt *packet) {
 			panic(fmt.Sprintf("fabric: rank %d: accumulate out of bounds: region %d off %d len %d",
 				n.rank, pkt.regionID, pkt.offset, len(pkt.data)))
 		}
-		n.mu.Lock()
+		length := len(pkt.data)
+		reg.lockW()
 		for i := 0; i+8 <= len(pkt.data); i += 8 {
 			v := math.Float64frombits(binary.LittleEndian.Uint64(pkt.data[i:]))
 			at := pkt.offset + i
@@ -646,18 +774,16 @@ func (n *NIC) deliver(pkt *packet) {
 				binary.LittleEndian.PutUint64(reg.buf[at:], math.Float64bits(v))
 			}
 		}
-		n.mu.Unlock()
-		n.postCQE(pkt, OpAccum, len(pkt.data))
+		reg.mu.Unlock()
+		n.recycleData(pkt)
+		n.postCQE(pkt.origin, pkt.imm, pkt.regionID, pkt.offset, OpAccum, length)
 		n.sendAck(pkt.op, pkt.origin, 0, int64(n.f.cfg.Model.TAtomic))
 
 	case pktAck:
 		n.finishLocal(pkt.op, pkt.operand)
 
 	case pktNotify:
-		n.postCQE(&packet{
-			origin: pkt.origin, imm: pkt.imm,
-			regionID: pkt.regionID, offset: pkt.offset,
-		}, OpGet, int(pkt.operand))
+		n.postCQE(pkt.origin, pkt.imm, pkt.regionID, pkt.offset, OpGet, int(pkt.operand))
 
 	case pktCtrl, pktData:
 		n.mu.Lock()
@@ -671,33 +797,120 @@ func (n *NIC) deliver(pkt *packet) {
 		tr(TraceEvent{Kind: pkt.kind.String(), Origin: pkt.origin, Target: pkt.target,
 			Bytes: pkt.wireSize, Imm: pkt.imm})
 	}
+	releasePacket(pkt)
 }
 
-// postCQE records a destination notification if the packet carries an
+// deliverPut commits an arriving put: payload copy under the region lock,
+// notification dispatch under the control-plane mu.
+func (n *NIC) deliverPut(pkt *packet) {
+	reg := n.region(pkt.regionID)
+	if pkt.offset < 0 || pkt.offset+len(pkt.data) > len(reg.buf) {
+		panic(fmt.Sprintf("fabric: rank %d: put out of bounds: region %d off %d len %d (region len %d)",
+			n.rank, pkt.regionID, pkt.offset, len(pkt.data), len(reg.buf)))
+	}
+	inline := pkt.imm.Valid && n.f.SameNode(pkt.origin, n.rank) &&
+		len(pkt.data) <= n.f.cfg.InlineThreshold && len(pkt.data) > 0
+	if inline {
+		// Inline transfer (paper §IV-C): the payload rides inside the
+		// notification ring entry; the consumer copies it into the
+		// window when it processes the notification.
+		n.mu.Lock()
+		if sink := n.sinks[pkt.regionID]; sink != nil {
+			// A sink owns this region: commit the inline payload now and
+			// dispatch the notification directly, bypassing the ring.
+			n.mu.Unlock()
+			reg.commit(pkt.offset, pkt.data)
+			length := len(pkt.data)
+			sink.Deliver(CQE{Origin: pkt.origin, Imm: pkt.imm.Val, Kind: OpPut,
+				RegionID: pkt.regionID, Offset: pkt.offset, Len: length})
+			n.recycleData(pkt)
+		} else {
+			n.ring.push(ringEntry{source: pkt.origin, imm: pkt.imm.Val, kind: OpPut,
+				regionID: pkt.regionID, offset: pkt.offset, length: len(pkt.data),
+				inline: pkt.data, pooled: pkt.pooled})
+			pkt.data, pkt.pooled = nil, false // the ring owns the buffer now
+			n.mu.Unlock()
+			n.destGate.Broadcast()
+		}
+	} else {
+		reg.commit(pkt.offset, pkt.data)
+		length := len(pkt.data)
+		n.recycleData(pkt)
+		n.postCQE(pkt.origin, pkt.imm, pkt.regionID, pkt.offset, OpPut, length)
+	}
+	n.sendAck(pkt.op, pkt.origin, 0, 0)
+}
+
+// deliverGetReq serves a get at the data holder. The reply buffer is taken
+// from the pool *before* any lock is acquired; on the intra-node zero-copy
+// path the payload is copied straight from the source region into the
+// origin's destination buffer instead (single copy, no bounce buffer).
+func (n *NIC) deliverGetReq(pkt *packet) {
+	reg := n.region(pkt.regionID)
+	length := int(pkt.operand)
+	if pkt.offset < 0 || pkt.offset+length > len(reg.buf) {
+		panic(fmt.Sprintf("fabric: rank %d: get out of bounds: region %d off %d len %d (region len %d)",
+			n.rank, pkt.regionID, pkt.offset, length, len(reg.buf)))
+	}
+	resp := newPacket()
+	*resp = packet{
+		kind: pktGetResp, origin: n.rank, target: pkt.origin,
+		wireSize: length, op: pkt.op, operand: uint64(length),
+	}
+	if n.f.zeroCopyEligible(n.rank, pkt.origin, length) {
+		// The origin may not touch dst until the op completes, so the
+		// region-to-destination copy is safe here at the data holder.
+		reg.readInto(pkt.offset, pkt.op.dst[:length])
+		resp.dstDirect = true
+	} else {
+		data := n.f.pool.get(length) // pooled before any lock
+		reg.readInto(pkt.offset, data)
+		resp.data, resp.pooled = data, true
+	}
+	if pkt.imm.Valid && n.f.cfg.GetNotifyMode == GetNotifyDeferred {
+		// Unreliable network (paper §VIII): the buffer-reusable
+		// notification may only fire once the data has safely arrived
+		// at the origin; the origin then notifies us back.
+		resp.imm = pkt.imm
+		resp.regionID = pkt.regionID
+		resp.offset = pkt.offset
+		resp.notifyBack = true
+	} else if pkt.imm.Valid && n.f.cfg.GetNotifyMode == GetNotifyOriginOrdered {
+		// The origin injected a separate ordered notification write;
+		// do not notify here.
+	} else {
+		// Reliable network with read-with-immediate: notify as soon as
+		// the data has been read here at the data holder.
+		n.postCQE(pkt.origin, pkt.imm, pkt.regionID, pkt.offset, OpGet, length)
+	}
+	n.f.transmit(resp)
+}
+
+// postCQE records a destination notification for an operation carrying an
 // immediate. When the owning region has a registered sink the entry is
 // dispatched to it directly at delivery time; otherwise intra-node
 // notifications go through the shared-memory ring (the XPMEM path) and
 // inter-node ones through the uGNI-style destination CQ.
-func (n *NIC) postCQE(pkt *packet, kind OpKind, length int) {
-	if !pkt.imm.Valid {
+func (n *NIC) postCQE(origin int, imm Imm, regionID, offset int, kind OpKind, length int) {
+	if !imm.Valid {
 		return
 	}
 	n.mu.Lock()
-	if sink := n.sinks[pkt.regionID]; sink != nil {
+	if sink := n.sinks[regionID]; sink != nil {
 		n.mu.Unlock()
 		sink.Deliver(CQE{
-			Origin: pkt.origin, Imm: pkt.imm.Val, Kind: kind,
-			RegionID: pkt.regionID, Offset: pkt.offset, Len: length,
+			Origin: origin, Imm: imm.Val, Kind: kind,
+			RegionID: regionID, Offset: offset, Len: length,
 		})
 		return
 	}
-	if n.f.SameNode(pkt.origin, n.rank) {
-		n.ring.push(ringEntry{source: pkt.origin, imm: pkt.imm.Val, kind: kind,
-			regionID: pkt.regionID, offset: pkt.offset, length: length})
+	if n.f.SameNode(origin, n.rank) {
+		n.ring.push(ringEntry{source: origin, imm: imm.Val, kind: kind,
+			regionID: regionID, offset: offset, length: length})
 	} else {
 		n.destCQ.Push(CQE{
-			Origin: pkt.origin, Imm: pkt.imm.Val, Kind: kind,
-			RegionID: pkt.regionID, Offset: pkt.offset, Len: length,
+			Origin: origin, Imm: imm.Val, Kind: kind,
+			RegionID: regionID, Offset: offset, Len: length,
 		})
 		if n.destCQ.Len() > n.destHighWater {
 			n.destHighWater = n.destCQ.Len()
@@ -709,10 +922,12 @@ func (n *NIC) postCQE(pkt *packet, kind OpKind, length int) {
 
 // sendAck returns a remote-completion acknowledgement to the origin.
 func (n *NIC) sendAck(op *Op, origin int, value uint64, extraDelay int64) {
-	n.f.transmit(&packet{
+	pkt := newPacket()
+	*pkt = packet{
 		kind: pktAck, origin: n.rank, target: origin,
 		wireSize: 0, op: op, operand: value, extraDelay: extraDelay,
-	})
+	}
+	n.f.transmit(pkt)
 }
 
 // finishLocal marks op complete at its origin NIC (this NIC).
@@ -723,18 +938,36 @@ func (n *NIC) finishLocal(op *Op, value uint64) {
 // Load64 atomically reads the uint64 at off in a local region, with a
 // happens-before edge against concurrent remote deliveries — the primitive
 // a busy-polling consumer (e.g. the paper's One Sided ring-buffer protocol)
-// uses to watch its own window memory.
+// uses to watch its own window memory. Synchronization is per region: a
+// polling consumer never contends with traffic to other regions.
 func (r *MemRegion) Load64(off int) uint64 {
-	r.nic.mu.Lock()
-	defer r.nic.mu.Unlock()
-	return binary.LittleEndian.Uint64(r.buf[off:])
+	r.lockR()
+	v := binary.LittleEndian.Uint64(r.buf[off:])
+	r.mu.RUnlock()
+	return v
 }
 
-// Store64 writes the uint64 at off in a local region under the same lock.
+// Store64 writes the uint64 at off in a local region under the region's
+// write lock.
 func (r *MemRegion) Store64(off int, v uint64) {
-	r.nic.mu.Lock()
-	defer r.nic.mu.Unlock()
+	r.lockW()
 	binary.LittleEndian.PutUint64(r.buf[off:], v)
+	r.mu.Unlock()
+}
+
+// commitInlineLocked commits a drained ring entry's inline payload into
+// its region (tolerating a deregistered region) and recycles the pooled
+// buffer. Caller holds n.mu; the region lock nests inside it.
+func (n *NIC) commitInlineLocked(e ringEntry) {
+	if e.inline == nil {
+		return
+	}
+	if reg := n.regionOrNil(e.regionID); reg != nil {
+		reg.commit(e.offset, e.inline)
+	}
+	if e.pooled {
+		n.f.pool.put(e.inline)
+	}
 }
 
 // PollDest pops the oldest destination notification, if any: first the
@@ -748,11 +981,7 @@ func (n *NIC) PollDest() (CQE, bool) {
 		return n.destCQ.Pop(), true
 	}
 	if e, ok := n.ring.pop(); ok {
-		if e.inline != nil {
-			if e.regionID < len(n.regions) && n.regions[e.regionID] != nil {
-				copy(n.regions[e.regionID].buf[e.offset:], e.inline)
-			}
-		}
+		n.commitInlineLocked(e)
 		return CQE{Origin: e.source, Imm: e.imm, Kind: e.kind,
 			RegionID: e.regionID, Offset: e.offset, Len: e.length}, true
 	}
@@ -789,6 +1018,13 @@ func (n *NIC) DestHighWater() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.destHighWater
+}
+
+// RegionLockContention returns the number of region-lock acquisitions on
+// this NIC that found the lock already held — how often concurrent data
+// traffic actually collided on one region after lock sharding.
+func (n *NIC) RegionLockContention() int64 {
+	return n.regionContention.Load()
 }
 
 // classQLocked returns class's bucket, creating it on first use.
@@ -1015,11 +1251,7 @@ func (n *NIC) InstallNotifySink(regionID int, sink NotifySink) []CQE {
 				keep = append(keep, e)
 				continue
 			}
-			if e.inline != nil {
-				if e.regionID < len(n.regions) && n.regions[e.regionID] != nil {
-					copy(n.regions[e.regionID].buf[e.offset:], e.inline)
-				}
-			}
+			n.commitInlineLocked(e)
 			backlog = append(backlog, CQE{Origin: e.source, Imm: e.imm, Kind: e.kind,
 				RegionID: e.regionID, Offset: e.offset, Len: e.length})
 		}

@@ -32,6 +32,7 @@ type ringEntry struct {
 	offset   int
 	length   int
 	inline   []byte // nil unless the payload rides in the entry
+	pooled   bool   // inline came from the buffer pool; recycle at commit
 }
 
 // shmRing is a fixed-capacity circular buffer. It shares the owning NIC's

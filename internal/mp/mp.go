@@ -188,6 +188,7 @@ func (c *Comm) handle(m *fabric.Msg) {
 		// (RDMA write in the real implementation: no receive-side copy).
 		c.nic.PostMsg(c.p.Proc, req.target, runtime.ClassMPData,
 			dataHeader{Tag: req.tag, RecvID: h.RecvID}, req.data, false)
+		c.nic.ReleaseBuf(req.data) // pooled staging copy, made at Isend
 		req.data = nil
 		req.done = true
 
@@ -198,8 +199,10 @@ func (c *Comm) handle(m *fabric.Msg) {
 			panic(fmt.Sprintf("mp: rank %d: data for unknown recv %d", c.p.Rank(), h.RecvID))
 		}
 		delete(c.pendingRecvs, h.RecvID)
+		count := len(m.Data)
 		copy(req.buf, m.Data)
-		req.status = Status{Source: m.Origin, Tag: h.Tag, Count: len(m.Data)}
+		c.nic.RecycleMsgData(m)
+		req.status = Status{Source: m.Origin, Tag: h.Tag, Count: count}
 		req.done = true
 	}
 }
@@ -221,15 +224,19 @@ func (c *Comm) matchPRQ(env envelope) *RecvReq {
 	return e.Item
 }
 
-// completeEager copies an eager payload into the matched receive.
+// completeEager copies an eager payload into the matched receive and
+// recycles the bounce buffer (it always came from the fabric pool, whether
+// it arrives straight off the wire or via the unexpected queue).
 func (c *Comm) completeEager(req *RecvReq, env envelope, data []byte) {
 	if len(data) > len(req.buf) {
 		panic(fmt.Sprintf("mp: rank %d: message truncation: %d bytes into %d-byte buffer",
 			c.p.Rank(), len(data), len(req.buf)))
 	}
+	count := len(data)
 	copy(req.buf, data)
-	c.charge(c.p.Model().CopyTime(len(data))) // the eager bounce-buffer copy
-	req.status = Status{Source: env.source, Tag: env.tag, Count: len(data)}
+	c.nic.ReleaseBuf(data)
+	c.charge(c.p.Model().CopyTime(count)) // the eager bounce-buffer copy
+	req.status = Status{Source: env.source, Tag: env.tag, Count: count}
 	req.done = true
 }
 
@@ -272,7 +279,9 @@ func (c *Comm) Isend(target, tag int, data []byte) *SendReq {
 		req.done = true
 		return req
 	}
-	cp := make([]byte, len(data))
+	// Stage the payload in a pooled buffer until the CTS arrives (MPI
+	// buffered-send semantics: the caller's buffer is free immediately).
+	cp := c.nic.AcquireBuf(len(data))
 	copy(cp, data)
 	req.data = cp
 	c.pendingSends[req.id] = req

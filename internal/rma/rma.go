@@ -178,7 +178,9 @@ func (w *Win) IFetchAndOp(target, targetOff int, delta uint64) *fabric.Op {
 func (w *Win) FetchAndOp(target, targetOff int, delta uint64) uint64 {
 	op := w.IFetchAndOp(target, targetOff, delta)
 	op.Await(w.p.Proc)
-	return op.Result()
+	v := op.Result()
+	op.Detach()
+	return v
 }
 
 // CompareAndSwap atomically replaces the uint64 at targetOff with swap if
@@ -186,7 +188,9 @@ func (w *Win) FetchAndOp(target, targetOff int, delta uint64) uint64 {
 func (w *Win) CompareAndSwap(target, targetOff int, compare, swap uint64) uint64 {
 	op := w.nic.Atomic(w.p.Proc, target, w.userID, targetOff, fabric.AtomicCAS, swap, compare, fabric.Imm{})
 	op.Await(w.p.Proc)
-	return op.Result()
+	v := op.Result()
+	op.Detach()
+	return v
 }
 
 // Flush blocks until all operations this rank issued to target are
@@ -303,7 +307,9 @@ func (w *Win) Lock(target int, exclusive bool) {
 		for {
 			old := w.nic.Atomic(w.p.Proc, target, w.sysID, 0, fabric.AtomicCAS, lockExclusive, 0, fabric.Imm{})
 			old.Await(w.p.Proc)
-			if old.Result() == 0 {
+			got := old.Result()
+			old.Detach()
+			if got == 0 {
 				return
 			}
 			w.p.Sleep(backoff)
@@ -312,12 +318,15 @@ func (w *Win) Lock(target int, exclusive bool) {
 	for {
 		op := w.nic.Atomic(w.p.Proc, target, w.sysID, 0, fabric.AtomicFetchAdd, lockSharedInc, 0, fabric.Imm{})
 		op.Await(w.p.Proc)
-		if op.Result()&lockExclusive == 0 {
+		got := op.Result()
+		op.Detach()
+		if got&lockExclusive == 0 {
 			return
 		}
 		// A writer holds it: undo and retry.
 		undo := w.nic.Atomic(w.p.Proc, target, w.sysID, 0, fabric.AtomicFetchAdd, ^uint64(lockSharedInc-1), 0, fabric.Imm{})
 		undo.Await(w.p.Proc)
+		undo.Detach()
 		w.p.Sleep(backoff)
 	}
 }
@@ -334,6 +343,7 @@ func (w *Win) Unlock(target int, exclusive bool) {
 	}
 	op := w.nic.Atomic(w.p.Proc, target, w.sysID, 0, fabric.AtomicFetchAdd, delta, 0, fabric.Imm{})
 	op.Await(w.p.Proc)
+	op.Detach()
 }
 
 // LockAll opens a shared passive-target epoch to every rank
