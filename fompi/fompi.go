@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/loggp"
 	"repro/internal/mp"
 	"repro/internal/rma"
@@ -83,7 +84,16 @@ type Options struct {
 	// (§VIII): the data holder is notified only after the data reached the
 	// origin, costing an extra round trip on the notification path.
 	UnreliableNetwork bool
+	// FaultPlan, when non-nil, runs the job on a faulty wire: the fabric
+	// injects the plan's drops/duplicates/reorderings/corruptions (and
+	// rank crashes) and repairs them with its reliable-delivery layer.
+	// Peer failures surface as run errors unwrapping to ErrPeerFailed.
+	FaultPlan *fault.Plan
 }
+
+// ErrPeerFailed is the sentinel a run error unwraps to (errors.Is) when a
+// rank was declared dead by the peer-failure detector.
+var ErrPeerFailed = fabric.ErrPeerFailed
 
 // Run executes body on every rank and returns when all complete. Any rank
 // panic aborts the job and is returned as an error.
@@ -98,6 +108,7 @@ func Run(opts Options, body func(p *Proc)) error {
 		RanksPerNode:      opts.RanksPerNode,
 		EagerThreshold:    opts.EagerThreshold,
 		UnreliableNetwork: opts.UnreliableNetwork,
+		FaultPlan:         opts.FaultPlan,
 	}, func(p *runtime.Proc) {
 		body(&Proc{p: p})
 	})
@@ -165,6 +176,10 @@ type Status struct {
 
 // AccumOp selects the accumulate reduction.
 type AccumOp = fabric.AccumOp
+
+// FaultStats is the job-wide fault plane + reliability layer snapshot
+// surfaced in QueueStats.Faults.
+type FaultStats = fabric.FaultStats
 
 // Accumulate operations.
 const (
@@ -335,12 +350,20 @@ type QueueStats struct {
 	// traffic actually collided on one region after lock sharding (always 0
 	// under the deterministic Sim engine).
 	RegionLockContention int64
+	// Faults is the job-wide fault plane + reliability layer snapshot:
+	// what the wire did to the traffic and what the protocol repaired.
+	// All-zero when the job runs without a FaultPlan.
+	Faults fabric.FaultStats
+	// RetransmitCount is Faults.Retransmits, surfaced flat for quick
+	// goodput accounting.
+	RetransmitCount int64
 }
 
 // QueueStats returns this rank's NIC queue high-water marks and data-plane
 // counters.
 func (p *Proc) QueueStats() QueueStats {
 	n := p.p.NIC()
+	faults := p.p.World().Fabric().FaultStats()
 	return QueueStats{
 		DestCQHighWater:      n.DestHighWater(),
 		RingHighWater:        n.RingHighWater(),
@@ -348,6 +371,8 @@ func (p *Proc) QueueStats() QueueStats {
 		MsgClassHighWater:    n.MsgClassHighWater(),
 		Pool:                 p.p.World().Fabric().PoolStats(),
 		RegionLockContention: n.RegionLockContention(),
+		Faults:               faults,
+		RetransmitCount:      faults.Retransmits,
 	}
 }
 

@@ -1,0 +1,108 @@
+package fompi_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/fompi"
+	"repro/internal/fault"
+)
+
+// TestFaultNotifiedAccessEndToEndLossy runs the paper's producer-consumer
+// pattern — a stream of notified puts matched by a persistent counting
+// request — over a wire that drops, duplicates, reorders, and corrupts, and
+// requires the application-visible behavior to be indistinguishable from a
+// lossless run.
+func TestFaultNotifiedAccessEndToEndLossy(t *testing.T) {
+	const chunks = 24
+	const chunkLen = 32
+	plan := &fault.Plan{Seed: 2026, Drop: 0.05, Duplicate: 0.01, Reorder: 0.05, Corrupt: 0.005}
+	for _, real := range []bool{false, true} {
+		err := fompi.Run(fompi.Options{Ranks: 2, Real: real, FaultPlan: plan}, func(p *fompi.Proc) {
+			win := p.WinAllocate(chunks * chunkLen)
+			defer win.Free()
+			if p.Rank() == 0 {
+				for i := 0; i < chunks; i++ {
+					win.PutNotify(1, i*chunkLen, bytes.Repeat([]byte{byte(i + 1)}, chunkLen), 7)
+				}
+				win.Flush(1)
+			} else {
+				req := win.NotifyInit(0, 7, chunks)
+				req.Start()
+				st := req.Wait()
+				req.Free()
+				if st.Source != 0 || st.Tag != 7 {
+					t.Errorf("status = %+v, want source 0 tag 7", st)
+				}
+				for i := 0; i < chunks; i++ {
+					chunk := win.Buffer()[i*chunkLen : (i+1)*chunkLen]
+					if !bytes.Equal(chunk, bytes.Repeat([]byte{byte(i + 1)}, chunkLen)) {
+						t.Errorf("chunk %d corrupted after repair: %v", i, chunk[:4])
+					}
+				}
+			}
+			p.Barrier()
+			if p.Rank() == 0 {
+				st := p.QueueStats()
+				if st.Faults.Injected.Dropped == 0 {
+					t.Error("lossy plan injected nothing")
+				}
+				if st.RetransmitCount == 0 {
+					t.Error("drops injected but RetransmitCount is zero")
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("real=%v: %v", real, err)
+		}
+	}
+}
+
+// TestFaultCrashedRankSurfacesTypedError crashes a rank before it can join
+// the first collective: the job must terminate with an error unwrapping to
+// fompi.ErrPeerFailed instead of deadlocking in window allocation.
+func TestFaultCrashedRankSurfacesTypedError(t *testing.T) {
+	plan := &fault.Plan{
+		Seed:  11,
+		Ranks: []fault.RankFault{{Rank: 1, Mode: fault.Crash}},
+	}
+	for _, real := range []bool{false, true} {
+		err := fompi.Run(fompi.Options{Ranks: 2, Real: real, FaultPlan: plan}, func(p *fompi.Proc) {
+			win := p.WinAllocate(64) // collective: blocks on the dead rank
+			win.Free()
+		})
+		if err == nil {
+			t.Fatalf("real=%v: run with a crashed rank completed without error", real)
+		}
+		if !errors.Is(err, fompi.ErrPeerFailed) {
+			t.Fatalf("real=%v: error %v does not unwrap to ErrPeerFailed", real, err)
+		}
+	}
+}
+
+// TestFaultStatsZeroWithoutPlan pins the default: no plan, no fault plane,
+// all-zero fault statistics.
+func TestFaultStatsZeroWithoutPlan(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		win := p.WinAllocate(64)
+		defer win.Free()
+		if p.Rank() == 0 {
+			win.PutNotify(1, 0, []byte{1, 2, 3}, 5)
+			win.Flush(1)
+		} else {
+			req := win.NotifyInit(0, 5, 1)
+			req.Start()
+			req.Wait()
+			req.Free()
+		}
+		p.Barrier()
+		st := p.QueueStats()
+		if st.Faults != (fompi.FaultStats{}) || st.RetransmitCount != 0 {
+			t.Errorf("fault stats nonzero on a lossless job: %+v", st.Faults)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

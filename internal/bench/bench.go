@@ -90,6 +90,7 @@ func Registry() []Experiment {
 		{"notifymatch", "Matching-rate microbenchmark: Test cost vs outstanding requests K", NotifyMatch},
 		{"msgmatch", "Message matching microbenchmark: control-plane cost vs queue depth / waiter count K", MsgMatch},
 		{"databw", "Multi-producer put saturation: aggregate bandwidth and allocs/op vs producer count", DataBW},
+		{"faultbw", "Reliable-delivery cost under injected loss: goodput and notification latency vs drop rate", FaultBW},
 		{"halo", "2D halo exchange latency (introduction motif)", Halo},
 		{"model", "Analytic LogGP model vs simulation (paper section V-A)", ModelValidation},
 		{"sensitivity", "NA/MP advantage vs network latency (exascale claim)", Sensitivity},

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"repro/fompi"
+	"repro/internal/fault"
+)
+
+// FaultBW measures what packet loss costs the notified-access data plane
+// once the reliable-delivery layer is repairing it: streaming goodput and
+// notified-put half-round-trip latency versus injected drop rate (with 1%
+// duplication and reordering riding along), against the lossless baseline.
+// Rows run on the Sim engine, so every number is deterministic in the fault
+// plan's seed.
+func FaultBW() *Table {
+	size := 4096
+	iters, latIters := 300, 100
+	if Quick {
+		iters, latIters = 60, 20
+	}
+	lossPcts := []float64{0, 1, 2, 5, 10}
+	t := &Table{Name: "faultbw",
+		Title: "Reliable-delivery cost under injected loss: goodput and notified-put latency vs drop rate (Sim engine)",
+		Columns: []string{"drop-%", "goodput-MB/s", "vs-lossless", "notify-lat-us",
+			"retransmits", "dups-dropped"}}
+	var baseline float64
+	for _, pct := range lossPcts {
+		r := faultBWRun(pct, size, iters, latIters)
+		if pct == 0 {
+			baseline = r.mbps
+		}
+		rel := 1.0
+		if baseline > 0 {
+			rel = r.mbps / baseline
+		}
+		t.AddRow(f2(pct), f2(r.mbps), ratio(rel), us(r.latencyUs),
+			itoa(int(r.retransmits)), itoa(int(r.dupsDropped)))
+	}
+	t.Notes = append(t.Notes,
+		"the 0% row is the true lossless configuration: no fault plan, so the reliability layer (sequence numbers, checksums, acks, timers) does not exist and the virtual timings are the untouched fast path",
+		"lossy rows repair drops with cumulative-ack retransmission (10us base RTO, exponential backoff) and gap-nack fast retransmit; duplicates are discarded by the receive window, so delivered bytes stay exactly-once",
+		"goodput counts only application payload over virtual time — link acks, nacks, and retransmitted copies are pure overhead and appear as the goodput gap")
+	return t
+}
+
+type faultBWResult struct {
+	mbps        float64
+	latencyUs   float64
+	retransmits int64
+	dupsDropped int64
+}
+
+// faultBWRun measures one drop-rate cell: a producer streams notified puts
+// at a consumer (goodput), then the pair ping-pongs single notified puts
+// (latency), all in virtual time.
+func faultBWRun(dropPct float64, size, iters, latIters int) faultBWResult {
+	const flushEvery = 32
+	opts := fompi.Options{Ranks: 2}
+	if dropPct > 0 {
+		opts.FaultPlan = &fault.Plan{
+			Seed:      0xFA017 + uint64(dropPct*100),
+			Drop:      dropPct / 100,
+			Duplicate: 0.01,
+			Reorder:   0.05,
+		}
+	}
+	var res faultBWResult
+	err := fompi.Run(opts, func(p *fompi.Proc) {
+		win := p.WinAllocate(size)
+		defer win.Free()
+		buf := make([]byte, size)
+		for i := range buf {
+			buf[i] = byte(p.Rank() + i)
+		}
+
+		// Phase 1: streaming goodput, producer 0 -> consumer 1.
+		p.Barrier()
+		if p.Rank() == 0 {
+			for i := 0; i < iters; i++ {
+				win.PutNotify(1, 0, buf, 1)
+				if (i+1)%flushEvery == 0 {
+					win.Flush(1)
+				}
+			}
+			win.Flush(1)
+		} else {
+			t0 := p.Now()
+			req := win.NotifyInit(0, 1, iters)
+			req.Start()
+			req.Wait()
+			req.Free()
+			elapsed := p.Now().Sub(t0)
+			res.mbps = float64(iters) * float64(size) / elapsed.Seconds() / 1e6
+		}
+
+		// Phase 2: notified-put ping-pong for half-round-trip latency.
+		p.Barrier()
+		peer := 1 - p.Rank()
+		sendTag, recvTag := 2, 3
+		if p.Rank() == 1 {
+			sendTag, recvTag = 3, 2
+		}
+		t0 := p.Now()
+		for i := 0; i < latIters; i++ {
+			if p.Rank() == 0 {
+				win.PutNotify(peer, 0, buf[:8], sendTag)
+				win.Flush(peer)
+			}
+			req := win.NotifyInit(peer, recvTag, 1)
+			req.Start()
+			req.Wait()
+			req.Free()
+			if p.Rank() == 1 {
+				win.PutNotify(peer, 0, buf[:8], sendTag)
+				win.Flush(peer)
+			}
+		}
+		if p.Rank() == 0 {
+			rtt := p.Now().Sub(t0)
+			res.latencyUs = rtt.Micros() / float64(latIters) / 2
+		}
+
+		p.Barrier()
+		if p.Rank() == 0 {
+			st := p.QueueStats()
+			res.retransmits = st.RetransmitCount
+			res.dupsDropped = st.Faults.DupsDropped
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

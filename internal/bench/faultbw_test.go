@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFaultBWGoodputFloor pins the issue's acceptance bar: with 5% drop
+// (plus duplication and reordering) the reliable layer must preserve at
+// least half the lossless goodput, and even 10% loss must not collapse it.
+func TestFaultBWGoodputFloor(t *testing.T) {
+	old := Quick
+	Quick = true
+	defer func() { Quick = old }()
+	tab := FaultBW()
+
+	col := func(name string) int {
+		for i, c := range tab.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing", name)
+		return -1
+	}
+	drop, rel, retr := col("drop-%"), col("vs-lossless"), col("retransmits")
+	for _, row := range tab.Rows {
+		ratio, err := strconv.ParseFloat(strings.TrimSuffix(row[rel], "x"), 64)
+		if err != nil {
+			t.Fatalf("unparseable ratio %q: %v", row[rel], err)
+		}
+		switch row[drop] {
+		case "0.00":
+			if ratio != 1.0 {
+				t.Errorf("lossless baseline ratio = %v, want 1.0", ratio)
+			}
+			if row[retr] != "0" {
+				t.Errorf("lossless row retransmits = %s, want 0", row[retr])
+			}
+		case "5.00":
+			if ratio < 0.5 {
+				t.Errorf("drop %s%%: goodput ratio %.2f below the 0.5 floor", row[drop], ratio)
+			}
+			if row[retr] == "0" {
+				t.Errorf("drop %s%%: no retransmits recorded", row[drop])
+			}
+		case "10.00":
+			if ratio < 0.25 {
+				t.Errorf("drop %s%%: goodput ratio %.2f collapsed", row[drop], ratio)
+			}
+		}
+	}
+}

@@ -205,10 +205,17 @@ func (r *Request) Wait() Status {
 	s := r.state
 	for !r.Test() {
 		s.mu.Lock()
-		for r.uncharged == 0 && r.matched < r.count {
+		for r.uncharged == 0 && r.matched < r.count && s.failed == nil {
 			s.gate.Wait(p.Proc)
 		}
+		err := s.failed
+		stalled := r.uncharged == 0 && r.matched < r.count
 		s.mu.Unlock()
+		if err != nil && stalled {
+			// A peer died and this request has no further progress to
+			// consume: the awaited notification may never come.
+			panic(err)
+		}
 	}
 	return r.Status()
 }
@@ -321,6 +328,9 @@ func Probe(win *rma.Win, source, tag int) Status {
 		if nd := m.store.Peek(source, tag); nd != nil {
 			return Status{Source: nd.Source, Tag: nd.Tag}
 		}
+		if s.failed != nil {
+			panic(s.failed) // deferred unlock above releases s.mu
+		}
 		s.gate.Wait(p.Proc)
 	}
 }
@@ -360,10 +370,15 @@ func WaitAny(reqs ...*Request) int {
 			}
 		}
 		s.mu.Lock()
-		for !anyReadyLocked(reqs) {
+		for !anyReadyLocked(reqs) && s.failed == nil {
 			s.gate.Wait(p.Proc)
 		}
+		err := s.failed
+		ready := anyReadyLocked(reqs)
 		s.mu.Unlock()
+		if err != nil && !ready {
+			panic(err)
+		}
 	}
 }
 

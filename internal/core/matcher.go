@@ -67,10 +67,11 @@ func (m *winMatcher) statsLocked() MatchStats {
 // notification is ingested. Lock order: mu before the NIC lock (sink
 // installation); the NIC never calls Deliver while holding its own lock.
 type naState struct {
-	p    *runtime.Proc
-	mu   sync.Mutex
-	gate exec.Gate
-	wins map[int]*winMatcher
+	p      *runtime.Proc
+	mu     sync.Mutex
+	gate   exec.Gate
+	wins   map[int]*winMatcher
+	failed error // first peer failure observed; wakes and fails parked waits
 }
 
 type naKey struct{}
@@ -80,6 +81,17 @@ func state(p *runtime.Proc) *naState {
 		s := &naState{p: p, wins: map[int]*winMatcher{}}
 		s.gate = p.Env().NewGate(&s.mu)
 		p.AddWindowObserver(s)
+		// A declared peer failure must wake parked Wait/Probe callers: the
+		// notification they are waiting for may never arrive (job-fatal
+		// unblocking policy; the error unwraps to fabric.ErrPeerFailed).
+		p.OnPeerFailure(func(failed int, err error) {
+			s.mu.Lock()
+			if s.failed == nil {
+				s.failed = err
+			}
+			s.mu.Unlock()
+			s.gate.Broadcast()
+		})
 		return s
 	}).(*naState)
 }

@@ -263,7 +263,7 @@ func (e *SimEnv) Run(n int, body func(p *Proc)) error {
 			defer func() {
 				if r := recover(); r != nil {
 					if _, isAbort := r.(procAbort); !isAbort && e.err == nil {
-						e.err = fmt.Errorf("rank %d panicked: %v\n%s", p.rank, r, debug.Stack())
+						e.err = PanicError(fmt.Sprintf("rank %d panicked", p.rank), r, debug.Stack())
 						e.aborting = true
 					}
 				}
@@ -308,7 +308,7 @@ func (e *SimEnv) runEvent(ev *simtime.Event) {
 	defer func() {
 		if r := recover(); r != nil {
 			if e.err == nil {
-				e.err = fmt.Errorf("event panicked at %v: %v\n%s", e.now, r, debug.Stack())
+				e.err = PanicError(fmt.Sprintf("event panicked at %v", e.now), r, debug.Stack())
 			}
 			e.aborting = true
 		}
@@ -339,6 +339,17 @@ func (g *simGate) Wait(p *Proc) {
 	defer relockOnUnwind(g.locker)
 	p.park("gate")
 	g.locker.Lock()
+}
+
+// PanicError converts a recovered panic value into a run error. An
+// error-typed panic value is wrapped with %w so errors.Is/As see through
+// the panic-to-run-error conversion — peer-failure errors raised out of
+// blocked waits travel this path and must stay matchable by the caller.
+func PanicError(prefix string, r any, stack []byte) error {
+	if err, ok := r.(error); ok {
+		return fmt.Errorf("%s: %w\n%s", prefix, err, stack)
+	}
+	return fmt.Errorf("%s: %v\n%s", prefix, r, stack)
 }
 
 // relockOnUnwind balances the locker when a gate wait unwinds with
@@ -472,7 +483,7 @@ func (e *RealEnv) Run(n int, body func(p *Proc)) error {
 			defer func() {
 				if r := recover(); r != nil {
 					if _, isAbort := r.(procAbort); !isAbort {
-						e.setErr(fmt.Errorf("rank %d panicked: %v\n%s", p.rank, r, debug.Stack()))
+						e.setErr(PanicError(fmt.Sprintf("rank %d panicked", p.rank), r, debug.Stack()))
 					}
 				}
 			}()

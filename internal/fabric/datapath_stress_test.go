@@ -131,4 +131,16 @@ func TestDataPathStressNoAliasing(t *testing.T) {
 			t.Errorf("accumulate slot %d: got %v, want %d", i, got, rounds)
 		}
 	}
+	// Pool balance: the run flushed every op, so with the fabric quiesced
+	// each staged payload must be back in its freelist — any shortfall is a
+	// buffer leaked on a completion or abort path.
+	ps := f.PoolStats()
+	if ps.Gets-ps.Oversize != ps.Returns {
+		t.Errorf("pool imbalance after quiesce: gets=%d oversize=%d returns=%d (%d buffers leaked)",
+			ps.Gets, ps.Oversize, ps.Returns, ps.Gets-ps.Oversize-ps.Returns)
+	}
+	// Steady-state traffic of a few fixed sizes must recycle, not allocate.
+	if hr := ps.HitRate(); hr < 0.5 {
+		t.Errorf("pool hit rate %.2f, want >= 0.5 (recycling broken)", hr)
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/loggp"
 	"repro/internal/simtime"
 )
@@ -56,6 +57,19 @@ type Config struct {
 	// protocol audits and tests). Called from delivery context: must not
 	// block. Sim engine only delivers deterministically.
 	Trace func(ev TraceEvent)
+	// FaultPlan, when non-nil, inserts the deterministic fault-injection
+	// plane into the wire (see internal/fault) and activates the
+	// reliable-delivery layer that repairs its damage.
+	FaultPlan *fault.Plan
+	// Reliability tunes the reliable-delivery layer. The layer is active
+	// iff FaultPlan != nil or Reliability.Force; otherwise the lossless
+	// data path is completely untouched.
+	Reliability ReliabilityConfig
+	// FailureHook, when non-nil, is called exactly once per rank the
+	// peer-failure detector declares dead (observer is the detecting
+	// rank). Called from delivery/timer context: must not block on fabric
+	// operations.
+	FailureHook func(observer, failed int, err error)
 }
 
 // GetNotifyMode is the notified-GET notification protocol.
@@ -182,6 +196,10 @@ type Fabric struct {
 	// each ordered pair for FIFO enforcement (Sim engine only; guarded by
 	// the single-threaded kernel).
 	lastArrive []simtime.Time
+
+	// rel is the reliable-delivery layer; nil on the default lossless
+	// configuration (every fast path checks this once).
+	rel *reliability
 }
 
 // New creates a fabric with the given configuration running under env.
@@ -204,6 +222,13 @@ func New(env exec.Env, cfg Config) *Fabric {
 	}
 	for r := 0; r < cfg.Ranks; r++ {
 		f.nics[r] = newNIC(f, r)
+	}
+	if cfg.FaultPlan != nil || cfg.Reliability.Force {
+		var inj *fault.Injector
+		if cfg.FaultPlan != nil {
+			inj = fault.NewInjector(*cfg.FaultPlan)
+		}
+		f.rel = newReliability(f, cfg.Reliability, inj)
 	}
 	if env.Mode() == exec.Real {
 		for _, n := range f.nics {
@@ -267,41 +292,57 @@ func (f *Fabric) wireTime(origin, target, size int, inlineEligible bool) simtime
 // and at least BTE-sized (small transfers gain nothing, and inline-ring
 // payloads must stay staged copies).
 func (f *Fabric) zeroCopyEligible(origin, target, size int) bool {
-	return f.env.Mode() == exec.Real &&
+	return f.rel == nil && // retransmission needs a stable staged copy
+		f.env.Mode() == exec.Real &&
 		size >= f.cfg.Model.FMABTECrossover &&
 		size > f.cfg.InlineThreshold &&
 		f.SameNode(origin, target)
 }
 
-// transmit moves pkt from origin to target. Under Sim it schedules a
-// delivery event at the FIFO-adjusted LogGP arrival time; under Real it
-// enqueues on the target NIC's per-origin receive lane, unwinding the
-// sending proc if the run aborts while the lane is full (a dead consumer
-// must not wedge the producer forever).
+// transmit moves pkt from origin to target. Each logical packet is
+// counted once here; when the reliable-delivery layer is active it takes
+// over (sequencing, retention, fault injection) and its transmission
+// attempts re-enter below via dispatch.
 func (f *Fabric) transmit(pkt *packet) {
 	f.count(pkt)
+	if f.rel != nil {
+		f.rel.send(pkt)
+		return
+	}
+	f.dispatch(pkt, 0)
+}
+
+// dispatch puts one transmission attempt on the wire. Under Sim it
+// schedules a delivery event at the FIFO-adjusted LogGP arrival time;
+// under Real it enqueues on the target NIC's per-origin receive lane,
+// unwinding the sending proc if the run aborts while the lane is full (a
+// dead consumer must not wedge the producer forever). faultDelay > 0 is
+// an injected reordering hold: the attempt lands that much later and —
+// deliberately — bypasses the Sim pair-FIFO clamp, so later traffic of
+// the same pair overtakes it.
+func (f *Fabric) dispatch(pkt *packet, faultDelay int64) {
 	dst := f.nics[pkt.target]
 	if f.env.Mode() == exec.Real {
-		ch := dst.rx[pkt.origin]
-		select {
-		case ch <- pkt:
-		default:
-			re, _ := f.env.(*exec.RealEnv)
-			if re == nil {
-				ch <- pkt
-				return
-			}
-			select {
-			case ch <- pkt:
-			case <-re.Aborted():
-				re.AbortUnwind()
-			}
+		if faultDelay > 0 {
+			f.env.Schedule(simtime.Duration(faultDelay), exec.PrioDelivery, func() {
+				f.lanePush(dst, pkt, false)
+			})
+			return
 		}
+		// Only rank-context sends on the lossless path unwind on abort;
+		// reliability-layer attempts may come from timer goroutines where
+		// an unwind panic has no recover frame.
+		f.lanePush(dst, pkt, f.rel == nil)
 		return
 	}
 	wire := f.wireTime(pkt.origin, pkt.target, pkt.wireSize, pkt.inlineEligible)
 	now := f.env.Now()
 	arrive := now.Add(wire + simtime.Duration(pkt.extraDelay))
+	if faultDelay > 0 {
+		arrive = arrive.Add(simtime.Duration(faultDelay))
+		f.env.Schedule(arrive.Sub(now), exec.PrioDelivery, func() { dst.deliver(pkt) })
+		return
+	}
 	idx := pkt.origin*f.cfg.Ranks + pkt.target
 	gap := f.wireParams(pkt.origin, pkt.target, pkt.wireSize).O
 	if earliest := f.lastArrive[idx].Add(gap); arrive < earliest {
@@ -309,6 +350,83 @@ func (f *Fabric) transmit(pkt *packet) {
 	}
 	f.lastArrive[idx] = arrive
 	f.env.Schedule(arrive.Sub(now), exec.PrioDelivery, func() { dst.deliver(pkt) })
+}
+
+// lanePush enqueues pkt on the target's per-origin receive lane (Real
+// engine). Packets racing a closed NIC, a full lane at abort, or a full
+// lane at close are discarded with their owned buffers recycled.
+func (f *Fabric) lanePush(dst *NIC, pkt *packet, unwindOnAbort bool) {
+	if dst.closed.Load() {
+		f.discardPacket(pkt)
+		return
+	}
+	ch := dst.rx[pkt.origin]
+	select {
+	case ch <- pkt:
+		return
+	default:
+	}
+	re, _ := f.env.(*exec.RealEnv)
+	if re == nil {
+		ch <- pkt
+		return
+	}
+	select {
+	case ch <- pkt:
+	case <-re.Aborted():
+		f.discardPacket(pkt)
+		if unwindOnAbort {
+			re.AbortUnwind()
+		}
+	case <-dst.quit:
+		f.discardPacket(pkt)
+	}
+}
+
+// discardPacket disposes of a packet that will never be delivered,
+// returning whatever buffers this copy owns to the pool. Reliability
+// wire clones own nothing (the retained original does); lossless packets
+// own their staged payload and message data.
+func (f *Fabric) discardPacket(pkt *packet) {
+	if pkt.pooled {
+		f.pool.put(pkt.data)
+	}
+	if pkt.msg != nil && pkt.msg.Data != nil && !pkt.rel {
+		f.pool.put(pkt.msg.Data)
+		pkt.msg.Data = nil
+	}
+	releasePacket(pkt)
+}
+
+// FaultStats returns the fault plane + reliability layer counters; zero
+// when the layer is inactive.
+func (f *Fabric) FaultStats() FaultStats {
+	if f.rel == nil {
+		return FaultStats{}
+	}
+	return f.rel.stats()
+}
+
+// Injector exposes the fault injector (nil without a fault plan) so tests
+// and harnesses can crash or hang ranks mid-run.
+func (f *Fabric) Injector() *fault.Injector {
+	if f.rel == nil {
+		return nil
+	}
+	return f.rel.inj
+}
+
+// ReliabilityEnabled reports whether the reliable-delivery layer is
+// active.
+func (f *Fabric) ReliabilityEnabled() bool { return f.rel != nil }
+
+// TimeoutBudget returns the active reliability configuration's worst-case
+// failure-detection latency (zero when the layer is inactive).
+func (f *Fabric) TimeoutBudget() simtime.Duration {
+	if f.rel == nil {
+		return 0
+	}
+	return f.rel.cfg.TimeoutBudget()
 }
 
 func (f *Fabric) count(pkt *packet) {

@@ -125,6 +125,11 @@ const (
 	pktCtrl
 	pktData
 	pktNotify // deferred get notification (unreliable-network protocol)
+
+	// Link-layer control for the reliable-delivery layer. These are
+	// unsequenced, uncounted in Fabric.Stats, and never reach deliverNow.
+	pktLinkAck  // cumulative ack: operand = highest contiguously received seq
+	pktLinkNack // gap report: operand = first missing seq (acks everything below)
 )
 
 func (k pktKind) String() string {
@@ -147,6 +152,10 @@ func (k pktKind) String() string {
 		return "data"
 	case pktNotify:
 		return "notify"
+	case pktLinkAck:
+		return "link-ack"
+	case pktLinkNack:
+		return "link-nack"
 	}
 	return "unknown"
 }
@@ -172,6 +181,11 @@ type packet struct {
 	accOp            AccumOp
 
 	msg *Msg
+
+	// Reliable-delivery layer fields (zero unless the layer is active).
+	rel  bool   // sequenced packet: ingress runs dedup/reorder before deliverNow
+	seq  uint64 // per-(origin,target) sequence number, starting at 1
+	csum uint32 // CRC-32 over the payload bytes (data + msg data)
 }
 
 // Op is the origin-side handle of an outstanding remote operation. Done
@@ -186,6 +200,7 @@ type Op struct {
 	done     bool
 	detached bool // fire-and-forget: recycle into the NIC's op freelist at completion
 	result   uint64
+	err      error // peer-failure completion (reliability layer)
 }
 
 // Done reports whether the operation is remotely complete.
@@ -205,6 +220,15 @@ func (o *Op) Await(p *exec.Proc) {
 		n.opAwaitWaiters--
 	}
 	n.mu.Unlock()
+}
+
+// Err returns the operation's failure, if any: non-nil (unwrapping to
+// ErrPeerFailed) when the peer-failure detector completed the op because
+// its target was declared dead. Valid once Done/Await report completion.
+func (o *Op) Err() error {
+	o.nic.mu.Lock()
+	defer o.nic.mu.Unlock()
+	return o.err
 }
 
 // Result returns the fetched value of a completed atomic. It panics if the
@@ -368,6 +392,20 @@ type NIC struct {
 	// parallel against the sharded data plane.
 	rx   []chan *packet
 	quit chan struct{}
+
+	// Close drain barrier: closed gates new lane pushes, rxWG tracks the
+	// receive workers so Close can wait for them to drain and exit.
+	closed    atomic.Bool
+	closeOnce sync.Once
+	rxWG      sync.WaitGroup
+
+	// Peer-failure state (reliability layer; all nil/false without it).
+	// peerErr[r] is the failure recorded against rank r; relPending[r]
+	// holds this NIC's ops outstanding to r so a failure declaration can
+	// complete them with the error (guarded by mu, lazily allocated).
+	peerErr       []error
+	anyPeerFailed bool
+	relPending    []map[*Op]struct{}
 }
 
 func newNIC(f *Fabric, rank int) *NIC {
@@ -392,26 +430,45 @@ func newNIC(f *Fabric, rank int) *NIC {
 func (n *NIC) Rank() int { return n.rank }
 
 // startRxWorkers launches one receive worker per origin lane (Real engine).
+// On shutdown each worker drains and discards whatever is still queued in
+// its lane before signalling the Close barrier, so pooled payloads stranded
+// in flight return to the pool instead of leaking.
 func (n *NIC) startRxWorkers() {
 	var abort <-chan struct{}
 	re, _ := n.f.env.(*exec.RealEnv)
 	if re != nil {
 		abort = re.Aborted()
 	}
+	n.rxWG.Add(len(n.rx))
 	for _, ch := range n.rx {
 		ch := ch
 		go func() {
+			defer n.rxWG.Done()
 			for {
 				select {
 				case pkt := <-ch:
 					n.deliverGuarded(re, pkt)
 				case <-abort:
+					n.drainLane(ch)
 					return
 				case <-n.quit:
+					n.drainLane(ch)
 					return
 				}
 			}
 		}()
+	}
+}
+
+// drainLane discards everything queued in one receive lane at shutdown.
+func (n *NIC) drainLane(ch chan *packet) {
+	for {
+		select {
+		case pkt := <-ch:
+			n.f.discardPacket(pkt)
+		default:
+			return
+		}
 	}
 }
 
@@ -422,23 +479,41 @@ func (n *NIC) startRxWorkers() {
 func (n *NIC) deliverGuarded(re *exec.RealEnv, pkt *packet) {
 	defer func() {
 		if r := recover(); r != nil && !exec.IsAbortPanic(r) && re != nil {
-			re.Fail(fmt.Errorf("rank %d delivery panicked: %v", n.rank, r))
+			if err, ok := r.(error); ok {
+				// %w so errors.Is(runErr, ErrPeerFailed) survives the
+				// panic-to-run-error conversion.
+				re.Fail(fmt.Errorf("rank %d delivery panicked: %w", n.rank, err))
+			} else {
+				re.Fail(fmt.Errorf("rank %d delivery panicked: %v", n.rank, r))
+			}
 		}
 	}()
 	n.deliver(pkt)
 }
 
-// Close shuts down the NIC's receive workers (Real engine).
+// Close shuts down the NIC's receive workers (Real engine) and waits for
+// them to drain their lanes and exit: after Close returns no worker
+// touches NIC state, no packet sits undiscarded in a lane, and senders
+// racing the shutdown have their packets discarded rather than wedged (a
+// full lane's blocked sender is released by the quit channel).
 func (n *NIC) Close() {
-	select {
-	case <-n.quit:
-	default:
+	n.closeOnce.Do(func() {
+		n.closed.Store(true)
 		close(n.quit)
-	}
+		n.rxWG.Wait()
+		// Workers are gone; sweep anything that raced past the closed
+		// check into a lane after its worker drained.
+		for _, ch := range n.rx {
+			n.drainLane(ch)
+		}
+	})
 }
 
 // Close stops all receive workers. Only needed under the Real engine.
 func (f *Fabric) Close() {
+	if f.rel != nil {
+		f.rel.close()
+	}
 	for _, n := range f.nics {
 		n.Close()
 	}
@@ -502,8 +577,20 @@ func (n *NIC) beginOp(target int, kind OpKind) *Op {
 	}
 	op.nic, op.target, op.kind = n, target, kind
 	op.dst, op.done, op.detached, op.result = nil, false, false, 0
+	op.err = nil
 	n.outstanding[target]++
 	n.totalOut++
+	if n.f.rel != nil {
+		if n.relPending == nil {
+			n.relPending = make([]map[*Op]struct{}, n.f.cfg.Ranks)
+		}
+		m := n.relPending[target]
+		if m == nil {
+			m = make(map[*Op]struct{})
+			n.relPending[target] = m
+		}
+		m[op] = struct{}{}
+	}
 	n.mu.Unlock()
 	return op
 }
@@ -518,10 +605,19 @@ func (n *NIC) recycleOpLocked(op *Op) {
 
 func (n *NIC) completeOp(op *Op, result uint64) {
 	n.mu.Lock()
+	if op.done {
+		// Already completed by the peer-failure detector; this is a late
+		// ack that raced the declaration. The counters were adjusted then.
+		n.mu.Unlock()
+		return
+	}
 	op.done = true
 	op.result = result
 	n.outstanding[op.target]--
 	n.totalOut--
+	if n.relPending != nil {
+		delete(n.relPending[op.target], op)
+	}
 	// Broadcast only when a waiter can observe this completion: Await
 	// waiters re-check on every completion, Flush/FlushAll waiters only
 	// when an outstanding count they watch hits zero. A completion with
@@ -536,6 +632,93 @@ func (n *NIC) completeOp(op *Op, result uint64) {
 	if wake {
 		n.opGate.Broadcast()
 	}
+}
+
+// failOpLocked completes an op with a peer-failure error. Failed ops are
+// never recycled even when detached: a late ack still in flight holds the
+// pointer, and reuse would let it complete an unrelated op.
+func (n *NIC) failOpLocked(op *Op, err error) {
+	if op.done {
+		return
+	}
+	op.done = true
+	op.err = err
+	n.outstanding[op.target]--
+	n.totalOut--
+	if n.relPending != nil {
+		delete(n.relPending[op.target], op)
+	}
+}
+
+// failOp completes an op with a peer-failure error and wakes its waiters.
+func (n *NIC) failOp(op *Op, err error) {
+	n.mu.Lock()
+	n.failOpLocked(op, err)
+	wake := n.opAwaitWaiters > 0 || n.opFlushWaiters > 0
+	n.mu.Unlock()
+	if wake {
+		n.opGate.Broadcast()
+	}
+}
+
+// notePeerFailure records a declared rank failure against this NIC: every
+// pending op targeting the rank completes with the error, and every
+// blocked waiter (op awaiters, flushers, destination pollers, message
+// consumers) is woken so it can observe the failure instead of parking
+// forever.
+func (n *NIC) notePeerFailure(failed int, err error) {
+	n.mu.Lock()
+	if n.peerErr == nil {
+		n.peerErr = make([]error, n.f.cfg.Ranks)
+	}
+	if n.peerErr[failed] != nil {
+		n.mu.Unlock()
+		return
+	}
+	n.peerErr[failed] = err
+	n.anyPeerFailed = true
+	if n.relPending != nil {
+		for op := range n.relPending[failed] {
+			n.failOpLocked(op, err)
+		}
+	}
+	var wake []*msgWaiter
+	for _, q := range n.msgQs {
+		for _, w := range q.waiters {
+			if !w.ready {
+				w.ready = true
+				wake = append(wake, w)
+			}
+		}
+	}
+	n.mu.Unlock()
+	n.opGate.Broadcast()
+	n.destGate.Broadcast()
+	for _, w := range wake {
+		w.gate.Broadcast()
+	}
+}
+
+// PeerError returns the failure recorded against rank, if any (non-nil
+// errors unwrap to ErrPeerFailed). Layers with a precise dependency on
+// one peer (e.g. a receive from a known source) poll this to fail fast.
+func (n *NIC) PeerError(rank int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.peerErr == nil {
+		return nil
+	}
+	return n.peerErr[rank]
+}
+
+// peerPanicLocked picks the failure to surface from a blocked wait.
+func (n *NIC) peerPanicLocked() error {
+	for _, err := range n.peerErr {
+		if err != nil {
+			return err
+		}
+	}
+	return ErrPeerFailed
 }
 
 // Put writes data into (target, regionID, offset) and returns the origin
@@ -701,12 +884,33 @@ func (n *NIC) recycleData(pkt *packet) {
 	pkt.data, pkt.pooled = nil, false
 }
 
-// deliver commits an arriving packet against this NIC. Under Sim it runs in
-// kernel context at the packet's arrival time; under Real it runs on the
-// origin lane's receive worker, concurrently with other origins' workers —
-// payload copies take only the target region's lock, queue state only the
-// control-plane mu. The packet descriptor is recycled on return.
+// deliver routes an arriving packet: link-layer control and sequenced
+// packets detour through the reliable-delivery layer (which invokes
+// deliverNow for exactly the in-order prefix); everything else commits
+// directly. On the lossless configuration this is a single nil check.
 func (n *NIC) deliver(pkt *packet) {
+	if rl := n.f.rel; rl != nil {
+		switch {
+		case pkt.kind == pktLinkAck || pkt.kind == pktLinkNack:
+			rl.handleLinkCtl(pkt)
+			return
+		case pkt.rel:
+			rl.ingress(n, pkt)
+			return
+		}
+	}
+	n.deliverNow(pkt)
+}
+
+// deliverNow commits an arriving packet against this NIC. Under Sim it
+// runs in kernel context at the packet's arrival time; under Real it runs
+// on the origin lane's receive worker, concurrently with other origins'
+// workers — payload copies take only the target region's lock, queue
+// state only the control-plane mu. The packet descriptor is recycled on
+// return. Every side effect of a packet happens here, and the reliability
+// layer guarantees at most one call per sequence number — the exactly-once
+// half of the delivery argument.
+func (n *NIC) deliverNow(pkt *packet) {
 	switch pkt.kind {
 	case pktPut:
 		n.deliverPut(pkt)
@@ -825,10 +1029,21 @@ func (n *NIC) deliverPut(pkt *packet) {
 				RegionID: pkt.regionID, Offset: pkt.offset, Len: length})
 			n.recycleData(pkt)
 		} else {
+			entryData, entryPooled := pkt.data, pkt.pooled
+			if pkt.rel {
+				// Under reliability the wire copy's payload belongs to the
+				// origin (retained for retransmission, recycled at link-ack);
+				// the ring may outlive that, so it gets its own pooled copy.
+				entryData = n.f.pool.get(len(pkt.data))
+				copy(entryData, pkt.data)
+				entryPooled = true
+			}
 			n.ring.push(ringEntry{source: pkt.origin, imm: pkt.imm.Val, kind: OpPut,
 				regionID: pkt.regionID, offset: pkt.offset, length: len(pkt.data),
-				inline: pkt.data, pooled: pkt.pooled})
-			pkt.data, pkt.pooled = nil, false // the ring owns the buffer now
+				inline: entryData, pooled: entryPooled})
+			if !pkt.rel {
+				pkt.data, pkt.pooled = nil, false // the ring owns the buffer now
+			}
 			n.mu.Unlock()
 			n.destGate.Broadcast()
 		}
@@ -990,12 +1205,18 @@ func (n *NIC) PollDest() (CQE, bool) {
 
 // WaitDest parks p until a destination notification is available (CQ or
 // shared-memory ring). Only the owning rank may call it (single consumer).
+// Once a peer failure is recorded, an empty queue panics with the failure
+// (unwrapping to ErrPeerFailed) instead of parking forever: the expected
+// notification may never come, and job teardown beats a silent hang.
 func (n *NIC) WaitDest(p *exec.Proc) {
 	n.mu.Lock()
+	defer n.mu.Unlock()
 	for n.destCQ.Len() == 0 && n.ring.count == 0 {
+		if n.anyPeerFailed {
+			panic(n.peerPanicLocked())
+		}
 		n.destGate.Wait(p)
 	}
-	n.mu.Unlock()
 }
 
 // DestDepth returns the number of pending destination notifications (CQ
@@ -1123,14 +1344,20 @@ func (n *NIC) releaseMsgWaiterLocked(w *msgWaiter) {
 }
 
 // waitMsgLocked parks p until a message in one of classes is available
-// and pops it.
+// and pops it. Queued messages drain even after a peer failure; only a
+// wait that would otherwise park forever panics with the failure (the
+// job-fatal unblocking policy: any protocol blocked on messages may be
+// waiting on the dead rank, and teardown beats a hang).
 func (n *NIC) waitMsgLocked(p *exec.Proc, classes []int) *Msg {
 	for {
 		if m, ok := n.popMsgLocked(classes); ok {
 			return m
 		}
+		if n.anyPeerFailed {
+			panic(n.peerPanicLocked())
+		}
 		w := n.acquireMsgWaiterLocked(classes)
-		for !w.ready {
+		for !w.ready && !n.anyPeerFailed {
 			w.gate.Wait(p)
 		}
 		n.releaseMsgWaiterLocked(w)

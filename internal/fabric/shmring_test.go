@@ -184,3 +184,106 @@ func TestRingPreservesIntraNodeArrivalOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestShmRingBoundaryFullWrap(t *testing.T) {
+	// Hold the ring at exactly full capacity while head walks all the way
+	// around: pop one, push one, RingCapacity times over several laps.
+	var r shmRing
+	seq := 0
+	for i := 0; i < RingCapacity; i++ {
+		r.push(ringEntry{imm: uint32(seq)})
+		seq++
+	}
+	expect := 0
+	for lap := 0; lap < 3; lap++ {
+		for i := 0; i < RingCapacity; i++ {
+			e, ok := r.pop()
+			if !ok || e.imm != uint32(expect) {
+				t.Fatalf("lap %d pop %d: imm %d ok=%v want %d", lap, i, e.imm, ok, expect)
+			}
+			expect++
+			r.push(ringEntry{imm: uint32(seq)})
+			seq++
+			if r.count != RingCapacity {
+				t.Fatalf("count %d while holding the ring full", r.count)
+			}
+		}
+	}
+	if r.highWater != RingCapacity {
+		t.Fatalf("high water %d, want %d", r.highWater, RingCapacity)
+	}
+	// Drain the final full ring and verify the tail is contiguous.
+	for i := 0; i < RingCapacity; i++ {
+		e, ok := r.pop()
+		if !ok || e.imm != uint32(expect) {
+			t.Fatalf("drain %d: imm %d ok=%v want %d", i, e.imm, ok, expect)
+		}
+		expect++
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop from empty ring after drain")
+	}
+}
+
+func TestShmRingPopReleasesInlinePayload(t *testing.T) {
+	// pop must clear the stored entry so the inline payload slice is not
+	// pinned until the slot is overwritten a full lap later.
+	var r shmRing
+	r.push(ringEntry{imm: 1, inline: []byte{1, 2, 3}, pooled: true})
+	slot := r.head
+	if _, ok := r.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if r.entries[slot].inline != nil || r.entries[slot].pooled {
+		t.Fatal("popped slot still references the inline payload")
+	}
+}
+
+func TestShmRingSlowConsumerAtCapacity(t *testing.T) {
+	// A consumer that never polls while the producer posts exactly
+	// RingCapacity inline notified puts: the ring must reach (not exceed)
+	// its boundary, and a drain afterwards must yield every payload intact
+	// and in order.
+	env := exec.NewSimEnv()
+	cfg := DefaultConfig(2)
+	cfg.RanksPerNode = 2
+	f := New(env, cfg)
+	err := env.Run(2, func(p *exec.Proc) {
+		nic := f.NIC(p.Rank())
+		reg := nic.Register(make([]byte, RingCapacity*8))
+		barrier(f, p)
+		if p.Rank() == 0 {
+			for i := 0; i < RingCapacity; i++ {
+				var payload [8]byte
+				payload[0], payload[1] = byte(i), byte(i>>8)
+				nic.Put(p, 1, reg.ID, i*8, payload[:], WithImm(uint32(i))).Detach()
+			}
+			nic.FlushAll(p)
+			nic.PostMsg(p, 1, 7, nil, nil, false)
+		} else {
+			nic.WaitMsgClass(p, 7)
+			if hw := nic.RingHighWater(); hw != RingCapacity {
+				t.Errorf("ring high water %d, want %d (boundary)", hw, RingCapacity)
+			}
+			for i := 0; i < RingCapacity; i++ {
+				cqe, ok := nic.PollDest()
+				if !ok {
+					t.Fatalf("poll %d: ring empty early", i)
+				}
+				if cqe.Imm != uint32(i) {
+					t.Fatalf("poll %d: imm %d (order lost across wrap)", i, cqe.Imm)
+				}
+				b := reg.Bytes()[i*8:]
+				if b[0] != byte(i) || b[1] != byte(i>>8) {
+					t.Fatalf("poll %d: inline payload %v not committed", i, b[:2])
+				}
+			}
+			if _, ok := nic.PollDest(); ok {
+				t.Fatal("extra notification after draining the full ring")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package fault
+
+import "testing"
+
+// TestFaultDeterministicDecisions: identical plans produce identical
+// decision streams, and the stream for one pair is independent of how
+// other pairs' packets interleave between the calls.
+func TestFaultDeterministicDecisions(t *testing.T) {
+	plan := Plan{Seed: 42, Drop: 0.1, Duplicate: 0.05, Corrupt: 0.02, Reorder: 0.05}
+	a := NewInjector(plan)
+	b := NewInjector(plan)
+
+	const n = 2000
+	var seqA []Decision
+	for i := 0; i < n; i++ {
+		seqA = append(seqA, a.Decide(0, 1, "put"))
+	}
+	// Interleave unrelated pairs on b; pair (0,1) must see the same stream.
+	for i := 0; i < n; i++ {
+		b.Decide(2, 3, "put")
+		d := b.Decide(0, 1, "put")
+		b.Decide(1, 0, "ack")
+		if d != seqA[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, d, seqA[i])
+		}
+	}
+}
+
+// TestFaultRatesConverge: empirical fault frequencies land near the
+// configured probabilities.
+func TestFaultRatesConverge(t *testing.T) {
+	in := NewInjector(Plan{Seed: 7, Drop: 0.05, Duplicate: 0.01, Reorder: 0.02})
+	const n = 200000
+	var drops, dups, delays int
+	for i := 0; i < n; i++ {
+		d := in.Decide(0, 1, "put")
+		if d.Drop {
+			drops++
+		}
+		if d.Duplicate {
+			dups++
+		}
+		if d.DelayNs > 0 {
+			delays++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		rate := float64(got) / n
+		if rate < want*0.8 || rate > want*1.2 {
+			t.Errorf("%s rate %.4f, want ~%.4f", name, rate, want)
+		}
+	}
+	check("drop", drops, 0.05)
+	// Duplicate/reorder are only evaluated for surviving packets.
+	check("duplicate", dups, 0.01*0.95)
+	check("reorder", delays, 0.02*0.95)
+	st := in.Stats()
+	if st.Dropped != int64(drops) || st.Duplicated != int64(dups) || st.Delayed != int64(delays) {
+		t.Errorf("stats %+v disagree with observed counts %d/%d/%d", st, drops, dups, delays)
+	}
+}
+
+// TestFaultScriptedNthRule: a scripted rule hits exactly the Nth matching
+// packet, with class and pair filters honored.
+func TestFaultScriptedNthRule(t *testing.T) {
+	in := NewInjector(Plan{Rules: []Rule{
+		{Origin: 1, Target: 0, Class: "put", Nth: 3, Action: Drop},
+		{Origin: Any, Target: Any, Class: "ack", Nth: 0, Action: Delay, Delay: 5000},
+	}})
+	for i := 1; i <= 5; i++ {
+		// Non-matching traffic must not advance the rule counter.
+		if d := in.Decide(1, 0, "ctrl"); d.Drop {
+			t.Fatalf("ctrl packet dropped by put rule")
+		}
+		if d := in.Decide(2, 0, "put"); d.Drop {
+			t.Fatalf("wrong-origin put dropped")
+		}
+		d := in.Decide(1, 0, "put")
+		if got, want := d.Drop, i == 3; got != want {
+			t.Fatalf("put %d: drop=%v, want %v", i, got, want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if d := in.Decide(3, 2, "ack"); d.DelayNs != 5000 {
+			t.Fatalf("ack %d not delayed: %+v", i, d)
+		}
+	}
+}
+
+// TestFaultRankCrashAndHang: crash drops both directions, hang only the
+// rank's own sends; AfterSends lets the first k packets through.
+func TestFaultRankCrashAndHang(t *testing.T) {
+	in := NewInjector(Plan{Ranks: []RankFault{{Rank: 2, Mode: Crash, AfterSends: 2}}})
+	// Rank 2's first two sends pass, the third is absorbed.
+	for i := 0; i < 2; i++ {
+		if d := in.Decide(2, 0, "put"); d.Drop {
+			t.Fatalf("send %d dropped before AfterSends budget", i)
+		}
+	}
+	if d := in.Decide(2, 0, "put"); !d.Drop || !d.RankDown {
+		t.Fatalf("post-crash send not absorbed: %+v", d)
+	}
+	// Crashed target absorbs inbound too.
+	if d := in.Decide(0, 2, "put"); !d.Drop || !d.RankDown {
+		t.Fatalf("inbound to crashed rank not absorbed: %+v", d)
+	}
+
+	in2 := NewInjector(Plan{})
+	in2.Hang(1)
+	if d := in2.Decide(1, 0, "put"); !d.Drop {
+		t.Fatal("hung rank's send not absorbed")
+	}
+	if d := in2.Decide(0, 1, "put"); d.Drop {
+		t.Fatal("inbound to hung rank absorbed; hang should only silence sends")
+	}
+	if m, ok := in2.Down(1); !ok || m != Hang {
+		t.Fatalf("Down(1) = %v,%v", m, ok)
+	}
+	st := in2.Stats()
+	if st.RankDropped != 1 {
+		t.Fatalf("RankDropped = %d, want 1", st.RankDropped)
+	}
+}
+
+// TestFaultZeroPlanIsTransparent: an all-zero plan never faults anything.
+func TestFaultZeroPlanIsTransparent(t *testing.T) {
+	in := NewInjector(Plan{Seed: 99})
+	for i := 0; i < 10000; i++ {
+		if d := in.Decide(i%4, (i+1)%4, "put"); d != (Decision{}) {
+			t.Fatalf("zero plan produced %+v", d)
+		}
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("zero plan accumulated stats %+v", st)
+	}
+}

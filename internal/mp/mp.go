@@ -339,8 +339,17 @@ func (c *Comm) Recv(buf []byte, source, tag int) Status {
 }
 
 // WaitRecv blocks until the receive completes and returns its status.
+// A receive from a specific source fails fast (panics with an error
+// unwrapping to fabric.ErrPeerFailed) once that source is declared dead —
+// more precise than the generic blocked-wait unblocking, which only fires
+// when the message queue runs dry.
 func (c *Comm) WaitRecv(req *RecvReq) Status {
 	for !req.done {
+		if req.source != AnySource && !req.matched {
+			if err := c.nic.PeerError(req.source); err != nil {
+				panic(err)
+			}
+		}
 		c.progress(true)
 	}
 	return req.status

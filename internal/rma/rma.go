@@ -174,23 +174,30 @@ func (w *Win) IFetchAndOp(target, targetOff int, delta uint64) *fabric.Op {
 	return w.nic.Atomic(w.p.Proc, target, w.userID, targetOff, fabric.AtomicFetchAdd, delta, 0, fabric.Imm{})
 }
 
-// FetchAndOp is the blocking convenience form of IFetchAndOp.
-func (w *Win) FetchAndOp(target, targetOff int, delta uint64) uint64 {
-	op := w.IFetchAndOp(target, targetOff, delta)
+// awaitChecked parks until op completes, panicking with its error when
+// the peer-failure detector completed it: a failed atomic's zero Result
+// must never be mistaken for a real fetched value (a CAS spin would read
+// it as "lock acquired").
+func (w *Win) awaitChecked(op *fabric.Op) uint64 {
 	op.Await(w.p.Proc)
+	if err := op.Err(); err != nil {
+		panic(err)
+	}
 	v := op.Result()
 	op.Detach()
 	return v
+}
+
+// FetchAndOp is the blocking convenience form of IFetchAndOp.
+func (w *Win) FetchAndOp(target, targetOff int, delta uint64) uint64 {
+	return w.awaitChecked(w.IFetchAndOp(target, targetOff, delta))
 }
 
 // CompareAndSwap atomically replaces the uint64 at targetOff with swap if
 // it equals compare, returning the previous value (MPI_Compare_and_swap).
 func (w *Win) CompareAndSwap(target, targetOff int, compare, swap uint64) uint64 {
 	op := w.nic.Atomic(w.p.Proc, target, w.userID, targetOff, fabric.AtomicCAS, swap, compare, fabric.Imm{})
-	op.Await(w.p.Proc)
-	v := op.Result()
-	op.Detach()
-	return v
+	return w.awaitChecked(op)
 }
 
 // Flush blocks until all operations this rank issued to target are
@@ -306,9 +313,7 @@ func (w *Win) Lock(target int, exclusive bool) {
 	if exclusive {
 		for {
 			old := w.nic.Atomic(w.p.Proc, target, w.sysID, 0, fabric.AtomicCAS, lockExclusive, 0, fabric.Imm{})
-			old.Await(w.p.Proc)
-			got := old.Result()
-			old.Detach()
+			got := w.awaitChecked(old)
 			if got == 0 {
 				return
 			}
@@ -317,16 +322,13 @@ func (w *Win) Lock(target int, exclusive bool) {
 	}
 	for {
 		op := w.nic.Atomic(w.p.Proc, target, w.sysID, 0, fabric.AtomicFetchAdd, lockSharedInc, 0, fabric.Imm{})
-		op.Await(w.p.Proc)
-		got := op.Result()
-		op.Detach()
+		got := w.awaitChecked(op)
 		if got&lockExclusive == 0 {
 			return
 		}
 		// A writer holds it: undo and retry.
 		undo := w.nic.Atomic(w.p.Proc, target, w.sysID, 0, fabric.AtomicFetchAdd, ^uint64(lockSharedInc-1), 0, fabric.Imm{})
-		undo.Await(w.p.Proc)
-		undo.Detach()
+		w.awaitChecked(undo)
 		w.p.Sleep(backoff)
 	}
 }
@@ -342,8 +344,7 @@ func (w *Win) Unlock(target int, exclusive bool) {
 		delta = ^uint64(lockSharedInc - 1) // -2
 	}
 	op := w.nic.Atomic(w.p.Proc, target, w.sysID, 0, fabric.AtomicFetchAdd, delta, 0, fabric.Imm{})
-	op.Await(w.p.Proc)
-	op.Detach()
+	w.awaitChecked(op)
 }
 
 // LockAll opens a shared passive-target epoch to every rank

@@ -6,9 +6,11 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/exec"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/loggp"
 )
 
@@ -68,6 +70,16 @@ type Options struct {
 	GetNotifyMode fabric.GetNotifyMode
 	// Trace receives one event per delivered packet (protocol audits).
 	Trace func(fabric.TraceEvent)
+	// FaultPlan, when non-nil, activates the fabric's fault-injection
+	// plane and reliable-delivery layer (see internal/fault).
+	FaultPlan *fault.Plan
+	// Reliability tunes the reliable-delivery layer (zero = defaults);
+	// Reliability.Force activates it even without a fault plan.
+	Reliability fabric.ReliabilityConfig
+	// OnPeerFailure, when non-nil, is called once per rank the fabric's
+	// peer-failure detector declares dead. It runs in delivery/timer
+	// context and must not block on fabric operations.
+	OnPeerFailure func(observer, failed int, err error)
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +107,12 @@ type World struct {
 		Run(n int, body func(p *exec.Proc)) error
 	}
 	fab *fabric.Fabric
+
+	// Peer-failure fan-out: the fabric's FailureHook lands here and is
+	// forwarded to every registered per-rank listener plus the job-level
+	// Options.OnPeerFailure callback.
+	failMu        sync.Mutex
+	failListeners []func(failed int, err error)
 }
 
 // NewWorld builds a world without running it (tests and benchmarks that
@@ -116,8 +134,28 @@ func NewWorld(opts Options) *World {
 		ChargeOverheads: !opts.DisableOverheads,
 		GetNotifyMode:   opts.GetNotifyMode,
 		Trace:           opts.Trace,
+		FaultPlan:       opts.FaultPlan,
+		Reliability:     opts.Reliability,
 	}
-	return &World{opts: opts, env: env, fab: fabric.New(env, cfg)}
+	w := &World{opts: opts, env: env}
+	cfg.FailureHook = w.announcePeerFailure
+	w.fab = fabric.New(env, cfg)
+	return w
+}
+
+// announcePeerFailure fans a detected rank failure out to every registered
+// listener and the job-level callback. Runs in delivery/timer context.
+func (w *World) announcePeerFailure(observer, failed int, err error) {
+	w.failMu.Lock()
+	var listeners []func(failed int, err error)
+	listeners = append(listeners, w.failListeners...)
+	w.failMu.Unlock()
+	for _, fn := range listeners {
+		fn(failed, err)
+	}
+	if w.opts.OnPeerFailure != nil {
+		w.opts.OnPeerFailure(observer, failed, err)
+	}
 }
 
 // Fabric returns the world's interconnect.
@@ -172,6 +210,17 @@ type Proc struct {
 
 // World returns the job this rank belongs to.
 func (p *Proc) World() *World { return p.world }
+
+// OnPeerFailure registers fn to run when the fabric declares a rank dead.
+// Layers blocked on per-rank state (e.g. the notification matcher's wait
+// gate) register here so their parked consumers observe the failure. fn
+// runs in delivery/timer context: it must not block on fabric operations.
+func (p *Proc) OnPeerFailure(fn func(failed int, err error)) {
+	w := p.world
+	w.failMu.Lock()
+	w.failListeners = append(w.failListeners, fn)
+	w.failMu.Unlock()
+}
 
 // NIC returns this rank's network interface.
 func (p *Proc) NIC() *fabric.NIC { return p.nic }
