@@ -1,0 +1,149 @@
+// Command nalaunch runs an fompi program as a real distributed job: one OS
+// process per rank, connected over TCP.
+//
+//	nalaunch -n 2 ./quickstart
+//	nalaunch -n 4 -- ./app -iters 100
+//
+// The launcher binds the rendezvous listener itself, hands it to the rank-0
+// child as an inherited file descriptor (so the port is settled before any
+// process starts — no bind race, no fixed port), and tells every child its
+// place in the job through the NA_* environment (see package fompi): any
+// unmodified program calling fompi.Run joins the job. Child output is
+// line-multiplexed onto the launcher's streams with a [rank] prefix.
+//
+// For failure demonstrations, -kill R -kill-after D sends SIGKILL to rank R
+// after D; survivors observe the abrupt connection loss as ErrPeerFailed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 2, "number of ranks (one OS process each)")
+		rootAddr  = flag.String("root", "127.0.0.1:0", "rendezvous bind address (port 0: kernel-assigned)")
+		kill      = flag.Int("kill", -1, "rank to SIGKILL mid-run (failure demo; -1: none)")
+		killAfter = flag.Duration("kill-after", time.Second, "delay before -kill fires")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nalaunch [flags] program [args...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *n <= 0 {
+		fmt.Fprintf(os.Stderr, "nalaunch: -n must be positive\n")
+		os.Exit(2)
+	}
+	if *kill >= *n {
+		fmt.Fprintf(os.Stderr, "nalaunch: -kill %d outside job of %d ranks\n", *kill, *n)
+		os.Exit(2)
+	}
+	os.Exit(launch(*n, *rootAddr, *kill, *killAfter, flag.Args()))
+}
+
+func launch(n int, rootAddr string, kill int, killAfter time.Duration, args []string) int {
+	ln, err := net.Listen("tcp", rootAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nalaunch: binding rendezvous %s: %v\n", rootAddr, err)
+		return 1
+	}
+	defer ln.Close()
+	lnFile, err := ln.(*net.TCPListener).File()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nalaunch: dup of rendezvous listener: %v\n", err)
+		return 1
+	}
+	addr := ln.Addr().String()
+
+	var outMu sync.Mutex // one child line at a time on each stream
+	var pipes sync.WaitGroup
+	cmds := make([]*exec.Cmd, n)
+	for r := 0; r < n; r++ {
+		cmd := exec.Command(args[0], args[1:]...)
+		cmd.Env = append(os.Environ(),
+			"NA_TRANSPORT=tcp",
+			fmt.Sprintf("NA_RANK=%d", r),
+			fmt.Sprintf("NA_NRANKS=%d", n),
+			"NA_ROOT="+addr,
+		)
+		if r == 0 {
+			// ExtraFiles[0] becomes fd 3 in the child.
+			cmd.ExtraFiles = []*os.File{lnFile}
+			cmd.Env = append(cmd.Env, "NA_ROOT_FD=3")
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err == nil {
+			var stderr io.ReadCloser
+			stderr, err = cmd.StderrPipe()
+			if err == nil {
+				err = cmd.Start()
+				if err == nil {
+					pipes.Add(2)
+					go prefixCopy(&pipes, &outMu, os.Stdout, stdout, r)
+					go prefixCopy(&pipes, &outMu, os.Stderr, stderr, r)
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nalaunch: starting rank %d (%s): %v\n", r, args[0], err)
+			for _, c := range cmds[:r] {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return 1
+		}
+		cmds[r] = cmd
+	}
+	lnFile.Close() // rank 0 owns the inherited copy now
+
+	if kill >= 0 {
+		go func() {
+			time.Sleep(killAfter)
+			fmt.Fprintf(os.Stderr, "nalaunch: killing rank %d\n", kill)
+			cmds[kill].Process.Kill()
+		}()
+	}
+
+	code := 0
+	for r, cmd := range cmds {
+		err := cmd.Wait()
+		if err != nil && r != kill {
+			fmt.Fprintf(os.Stderr, "nalaunch: rank %d: %v\n", r, err)
+			if kill < 0 {
+				code = 1
+			}
+		}
+	}
+	pipes.Wait()
+	if kill >= 0 {
+		// Failure demo: survivors are expected to exit with ErrPeerFailed;
+		// statuses were printed above, the demo itself succeeded.
+		return 0
+	}
+	return code
+}
+
+// prefixCopy relays one child stream line-by-line with a [rank] prefix.
+func prefixCopy(wg *sync.WaitGroup, mu *sync.Mutex, dst io.Writer, src io.Reader, rank int) {
+	defer wg.Done()
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		mu.Lock()
+		fmt.Fprintf(dst, "[%d] %s\n", rank, sc.Bytes())
+		mu.Unlock()
+	}
+}

@@ -19,9 +19,24 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	format := flag.String("format", "text", "output format: text, markdown, csv")
 	quick := flag.Bool("quick", false, "shrink wall-clock experiments to a fast smoke pass (CI)")
+	transport := flag.String("transport", "sim", "engine for the ping-pong microbenchmark: sim (modeled LogGP time) or tcp (real sockets, wall-clock percentiles)")
 	flag.Parse()
 	outputFormat = *format
 	bench.Quick = *quick
+
+	switch *transport {
+	case "sim":
+	case "tcp":
+		// The TCP engine measures the wall clock, so the sweep lives in its
+		// own experiment; -transport tcp selects it when no explicit
+		// -experiment asks otherwise.
+		if *experiment == "" && !*all && !*list {
+			*experiment = "tcppp"
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q (want sim or tcp)\n", *transport)
+		os.Exit(2)
+	}
 
 	switch {
 	case *list:

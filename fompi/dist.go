@@ -1,0 +1,155 @@
+package fompi
+
+// The distributed face of the API: transport selection, per-process
+// placement (DistConfig), the NA_* environment contract with cmd/nalaunch,
+// and the in-process loopback cluster used by tests and benchmarks.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Transport selects the engine a job runs on.
+type Transport int
+
+const (
+	// TransportSim is the deterministic virtual-time simulator (default).
+	TransportSim Transport = iota
+	// TransportReal is the single-process wall-clock engine: all ranks are
+	// goroutines, the fabric moves bytes through memory.
+	TransportReal
+	// TransportTCP is the distributed engine: this process hosts exactly
+	// one rank and reaches the others over TCP sockets (see DistConfig and
+	// cmd/nalaunch).
+	TransportTCP
+)
+
+// String names the transport as accepted by NA_TRANSPORT and flag values.
+func (t Transport) String() string {
+	switch t {
+	case TransportSim:
+		return "sim"
+	case TransportReal:
+		return "real"
+	case TransportTCP:
+		return "tcp"
+	}
+	return fmt.Sprintf("Transport(%d)", int(t))
+}
+
+// ParseTransport converts a flag/environment value into a Transport.
+func ParseTransport(s string) (Transport, error) {
+	switch s {
+	case "sim":
+		return TransportSim, nil
+	case "real":
+		return TransportReal, nil
+	case "tcp":
+		return TransportTCP, nil
+	}
+	return 0, fmt.Errorf("fompi: unknown transport %q (want sim, real, or tcp)", s)
+}
+
+// DistConfig locates this process inside a TransportTCP job.
+type DistConfig struct {
+	// Rank is this process's rank in [0, Options.Ranks).
+	Rank int
+	// Root is the rendezvous address rank 0 listens on and everyone else
+	// dials ("host:port").
+	Root string
+	// Listener, when non-nil, is a pre-bound listener rank 0 adopts
+	// instead of binding Root itself (the launcher passes one down so the
+	// port is known before children start).
+	Listener net.Listener
+	// Timeout bounds the bootstrap rendezvous (default 10s).
+	Timeout time.Duration
+}
+
+// Environment variables forming the contract between cmd/nalaunch and any
+// program calling Run: when NA_TRANSPORT=tcp, the program joins the
+// launcher's job without code changes.
+const (
+	// EnvTransport selects the engine ("tcp" is the only value honored).
+	EnvTransport = "NA_TRANSPORT"
+	// EnvRank is this process's rank.
+	EnvRank = "NA_RANK"
+	// EnvNRanks is the job size; it must equal Options.Ranks.
+	EnvNRanks = "NA_NRANKS"
+	// EnvRoot is the rendezvous address.
+	EnvRoot = "NA_ROOT"
+	// EnvRootFD, set only for rank 0, is the file descriptor of the
+	// pre-bound root listener the launcher passed via ExtraFiles.
+	EnvRootFD = "NA_ROOT_FD"
+)
+
+// detectEnv folds the launcher environment into the options. Explicit
+// settings win: a program that already chose a transport or a DistConfig is
+// left alone.
+func (o Options) detectEnv() (Options, error) {
+	if o.Transport != TransportSim || o.Dist != nil || o.Real {
+		return o, nil
+	}
+	if os.Getenv(EnvTransport) != "tcp" {
+		return o, nil
+	}
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return o, fmt.Errorf("fompi: bad %s=%q: %w", EnvRank, os.Getenv(EnvRank), err)
+	}
+	n, err := strconv.Atoi(os.Getenv(EnvNRanks))
+	if err != nil {
+		return o, fmt.Errorf("fompi: bad %s=%q: %w", EnvNRanks, os.Getenv(EnvNRanks), err)
+	}
+	if n != o.Ranks {
+		return o, fmt.Errorf("fompi: launcher started %d ranks but the program asked for Options.Ranks=%d", n, o.Ranks)
+	}
+	d := &DistConfig{Rank: rank, Root: os.Getenv(EnvRoot)}
+	if fdStr := os.Getenv(EnvRootFD); fdStr != "" && rank == 0 {
+		fd, err := strconv.Atoi(fdStr)
+		if err != nil {
+			return o, fmt.Errorf("fompi: bad %s=%q: %w", EnvRootFD, fdStr, err)
+		}
+		f := os.NewFile(uintptr(fd), "na-root-listener")
+		ln, err := net.FileListener(f)
+		f.Close() // FileListener dups the fd; the original is ours to close
+		if err != nil {
+			return o, fmt.Errorf("fompi: adopting root listener fd %d: %w", fd, err)
+		}
+		d.Listener = ln
+	}
+	o.Transport = TransportTCP
+	o.Dist = d
+	return o, nil
+}
+
+// runDist hosts one rank of a TransportTCP job in this process.
+func runDist(opts Options, body func(p *Proc)) error {
+	d := opts.Dist
+	if d == nil {
+		return fmt.Errorf("fompi: TransportTCP needs Options.Dist (or run under nalaunch, which sets the NA_* environment)")
+	}
+	return runtime.RunDistributed(runtime.DistOptions{
+		Self:         d.Rank,
+		Root:         d.Root,
+		RootListener: d.Listener,
+		Timeout:      d.Timeout,
+	}, rtOptions(opts), func(p *runtime.Proc) {
+		body(&Proc{p: p})
+	})
+}
+
+// RunLocalCluster runs an Options.Ranks-rank TransportTCP job inside this
+// process: every rank is a goroutine with its own mesh endpoint and fabric,
+// exchanging frames over real localhost sockets. It is the loopback mode of
+// the distributed engine — the full wire path without multi-process
+// orchestration — and returns one error slot per rank, in rank order.
+func RunLocalCluster(opts Options, body func(p *Proc)) []error {
+	return runtime.RunLocalCluster(rtOptions(opts), func(p *runtime.Proc) {
+		body(&Proc{p: p})
+	})
+}

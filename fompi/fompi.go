@@ -41,6 +41,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/loggp"
 	"repro/internal/mp"
+	"repro/internal/netfab"
 	"repro/internal/rma"
 	"repro/internal/runtime"
 	"repro/internal/simtime"
@@ -71,8 +72,18 @@ type Options struct {
 	// Ranks is the number of SPMD processes (required).
 	Ranks int
 	// Real selects the wall-clock concurrency engine instead of the
-	// deterministic virtual-time simulator.
+	// deterministic virtual-time simulator. Shorthand for
+	// Transport = TransportReal.
 	Real bool
+	// Transport selects the engine explicitly: TransportSim (default),
+	// TransportReal, or TransportTCP (this process hosts one rank of a
+	// multi-process job; see Dist). When left at TransportSim, Run also
+	// honors the NA_TRANSPORT environment set by cmd/nalaunch, so an
+	// unmodified program becomes distributed when run under the launcher.
+	Transport Transport
+	// Dist locates this process inside a TransportTCP job. Filled from the
+	// NA_* environment when nil and the launcher set one.
+	Dist *DistConfig
 	// RanksPerNode places consecutive ranks on shared-memory nodes
 	// (default 1: every rank on its own node).
 	RanksPerNode int
@@ -96,22 +107,37 @@ type Options struct {
 var ErrPeerFailed = fabric.ErrPeerFailed
 
 // Run executes body on every rank and returns when all complete. Any rank
-// panic aborts the job and is returned as an error.
+// panic aborts the job and is returned as an error. Under TransportTCP the
+// local process runs only rank Dist.Rank; Run returns when that rank (and
+// the job-finalizing barrier) completes.
 func Run(opts Options, body func(p *Proc)) error {
-	mode := exec.Sim
-	if opts.Real {
-		mode = exec.Real
+	opts, err := opts.detectEnv()
+	if err != nil {
+		return err
 	}
-	return runtime.Run(runtime.Options{
+	if opts.Transport == TransportTCP {
+		return runDist(opts, body)
+	}
+	ro := rtOptions(opts)
+	ro.Mode = exec.Sim
+	if opts.Real || opts.Transport == TransportReal {
+		ro.Mode = exec.Real
+	}
+	return runtime.Run(ro, func(p *runtime.Proc) {
+		body(&Proc{p: p})
+	})
+}
+
+// rtOptions maps the public options onto the runtime's (Mode is chosen by
+// the caller).
+func rtOptions(opts Options) runtime.Options {
+	return runtime.Options{
 		Ranks:             opts.Ranks,
-		Mode:              mode,
 		RanksPerNode:      opts.RanksPerNode,
 		EagerThreshold:    opts.EagerThreshold,
 		UnreliableNetwork: opts.UnreliableNetwork,
 		FaultPlan:         opts.FaultPlan,
-	}, func(p *runtime.Proc) {
-		body(&Proc{p: p})
-	})
+	}
 }
 
 // Proc is one rank's handle.
@@ -357,6 +383,9 @@ type QueueStats struct {
 	// RetransmitCount is Faults.Retransmits, surfaced flat for quick
 	// goodput accounting.
 	RetransmitCount int64
+	// Net is the TCP transport snapshot (frames and bytes each way on this
+	// process's mesh endpoint); all-zero except under TransportTCP.
+	Net netfab.Stats
 }
 
 // QueueStats returns this rank's NIC queue high-water marks and data-plane
@@ -364,7 +393,7 @@ type QueueStats struct {
 func (p *Proc) QueueStats() QueueStats {
 	n := p.p.NIC()
 	faults := p.p.World().Fabric().FaultStats()
-	return QueueStats{
+	qs := QueueStats{
 		DestCQHighWater:      n.DestHighWater(),
 		RingHighWater:        n.RingHighWater(),
 		MsgHighWater:         n.MsgHighWater(),
@@ -374,6 +403,12 @@ func (p *Proc) QueueStats() QueueStats {
 		Faults:               faults,
 		RetransmitCount:      faults.Retransmits,
 	}
+	if src := p.p.World().Fabric().NetStatsSource(); src != nil {
+		if m, ok := src.(interface{ ReadStats() netfab.Stats }); ok {
+			qs.Net = m.ReadStats()
+		}
+	}
+	return qs
 }
 
 // WaitAll blocks until every request completes (MPI_Waitall).

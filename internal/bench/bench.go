@@ -96,6 +96,7 @@ func Registry() []Experiment {
 		{"sensitivity", "NA/MP advantage vs network latency (exascale claim)", Sensitivity},
 		{"taskflow", "Dataflow tasking system makespan: NA vs MP", Taskflow},
 		{"eagerthreshold", "MP eager/rendezvous threshold ablation", EagerThreshold},
+		{"tcppp", "Notified-put ping-pong over real TCP sockets: wall-clock latency percentiles", TCPPingPong},
 	}
 }
 

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+	"repro/internal/stats"
+)
+
+// TCPPingPong measures the notified-put ping-pong over the distributed TCP
+// engine: a two-rank loopback cluster (each rank a full distributed
+// process image with its own mesh endpoint and fabric) exchanging over real
+// localhost sockets. Unlike the Sim experiments, which report modeled LogGP
+// time, this reports measured wall-clock half-round-trip latency, so the
+// distribution matters: the table carries p50/p90/p99/max per size.
+func TCPPingPong() *Table {
+	sizes := []int{8, 64, 512, 4096, 32768, 262144}
+	reps, warmup := 400, 50
+	if Quick {
+		reps, warmup = 40, 5
+	}
+	maxSize := sizes[len(sizes)-1]
+
+	var mu sync.Mutex
+	results := make(map[int][]float64, len(sizes))
+
+	errs := runtime.RunLocalCluster(runtime.Options{Ranks: 2}, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 2*maxSize)
+		defer win.Free()
+		partner := 1 - p.Rank()
+		client := p.Rank() == 0
+		req := core.NotifyInit(win, partner, 99, 1)
+		defer req.Free()
+
+		for _, size := range sizes {
+			payload := make([]byte, size)
+			var samples []float64
+			for it := 0; it < warmup+reps; it++ {
+				t0 := p.Now()
+				if client { // paper Listing 1, as in the Sim ping-pong
+					core.PutNotify(win, partner, 0, payload, 99)
+					win.Flush(partner)
+					req.Start()
+					req.Wait()
+				} else {
+					req.Start()
+					req.Wait()
+					core.PutNotify(win, partner, maxSize, payload, 99)
+					win.Flush(partner)
+				}
+				if client && it >= warmup {
+					samples = append(samples, p.Now().Sub(t0).Micros()/2)
+				}
+			}
+			if client {
+				mu.Lock()
+				results[size] = samples
+				mu.Unlock()
+			}
+			p.Barrier()
+		}
+	})
+	for r, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("bench: tcp ping-pong rank %d failed: %v", r, err))
+		}
+	}
+
+	t := &Table{
+		Name:    "tcppp",
+		Title:   "Notified-put ping-pong half-RTT over TCP sockets (wall-clock us)",
+		Columns: []string{"size(B)", "p50", "p90", "p99", "max"},
+	}
+	for _, size := range sizes {
+		s := results[size]
+		t.AddRow(itoa(size),
+			us(stats.Percentile(s, 50)),
+			us(stats.Percentile(s, 90)),
+			us(stats.Percentile(s, 99)),
+			us(stats.Percentile(s, 100)))
+	}
+	t.Notes = append(t.Notes,
+		"two OS-process-equivalent ranks over localhost TCP (loopback cluster); measured wall time, not the LogGP model — compare shape, not magnitude, with fig3a")
+	return t
+}

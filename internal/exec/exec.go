@@ -39,14 +39,28 @@ const (
 	Sim Mode = iota
 	// Real is the wall-clock, true-concurrency engine.
 	Real
+	// Dist is the wall-clock engine hosting a single rank of a
+	// multi-process run; remote ranks live in other OS processes reached
+	// over a network link (internal/netfab).
+	Dist
 )
 
 func (m Mode) String() string {
-	if m == Sim {
+	switch m {
+	case Sim:
 		return "sim"
+	case Real:
+		return "real"
+	case Dist:
+		return "dist"
 	}
-	return "real"
+	return fmt.Sprintf("mode(%d)", int(m))
 }
+
+// Wallclock reports whether the mode runs under the wall clock with true
+// concurrency (Real and Dist) rather than virtual time. Code that used to
+// test Mode() == Real to pick the concurrent path should test Wallclock.
+func (m Mode) Wallclock() bool { return m == Real || m == Dist }
 
 // Event priorities. Lower values fire first among events with equal
 // timestamps. Network deliveries precede process wakeups so that a process
@@ -539,13 +553,88 @@ func (g *realGate) Broadcast() {
 	g.mu.Unlock()
 }
 
+// realEnv lets wrappers that embed *RealEnv (DistEnv) be unwrapped without
+// the caller knowing the concrete type. See RealOf.
+func (e *RealEnv) realEnv() *RealEnv { return e }
+
+// RealOf returns the wall-clock engine backing env, or nil when env is the
+// Sim engine. It sees through DistEnv, which embeds a RealEnv; fabric code
+// that needs abort channels or receive workers uses this instead of a
+// concrete type assertion.
+func RealOf(env Env) *RealEnv {
+	if re, ok := env.(interface{ realEnv() *RealEnv }); ok {
+		return re.realEnv()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Dist engine
+// ---------------------------------------------------------------------------
+
+// DistEnv hosts exactly one rank of an n-rank job in this OS process. It is
+// the Real engine in every respect — wall clock, channel gates, abort
+// fan-out — except that Run(n, body) spawns only the local rank: the other
+// n-1 ranks are peer processes, and the fabric routes traffic to them over
+// a network link instead of an in-memory NIC.
+type DistEnv struct {
+	*RealEnv
+	self int
+	n    int
+}
+
+// NewDistEnv returns a wall-clock engine hosting rank self of an n-rank
+// distributed run.
+func NewDistEnv(self, n int) *DistEnv {
+	if self < 0 || self >= n {
+		panic(fmt.Sprintf("exec: NewDistEnv rank %d out of range [0,%d)", self, n))
+	}
+	return &DistEnv{RealEnv: NewRealEnv(), self: self, n: n}
+}
+
+// Mode implements Env.
+func (e *DistEnv) Mode() Mode { return Dist }
+
+// Self returns the local rank.
+func (e *DistEnv) Self() int { return e.self }
+
+// Run spawns the local rank only. n must match the job size given at
+// construction; the Proc it passes to body reports the global rank and
+// global N, so rank-aware library code works unchanged.
+func (e *DistEnv) Run(n int, body func(p *Proc)) error {
+	if n != e.n {
+		return fmt.Errorf("exec: DistEnv built for %d ranks, Run called with %d", e.n, n)
+	}
+	var wg sync.WaitGroup
+	p := &Proc{rank: e.self, n: e.n, env: e, real: e.RealEnv}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isAbort := r.(procAbort); !isAbort {
+					e.setErr(PanicError(fmt.Sprintf("rank %d panicked", p.rank), r, debug.Stack()))
+				}
+			}
+		}()
+		body(p)
+	}()
+	wg.Wait()
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
 // New returns an engine for the requested mode.
 func New(m Mode) interface {
 	Env
 	Run(n int, body func(p *Proc)) error
 } {
-	if m == Sim {
+	switch m {
+	case Sim:
 		return NewSimEnv()
+	case Real:
+		return NewRealEnv()
 	}
-	return NewRealEnv()
+	panic("exec: New(Dist) is ambiguous — use NewDistEnv(self, n)")
 }

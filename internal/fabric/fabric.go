@@ -22,6 +22,7 @@ package fabric
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/exec"
@@ -200,6 +201,18 @@ type Fabric struct {
 	// rel is the reliable-delivery layer; nil on the default lossless
 	// configuration (every fast path checks this once).
 	rel *reliability
+
+	// Distributed-mode state (nil/zero on single-process fabrics): link is
+	// the cross-process transport, self the only rank with a local NIC.
+	// netOps maps wire op IDs back to origin-side op handles so acks and
+	// get responses can cross a process boundary; remoteRegions mirrors
+	// the registration announcements received from peers.
+	link   Link
+	self   int
+	netMu  sync.Mutex
+	netOps map[uint64]*Op
+	netOpSeq uint64
+	remoteRegions map[int]map[int]int // rank -> regionID -> size
 }
 
 // New creates a fabric with the given configuration running under env.
@@ -230,7 +243,7 @@ func New(env exec.Env, cfg Config) *Fabric {
 		}
 		f.rel = newReliability(f, cfg.Reliability, inj)
 	}
-	if env.Mode() == exec.Real {
+	if env.Mode().Wallclock() {
 		for _, n := range f.nics {
 			n.startRxWorkers()
 		}
@@ -293,7 +306,7 @@ func (f *Fabric) wireTime(origin, target, size int, inlineEligible bool) simtime
 // payloads must stay staged copies).
 func (f *Fabric) zeroCopyEligible(origin, target, size int) bool {
 	return f.rel == nil && // retransmission needs a stable staged copy
-		f.env.Mode() == exec.Real &&
+		f.env.Mode().Wallclock() &&
 		size >= f.cfg.Model.FMABTECrossover &&
 		size > f.cfg.InlineThreshold &&
 		f.SameNode(origin, target)
@@ -304,6 +317,12 @@ func (f *Fabric) zeroCopyEligible(origin, target, size int) bool {
 // over (sequencing, retention, fault injection) and its transmission
 // attempts re-enter below via dispatch.
 func (f *Fabric) transmit(pkt *packet) {
+	if f.link != nil && pkt.op != nil && pkt.target != f.self && pkt.opID == 0 {
+		// Cross-process op: give it a wire identity before the packet (or
+		// any retransmission clone, which copies opID) can leave the
+		// process, so the remote ack can find its way home.
+		pkt.opID = f.netRegisterOp(pkt.op)
+	}
 	f.count(pkt)
 	if f.rel != nil {
 		f.rel.send(pkt)
@@ -321,8 +340,21 @@ func (f *Fabric) transmit(pkt *packet) {
 // deliberately — bypasses the Sim pair-FIFO clamp, so later traffic of
 // the same pair overtakes it.
 func (f *Fabric) dispatch(pkt *packet, faultDelay int64) {
+	if f.link != nil && pkt.target != f.self {
+		// Distributed fabric: the target NIC lives in another OS process.
+		// An injected reorder hold delays the attempt before it reaches
+		// the socket, exactly as it would delay a lane push.
+		if faultDelay > 0 {
+			f.env.Schedule(simtime.Duration(faultDelay), exec.PrioDelivery, func() {
+				f.netSend(pkt)
+			})
+			return
+		}
+		f.netSend(pkt)
+		return
+	}
 	dst := f.nics[pkt.target]
-	if f.env.Mode() == exec.Real {
+	if f.env.Mode().Wallclock() {
 		if faultDelay > 0 {
 			f.env.Schedule(simtime.Duration(faultDelay), exec.PrioDelivery, func() {
 				f.lanePush(dst, pkt, false)
@@ -366,7 +398,7 @@ func (f *Fabric) lanePush(dst *NIC, pkt *packet, unwindOnAbort bool) {
 		return
 	default:
 	}
-	re, _ := f.env.(*exec.RealEnv)
+	re := exec.RealOf(f.env)
 	if re == nil {
 		ch <- pkt
 		return

@@ -1,0 +1,394 @@
+package fabric
+
+// The distributed engine seam: a Fabric whose remote NICs live in other OS
+// processes, reached through a Link (implemented by netfab.Mesh over TCP).
+// Only the local rank's NIC exists; dispatch routes any packet addressed to
+// a remote rank through netSend (packet → wire.Frame → socket) and inbound
+// frames re-enter through netRecv (frame → packet → the local NIC's
+// per-origin receive lane), so ordering, backpressure, and delivery-time
+// semantics are identical to the single-process Real engine.
+//
+// The reliable-delivery layer is always active on a distributed fabric: it
+// provides the sequence numbers that make the TCP path safe under fault
+// injection, and — more importantly — its peer-failure machinery is what
+// converts a lost connection into typed ErrPeerFailed completions. TCP
+// gives per-stream reliability but says nothing about a peer that dies; the
+// rel layer's retransmit budget covers silent hangs and the Link's
+// peerDown callback covers abrupt closes, both funneling into the same
+// declarePeerFailed path.
+//
+// Op handles cannot cross a process boundary, so the origin registers each
+// op under a process-local wire ID at post time (transmit); acks and get
+// responses echo the ID and netRecv resolves it back to the handle. IDs are
+// never reused (monotonic counter), so a stale echo after the op completed
+// resolves to nothing and the packet is dropped by deliverNow's nil guard.
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/simtime"
+	"repro/internal/wire"
+)
+
+// Link is the cross-process transport a distributed fabric sends through.
+// netfab.Mesh satisfies it structurally; the fabric never imports netfab,
+// keeping the transport a leaf package.
+type Link interface {
+	// Self returns the local rank, N the job size.
+	Self() int
+	N() int
+	// Send writes one frame to target. It must not retain fr or its
+	// slices after returning.
+	Send(target int, fr *wire.Frame) error
+	// Start installs the receive callbacks: rx for every data/control
+	// frame (its slices alias a reused buffer — copy before returning),
+	// peerDown exactly once per peer whose stream ends without a clean
+	// goodbye.
+	Start(rx func(from int, fr *wire.Frame), peerDown func(rank int, err error))
+}
+
+// NewDistributed creates the local-rank slice of a distributed fabric on
+// top of an established link. env must be a wall-clock engine (DistEnv).
+// The reliable-delivery layer is forced on, with retransmission timers
+// re-tuned for real sockets when the caller left them at the Sim-scale
+// defaults; cfg.Ranks/RanksPerNode are overridden by the link geometry
+// (one rank per process means one rank per "node": the SHM and inline
+// fast paths never trigger).
+func NewDistributed(env exec.Env, cfg Config, link Link) *Fabric {
+	if !env.Mode().Wallclock() {
+		panic("fabric: NewDistributed needs a wall-clock engine")
+	}
+	cfg.Ranks = link.N()
+	cfg.RanksPerNode = 1
+	cfg.ChargeOverheads = false
+	cfg.Reliability.Force = true
+	if cfg.Reliability.RTO == 0 {
+		// The Sim-tuned 10µs base RTO would spuriously retransmit on any
+		// real socket; these cover localhost jitter and scheduler stalls
+		// while keeping the failure budget (~3s) inside a test timeout.
+		cfg.Reliability.RTO = 50 * simtime.Millisecond
+		cfg.Reliability.RTOMax = 400 * simtime.Millisecond
+		if cfg.Reliability.MaxAttempts == 0 {
+			cfg.Reliability.MaxAttempts = 10
+		}
+	}
+	f := &Fabric{
+		cfg:           cfg,
+		env:           env,
+		nics:          make([]*NIC, cfg.Ranks),
+		lastArrive:    make([]simtime.Time, cfg.Ranks*cfg.Ranks),
+		link:          link,
+		self:          link.Self(),
+		netOps:        make(map[uint64]*Op),
+		remoteRegions: make(map[int]map[int]int),
+	}
+	f.nics[f.self] = newNIC(f, f.self)
+	var inj *fault.Injector
+	if cfg.FaultPlan != nil {
+		inj = fault.NewInjector(*cfg.FaultPlan)
+	}
+	f.rel = newReliability(f, cfg.Reliability, inj)
+	f.nics[f.self].startRxWorkers()
+	link.Start(f.netRecv, f.netPeerDown)
+	return f
+}
+
+// Self returns the local rank of a distributed fabric (0 otherwise).
+func (f *Fabric) Self() int { return f.self }
+
+// Distributed reports whether this fabric routes remote traffic over a
+// process-crossing link.
+func (f *Fabric) Distributed() bool { return f.link != nil }
+
+// ---------------------------------------------------------------------------
+// Op wire identity
+// ---------------------------------------------------------------------------
+
+// netRegisterOp assigns op its wire ID (once; stable across retransmission
+// clones, which copy the packet's opID field) and publishes it for ack
+// resolution. Called from transmit on the posting goroutine, before the
+// packet can reach the wire.
+func (f *Fabric) netRegisterOp(op *Op) uint64 {
+	f.netMu.Lock()
+	if op.netID == 0 {
+		f.netOpSeq++
+		op.netID = f.netOpSeq
+		f.netOps[op.netID] = op
+	}
+	id := op.netID
+	f.netMu.Unlock()
+	return id
+}
+
+// netLookupOp resolves an echoed wire ID back to the origin-side handle;
+// nil when the op already completed (stale echo).
+func (f *Fabric) netLookupOp(id uint64) *Op {
+	if id == 0 {
+		return nil
+	}
+	f.netMu.Lock()
+	op := f.netOps[id]
+	f.netMu.Unlock()
+	return op
+}
+
+// netForgetOp drops a completed op's wire registration.
+func (f *Fabric) netForgetOp(id uint64) {
+	f.netMu.Lock()
+	delete(f.netOps, id)
+	f.netMu.Unlock()
+}
+
+// netSweepFailed drops the registrations of every op targeting a failed
+// rank (their handles were completed with the failure error; a late echo
+// must not resurrect them).
+func (f *Fabric) netSweepFailed(failed int) {
+	f.netMu.Lock()
+	for id, op := range f.netOps {
+		if op.target == failed {
+			delete(f.netOps, id)
+		}
+	}
+	f.netMu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Region announcements
+// ---------------------------------------------------------------------------
+
+// netAnnounceRegion broadcasts a local registration change to every peer.
+// Announcements ride the same per-pair FIFO streams as data, so a peer
+// always learns about a region before the first access addressed to it can
+// have been issued by any rank that waited on the registration barrier.
+func (f *Fabric) netAnnounceRegion(id, size int, registered bool) {
+	if f.link == nil {
+		return
+	}
+	fr := &wire.Frame{Kind: wire.KindDereg, Origin: f.self, RegionID: id}
+	if registered {
+		fr.Kind = wire.KindReg
+		fr.Operand = uint64(size)
+	}
+	for r := 0; r < f.cfg.Ranks; r++ {
+		if r == f.self {
+			continue
+		}
+		f.link.Send(r, fr) // best effort: a dead peer no longer needs it
+	}
+}
+
+// RemoteRegionSize returns the last announced size of a peer's region, and
+// whether the region is currently registered there.
+func (f *Fabric) RemoteRegionSize(rank, regionID int) (int, bool) {
+	f.netMu.Lock()
+	defer f.netMu.Unlock()
+	size, ok := f.remoteRegions[rank][regionID]
+	return size, ok
+}
+
+// ---------------------------------------------------------------------------
+// Outbound: packet → frame
+// ---------------------------------------------------------------------------
+
+func pktKindToWire(k pktKind) wire.Kind {
+	switch k {
+	case pktPut:
+		return wire.KindPut
+	case pktGetReq:
+		return wire.KindGetReq
+	case pktGetResp:
+		return wire.KindGetResp
+	case pktAtomic:
+		return wire.KindAtomic
+	case pktAccum:
+		return wire.KindAccum
+	case pktAck:
+		return wire.KindAck
+	case pktCtrl:
+		return wire.KindCtrl
+	case pktData:
+		return wire.KindData
+	case pktNotify:
+		return wire.KindNotify
+	case pktLinkAck:
+		return wire.KindLinkAck
+	case pktLinkNack:
+		return wire.KindLinkNack
+	}
+	panic(fmt.Sprintf("fabric: unwirable packet kind %v", k))
+}
+
+func wireKindToPkt(k wire.Kind) (pktKind, bool) {
+	switch k {
+	case wire.KindPut:
+		return pktPut, true
+	case wire.KindGetReq:
+		return pktGetReq, true
+	case wire.KindGetResp:
+		return pktGetResp, true
+	case wire.KindAtomic:
+		return pktAtomic, true
+	case wire.KindAccum:
+		return pktAccum, true
+	case wire.KindAck:
+		return pktAck, true
+	case wire.KindCtrl:
+		return pktCtrl, true
+	case wire.KindData:
+		return pktData, true
+	case wire.KindNotify:
+		return pktNotify, true
+	case wire.KindLinkAck:
+		return pktLinkAck, true
+	case wire.KindLinkNack:
+		return pktLinkNack, true
+	}
+	return 0, false
+}
+
+// netSend serializes one transmission attempt onto the link. pkt is a wire
+// clone (or link control packet) under the always-on reliability layer:
+// after the frame is written this copy is disposed of — pooled payloads it
+// owns (fault-plane corrupt copies) are recycled, shared ones belong to
+// the retained original.
+func (f *Fabric) netSend(pkt *packet) {
+	fr := wire.Frame{
+		Kind:       pktKindToWire(pkt.kind),
+		Origin:     pkt.origin,
+		Target:     pkt.target,
+		RegionID:   pkt.regionID,
+		Offset:     pkt.offset,
+		WireSize:   pkt.wireSize,
+		OpID:       pkt.opID,
+		Operand:    pkt.operand,
+		Compare:    pkt.compare,
+		Seq:        pkt.seq,
+		Csum:       pkt.csum,
+		Imm:        pkt.imm.Val,
+		ImmValid:   pkt.imm.Valid,
+		NotifyBack: pkt.notifyBack,
+		Rel:        pkt.rel,
+		AtomicOp:   uint8(pkt.aop),
+		AccumOp:    uint8(pkt.accOp),
+		Data:       pkt.data,
+	}
+	if pkt.regionID < 0 {
+		fr.RegionID = 0 // acks and messages carry no region; keep encodable
+	}
+	if m := pkt.msg; m != nil {
+		fr.MsgClass = m.Class
+		fr.ChargeCopy = m.ChargeCopy
+		fr.Data = m.Data
+		var err error
+		fr.Payload, err = wire.EncodePayload(m.Payload)
+		if err != nil {
+			panic(fmt.Sprintf("fabric: rank %d cannot send message class %d across processes: %v (register the header type with wire.RegisterPayload)",
+				f.self, m.Class, err))
+		}
+	}
+	err := f.link.Send(pkt.target, &fr)
+	if pkt.pooled {
+		f.pool.put(pkt.data)
+	}
+	releasePacket(pkt)
+	if err != nil && f.rel != nil {
+		// The stream to this peer is broken. The mesh's reader will
+		// normally notice first; declaring here too makes a failed write
+		// surface even when the read side is quiescent (idempotent).
+		f.rel.declarePeerFailed(f.self, fr.Target, fmt.Sprintf("send failed: %v", err))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Inbound: frame → packet
+// ---------------------------------------------------------------------------
+
+// netRecv converts an arriving frame into a packet on the local NIC's
+// per-origin receive lane. It runs on the mesh's per-peer reader
+// goroutine: the frame's slices alias the read buffer, so payload bytes
+// are staged into pooled buffers here (the rx copy of a real transport),
+// keeping the hot path allocation-free. Backpressure is physical: a full
+// lane blocks this reader, which stops draining the socket, which pushes
+// back on the sender's TCP window.
+func (f *Fabric) netRecv(from int, fr *wire.Frame) {
+	switch fr.Kind {
+	case wire.KindReg:
+		f.netMu.Lock()
+		m := f.remoteRegions[fr.Origin]
+		if m == nil {
+			m = make(map[int]int)
+			f.remoteRegions[fr.Origin] = m
+		}
+		m[fr.RegionID] = int(fr.Operand)
+		f.netMu.Unlock()
+		return
+	case wire.KindDereg:
+		f.netMu.Lock()
+		delete(f.remoteRegions[fr.Origin], fr.RegionID)
+		f.netMu.Unlock()
+		return
+	}
+	kind, ok := wireKindToPkt(fr.Kind)
+	if !ok || fr.Target != f.self {
+		return // control frame the mesh already handled, or not ours: drop
+	}
+	pkt := newPacket()
+	*pkt = packet{
+		kind: kind, origin: fr.Origin, target: fr.Target,
+		regionID: fr.RegionID, offset: fr.Offset,
+		imm:      Imm{Valid: fr.ImmValid, Val: fr.Imm},
+		wireSize: fr.WireSize, notifyBack: fr.NotifyBack,
+		opID: fr.OpID, operand: fr.Operand, compare: fr.Compare,
+		aop: AtomicOp(fr.AtomicOp), accOp: AccumOp(fr.AccumOp),
+		rel: fr.Rel, seq: fr.Seq, csum: fr.Csum,
+	}
+	switch kind {
+	case pktCtrl, pktData:
+		payload, err := wire.DecodePayload(fr.Payload)
+		if err != nil {
+			// An undecodable header cannot be committed; drop the packet
+			// and let the reliability layer's checksum/retransmit machinery
+			// (or, for persistent garbage, the failure detector) handle it.
+			releasePacket(pkt)
+			return
+		}
+		var data []byte
+		if len(fr.Data) > 0 {
+			data = f.pool.get(len(fr.Data))
+			copy(data, fr.Data)
+		}
+		pkt.msg = &Msg{Origin: fr.Origin, Class: fr.MsgClass, Payload: payload,
+			Data: data, ChargeCopy: fr.ChargeCopy}
+	case pktAck, pktGetResp:
+		pkt.op = f.netLookupOp(fr.OpID)
+		if len(fr.Data) > 0 {
+			data := f.pool.get(len(fr.Data))
+			copy(data, fr.Data)
+			pkt.data, pkt.pooled = data, true
+		}
+	default:
+		if len(fr.Data) > 0 {
+			data := f.pool.get(len(fr.Data))
+			copy(data, fr.Data)
+			pkt.data, pkt.pooled = data, true
+		}
+	}
+	f.lanePush(f.nics[f.self], pkt, false)
+}
+
+// netPeerDown maps an abrupt connection loss (RST, EOF without goodbye,
+// write timeout) onto the peer-failure detector: the same declarePeerFailed
+// path a retransmit-budget exhaustion takes, so waiters unblock with the
+// same typed ErrPeerFailed.
+func (f *Fabric) netPeerDown(rank int, err error) {
+	if f.rel == nil {
+		return
+	}
+	f.rel.declarePeerFailed(f.self, rank, fmt.Sprintf("connection lost: %v", err))
+}
+
+// NetStatsSource returns the link so callers holding only the fabric can
+// surface transport statistics; nil on single-process fabrics.
+func (f *Fabric) NetStatsSource() Link { return f.link }

@@ -176,6 +176,13 @@ type packet struct {
 
 	op *Op // origin-side handle, echoed back on acks/responses
 
+	// opID is the wire identity of op for the distributed fabric: pointers
+	// cannot cross a process boundary, so the origin registers the op under
+	// this ID and the target echoes it back on acks and get responses.
+	// Assigned once per op (stable across retransmission clones); zero on
+	// single-process fabrics and on packets that carry no op.
+	opID uint64
+
 	aop              AtomicOp
 	operand, compare uint64
 	accOp            AccumOp
@@ -201,6 +208,7 @@ type Op struct {
 	detached bool // fire-and-forget: recycle into the NIC's op freelist at completion
 	result   uint64
 	err      error // peer-failure completion (reliability layer)
+	netID    uint64 // wire identity (distributed fabric); 0 = unregistered
 }
 
 // Done reports whether the operation is remotely complete.
@@ -417,7 +425,7 @@ func newNIC(f *Fabric, rank int) *NIC {
 	}
 	n.destGate = f.env.NewGate(&n.mu)
 	n.opGate = f.env.NewGate(&n.mu)
-	if f.env.Mode() == exec.Real {
+	if f.env.Mode().Wallclock() {
 		n.rx = make([]chan *packet, f.cfg.Ranks)
 		for i := range n.rx {
 			n.rx[i] = make(chan *packet, rxQueueDepth)
@@ -435,7 +443,7 @@ func (n *NIC) Rank() int { return n.rank }
 // in flight return to the pool instead of leaking.
 func (n *NIC) startRxWorkers() {
 	var abort <-chan struct{}
-	re, _ := n.f.env.(*exec.RealEnv)
+	re := exec.RealOf(n.f.env)
 	if re != nil {
 		abort = re.Aborted()
 	}
@@ -509,13 +517,17 @@ func (n *NIC) Close() {
 	})
 }
 
-// Close stops all receive workers. Only needed under the Real engine.
+// Close stops all receive workers. Only needed under the Real engine. On a
+// distributed fabric only the local rank's NIC exists; the link itself is
+// owned and closed by the layer that built it (internal/runtime).
 func (f *Fabric) Close() {
 	if f.rel != nil {
 		f.rel.close()
 	}
 	for _, n := range f.nics {
-		n.Close()
+		if n != nil {
+			n.Close()
+		}
 	}
 }
 
@@ -524,19 +536,21 @@ func (f *Fabric) Close() {
 // symmetric region IDs (as MPI window allocation does).
 func (n *NIC) Register(buf []byte) *MemRegion {
 	n.regMu.Lock()
-	defer n.regMu.Unlock()
 	r := &MemRegion{ID: len(n.regions), nic: n, buf: buf}
 	n.regions = append(n.regions, r)
+	n.regMu.Unlock()
+	n.f.netAnnounceRegion(r.ID, len(buf), true)
 	return r
 }
 
 // Deregister revokes remote access to the region. The ID is not reused.
 func (n *NIC) Deregister(r *MemRegion) {
 	n.regMu.Lock()
-	defer n.regMu.Unlock()
 	if r.ID < len(n.regions) && n.regions[r.ID] == r {
 		n.regions[r.ID] = nil
 	}
+	n.regMu.Unlock()
+	n.f.netAnnounceRegion(r.ID, 0, false)
 }
 
 func (n *NIC) region(id int) *MemRegion {
@@ -578,6 +592,7 @@ func (n *NIC) beginOp(target int, kind OpKind) *Op {
 	op.nic, op.target, op.kind = n, target, kind
 	op.dst, op.done, op.detached, op.result = nil, false, false, 0
 	op.err = nil
+	op.netID = 0
 	n.outstanding[target]++
 	n.totalOut++
 	if n.f.rel != nil {
@@ -625,10 +640,14 @@ func (n *NIC) completeOp(op *Op, result uint64) {
 	// streams) stays silent instead of stampeding every sleeper.
 	wake := n.opAwaitWaiters > 0 ||
 		(n.opFlushWaiters > 0 && (n.outstanding[op.target] == 0 || n.totalOut == 0))
+	netID := op.netID
 	if op.detached {
 		n.recycleOpLocked(op)
 	}
 	n.mu.Unlock()
+	if netID != 0 {
+		n.f.netForgetOp(netID)
+	}
 	if wake {
 		n.opGate.Broadcast()
 	}
@@ -654,8 +673,12 @@ func (n *NIC) failOpLocked(op *Op, err error) {
 func (n *NIC) failOp(op *Op, err error) {
 	n.mu.Lock()
 	n.failOpLocked(op, err)
+	netID := op.netID
 	wake := n.opAwaitWaiters > 0 || n.opFlushWaiters > 0
 	n.mu.Unlock()
+	if netID != 0 {
+		n.f.netForgetOp(netID)
+	}
 	if wake {
 		n.opGate.Broadcast()
 	}
@@ -919,6 +942,13 @@ func (n *NIC) deliverNow(pkt *packet) {
 		n.deliverGetReq(pkt)
 
 	case pktGetResp:
+		if pkt.op == nil {
+			// Distributed fabric: the op this response answers is gone
+			// (completed by the peer-failure path, or the response outlived
+			// its rank). Nothing to commit into.
+			n.recycleData(pkt)
+			break
+		}
 		if !pkt.dstDirect {
 			// The copy is unsynchronized: only this rank's lane touches
 			// dst, and completeOp's mutex publishes it to the origin.
@@ -957,7 +987,7 @@ func (n *NIC) deliverNow(pkt *packet) {
 		}
 		reg.mu.Unlock()
 		n.postCQE(pkt.origin, pkt.imm, pkt.regionID, pkt.offset, OpAtomic, 8)
-		n.sendAck(pkt.op, pkt.origin, old, int64(n.f.cfg.Model.TAtomic))
+		n.sendAck(pkt.op, pkt.opID, pkt.origin, old, int64(n.f.cfg.Model.TAtomic))
 
 	case pktAccum:
 		reg := n.region(pkt.regionID)
@@ -981,10 +1011,12 @@ func (n *NIC) deliverNow(pkt *packet) {
 		reg.mu.Unlock()
 		n.recycleData(pkt)
 		n.postCQE(pkt.origin, pkt.imm, pkt.regionID, pkt.offset, OpAccum, length)
-		n.sendAck(pkt.op, pkt.origin, 0, int64(n.f.cfg.Model.TAtomic))
+		n.sendAck(pkt.op, pkt.opID, pkt.origin, 0, int64(n.f.cfg.Model.TAtomic))
 
 	case pktAck:
-		n.finishLocal(pkt.op, pkt.operand)
+		if pkt.op != nil {
+			n.finishLocal(pkt.op, pkt.operand)
+		}
 
 	case pktNotify:
 		n.postCQE(pkt.origin, pkt.imm, pkt.regionID, pkt.offset, OpGet, int(pkt.operand))
@@ -1053,7 +1085,7 @@ func (n *NIC) deliverPut(pkt *packet) {
 		n.recycleData(pkt)
 		n.postCQE(pkt.origin, pkt.imm, pkt.regionID, pkt.offset, OpPut, length)
 	}
-	n.sendAck(pkt.op, pkt.origin, 0, 0)
+	n.sendAck(pkt.op, pkt.opID, pkt.origin, 0, 0)
 }
 
 // deliverGetReq serves a get at the data holder. The reply buffer is taken
@@ -1070,7 +1102,7 @@ func (n *NIC) deliverGetReq(pkt *packet) {
 	resp := newPacket()
 	*resp = packet{
 		kind: pktGetResp, origin: n.rank, target: pkt.origin,
-		wireSize: length, op: pkt.op, operand: uint64(length),
+		wireSize: length, op: pkt.op, opID: pkt.opID, operand: uint64(length),
 	}
 	if n.f.zeroCopyEligible(n.rank, pkt.origin, length) {
 		// The origin may not touch dst until the op completes, so the
@@ -1135,12 +1167,14 @@ func (n *NIC) postCQE(origin int, imm Imm, regionID, offset int, kind OpKind, le
 	n.destGate.Broadcast()
 }
 
-// sendAck returns a remote-completion acknowledgement to the origin.
-func (n *NIC) sendAck(op *Op, origin int, value uint64, extraDelay int64) {
+// sendAck returns a remote-completion acknowledgement to the origin. opID
+// is the wire identity of op, echoed for cross-process completions (the
+// pointer itself is meaningless outside the origin process).
+func (n *NIC) sendAck(op *Op, opID uint64, origin int, value uint64, extraDelay int64) {
 	pkt := newPacket()
 	*pkt = packet{
 		kind: pktAck, origin: n.rank, target: origin,
-		wireSize: 0, op: op, operand: value, extraDelay: extraDelay,
+		wireSize: 0, op: op, opID: opID, operand: value, extraDelay: extraDelay,
 	}
 	n.f.transmit(pkt)
 }

@@ -576,7 +576,13 @@ func (rl *reliability) declarePeerFailed(observer, failed int, reason string) {
 	for _, sp := range release {
 		rl.releaseRetained(sp)
 	}
+	if rl.f.link != nil {
+		rl.f.netSweepFailed(failed)
+	}
 	for _, n := range rl.f.nics {
+		if n == nil {
+			continue // distributed fabric: remote NICs live in other processes
+		}
 		n.notePeerFailure(failed, err)
 	}
 	if hook := rl.f.cfg.FailureHook; hook != nil {

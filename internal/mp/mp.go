@@ -29,7 +29,15 @@ import (
 	"repro/internal/match"
 	"repro/internal/runtime"
 	"repro/internal/simtime"
+	"repro/internal/wire"
 )
+
+func init() {
+	// Headers cross process boundaries on the distributed engine.
+	wire.RegisterPayload(sendHeader{})
+	wire.RegisterPayload(ctsHeader{})
+	wire.RegisterPayload(dataHeader{})
+}
 
 // Wildcards for Recv/Probe matching.
 const (

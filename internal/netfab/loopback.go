@@ -1,0 +1,60 @@
+package netfab
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// readFrame reads one length-prefixed frame directly off a connection.
+// Bootstrap uses it before reader goroutines exist; the returned frame owns
+// its memory (nothing aliases a reused buffer).
+func readFrame(conn net.Conn, deadline time.Time) (*wire.Frame, error) {
+	conn.SetReadDeadline(deadline)
+	defer conn.SetReadDeadline(time.Time{})
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if n == 0 || n > wire.MaxFrame {
+		return nil, fmt.Errorf("netfab: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	fr := new(wire.Frame)
+	if err := wire.Decode(buf, fr); err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+// Loopback builds n fully meshed Meshes inside one process over in-memory
+// pipes, skipping the TCP rendezvous entirely. It exists for unit tests of
+// the framing, goodbye, and failure-classification logic; full-stack
+// in-process clusters use real localhost TCP via runtime.RunLocalCluster.
+func Loopback(n int) []*Mesh {
+	meshes := make([]*Mesh, n)
+	for i := range meshes {
+		meshes[i] = &Mesh{
+			cfg:     Config{Self: i, N: n, WriteTimeout: 10 * time.Second},
+			peers:   make([]*peer, n),
+			byeFrom: make(map[int]bool),
+			byeCond: make(chan struct{}),
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := net.Pipe()
+			meshes[i].peers[j] = &peer{rank: j, conn: a}
+			meshes[j].peers[i] = &peer{rank: i, conn: b}
+		}
+	}
+	return meshes
+}

@@ -1,0 +1,564 @@
+// Package netfab is the cross-process TCP transport under the fabric.
+//
+// A Mesh is one rank's view of a fully connected clique of OS processes:
+// one TCP stream per peer, each carrying length-prefixed wire.Frame bodies.
+// Bootstrap is a rendezvous through rank 0: the root listens on a known
+// address, every other rank opens its own listener and dials the root with
+// a Hello; once all ranks have reported in, the root broadcasts the Roster
+// of listener addresses, rank i dials every rank below it (so each pair
+// gets exactly one connection), peers report Ready, and the root releases
+// the job with Go.
+//
+// Teardown distinguishes clean shutdown from failure with a Bye handshake:
+// a rank that finishes its body sends Bye on every stream before closing.
+// A stream that ends without a Bye — RST, EOF, write timeout — is a peer
+// failure and is reported through the peerDown callback, which the fabric
+// maps onto its peer-failure detector (ErrPeerFailed).
+//
+// The package deliberately knows nothing about the fabric: it moves frames
+// between ranks. internal/fabric defines a Link interface that *Mesh
+// satisfies structurally, keeping this package a leaf over internal/wire
+// and the standard library.
+package netfab
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Config parameterizes one rank's mesh membership.
+type Config struct {
+	Self int // this process's rank
+	N    int // total ranks in the job
+
+	// RootAddr is the rendezvous address rank 0 listens on and everyone
+	// else dials ("host:port"). Ignored by rank 0 when RootListener is set.
+	RootAddr string
+
+	// RootListener, when non-nil, is a pre-bound listener rank 0 adopts
+	// instead of binding RootAddr itself. The launcher uses this to pick
+	// the port before spawning children, eliminating the bind race.
+	RootListener net.Listener
+
+	// DialTimeout bounds each bootstrap dial (default 10s). Bootstrap as a
+	// whole retries dials until this much time has elapsed, so children
+	// racing the root's bind resolve themselves.
+	DialTimeout time.Duration
+
+	// WriteTimeout bounds each frame write on an established stream
+	// (default 10s). A peer that stops draining its socket for this long
+	// is treated as failed.
+	WriteTimeout time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	return cfg
+}
+
+// Stats counts mesh traffic (monotonic, safe to read concurrently).
+type Stats struct {
+	FramesSent, FramesRecv uint64
+	BytesSent, BytesRecv   uint64
+}
+
+// peer is one established stream to another rank.
+type peer struct {
+	rank int
+	conn net.Conn
+
+	mu     sync.Mutex // serializes writers; also guards encBuf and state below
+	encBuf []byte     // reused length-prefix + frame encode buffer
+	closed bool       // local close: writes are errors
+	bye    bool       // remote sent Bye: writes are silently dropped
+}
+
+// Mesh is one rank's set of streams to every other rank in the job.
+type Mesh struct {
+	cfg   Config
+	peers []*peer // index by rank; nil at Self
+
+	rx       func(from int, fr *wire.Frame)
+	peerDown func(rank int, err error)
+
+	framesSent, framesRecv atomic.Uint64
+	bytesSent, bytesRecv   atomic.Uint64
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+	readersWG sync.WaitGroup
+
+	byeMu   sync.Mutex
+	byeFrom map[int]bool
+	byeCond chan struct{} // closed and re-made as Byes arrive
+}
+
+// ErrMeshClosed is returned by Send after the mesh has been closed.
+var ErrMeshClosed = errors.New("netfab: mesh closed")
+
+// Bootstrap performs the rendezvous and returns a connected Mesh. It
+// blocks until every pair of ranks has an established stream and the root
+// has released the job. The returned mesh is quiescent: no reader
+// goroutines run until Start is called, so the caller can install
+// callbacks before the first frame can arrive.
+func Bootstrap(cfg Config) (*Mesh, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N <= 0 || cfg.Self < 0 || cfg.Self >= cfg.N {
+		return nil, fmt.Errorf("netfab: bad rank %d of %d", cfg.Self, cfg.N)
+	}
+	m := &Mesh{
+		cfg:     cfg,
+		peers:   make([]*peer, cfg.N),
+		byeFrom: make(map[int]bool),
+		byeCond: make(chan struct{}),
+	}
+	if cfg.N == 1 {
+		return m, nil
+	}
+	var err error
+	if cfg.Self == 0 {
+		err = m.bootstrapRoot()
+	} else {
+		err = m.bootstrapPeer()
+	}
+	if err != nil {
+		m.abruptClose()
+		return nil, err
+	}
+	return m, nil
+}
+
+// bootstrapRoot accepts one Hello per peer, broadcasts the Roster, waits
+// for all Readys, then broadcasts Go.
+func (m *Mesh) bootstrapRoot() error {
+	ln := m.cfg.RootListener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", m.cfg.RootAddr)
+		if err != nil {
+			return fmt.Errorf("netfab: root listen %s: %w", m.cfg.RootAddr, err)
+		}
+	}
+	defer ln.Close()
+	deadline := time.Now().Add(m.cfg.DialTimeout)
+	if dl, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		dl.SetDeadline(deadline)
+	}
+
+	addrs := make([]string, m.cfg.N)
+	addrs[0] = ln.Addr().String()
+	for got := 0; got < m.cfg.N-1; got++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("netfab: root accept: %w", err)
+		}
+		fr, err := readFrame(conn, deadline)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("netfab: root reading hello: %w", err)
+		}
+		if err := m.checkHello(fr); err != nil {
+			conn.Close()
+			return err
+		}
+		r := fr.Origin
+		if m.peers[r] != nil {
+			conn.Close()
+			return fmt.Errorf("netfab: duplicate hello from rank %d", r)
+		}
+		// The peer advertises only its listener port; the host that
+		// actually reached us is authoritative.
+		host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+		if err != nil {
+			host = "127.0.0.1"
+		}
+		_, port, err := net.SplitHostPort(fr.Strs[0])
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("netfab: rank %d advertised bad addr %q: %w", r, fr.Strs[0], err)
+		}
+		addrs[r] = net.JoinHostPort(host, port)
+		m.peers[r] = newPeer(r, conn)
+	}
+
+	roster := &wire.Frame{Kind: wire.KindRoster, Origin: 0, Strs: addrs}
+	for r := 1; r < m.cfg.N; r++ {
+		if err := m.writeFrame(m.peers[r], roster); err != nil {
+			return fmt.Errorf("netfab: root sending roster to rank %d: %w", r, err)
+		}
+	}
+	for r := 1; r < m.cfg.N; r++ {
+		fr, err := readFrame(m.peers[r].conn, deadline)
+		if err != nil || fr.Kind != wire.KindReady {
+			return fmt.Errorf("netfab: waiting for ready from rank %d: %v", r, err)
+		}
+	}
+	goFr := &wire.Frame{Kind: wire.KindGo, Origin: 0}
+	for r := 1; r < m.cfg.N; r++ {
+		if err := m.writeFrame(m.peers[r], goFr); err != nil {
+			return fmt.Errorf("netfab: root sending go to rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// bootstrapPeer dials the root, learns the roster, dials every lower
+// non-root rank, accepts connections from higher ranks, and waits for Go.
+func (m *Mesh) bootstrapPeer() error {
+	deadline := time.Now().Add(m.cfg.DialTimeout)
+
+	// Our own listener, for ranks above us. Port 0: the kernel picks.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("netfab: rank %d listen: %w", m.cfg.Self, err)
+	}
+	defer ln.Close()
+	if dl, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		dl.SetDeadline(deadline)
+	}
+
+	rootConn, err := dialRetry(m.cfg.RootAddr, deadline)
+	if err != nil {
+		return fmt.Errorf("netfab: rank %d dialing root %s: %w", m.cfg.Self, m.cfg.RootAddr, err)
+	}
+	m.peers[0] = newPeer(0, rootConn)
+	hello := &wire.Frame{
+		Kind:    wire.KindHello,
+		Origin:  m.cfg.Self,
+		Operand: uint64(m.cfg.N),
+		Compare: wire.Version,
+		Strs:    []string{ln.Addr().String()},
+	}
+	if err := m.writeFrame(m.peers[0], hello); err != nil {
+		return fmt.Errorf("netfab: rank %d sending hello: %w", m.cfg.Self, err)
+	}
+	roster, err := readFrame(rootConn, deadline)
+	if err != nil || roster.Kind != wire.KindRoster || len(roster.Strs) != m.cfg.N {
+		return fmt.Errorf("netfab: rank %d waiting for roster: %v", m.cfg.Self, err)
+	}
+
+	// Dial down, accept up: rank i originates the connection to every
+	// j < i, so each unordered pair has exactly one stream.
+	for r := 1; r < m.cfg.Self; r++ {
+		conn, err := dialRetry(roster.Strs[r], deadline)
+		if err != nil {
+			return fmt.Errorf("netfab: rank %d dialing rank %d at %s: %w", m.cfg.Self, r, roster.Strs[r], err)
+		}
+		p := newPeer(r, conn)
+		m.peers[r] = p
+		if err := m.writeFrame(p, hello); err != nil {
+			return fmt.Errorf("netfab: rank %d hello to rank %d: %w", m.cfg.Self, r, err)
+		}
+	}
+	for r := m.cfg.Self + 1; r < m.cfg.N; r++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("netfab: rank %d accept: %w", m.cfg.Self, err)
+		}
+		fr, err := readFrame(conn, deadline)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("netfab: rank %d reading mesh hello: %w", m.cfg.Self, err)
+		}
+		if err := m.checkHello(fr); err != nil {
+			conn.Close()
+			return err
+		}
+		if fr.Origin <= m.cfg.Self || fr.Origin >= m.cfg.N || m.peers[fr.Origin] != nil {
+			conn.Close()
+			return fmt.Errorf("netfab: rank %d unexpected mesh hello from rank %d", m.cfg.Self, fr.Origin)
+		}
+		m.peers[fr.Origin] = newPeer(fr.Origin, conn)
+	}
+
+	if err := m.writeFrame(m.peers[0], &wire.Frame{Kind: wire.KindReady, Origin: m.cfg.Self}); err != nil {
+		return fmt.Errorf("netfab: rank %d sending ready: %w", m.cfg.Self, err)
+	}
+	goFr, err := readFrame(rootConn, deadline)
+	if err != nil || goFr.Kind != wire.KindGo {
+		return fmt.Errorf("netfab: rank %d waiting for go: %v", m.cfg.Self, err)
+	}
+	return nil
+}
+
+func (m *Mesh) checkHello(fr *wire.Frame) error {
+	if fr.Kind != wire.KindHello {
+		return fmt.Errorf("netfab: expected hello, got %s", fr.Kind)
+	}
+	if fr.Compare != wire.Version {
+		return fmt.Errorf("%w: peer rank %d speaks version %d, we speak %d",
+			wire.ErrVersion, fr.Origin, fr.Compare, wire.Version)
+	}
+	if int(fr.Operand) != m.cfg.N {
+		return fmt.Errorf("netfab: rank %d believes the job has %d ranks, we believe %d",
+			fr.Origin, fr.Operand, m.cfg.N)
+	}
+	if len(fr.Strs) != 1 {
+		return fmt.Errorf("netfab: hello from rank %d carries %d addrs", fr.Origin, len(fr.Strs))
+	}
+	return nil
+}
+
+func newPeer(rank int, conn net.Conn) *peer {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // latency-sensitive small frames (acks, immediates)
+	}
+	return &peer{rank: rank, conn: conn}
+}
+
+// dialRetry dials until success or the deadline; bootstrap peers race the
+// listeners they are dialing, so connection-refused is retried.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = errors.New("deadline exceeded")
+			}
+			return nil, lastErr
+		}
+		conn, err := net.DialTimeout("tcp", addr, remain)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Established-mesh operation
+// ---------------------------------------------------------------------------
+
+// Self returns this mesh's rank.
+func (m *Mesh) Self() int { return m.cfg.Self }
+
+// N returns the job size.
+func (m *Mesh) N() int { return m.cfg.N }
+
+// Start installs the receive callbacks and launches one reader goroutine
+// per peer stream. rx runs on the reader goroutine for that peer; the
+// frame's Data/Payload slices alias the read buffer and must be copied out
+// before rx returns. peerDown fires at most once per peer, only for
+// streams that end without a clean Bye.
+func (m *Mesh) Start(rx func(from int, fr *wire.Frame), peerDown func(rank int, err error)) {
+	m.rx = rx
+	m.peerDown = peerDown
+	for _, p := range m.peers {
+		if p == nil {
+			continue
+		}
+		m.readersWG.Add(1)
+		go m.readLoop(p)
+	}
+}
+
+func (m *Mesh) readLoop(p *peer) {
+	defer m.readersWG.Done()
+	var (
+		lenBuf [4]byte
+		buf    []byte
+		fr     wire.Frame
+	)
+	for {
+		if _, err := io.ReadFull(p.conn, lenBuf[:]); err != nil {
+			m.streamEnded(p, err)
+			return
+		}
+		n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if n == 0 || n > wire.MaxFrame {
+			m.streamEnded(p, fmt.Errorf("netfab: bad frame length %d from rank %d", n, p.rank))
+			return
+		}
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(p.conn, buf); err != nil {
+			m.streamEnded(p, err)
+			return
+		}
+		if err := wire.Decode(buf, &fr); err != nil {
+			m.streamEnded(p, fmt.Errorf("netfab: undecodable frame from rank %d: %w", p.rank, err))
+			return
+		}
+		m.framesRecv.Add(1)
+		m.bytesRecv.Add(uint64(4 + n))
+		if fr.Kind == wire.KindBye {
+			m.noteBye(p)
+			continue // keep draining: data may still arrive until FIN
+		}
+		if m.rx != nil {
+			m.rx(p.rank, &fr)
+		}
+	}
+}
+
+// streamEnded classifies the end of a peer stream: after a Bye (or after
+// our own Close) any termination is clean; otherwise it is a failure.
+func (m *Mesh) streamEnded(p *peer, err error) {
+	p.mu.Lock()
+	clean := p.bye || p.closed
+	p.mu.Unlock()
+	if clean || m.closed.Load() {
+		return
+	}
+	if err == io.EOF {
+		err = fmt.Errorf("netfab: rank %d closed the connection without goodbye", p.rank)
+	}
+	if m.peerDown != nil {
+		m.peerDown(p.rank, err)
+	}
+}
+
+func (m *Mesh) noteBye(p *peer) {
+	p.mu.Lock()
+	p.bye = true
+	p.mu.Unlock()
+	m.byeMu.Lock()
+	if !m.byeFrom[p.rank] {
+		m.byeFrom[p.rank] = true
+		close(m.byeCond)
+		m.byeCond = make(chan struct{})
+	}
+	m.byeMu.Unlock()
+}
+
+// Send encodes fr and writes it on the stream to target. It is safe for
+// concurrent use; fr and its slices are not retained after Send returns.
+// Writes to a peer that already said goodbye succeed silently (the peer is
+// legitimately gone; in-flight traffic to it is moot).
+func (m *Mesh) Send(target int, fr *wire.Frame) error {
+	if m.closed.Load() {
+		return ErrMeshClosed
+	}
+	if target < 0 || target >= m.cfg.N || target == m.cfg.Self {
+		return fmt.Errorf("netfab: send to bad rank %d", target)
+	}
+	p := m.peers[target]
+	if p == nil {
+		return fmt.Errorf("netfab: no stream to rank %d", target)
+	}
+	return m.writeFrame(p, fr)
+}
+
+func (m *Mesh) writeFrame(p *peer, fr *wire.Frame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Data to a peer that said goodbye is moot and silently dropped — but
+	// our own goodbye must still go out, or a rank that received the
+	// peer's Bye first would suppress its reply and leave the peer waiting
+	// out its shutdown grace period.
+	if p.bye && fr.Kind != wire.KindBye {
+		return nil
+	}
+	if p.closed {
+		return ErrMeshClosed
+	}
+	b := append(p.encBuf[:0], 0, 0, 0, 0)
+	b = wire.Append(b, fr)
+	binary.LittleEndian.PutUint32(b, uint32(len(b)-4))
+	p.encBuf = b
+	p.conn.SetWriteDeadline(time.Now().Add(m.cfg.WriteTimeout))
+	_, err := p.conn.Write(b)
+	if err != nil {
+		return fmt.Errorf("netfab: write to rank %d: %w", p.rank, err)
+	}
+	m.framesSent.Add(1)
+	m.bytesSent.Add(uint64(len(b)))
+	return nil
+}
+
+// Close tears the mesh down. With graceful=true it sends Bye on every
+// stream and waits (bounded) for every peer's Bye, so both sides agree the
+// shutdown is intentional; with graceful=false it just closes the sockets,
+// which peers that are still healthy will report as a failure — exactly
+// right when this rank is dying.
+func (m *Mesh) Close(graceful bool) error {
+	var err error
+	m.closeOnce.Do(func() {
+		if graceful {
+			bye := &wire.Frame{Kind: wire.KindBye, Origin: m.cfg.Self}
+			for _, p := range m.peers {
+				if p != nil {
+					m.writeFrame(p, bye) // best effort
+				}
+			}
+			m.waitByes(5 * time.Second)
+		}
+		m.closed.Store(true)
+		for _, p := range m.peers {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			p.closed = true
+			p.mu.Unlock()
+			p.conn.Close()
+		}
+		m.readersWG.Wait()
+	})
+	return err
+}
+
+// abruptClose releases partial bootstrap state on a failed rendezvous.
+func (m *Mesh) abruptClose() {
+	m.closed.Store(true)
+	for _, p := range m.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+}
+
+// waitByes blocks until every live peer has said goodbye, or the timeout.
+// Peers that already failed (peerDown fired) are not waited for.
+func (m *Mesh) waitByes(timeout time.Duration) {
+	deadline := time.After(timeout)
+	for {
+		m.byeMu.Lock()
+		got := len(m.byeFrom)
+		ch := m.byeCond
+		m.byeMu.Unlock()
+		want := 0
+		for r, p := range m.peers {
+			if p == nil || r == m.cfg.Self {
+				continue
+			}
+			want++
+		}
+		if got >= want {
+			return
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			return
+		}
+	}
+}
+
+// ReadStats returns a snapshot of the mesh traffic counters.
+func (m *Mesh) ReadStats() Stats {
+	return Stats{
+		FramesSent: m.framesSent.Load(),
+		FramesRecv: m.framesRecv.Load(),
+		BytesSent:  m.bytesSent.Load(),
+		BytesRecv:  m.bytesRecv.Load(),
+	}
+}

@@ -1,0 +1,181 @@
+package netfab
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Bootstrap a 3-rank mesh over localhost TCP, exchange frames every
+// direction, and shut down cleanly: no peerDown may fire.
+func TestBootstrapAndExchange(t *testing.T) {
+	const n = 3
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := ln.Addr().String()
+
+	meshes := make([]*Mesh, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := Config{Self: r, N: n, RootAddr: root, DialTimeout: 5 * time.Second}
+			if r == 0 {
+				cfg.RootListener = ln
+			}
+			meshes[r], errs[r] = Bootstrap(cfg)
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d bootstrap: %v", r, err)
+		}
+	}
+
+	type rxKey struct{ at, from int }
+	var mu sync.Mutex
+	got := make(map[rxKey][]byte)
+	downs := 0
+	for r := 0; r < n; r++ {
+		m := meshes[r]
+		m.Start(func(from int, fr *wire.Frame) {
+			mu.Lock()
+			got[rxKey{at: m.Self(), from: from}] = append([]byte(nil), fr.Data...)
+			mu.Unlock()
+		}, func(rank int, err error) {
+			mu.Lock()
+			downs++
+			mu.Unlock()
+			t.Errorf("unexpected peerDown at rank %d for rank %d: %v", m.Self(), rank, err)
+		})
+	}
+
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			fr := &wire.Frame{Kind: wire.KindPut, Origin: src, Target: dst,
+				Data: []byte(fmt.Sprintf("%d->%d", src, dst))}
+			if err := meshes[src].Send(dst, fr); err != nil {
+				t.Fatalf("send %d->%d: %v", src, dst, err)
+			}
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := len(got) == n*(n-1)
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			want := fmt.Sprintf("%d->%d", src, dst)
+			if string(got[rxKey{at: dst, from: src}]) != want {
+				t.Errorf("rank %d missing/garbled frame from %d: got %q want %q",
+					dst, src, got[rxKey{at: dst, from: src}], want)
+			}
+		}
+	}
+
+	var closeWG sync.WaitGroup
+	for _, m := range meshes {
+		closeWG.Add(1)
+		go func() { defer closeWG.Done(); m.Close(true) }()
+	}
+	closeWG.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if downs != 0 {
+		t.Fatalf("clean shutdown reported %d peer failures", downs)
+	}
+	st := meshes[0].ReadStats()
+	if st.FramesSent == 0 || st.FramesRecv == 0 || st.BytesSent == 0 {
+		t.Errorf("stats not counted: %+v", st)
+	}
+}
+
+// A socket that dies without a Bye must surface as peerDown; a clean Close
+// must not.
+func TestAbruptLossIsPeerDown(t *testing.T) {
+	meshes := Loopback(2)
+	down := make(chan int, 2)
+	meshes[0].Start(func(int, *wire.Frame) {}, func(rank int, err error) { down <- rank })
+	meshes[1].Start(func(int, *wire.Frame) {}, func(rank int, err error) { down <- rank })
+
+	// Rank 1 vanishes without saying goodbye.
+	meshes[1].abruptClose()
+	select {
+	case r := <-down:
+		if r != 1 {
+			t.Fatalf("peerDown for rank %d, want 1", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abrupt connection loss never reported")
+	}
+
+	if err := meshes[0].Send(1, &wire.Frame{Kind: wire.KindAck, Origin: 0, Target: 1}); err == nil {
+		t.Fatal("send on a dead stream succeeded")
+	}
+	meshes[0].Close(false)
+	if err := meshes[0].Send(1, &wire.Frame{Kind: wire.KindAck}); !errors.Is(err, ErrMeshClosed) {
+		t.Fatalf("send after close: %v, want ErrMeshClosed", err)
+	}
+}
+
+// Bye then close is clean on both sides.
+func TestGoodbyeIsClean(t *testing.T) {
+	meshes := Loopback(2)
+	var mu sync.Mutex
+	var downs []int
+	for _, m := range meshes {
+		m.Start(func(int, *wire.Frame) {}, func(rank int, err error) {
+			mu.Lock()
+			downs = append(downs, rank)
+			mu.Unlock()
+		})
+	}
+	var wg sync.WaitGroup
+	for _, m := range meshes {
+		wg.Add(1)
+		go func() { defer wg.Done(); m.Close(true) }()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(downs) != 0 {
+		t.Fatalf("clean goodbye reported failures: %v", downs)
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	m := &Mesh{cfg: Config{Self: 0, N: 2}}
+	err := m.checkHello(&wire.Frame{Kind: wire.KindHello, Origin: 1, Operand: 2,
+		Compare: wire.Version + 1, Strs: []string{"127.0.0.1:1"}})
+	if !errors.Is(err, wire.ErrVersion) {
+		t.Fatalf("checkHello = %v, want ErrVersion", err)
+	}
+	err = m.checkHello(&wire.Frame{Kind: wire.KindHello, Origin: 1, Operand: 3,
+		Compare: wire.Version, Strs: []string{"127.0.0.1:1"}})
+	if err == nil {
+		t.Fatal("checkHello accepted mismatched job size")
+	}
+}

@@ -17,7 +17,14 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/runtime"
+	"repro/internal/wire"
 )
+
+func init() {
+	// Headers cross process boundaries on the distributed engine.
+	wire.RegisterPayload(pscwHeader{})
+	wire.RegisterPayload(fenceHeader{})
+}
 
 // winSysBytes is the per-window system region holding the passive-target
 // lock word (offset 0).

@@ -1,0 +1,30 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode asserts the codec's two safety properties on arbitrary input:
+// Decode never panics, and any input it accepts re-encodes to the exact
+// bytes it decoded from (so there is a single canonical encoding and no
+// frame smuggling through alternate serializations).
+func FuzzDecode(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		f.Add(Append(nil, &fr))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add(bytes.Repeat([]byte{0xff}, fixedHeaderLen+10))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var fr Frame
+		if err := Decode(b, &fr); err != nil {
+			return
+		}
+		re := Append(nil, &fr)
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted frame is not canonical:\n in  %x\n out %x", b, re)
+		}
+	})
+}

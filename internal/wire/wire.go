@@ -1,0 +1,392 @@
+// Package wire defines the versioned binary frame format the cross-process
+// TCP fabric (internal/netfab) puts on the socket between OS processes.
+//
+// A frame is one fabric packet or one control message (bootstrap handshake,
+// memory-region registration/teardown, clean-shutdown goodbye), serialized
+// as a fixed little-endian header followed by three variable-length
+// sections: the gob-encoded message-payload header, the raw payload bytes,
+// and a string table (bootstrap addresses). On the stream every frame is
+// preceded by a uint32 length prefix; this package encodes and decodes the
+// frame body only.
+//
+// The format is strict by construction: Decode rejects unknown versions,
+// unknown kinds, length fields that overrun the buffer, and trailing
+// garbage. It never panics on hostile input (see FuzzDecode).
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+)
+
+// Version is the wire-protocol version stamped on every frame. Peers with
+// mismatched versions refuse to mesh during the bootstrap handshake.
+const Version = 1
+
+// MaxData bounds a frame's raw payload section (64 MiB): larger transfers
+// must be chunked by the layer above, and a length prefix beyond it is
+// treated as corruption rather than honored as an allocation request.
+const MaxData = 1 << 26
+
+// MaxFrame bounds a complete encoded frame on the stream.
+const MaxFrame = MaxData + 1<<16
+
+// Limits on the decoded variable sections.
+const (
+	maxPayload = 1 << 20 // gob-encoded message header
+	maxStrs    = 1 << 12 // bootstrap roster entries
+	maxStrLen  = 1 << 12 // one roster address
+)
+
+// Kind discriminates frames. The data-plane kinds mirror the fabric's
+// packet kinds one-to-one; the control kinds carry the bootstrap
+// rendezvous, region registration, and teardown.
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota
+
+	// Data plane (fabric packets).
+	KindPut
+	KindGetReq
+	KindGetResp
+	KindAtomic
+	KindAccum
+	KindAck
+	KindCtrl
+	KindData
+	KindNotify
+	KindLinkAck
+	KindLinkNack
+
+	// Control plane.
+	KindHello  // dialer introduces itself: Origin=rank, Operand=job size, Compare=protocol version, Strs[0]=listener addr
+	KindRoster // root broadcasts the peer listener addresses: Strs[r]=rank r's addr
+	KindReady  // peer reports its mesh links are up
+	KindGo     // root releases the job
+	KindReg    // a memory region became remotely accessible: RegionID, Operand=size
+	KindDereg  // a memory region was revoked: RegionID
+	KindBye    // clean shutdown: the sender finished its rank body
+
+	kindCount // sentinel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPut:
+		return "put"
+	case KindGetReq:
+		return "get-req"
+	case KindGetResp:
+		return "get-resp"
+	case KindAtomic:
+		return "atomic"
+	case KindAccum:
+		return "accum"
+	case KindAck:
+		return "ack"
+	case KindCtrl:
+		return "ctrl"
+	case KindData:
+		return "data"
+	case KindNotify:
+		return "notify"
+	case KindLinkAck:
+		return "link-ack"
+	case KindLinkNack:
+		return "link-nack"
+	case KindHello:
+		return "hello"
+	case KindRoster:
+		return "roster"
+	case KindReady:
+		return "ready"
+	case KindGo:
+		return "go"
+	case KindReg:
+		return "reg"
+	case KindDereg:
+		return "dereg"
+	case KindBye:
+		return "bye"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Frame is the decoded form of one wire frame. Fabric packets map onto it
+// field-for-field; control frames use the subset their Kind documents.
+type Frame struct {
+	Kind     Kind
+	Origin   int // sending rank
+	Target   int // receiving rank
+	RegionID int
+	MsgClass int
+	WireSize int // modeled wire size of the packet (stats parity with Sim)
+	Offset   int
+
+	OpID             uint64 // origin-side op handle, echoed on acks/get responses
+	Operand, Compare uint64
+	Seq              uint64 // reliable-delivery sequence number
+	Imm              uint32 // 4-byte notified-access immediate
+	Csum             uint32 // reliable-delivery payload CRC
+
+	ImmValid   bool
+	NotifyBack bool
+	ChargeCopy bool
+	Rel        bool // sequenced by the reliable-delivery layer
+
+	AtomicOp uint8
+	AccumOp  uint8
+
+	Payload []byte   // gob-encoded message-payload header (KindCtrl/KindData)
+	Data    []byte   // raw payload bytes; aliases the decode input
+	Strs    []string // bootstrap string table (addresses)
+}
+
+const (
+	flagImmValid   = 1 << 0
+	flagNotifyBack = 1 << 1
+	flagChargeCopy = 1 << 2
+	flagRel        = 1 << 3
+)
+
+// fixedHeaderLen is the byte length of the fixed portion of a frame.
+const fixedHeaderLen = 1 + 1 + 1 + 1 + 1 + // version, kind, flags, aop, accop
+	5*4 + // origin, target, regionID, msgClass, wireSize
+	5*8 + // offset, opID, operand, compare, seq
+	2*4 // imm, csum
+
+// ErrTruncated reports a frame shorter than its length fields claim.
+var ErrTruncated = errors.New("wire: truncated frame")
+
+// ErrVersion reports a frame stamped with an unsupported protocol version.
+var ErrVersion = errors.New("wire: protocol version mismatch")
+
+// checkRange panics when a frame field cannot be represented on the wire —
+// these are programming errors at the sender, never remote input.
+func checkRange(name string, v int, max uint64) {
+	if v < 0 || uint64(v) > max {
+		panic(fmt.Sprintf("wire: frame field %s out of range: %d", name, v))
+	}
+}
+
+// Append serializes fr onto dst and returns the extended slice. It panics
+// if a field is out of the encodable range (sender-side programming error).
+func Append(dst []byte, fr *Frame) []byte {
+	if fr.Kind == KindInvalid || fr.Kind >= kindCount {
+		panic(fmt.Sprintf("wire: encoding invalid kind %d", fr.Kind))
+	}
+	checkRange("origin", fr.Origin, 1<<32-1)
+	checkRange("target", fr.Target, 1<<32-1)
+	checkRange("regionID", fr.RegionID, 1<<32-1)
+	checkRange("msgClass", fr.MsgClass, 1<<32-1)
+	checkRange("wireSize", fr.WireSize, 1<<32-1)
+	checkRange("offset", fr.Offset, 1<<62)
+	if len(fr.Data) > MaxData {
+		panic(fmt.Sprintf("wire: frame data too large: %d", len(fr.Data)))
+	}
+	if len(fr.Payload) > maxPayload {
+		panic(fmt.Sprintf("wire: frame payload header too large: %d", len(fr.Payload)))
+	}
+	if len(fr.Strs) > maxStrs {
+		panic(fmt.Sprintf("wire: too many frame strings: %d", len(fr.Strs)))
+	}
+
+	var flags byte
+	if fr.ImmValid {
+		flags |= flagImmValid
+	}
+	if fr.NotifyBack {
+		flags |= flagNotifyBack
+	}
+	if fr.ChargeCopy {
+		flags |= flagChargeCopy
+	}
+	if fr.Rel {
+		flags |= flagRel
+	}
+	dst = append(dst, Version, byte(fr.Kind), flags, fr.AtomicOp, fr.AccumOp)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(fr.Origin))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(fr.Target))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(fr.RegionID))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(fr.MsgClass))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(fr.WireSize))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(fr.Offset))
+	dst = binary.LittleEndian.AppendUint64(dst, fr.OpID)
+	dst = binary.LittleEndian.AppendUint64(dst, fr.Operand)
+	dst = binary.LittleEndian.AppendUint64(dst, fr.Compare)
+	dst = binary.LittleEndian.AppendUint64(dst, fr.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, fr.Imm)
+	dst = binary.LittleEndian.AppendUint32(dst, fr.Csum)
+
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(fr.Payload)))
+	dst = append(dst, fr.Payload...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(fr.Data)))
+	dst = append(dst, fr.Data...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(fr.Strs)))
+	for _, s := range fr.Strs {
+		if len(s) > maxStrLen {
+			panic(fmt.Sprintf("wire: frame string too long: %d", len(s)))
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// Decode parses one frame body into fr. The Payload and Data slices alias
+// b: the caller must copy them out before reusing the buffer. A non-nil
+// error means b is not a well-formed frame; fr is then in an unspecified
+// state and must not be used.
+func Decode(b []byte, fr *Frame) error {
+	if len(b) < fixedHeaderLen {
+		return ErrTruncated
+	}
+	if b[0] != Version {
+		return fmt.Errorf("%w: got %d, want %d", ErrVersion, b[0], Version)
+	}
+	k := Kind(b[1])
+	if k == KindInvalid || k >= kindCount {
+		return fmt.Errorf("wire: unknown frame kind %d", b[1])
+	}
+	flags := b[2]
+	if flags &^ (flagImmValid | flagNotifyBack | flagChargeCopy | flagRel) != 0 {
+		return fmt.Errorf("wire: unknown flag bits %#x", flags)
+	}
+	*fr = Frame{
+		Kind:       k,
+		AtomicOp:   b[3],
+		AccumOp:    b[4],
+		ImmValid:   flags&flagImmValid != 0,
+		NotifyBack: flags&flagNotifyBack != 0,
+		ChargeCopy: flags&flagChargeCopy != 0,
+		Rel:        flags&flagRel != 0,
+	}
+	fr.Origin = int(binary.LittleEndian.Uint32(b[5:]))
+	fr.Target = int(binary.LittleEndian.Uint32(b[9:]))
+	fr.RegionID = int(binary.LittleEndian.Uint32(b[13:]))
+	fr.MsgClass = int(binary.LittleEndian.Uint32(b[17:]))
+	fr.WireSize = int(binary.LittleEndian.Uint32(b[21:]))
+	off := binary.LittleEndian.Uint64(b[25:])
+	if off > 1<<62 {
+		return fmt.Errorf("wire: offset out of range: %d", off)
+	}
+	fr.Offset = int(off)
+	fr.OpID = binary.LittleEndian.Uint64(b[33:])
+	fr.Operand = binary.LittleEndian.Uint64(b[41:])
+	fr.Compare = binary.LittleEndian.Uint64(b[49:])
+	fr.Seq = binary.LittleEndian.Uint64(b[57:])
+	fr.Imm = binary.LittleEndian.Uint32(b[65:])
+	fr.Csum = binary.LittleEndian.Uint32(b[69:])
+	rest := b[fixedHeaderLen:]
+
+	var err error
+	if fr.Payload, rest, err = takeBytes(rest, maxPayload); err != nil {
+		return fmt.Errorf("payload section: %w", err)
+	}
+	if fr.Data, rest, err = takeBytes(rest, MaxData); err != nil {
+		return fmt.Errorf("data section: %w", err)
+	}
+	if len(rest) < 2 {
+		return ErrTruncated
+	}
+	nstr := int(binary.LittleEndian.Uint16(rest))
+	rest = rest[2:]
+	if nstr > maxStrs {
+		return fmt.Errorf("wire: string table too large: %d", nstr)
+	}
+	if nstr > 0 {
+		fr.Strs = make([]string, nstr)
+		for i := 0; i < nstr; i++ {
+			if len(rest) < 2 {
+				return ErrTruncated
+			}
+			sl := int(binary.LittleEndian.Uint16(rest))
+			rest = rest[2:]
+			if sl > maxStrLen {
+				return fmt.Errorf("wire: frame string too long: %d", sl)
+			}
+			if len(rest) < sl {
+				return ErrTruncated
+			}
+			fr.Strs[i] = string(rest[:sl])
+			rest = rest[sl:]
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after frame", len(rest))
+	}
+	return nil
+}
+
+// takeBytes consumes a u32-length-prefixed section, returning nil (not an
+// empty slice) for a zero-length section so decoded frames compare equal
+// to their encoded source.
+func takeBytes(b []byte, max int) (section, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, ErrTruncated
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n > max {
+		return nil, nil, fmt.Errorf("wire: section length %d exceeds limit %d", n, max)
+	}
+	if len(b) < n {
+		return nil, nil, ErrTruncated
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	return b[:n], b[n:], nil
+}
+
+// ---------------------------------------------------------------------------
+// Message-payload headers
+// ---------------------------------------------------------------------------
+
+// payloadBox wraps the interface-typed message header for gob, which needs
+// a concrete top-level type to carry an interface value.
+type payloadBox struct{ V any }
+
+// RegisterPayload registers a concrete message-payload header type with
+// the codec. Every layer that posts NIC messages with a non-nil payload
+// must register its header types (in init) before they can cross a
+// process boundary; the registry is process-global, so the same binary on
+// both ends decodes symmetrically.
+func RegisterPayload(v any) { gob.Register(v) }
+
+func init() {
+	// Base types used directly as payloads (e.g. the runtime barrier's int).
+	RegisterPayload(int(0))
+	RegisterPayload(string(""))
+	RegisterPayload(bool(false))
+}
+
+// EncodePayload serializes a message-payload header. A nil payload encodes
+// to nil. Unregistered types error (fix: wire.RegisterPayload in the
+// layer's init).
+func EncodePayload(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payloadBox{V: v}); err != nil {
+		return nil, fmt.Errorf("wire: encoding message payload %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload reverses EncodePayload; nil input yields a nil payload.
+func DecodePayload(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	var box payloadBox
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&box); err != nil {
+		return nil, fmt.Errorf("wire: decoding message payload: %w", err)
+	}
+	return box.V, nil
+}
