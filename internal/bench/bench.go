@@ -97,6 +97,7 @@ func Registry() []Experiment {
 		{"taskflow", "Dataflow tasking system makespan: NA vs MP", Taskflow},
 		{"eagerthreshold", "MP eager/rendezvous threshold ablation", EagerThreshold},
 		{"tcppp", "Notified-put ping-pong over real TCP sockets: wall-clock latency percentiles", TCPPingPong},
+		{"check", "Interleaving checker: schedule-space exploration statistics per model", CheckStats},
 	}
 }
 

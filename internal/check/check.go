@@ -1,0 +1,363 @@
+// Package check is a stateless model checker for the simulation engine: it
+// runs a workload repeatedly under exec scheduling policies that permute
+// the pending-event order at every kernel step, searching the space of
+// interleavings for assertion failures, lost wakeups (deadlocks), and
+// ordering bugs that a single time-ordered execution would never exhibit.
+//
+// Two exploration strategies share one controlled scheduler:
+//
+//   - DFS with bounded preemptions (Options.Seed == 0): systematically
+//     enumerates every schedule that deviates from the default time-ordered
+//     execution in at most MaxPreemptions places, in the spirit of CHESS.
+//     Small configurations exhaust this space outright, turning a model
+//     test into a proof over the bounded schedule space.
+//
+//   - Seed-driven random sampling (Options.Seed != 0): a PCT-style
+//     sampler for state spaces too large to enumerate. Each iteration
+//     derives an independent RNG from (Seed, iteration) and injects up to
+//     MaxPreemptions random deviations at random steps. Any failure it
+//     finds is reported with the exact choice trace, and Replay reproduces
+//     it deterministically — the printed trace is the "replay seed".
+//
+// Soundness rests on two properties of the Sim engine: every blocking edge
+// parks through exec.Gate or Env.Schedule (so the scheduler sees every
+// decision point), and events tagged with a nonzero FIFO lane — per-pair
+// deliveries on the lossless fabric — are never reordered within their
+// lane (see simtime.Event.Lane), so explored schedules are all schedules
+// some real execution could produce.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/simtime"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// MaxPreemptions bounds how many times one schedule may deviate from
+	// the default time-ordered choice. Empirically almost all concurrency
+	// bugs need very few preemptions (the CHESS observation); default 2.
+	MaxPreemptions int
+	// Window caps how many eligible candidates each step exposes to
+	// exploration, bounding the branching factor. Default 4.
+	Window int
+	// MaxSchedules bounds the number of schedules executed. Default 2000.
+	MaxSchedules int
+	// MaxSteps aborts any single schedule after this many kernel steps
+	// (a perturbed schedule may livelock a busy-poll loop); aborted
+	// schedules count as truncated, not failing. Default 50000.
+	MaxSteps int
+	// Seed selects the strategy: 0 = DFS with bounded preemptions,
+	// nonzero = seed-driven random sampling.
+	Seed int64
+	// DeviateP is the sampler's per-step deviation probability while it
+	// still has preemption budget. Default 0.1.
+	DeviateP float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPreemptions == 0 {
+		o.MaxPreemptions = 2
+	}
+	if o.Window == 0 {
+		o.Window = 4
+	}
+	if o.MaxSchedules == 0 {
+		o.MaxSchedules = 2000
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 50000
+	}
+	if o.DeviateP == 0 {
+		o.DeviateP = 0.1
+	}
+	return o
+}
+
+// Choice records one non-default scheduling decision: at kernel step Step,
+// the Pick-th eligible candidate was fired instead of the default.
+type Choice struct {
+	Step int
+	Pick int
+}
+
+// Trace is a schedule expressed as its non-default choices, ascending by
+// step; every step not listed took the default (time-ordered) candidate.
+// The empty trace is the default schedule.
+type Trace []Choice
+
+// String renders the trace as "s12=1,s47=2" ("default" when empty) — the
+// replay token printed for failing schedules.
+func (t Trace) String() string {
+	if len(t) == 0 {
+		return "default"
+	}
+	parts := make([]string, len(t))
+	for i, c := range t {
+		parts[i] = fmt.Sprintf("s%d=%d", c.Step, c.Pick)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseTrace parses the String format back into a Trace.
+func ParseTrace(s string) (Trace, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "default" {
+		return nil, nil
+	}
+	var t Trace
+	for _, part := range strings.Split(s, ",") {
+		var c Choice
+		rest, ok := strings.CutPrefix(strings.TrimSpace(part), "s")
+		if !ok {
+			return nil, fmt.Errorf("check: bad trace element %q", part)
+		}
+		stepStr, pickStr, ok := strings.Cut(rest, "=")
+		if !ok {
+			return nil, fmt.Errorf("check: bad trace element %q", part)
+		}
+		var err error
+		if c.Step, err = strconv.Atoi(stepStr); err != nil {
+			return nil, fmt.Errorf("check: bad trace element %q: %v", part, err)
+		}
+		if c.Pick, err = strconv.Atoi(pickStr); err != nil {
+			return nil, fmt.Errorf("check: bad trace element %q: %v", part, err)
+		}
+		if len(t) > 0 && c.Step <= t[len(t)-1].Step {
+			return nil, fmt.Errorf("check: trace steps not ascending at %q", part)
+		}
+		t = append(t, c)
+	}
+	return t, nil
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Schedules is how many schedules were executed.
+	Schedules int
+	// Truncated is how many of them were cut off by MaxSteps.
+	Truncated int
+	// Steps is the total kernel steps across all schedules.
+	Steps int
+	// Exhausted reports that DFS enumerated the entire bounded-preemption
+	// schedule space within MaxSchedules (always false for the sampler).
+	Exhausted bool
+	// Err is the first workload failure found, nil if none.
+	Err error
+	// FailingTrace reproduces Err via Replay; nil when Err is nil.
+	FailingTrace Trace
+}
+
+// Violation is the error models panic with on an assertion failure; it
+// travels through exec.PanicError wrapping, so errors.As sees it in the
+// run error.
+type Violation struct{ Msg string }
+
+func (v *Violation) Error() string { return v.Msg }
+
+// Violatef panics with a *Violation, failing the current schedule.
+func Violatef(format string, args ...any) {
+	panic(&Violation{Msg: fmt.Sprintf(format, args...)})
+}
+
+// IsViolation reports whether err carries a model assertion failure.
+func IsViolation(err error) bool {
+	var v *Violation
+	return errors.As(err, &v)
+}
+
+// ctrl is the controlled scheduler: it computes the lane-respecting
+// eligible candidate set each step, takes forced choices from a prefix
+// trace (DFS/replay) or random deviations (sampler), and records the full
+// decision sequence for reporting and expansion.
+type ctrl struct {
+	forced   Trace // non-default choices to apply, ascending by step
+	fi       int   // cursor into forced
+	window   int
+	maxSteps int
+
+	// Sampler state; rng == nil disables random deviation.
+	rng      *rand.Rand
+	deviateP float64
+	budget   int // remaining random preemptions
+
+	picks  []int // pick made at each step (within the eligible set)
+	widths []int // eligible candidate count at each step
+
+	lanes []uint64 // scratch: nonzero lanes already represented this step
+	elig  []int    // scratch: ready indices eligible this step
+}
+
+// Pick implements exec.Scheduler.
+func (c *ctrl) Pick(ready []*simtime.Event) int {
+	step := len(c.picks)
+	if c.maxSteps > 0 && step >= c.maxSteps {
+		return -1
+	}
+	// Eligible candidates: every lane-0 event plus the first event of each
+	// nonzero lane, in firing order, capped to the window. Index 0 is
+	// always the default (overall-first) event.
+	c.lanes = c.lanes[:0]
+	c.elig = c.elig[:0]
+	for i := 0; i < len(ready) && len(c.elig) < c.window; i++ {
+		if lane := ready[i].Lane; lane != 0 {
+			dup := false
+			for _, l := range c.lanes {
+				if l == lane {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			c.lanes = append(c.lanes, lane)
+		}
+		c.elig = append(c.elig, i)
+	}
+	w := len(c.elig)
+	pick := 0
+	if c.fi < len(c.forced) && c.forced[c.fi].Step == step {
+		pick = c.forced[c.fi].Pick
+		c.fi++
+		if pick < 0 || pick >= w {
+			pick = 0 // stale trace for a diverged run; stay valid
+		}
+	} else if c.rng != nil && c.budget > 0 && w > 1 && c.rng.Float64() < c.deviateP {
+		pick = 1 + c.rng.Intn(w-1)
+		c.budget--
+	}
+	c.picks = append(c.picks, pick)
+	c.widths = append(c.widths, w)
+	return c.elig[pick]
+}
+
+// trace converts the recorded picks into their sparse Trace form.
+func (c *ctrl) trace() Trace {
+	var t Trace
+	for step, pick := range c.picks {
+		if pick != 0 {
+			t = append(t, Choice{Step: step, Pick: pick})
+		}
+	}
+	return t
+}
+
+// Explore searches the workload's schedule space. run must build a fresh,
+// self-contained world each call (typically exec.NewSimEnvSched(s) plus
+// the system under test) and return the run error; it is called once per
+// schedule, sequentially.
+func Explore(opts Options, run func(s exec.Scheduler) error) Result {
+	opts = opts.withDefaults()
+	if opts.Seed != 0 {
+		return sample(opts, run)
+	}
+	return dfs(opts, run)
+}
+
+// runOne executes a single schedule and classifies the outcome.
+func runOne(opts Options, run func(s exec.Scheduler) error, forced Trace, rng *rand.Rand) (*ctrl, error) {
+	c := &ctrl{
+		forced:   forced,
+		window:   opts.Window,
+		maxSteps: opts.MaxSteps,
+		rng:      rng,
+		deviateP: opts.DeviateP,
+		budget:   opts.MaxPreemptions,
+	}
+	return c, run(c)
+}
+
+// dfs enumerates schedules that deviate from the default in at most
+// MaxPreemptions places: each completed schedule is expanded by branching
+// every eligible non-default candidate at every step after its last
+// forced choice. The frontier is a LIFO stack, so the search goes deep
+// along the earliest deviations first; prefixes are stored sparsely (only
+// non-default choices), keeping the frontier cheap.
+func dfs(opts Options, run func(s exec.Scheduler) error) Result {
+	var res Result
+	stack := []Trace{nil}
+	for len(stack) > 0 && res.Schedules < opts.MaxSchedules {
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c, err := runOne(opts, run, prefix, nil)
+		res.Schedules++
+		res.Steps += len(c.picks)
+		var abort *exec.ScheduleAbortError
+		if errors.As(err, &abort) {
+			res.Truncated++ // perturbed into a livelock; not a bug, not expandable
+			continue
+		}
+		if err != nil {
+			res.Err = err
+			res.FailingTrace = c.trace()
+			return res
+		}
+		if len(prefix) >= opts.MaxPreemptions {
+			continue
+		}
+		// Branch alternatives at every step after the last forced choice.
+		// Pushed deepest-step first so the stack pops the earliest
+		// deviation next.
+		from := 0
+		if len(prefix) > 0 {
+			from = prefix[len(prefix)-1].Step + 1
+		}
+		for k := len(c.picks) - 1; k >= from; k-- {
+			for a := c.widths[k] - 1; a >= 1; a-- {
+				child := make(Trace, len(prefix)+1)
+				copy(child, prefix)
+				child[len(prefix)] = Choice{Step: k, Pick: a}
+				stack = append(stack, child)
+			}
+		}
+	}
+	res.Exhausted = len(stack) == 0
+	return res
+}
+
+// sample runs MaxSchedules independent randomized schedules, each from an
+// RNG derived from (Seed, iteration).
+func sample(opts Options, run func(s exec.Scheduler) error) Result {
+	var res Result
+	for i := 0; i < opts.MaxSchedules; i++ {
+		rng := rand.New(rand.NewSource(mix(opts.Seed, int64(i))))
+		c, err := runOne(opts, run, nil, rng)
+		res.Schedules++
+		res.Steps += len(c.picks)
+		var abort *exec.ScheduleAbortError
+		if errors.As(err, &abort) {
+			res.Truncated++
+			continue
+		}
+		if err != nil {
+			res.Err = err
+			res.FailingTrace = c.trace()
+			return res
+		}
+	}
+	return res
+}
+
+// mix derives a per-iteration RNG seed (splitmix64 finalizer).
+func mix(seed, i int64) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Replay re-executes the exact schedule a Trace describes (typically
+// Result.FailingTrace) and returns the run error. Deterministic: the same
+// trace over the same workload reproduces the same failure.
+func Replay(t Trace, opts Options, run func(s exec.Scheduler) error) error {
+	opts = opts.withDefaults()
+	_, err := runOne(opts, run, t, nil)
+	return err
+}

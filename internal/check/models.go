@@ -1,0 +1,396 @@
+// Checker workloads ("models"): small, closed producer-consumer systems
+// whose correctness claims the explorer turns into searches over the
+// bounded-preemption schedule space. Each model builds a fresh world per
+// schedule and panics with a *Violation (via Violatef) when an invariant
+// breaks; lost wakeups surface as exec.DeadlockError without any model
+// code. They are exported so the naperf "check" experiment can report
+// exploration statistics over the exact workloads the tests prove.
+package check
+
+import (
+	"errors"
+
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/fault"
+	"repro/internal/mp"
+	"repro/internal/runtime"
+)
+
+// Workload is one closed system under test: called once per schedule with
+// the exploring policy and returns that run's error.
+type Workload func(s exec.Scheduler) error
+
+// ---------------------------------------------------------------------------
+// Snippet-1 ring publication model
+// ---------------------------------------------------------------------------
+
+// RingPublication models the paper's notified-access ring buffer the way
+// the Rosette exemplar does (SNIPPETS.md Snippet 1): a producer publishes
+// messages through a two-slot ring by writing the payload and then
+// advancing a tail counter the consumer polls, wrapping twice. Every
+// Yield is a scheduler-visible decision point, so the explorer drives the
+// two ranks' steps against each other in every bounded-preemption order.
+//
+// broken=false is the P4 discipline (payload strictly before the tail
+// publication — the placement the Rosette model proves safe): no schedule
+// may observe a stale slot. broken=true is the P2 discipline (tail
+// advanced before the payload lands): the notification is observable
+// before its data, and the checker must find the schedule where the
+// consumer reads the stale slot.
+func RingPublication(broken bool) Workload {
+	return func(s exec.Scheduler) error {
+		const (
+			slots = 2
+			total = 4 // > slots: the ring wraps
+		)
+		var data [slots]uint64
+		var tail, head uint64 // published count, consumed count
+		env := exec.NewSimEnvSched(s)
+		return env.Run(2, func(p *exec.Proc) {
+			if p.Rank() == 0 {
+				for v := uint64(1); v <= total; v++ {
+					for v-1-head >= slots { // ring full: wait for the consumer
+						p.Yield()
+					}
+					slot := (v - 1) % slots
+					if broken {
+						tail = v // P2: notification visible before its payload
+						p.Yield()
+						data[slot] = v * 100
+					} else {
+						data[slot] = v * 100 // P4: payload strictly first
+						p.Yield()
+						tail = v
+					}
+					p.Yield()
+				}
+			} else {
+				for c := uint64(1); c <= total; c++ {
+					for tail < c { // acquire: poll the published count
+						p.Yield()
+					}
+					p.Yield()
+					if got := data[(c-1)%slots]; got != c*100 {
+						Violatef("ring: message %d read slot %d as %d, want %d (notification before payload)",
+							c, (c-1)%slots, got, c*100)
+					}
+					p.Yield()
+					head = c
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fabric-level models
+// ---------------------------------------------------------------------------
+
+// fabricBarrier is the registration barrier used inside fabric-level
+// models (mirrors the fabric tests' helper).
+func fabricBarrier(f *fabric.Fabric, p *exec.Proc) {
+	const class = 99990
+	nic := f.NIC(p.Rank())
+	if p.Rank() == 0 {
+		for i := 1; i < f.Ranks(); i++ {
+			nic.WaitMsgClass(p, class)
+		}
+		for i := 1; i < f.Ranks(); i++ {
+			nic.PostMsg(p, i, class+1, nil, nil, false)
+		}
+	} else {
+		nic.PostMsg(p, 0, class, nil, nil, false)
+		nic.WaitMsgClass(p, class+1)
+	}
+}
+
+// NotifyWait models the core notified-access contract on the real fabric:
+// rank 0 puts K notified payloads into rank 1's region; rank 1 blocks in
+// WaitDest and drains CQEs. Claims checked under every explored schedule:
+// no lost wakeup (a missed WaitDest broadcast deadlocks the run), per-pair
+// FIFO notification order, and payload-before-notification — when a CQE is
+// visible its bytes are committed. intraNode=true puts both ranks on one
+// node so the puts ride the shmring inline path (ring push/pop under
+// wraparound pressure at ring scale is covered by shmring_test; here the
+// checker covers its publication ordering).
+func NotifyWait(intraNode bool) Workload {
+	return func(s exec.Scheduler) error {
+		const k = 3
+		env := exec.NewSimEnvSched(s)
+		cfg := fabric.DefaultConfig(2)
+		if intraNode {
+			cfg.RanksPerNode = 2
+		}
+		f := fabric.New(env, cfg)
+		return env.Run(2, func(p *exec.Proc) {
+			nic := f.NIC(p.Rank())
+			reg := nic.Register(make([]byte, 8*k))
+			fabricBarrier(f, p)
+			if p.Rank() == 0 {
+				for i := 0; i < k; i++ {
+					nic.Put(p, 1, reg.ID, 8*i, []byte{byte(i + 1)}, fabric.WithImm(uint32(i+1))).Detach()
+				}
+				nic.FlushAll(p)
+			} else {
+				for i := 0; i < k; i++ {
+					nic.WaitDest(p)
+					cqe, ok := nic.PollDest()
+					if !ok {
+						Violatef("notify: WaitDest returned without a CQE")
+					}
+					if cqe.Imm != uint32(i+1) {
+						Violatef("notify: CQE %d out of order: imm=%d want %d", i, cqe.Imm, i+1)
+					}
+					if got := reg.Bytes()[cqe.Offset]; got != byte(i+1) {
+						Violatef("notify: CQE %d visible before payload: byte=%d want %d", i, got, i+1)
+					}
+				}
+			}
+		})
+	}
+}
+
+// ClassDispatch models the class-bucketed message engine: rank 0 posts an
+// interleaved stream over three classes while rank 1 alternates blocking
+// multi-class waits with single-class waits. Claims: an arrival wakes the
+// matching waiter (no lost wakeup ⇒ no deadlock), multi-class waits see
+// buckets in arrival order, and no message is lost or duplicated.
+func ClassDispatch() Workload {
+	return func(s exec.Scheduler) error {
+		const (
+			classA = 100
+			classB = 101
+			classC = 102
+		)
+		env := exec.NewSimEnvSched(s)
+		f := fabric.New(env, fabric.DefaultConfig(2))
+		return env.Run(2, func(p *exec.Proc) {
+			nic := f.NIC(p.Rank())
+			if p.Rank() == 0 {
+				nic.PostMsg(p, 1, classA, 1, nil, false)
+				nic.PostMsg(p, 1, classB, 2, nil, false)
+				nic.PostMsg(p, 1, classA, 3, nil, false)
+				nic.PostMsg(p, 1, classC, 4, nil, false)
+				return
+			}
+			// The A/B waits must interleave the two buckets in arrival
+			// order regardless of how deliveries and wakeups are permuted
+			// (per-pair FIFO pins the arrival order itself).
+			for _, want := range []int{1, 2, 3} {
+				m := nic.WaitMsgClasses(p, classA, classB)
+				if m.Payload.(int) != want {
+					Violatef("dispatch: multi-class wait got payload %v want %d", m.Payload, want)
+				}
+			}
+			if m := nic.WaitMsgClass(p, classC); m.Payload.(int) != 4 {
+				Violatef("dispatch: class-C wait got payload %v want 4", m.Payload)
+			}
+			if m, ok := nic.PollMsgClasses(classA, classB, classC); ok {
+				Violatef("dispatch: stray message %v after drain", m.Payload)
+			}
+		})
+	}
+}
+
+// ReliableDelivery models the reliable layer's exactly-once claim under
+// adversarial schedules *and* adversarial loss: scripted faults drop the
+// first put and the first link-ack of the run, forcing retransmission and
+// a duplicate-suppression path, while the explorer races RTO timers
+// against in-flight acks and deliveries (the wire is unconstrained here:
+// with reliability on, deliveries carry no FIFO lane, so the checker also
+// permutes packet arrival order and the sequence window must repair it).
+// Claims: rank 1 sees each of the K notifications exactly once and in
+// order with committed payload bytes, and both Flush and the run itself
+// complete (no lost wakeup in ack/flush plumbing).
+func ReliableDelivery() Workload {
+	return func(s exec.Scheduler) error {
+		const k = 3
+		env := exec.NewSimEnvSched(s)
+		cfg := fabric.DefaultConfig(2)
+		cfg.Reliability.Force = true
+		cfg.FaultPlan = &fault.Plan{
+			Seed: 1,
+			Rules: []fault.Rule{
+				{Origin: 0, Target: 1, Class: "put", Nth: 1, Action: fault.Drop},
+				{Origin: 1, Target: 0, Class: "link-ack", Nth: 1, Action: fault.Drop},
+			},
+		}
+		f := fabric.New(env, cfg)
+		return env.Run(2, func(p *exec.Proc) {
+			nic := f.NIC(p.Rank())
+			reg := nic.Register(make([]byte, 8*k))
+			fabricBarrier(f, p)
+			if p.Rank() == 0 {
+				for i := 0; i < k; i++ {
+					nic.Put(p, 1, reg.ID, 8*i, []byte{byte(0xA0 + i)}, fabric.WithImm(uint32(i+1))).Detach()
+				}
+				nic.FlushAll(p)
+			} else {
+				seen := make(map[uint32]bool, k)
+				for i := 0; i < k; i++ {
+					nic.WaitDest(p)
+					cqe, ok := nic.PollDest()
+					if !ok {
+						Violatef("reliable: WaitDest returned without a CQE")
+					}
+					if seen[cqe.Imm] {
+						Violatef("reliable: duplicate notification imm=%d", cqe.Imm)
+					}
+					seen[cqe.Imm] = true
+					if cqe.Imm != uint32(i+1) {
+						Violatef("reliable: notification %d out of order: imm=%d", i, cqe.Imm)
+					}
+					if got := reg.Bytes()[cqe.Offset]; got != byte(0xA0+i) {
+						Violatef("reliable: payload %d not committed at notify: %#x", i, got)
+					}
+				}
+				if _, ok := nic.PollDest(); ok {
+					Violatef("reliable: extra notification after %d", k)
+				}
+			}
+		})
+	}
+}
+
+// CrashFanout models failure detection racing in-flight traffic: rank 2 is
+// crashed from the start while ranks 0 and 1 put to it with retransmission
+// budgets the schedule can reorder against the healthy rank-0→1 stream.
+// Claims under every schedule: ops to the dead rank complete with errors
+// unwrapping to ErrPeerFailed, ops to the live rank complete cleanly, a
+// blocked waiter on the dead rank's traffic is unwound with the failure
+// rather than deadlocking, and both survivors' PeerError views agree.
+func CrashFanout() Workload {
+	return func(s exec.Scheduler) error {
+		env := exec.NewSimEnvSched(s)
+		cfg := fabric.DefaultConfig(3)
+		cfg.Reliability.MaxAttempts = 3
+		cfg.FaultPlan = &fault.Plan{
+			Seed:  1,
+			Ranks: []fault.RankFault{{Rank: 2, Mode: fault.Crash}},
+		}
+		f := fabric.New(env, cfg)
+		return env.Run(3, func(p *exec.Proc) {
+			nic := f.NIC(p.Rank())
+			reg := nic.Register(make([]byte, 16))
+			switch p.Rank() {
+			case 2:
+				return // crashed: a real dead process runs nothing
+			case 0:
+				// Healthy stream and doomed stream in flight together.
+				doomed := nic.Put(p, 2, reg.ID, 0, []byte{1}, fabric.Imm{})
+				live := nic.Put(p, 1, reg.ID, 0, []byte{2}, fabric.WithImm(7))
+				doomed.Await(p)
+				if err := doomed.Err(); !errors.Is(err, fabric.ErrPeerFailed) {
+					Violatef("crash: op to dead rank finished with %v, want ErrPeerFailed", err)
+				}
+				live.Await(p)
+				if err := live.Err(); err != nil {
+					Violatef("crash: op to live rank failed: %v", err)
+				}
+				if err := nic.PeerError(2); !errors.Is(err, fabric.ErrPeerFailed) {
+					Violatef("crash: rank 0 PeerError(2) = %v after failed op", err)
+				}
+			case 1:
+				// A waiter blocked on traffic only the dead rank would send
+				// must be unwound by the failure fan-out, not parked forever.
+				func() {
+					defer func() {
+						r := recover()
+						if r == nil {
+							Violatef("crash: wait on dead rank's message returned normally")
+						}
+						err, ok := r.(error)
+						if !ok || !errors.Is(err, fabric.ErrPeerFailed) {
+							panic(r) // not the failure unwind — re-raise
+						}
+					}()
+					op := nic.Put(p, 2, reg.ID, 0, []byte{3}, fabric.Imm{})
+					op.Await(p)
+					// The put failed (checked via panic-free Err below);
+					// now block on a message class only rank 2 uses.
+					if !errors.Is(op.Err(), fabric.ErrPeerFailed) {
+						Violatef("crash: rank 1 op to dead rank finished with %v", op.Err())
+					}
+					nic.WaitMsgClass(p, 555)
+				}()
+				if err := nic.PeerError(2); !errors.Is(err, fabric.ErrPeerFailed) {
+					Violatef("crash: rank 1 PeerError(2) = %v after unwind", err)
+				}
+				// The healthy stream from rank 0 still lands. Poll rather
+				// than WaitDest: with a failure on record an empty-queue
+				// WaitDest panics by design, and here the live CQE may
+				// legitimately trail the declaration.
+				for {
+					if cqe, ok := nic.PollDest(); ok {
+						if cqe.Imm != 7 {
+							Violatef("crash: unexpected CQE imm=%d on live path", cqe.Imm)
+						}
+						break
+					}
+					p.Yield()
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// World-level model (runtime + mp through the Options.Env seam)
+// ---------------------------------------------------------------------------
+
+// WorldExchange models the full stack — runtime world, barrier, and the
+// mp layer's posted/unexpected matching — under explored schedules,
+// injected through runtime.Options.Env. Ranks 0 and 1 cross-send one
+// eager and one rendezvous message with a barrier in between; the mp
+// matcher's wait gates, the rendezvous RTS/CTS/data handshake, and the
+// barrier's gather/release must all survive any bounded-preemption
+// schedule (a lost wakeup anywhere deadlocks the run).
+func WorldExchange() Workload {
+	return func(s exec.Scheduler) error {
+		const (
+			eagerLen = 16
+			rndvLen  = 128
+		)
+		return runtime.Run(runtime.Options{
+			Ranks:          2,
+			Mode:           exec.Sim,
+			Env:            exec.NewSimEnvSched(s),
+			EagerThreshold: 64, // rndvLen crosses into rendezvous
+		}, func(p *runtime.Proc) {
+			c := mp.New(p)
+			peer := 1 - p.Rank()
+			eager := make([]byte, eagerLen)
+			rndv := make([]byte, rndvLen)
+			for i := range eager {
+				eager[i] = byte(p.Rank()*16 + i)
+			}
+			for i := range rndv {
+				rndv[i] = byte(p.Rank()*32 + i)
+			}
+			// Cross eager sends: one side's send races the other's recv, so
+			// the explorer drives both posted-queue and unexpected-queue
+			// matching.
+			sr := c.Isend(peer, 1, eager)
+			gotE := make([]byte, eagerLen)
+			c.Recv(gotE, peer, 1)
+			c.WaitSend(sr)
+			for i := range gotE {
+				if gotE[i] != byte(peer*16+i) {
+					Violatef("world: eager byte %d = %d, want %d", i, gotE[i], peer*16+i)
+				}
+			}
+			p.Barrier()
+			// Cross rendezvous sends (RTS/CTS/data handshake).
+			sr = c.Isend(peer, 2, rndv)
+			gotR := make([]byte, rndvLen)
+			c.Recv(gotR, peer, 2)
+			c.WaitSend(sr)
+			for i := range gotR {
+				if gotR[i] != byte(peer*32+i) {
+					Violatef("world: rndv byte %d = %d, want %d", i, gotR[i], peer*32+i)
+				}
+			}
+		})
+	}
+}

@@ -131,6 +131,12 @@ type Proc struct {
 
 	// Real-only state.
 	real *RealEnv
+
+	// Adaptive busy-poll backoff (Real/Dist only): consecutive Yield/Poll
+	// calls escalate from scheduler yields to short sleeps so an idle rank
+	// stops burning a core; a gap of real work between calls resets it.
+	spins     int
+	lastRelax time.Time
 }
 
 // Rank returns this process's rank in [0, N).
@@ -172,27 +178,64 @@ func (p *Proc) Work(cost simtime.Duration, fn func()) {
 }
 
 // Yield lets other events make progress. Under Sim it advances virtual time
-// by one nanosecond (a busy-poll iteration); under Real it yields the OS
-// thread so peers can run.
+// by one nanosecond (a busy-poll iteration); under Real it backs off
+// adaptively (see relax) so a rank spinning in a poll loop stops burning a
+// core once the loop has gone idle for a while.
 func (p *Proc) Yield() {
 	if p.sim != nil {
 		p.Sleep(1)
 		return
 	}
-	p.real.checkAbort()
-	goruntime.Gosched()
+	p.relax()
 }
 
-// Poll parks for one busy-poll interval: virtual time under Sim, a
-// scheduler yield under Real. Use it inside loops that watch memory or
+// Poll parks for one busy-poll interval: virtual time under Sim, an
+// adaptive backoff under Real. Use it inside loops that watch memory or
 // non-blocking queues.
 func (p *Proc) Poll(interval simtime.Duration) {
 	if p.sim != nil {
 		p.Sleep(interval)
 		return
 	}
+	p.relax()
+}
+
+// Real-mode poll-backoff tuning. The first relaxBusySpins consecutive
+// calls cost only a scheduler yield, so an actively-fed poll loop never
+// sleeps; past that the loop is presumed idle and each call sleeps, with
+// the duration doubling from relaxSleepMin up to relaxSleepMax (an idle
+// rank then wakes ~20k times/s instead of monopolizing a core, while the
+// worst-case added wake-up latency stays under the inter-node RTT scale).
+// A gap of at least relaxResetGap between consecutive calls means the
+// caller did real work in between, which resets the escalation; the gap
+// threshold sits above relaxSleepMax so the backoff's own sleeping never
+// masquerades as work.
+const (
+	relaxBusySpins = 128
+	relaxSleepMin  = time.Microsecond
+	relaxSleepMax  = 50 * time.Microsecond
+	relaxResetGap  = time.Millisecond
+)
+
+// relax is one busy-poll backoff step under the Real engine: spin →
+// Gosched → escalating short sleep.
+func (p *Proc) relax() {
 	p.real.checkAbort()
-	goruntime.Gosched()
+	now := time.Now()
+	if p.lastRelax.IsZero() || now.Sub(p.lastRelax) > relaxResetGap {
+		p.spins = 0
+	}
+	p.spins++
+	if p.spins <= relaxBusySpins {
+		goruntime.Gosched()
+	} else {
+		d := relaxSleepMin << uint(p.spins-relaxBusySpins-1)
+		if d <= 0 || d > relaxSleepMax {
+			d = relaxSleepMax
+		}
+		time.Sleep(d)
+	}
+	p.lastRelax = time.Now()
 }
 
 // park hands control back to the Sim kernel until the rank is resumed.
@@ -219,6 +262,15 @@ type SimEnv struct {
 	yield chan struct{}
 	procs []*Proc
 
+	// sched is the pluggable event-selection policy (see Scheduler). nil
+	// and TimeOrdered both take the direct heap-pop fast path; any other
+	// policy receives the full sorted ready set each step and may permute
+	// event order to explore interleavings.
+	sched     Scheduler
+	ready     []*simtime.Event // reused Pick snapshot buffer
+	steps     int              // events fired so far
+	stepLimit int              // abort threshold; 0 = unlimited
+
 	live     int
 	aborting bool
 	err      error
@@ -237,10 +289,33 @@ func (e *SimEnv) Now() simtime.Time { return e.now }
 
 // Schedule implements Env. fn runs in kernel context and must not block.
 func (e *SimEnv) Schedule(after simtime.Duration, prio int, fn func()) {
+	e.ScheduleLane(after, prio, 0, fn)
+}
+
+// ScheduleLane is Schedule with a FIFO-lane tag: events sharing a nonzero
+// lane are ordering-constrained for exploring schedulers (see
+// simtime.Event.Lane and Scheduler). Under the default policy the tag is
+// inert.
+func (e *SimEnv) ScheduleLane(after simtime.Duration, prio int, lane uint64, fn func()) {
 	if after < 0 {
 		after = 0
 	}
-	e.q.Schedule(e.now.Add(after), prio, fn)
+	e.q.ScheduleLane(e.now.Add(after), prio, lane, fn)
+}
+
+// ScheduleLane schedules fn on env like Env.Schedule, tagging the event
+// with a FIFO lane when the engine supports lanes (the Sim engine does).
+// Engines without lane support — where true concurrency, not an event
+// queue, orders execution — fall back to a plain Schedule.
+func ScheduleLane(env Env, after simtime.Duration, prio int, lane uint64, fn func()) {
+	type laneScheduler interface {
+		ScheduleLane(after simtime.Duration, prio int, lane uint64, fn func())
+	}
+	if ls, ok := env.(laneScheduler); ok {
+		ls.ScheduleLane(after, prio, lane, fn)
+		return
+	}
+	env.Schedule(after, prio, fn)
 }
 
 // NewGate implements Env.
@@ -294,8 +369,11 @@ func (e *SimEnv) Run(n int, body func(p *Proc)) error {
 	}
 
 	for !e.aborting {
-		ev := e.q.Pop()
+		ev := e.nextEvent()
 		if ev == nil {
+			if e.aborting {
+				break // scheduler abort / step limit; e.err is set
+			}
 			if e.live == 0 {
 				return nil
 			}
@@ -309,7 +387,13 @@ func (e *SimEnv) Run(n int, body func(p *Proc)) error {
 			e.err = &DeadlockError{Parked: parked}
 			break
 		}
-		e.now = ev.At
+		// Monotone clock: under the default policy ev.At >= now always
+		// holds; an exploring policy may fire a later-stamped event first,
+		// after which earlier-stamped ones run "late" at the clamped now.
+		if ev.At > e.now {
+			e.now = ev.At
+		}
+		e.steps++
 		e.runEvent(ev)
 	}
 

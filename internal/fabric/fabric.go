@@ -381,7 +381,17 @@ func (f *Fabric) dispatch(pkt *packet, faultDelay int64) {
 		arrive = earliest
 	}
 	f.lastArrive[idx] = arrive
-	f.env.Schedule(arrive.Sub(now), exec.PrioDelivery, func() { dst.deliver(pkt) })
+	// Lane discipline for exploring schedulers: on the lossless path,
+	// per-pair delivery order is a platform guarantee the upper layers rely
+	// on, so tag the event with the pair's lane (idx+1; lane 0 means
+	// unconstrained). With the reliable layer active the wire is allowed to
+	// reorder — sequence numbers restore order at ingress — so deliveries
+	// stay unconstrained and the checker may permute them freely.
+	lane := uint64(0)
+	if f.rel == nil {
+		lane = uint64(idx + 1)
+	}
+	exec.ScheduleLane(f.env, arrive.Sub(now), exec.PrioDelivery, lane, func() { dst.deliver(pkt) })
 }
 
 // lanePush enqueues pkt on the target's per-origin receive lane (Real

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -398,6 +399,15 @@ type NIC struct {
 	// carries packets whose origin is rank i, drained by a dedicated
 	// worker. Per-pair FIFO survives; different origins deliver in
 	// parallel against the sharded data plane.
+	//
+	// Checker-audit note: rx, quit, rxWG and the realGate internals are the
+	// only blocking primitives in this package that bypass exec.Gate, and
+	// all of them are dead under the Sim engine (rx is nil, workers are
+	// never spawned, lanePush takes the Schedule path). Every Sim-mode
+	// blocking edge — op await/flush, destination CQ waits, class-bucket
+	// message waits, reliability timers — parks through exec.Gate or
+	// Env.Schedule, so the interleaving checker (internal/check) observes
+	// the complete blocking/wake graph.
 	rx   []chan *packet
 	quit chan struct{}
 
@@ -705,9 +715,18 @@ func (n *NIC) notePeerFailure(failed int, err error) {
 			n.failOpLocked(op, err)
 		}
 	}
+	// Collect waiters in sorted class order, not map order: the broadcast
+	// below assigns wake-event sequence numbers under Sim, and replayable
+	// exploration (internal/check) requires the event order to be a pure
+	// function of the schedule, never of map iteration.
 	var wake []*msgWaiter
-	for _, q := range n.msgQs {
-		for _, w := range q.waiters {
+	classes := make([]int, 0, len(n.msgQs))
+	for c := range n.msgQs {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		for _, w := range n.msgQs[c].waiters {
 			if !w.ready {
 				w.ready = true
 				wake = append(wake, w)

@@ -80,6 +80,18 @@ type Options struct {
 	// peer-failure detector declares dead. It runs in delivery/timer
 	// context and must not block on fabric operations.
 	OnPeerFailure func(observer, failed int, err error)
+	// Env, when non-nil, supplies the execution engine instead of
+	// exec.New(Mode); its mode must agree with Mode. The interleaving
+	// checker (internal/check) injects a Sim engine driven by an exploring
+	// scheduler here so whole-world workloads run under permuted schedules.
+	Env Engine
+}
+
+// Engine is what a World needs from its execution engine: the Env surface
+// plus the ability to host an SPMD run.
+type Engine interface {
+	exec.Env
+	Run(n int, body func(p *exec.Proc)) error
 }
 
 func (o Options) withDefaults() Options {
@@ -102,11 +114,8 @@ func (o Options) withDefaults() Options {
 // World is one job: engine + fabric + configuration.
 type World struct {
 	opts Options
-	env  interface {
-		exec.Env
-		Run(n int, body func(p *exec.Proc)) error
-	}
-	fab *fabric.Fabric
+	env  Engine
+	fab  *fabric.Fabric
 
 	// Peer-failure fan-out: the fabric's FailureHook lands here and is
 	// forwarded to every registered per-rank listener plus the job-level
@@ -122,7 +131,12 @@ func NewWorld(opts Options) *World {
 	if opts.Ranks <= 0 {
 		panic(fmt.Sprintf("runtime: invalid rank count %d", opts.Ranks))
 	}
-	env := exec.New(opts.Mode)
+	env := opts.Env
+	if env == nil {
+		env = exec.New(opts.Mode)
+	} else if env.Mode() != opts.Mode {
+		panic(fmt.Sprintf("runtime: injected engine mode %v != Options.Mode %v", env.Mode(), opts.Mode))
+	}
 	if opts.UnreliableNetwork {
 		opts.GetNotifyMode = fabric.GetNotifyDeferred
 	}

@@ -10,6 +10,7 @@ package simtime
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Time is an absolute virtual time in nanoseconds since simulation start.
@@ -65,6 +66,15 @@ type Event struct {
 	Prio int // lower fires first among equal times
 	Fn   func()
 
+	// Lane tags events whose relative order is a platform guarantee rather
+	// than a race: two events on the same nonzero lane must fire in their
+	// (time, priority, sequence) order even under an exploring scheduler
+	// (the lossless fabric tags each (origin, target) delivery stream, whose
+	// FIFO order upper layers are entitled to rely on). Lane 0 — the default
+	// — carries no ordering constraint. The queue itself ignores the field;
+	// it exists for scheduling policies inspecting AppendSorted snapshots.
+	Lane uint64
+
 	seq   uint64
 	index int // heap index; -1 when not queued
 }
@@ -89,8 +99,13 @@ func (q *Queue) Len() int { return len(q.heap) }
 // Schedule enqueues fn to run at time at with priority prio and returns the
 // event handle (usable with Cancel).
 func (q *Queue) Schedule(at Time, prio int, fn func()) *Event {
+	return q.ScheduleLane(at, prio, 0, fn)
+}
+
+// ScheduleLane is Schedule with a FIFO-lane tag (see Event.Lane).
+func (q *Queue) ScheduleLane(at Time, prio int, lane uint64, fn func()) *Event {
 	q.seq++
-	e := &Event{At: at, Prio: prio, Fn: fn, seq: q.seq}
+	e := &Event{At: at, Prio: prio, Fn: fn, Lane: lane, seq: q.seq}
 	q.push(e)
 	return e
 }
@@ -120,6 +135,20 @@ func (q *Queue) Pop() *Event {
 	e := q.heap[0]
 	q.remove(0)
 	return e
+}
+
+// AppendSorted appends every pending event to dst in firing order — the
+// (time, priority, sequence) order Pop would return them in — and returns
+// the extended slice. The events stay queued; the caller typically hands
+// the slice to a scheduling policy that picks one and Cancels it. Reusing
+// dst across calls keeps the per-step allocation at zero once the slice
+// has grown to the queue's high-water length.
+func (q *Queue) AppendSorted(dst []*Event) []*Event {
+	n := len(dst)
+	dst = append(dst, q.heap...)
+	tail := dst[n:]
+	sort.Slice(tail, func(i, j int) bool { return q.less(tail[i], tail[j]) })
+	return dst
 }
 
 func (q *Queue) less(a, b *Event) bool {
