@@ -5,9 +5,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/bench"
@@ -20,9 +22,13 @@ func main() {
 	format := flag.String("format", "text", "output format: text, markdown, csv")
 	quick := flag.Bool("quick", false, "shrink wall-clock experiments to a fast smoke pass (CI)")
 	transport := flag.String("transport", "sim", "engine for the ping-pong microbenchmark: sim (modeled LogGP time) or tcp (real sockets, wall-clock percentiles)")
+	jsonDir := flag.String("json", "", "directory to write BENCH_<name>.json machine-readable metrics into (one file per experiment that reports metrics)")
+	p99max := flag.Float64("p99max", 0, "regression floor: exit 1 if the tcppp single-frame (8B) p99 exceeds this many microseconds (0 disables)")
 	flag.Parse()
 	outputFormat = *format
 	bench.Quick = *quick
+	jsonOut = *jsonDir
+	p99Floor = *p99max
 
 	switch *transport {
 	case "sim":
@@ -59,9 +65,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if floorViolation != "" {
+		fmt.Fprintln(os.Stderr, floorViolation)
+		os.Exit(1)
+	}
 }
 
-var outputFormat = "text"
+var (
+	outputFormat   = "text"
+	jsonOut        string
+	p99Floor       float64
+	floorViolation string
+)
 
 func run(e bench.Experiment) {
 	start := time.Now()
@@ -77,4 +92,38 @@ func run(e bench.Experiment) {
 	if outputFormat == "text" {
 		fmt.Printf("(%s regenerated in %.1fs)\n\n", e.Name, time.Since(start).Seconds())
 	}
+	if jsonOut != "" && len(t.Metrics) > 0 {
+		if err := writeJSON(t); err != nil {
+			fmt.Fprintf(os.Stderr, "naperf: writing %s metrics: %v\n", t.Name, err)
+			os.Exit(1)
+		}
+	}
+	if p99Floor > 0 && t.Name == "tcppp" {
+		if p99, ok := t.Metrics["p99_8"]; ok && p99 > p99Floor {
+			floorViolation = fmt.Sprintf(
+				"naperf: tcppp 8B p99 = %.3f us exceeds the pinned floor of %.3f us",
+				p99, p99Floor)
+		}
+	}
+}
+
+// writeJSON records an experiment's machine-readable metrics as
+// BENCH_<name>.json so CI (and regression tooling) can diff runs without
+// scraping table text.
+func writeJSON(t *bench.Table) error {
+	if err := os.MkdirAll(jsonOut, 0o755); err != nil {
+		return err
+	}
+	doc := struct {
+		Name    string             `json:"name"`
+		Title   string             `json:"title"`
+		Quick   bool               `json:"quick"`
+		Metrics map[string]float64 `json:"metrics"`
+	}{t.Name, t.Title, bench.Quick, t.Metrics}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(jsonOut, "BENCH_"+t.Name+".json")
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

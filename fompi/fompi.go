@@ -384,7 +384,9 @@ type QueueStats struct {
 	// goodput accounting.
 	RetransmitCount int64
 	// Net is the TCP transport snapshot (frames and bytes each way on this
-	// process's mesh endpoint); all-zero except under TransportTCP.
+	// process's mesh endpoint, plus the batched data plane's syscall
+	// counters: TxFlushes, RxReads, and the RxCoalesce frames-per-read
+	// histogram); all-zero except under TransportTCP.
 	Net netfab.Stats
 }
 

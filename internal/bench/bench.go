@@ -20,11 +20,23 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Metrics carries the experiment's headline numbers in machine-readable
+	// form (naperf -json writes them to BENCH_<name>.json; CI regression
+	// floors read them). Keys are experiment-defined, e.g. "p99_8".
+	Metrics map[string]float64
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+}
+
+// SetMetric records one machine-readable headline number.
+func (t *Table) SetMetric(key string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[key] = v
 }
 
 // Fprint renders the table as aligned text.
@@ -97,6 +109,7 @@ func Registry() []Experiment {
 		{"taskflow", "Dataflow tasking system makespan: NA vs MP", Taskflow},
 		{"eagerthreshold", "MP eager/rendezvous threshold ablation", EagerThreshold},
 		{"tcppp", "Notified-put ping-pong over real TCP sockets: wall-clock latency percentiles", TCPPingPong},
+		{"tcpbw", "Bidirectional TCP streaming: ack piggybacking and tx coalescing counters", TCPBW},
 		{"check", "Interleaving checker: schedule-space exploration statistics per model", CheckStats},
 	}
 }

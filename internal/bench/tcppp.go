@@ -72,15 +72,27 @@ func TCPPingPong() *Table {
 	t := &Table{
 		Name:    "tcppp",
 		Title:   "Notified-put ping-pong half-RTT over TCP sockets (wall-clock us)",
-		Columns: []string{"size(B)", "p50", "p90", "p99", "max"},
+		Columns: []string{"size(B)", "p50", "p90", "p99", "p99.9", "max"},
 	}
 	for _, size := range sizes {
 		s := results[size]
+		p50 := stats.Percentile(s, 50)
+		p99 := stats.Percentile(s, 99)
+		p999 := stats.Percentile(s, 99.9)
 		t.AddRow(itoa(size),
-			us(stats.Percentile(s, 50)),
+			us(p50),
 			us(stats.Percentile(s, 90)),
-			us(stats.Percentile(s, 99)),
+			us(p99),
+			us(p999),
 			us(stats.Percentile(s, 100)))
+		t.SetMetric(fmt.Sprintf("p50_%d", size), p50)
+		t.SetMetric(fmt.Sprintf("p99_%d", size), p99)
+		t.SetMetric(fmt.Sprintf("p999_%d", size), p999)
+		if p50 > 0 {
+			// half-RTT in us, so bytes/us == MB/s of one-way goodput at the
+			// median.
+			t.SetMetric(fmt.Sprintf("mbps_%d", size), float64(size)/p50)
+		}
 	}
 	t.Notes = append(t.Notes,
 		"two OS-process-equivalent ranks over localhost TCP (loopback cluster); measured wall time, not the LogGP model — compare shape, not magnitude, with fig3a")

@@ -74,6 +74,19 @@ func NewDistributed(env exec.Env, cfg Config, link Link) *Fabric {
 			cfg.Reliability.MaxAttempts = 10
 		}
 	}
+	if cfg.Reliability.AckDelay == 0 {
+		// Real sockets want ack coalescing: hold cumulative acks briefly so
+		// reverse data piggybacks them. Negative means explicitly eager.
+		cfg.Reliability.AckDelay = 100 * simtime.Microsecond
+	} else if cfg.Reliability.AckDelay < 0 {
+		cfg.Reliability.AckDelay = 0
+	}
+	if cfg.Reliability.Window == 0 {
+		// The Sim-scale 512-packet window underruns a batched TCP path that
+		// can have megabytes in flight; rendezvous data completing out of
+		// order must still land inside it.
+		cfg.Reliability.Window = 4096
+	}
 	f := &Fabric{
 		cfg:           cfg,
 		env:           env,
@@ -90,7 +103,18 @@ func NewDistributed(env exec.Env, cfg Config, link Link) *Fabric {
 		inj = fault.NewInjector(*cfg.FaultPlan)
 	}
 	f.rel = newReliability(f, cfg.Reliability, inj)
+	if cfg.RendezvousThreshold >= 0 {
+		f.rndvOut = make(map[uint64]*rndvOutEntry)
+		f.rndvIn = make(map[rndvKey]*rndvInEntry)
+	}
 	f.nics[f.self].startRxWorkers()
+	if db, ok := link.(interface {
+		SetDirectBuf(func(from int, fr *wire.Frame) []byte)
+	}); ok && f.rndvIn != nil {
+		// The mesh can land announced rendezvous payloads straight into
+		// their reserved buffers, skipping its read buffer entirely.
+		db.SetDirectBuf(f.rndvDirectBuf)
+	}
 	link.Start(f.netRecv, f.netPeerDown)
 	return f
 }
@@ -152,6 +176,29 @@ func (f *Fabric) netSweepFailed(failed int) {
 		}
 	}
 	f.netMu.Unlock()
+	if f.rndvOut == nil {
+		return
+	}
+	// Release rendezvous state parked on the failed rank: outbound payloads
+	// whose CTS will never come, inbound reservations whose data never will.
+	var bufs [][]byte
+	f.rndvMu.Lock()
+	for id, e := range f.rndvOut {
+		if e.target == failed {
+			bufs = append(bufs, e.data)
+			delete(f.rndvOut, id)
+		}
+	}
+	for k, st := range f.rndvIn {
+		if k.from == failed {
+			bufs = append(bufs, st.buf)
+			delete(f.rndvIn, k)
+		}
+	}
+	f.rndvMu.Unlock()
+	for _, b := range bufs {
+		f.pool.put(b)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -248,13 +295,9 @@ func wireKindToPkt(k wire.Kind) (pktKind, bool) {
 	return 0, false
 }
 
-// netSend serializes one transmission attempt onto the link. pkt is a wire
-// clone (or link control packet) under the always-on reliability layer:
-// after the frame is written this copy is disposed of — pooled payloads it
-// owns (fault-plane corrupt copies) are recycled, shared ones belong to
-// the retained original.
-func (f *Fabric) netSend(pkt *packet) {
-	fr := wire.Frame{
+// netFrame fills fr from one transmission attempt's packet fields.
+func (f *Fabric) netFrame(pkt *packet, fr *wire.Frame) {
+	*fr = wire.Frame{
 		Kind:       pktKindToWire(pkt.kind),
 		Origin:     pkt.origin,
 		Target:     pkt.target,
@@ -265,6 +308,8 @@ func (f *Fabric) netSend(pkt *packet) {
 		Operand:    pkt.operand,
 		Compare:    pkt.compare,
 		Seq:        pkt.seq,
+		Ack:        pkt.ack,
+		AckValid:   pkt.ackValid,
 		Csum:       pkt.csum,
 		Imm:        pkt.imm.Val,
 		ImmValid:   pkt.imm.Valid,
@@ -288,7 +333,12 @@ func (f *Fabric) netSend(pkt *packet) {
 				f.self, m.Class, err))
 		}
 	}
-	err := f.link.Send(pkt.target, &fr)
+}
+
+// netDispose releases one transmission attempt after its wire write.
+// Pooled payloads the attempt owns (fault-plane corrupt copies) are
+// recycled, shared ones belong to the retained original.
+func (f *Fabric) netDispose(pkt *packet, target int, err error) {
 	if pkt.pooled {
 		f.pool.put(pkt.data)
 	}
@@ -297,8 +347,24 @@ func (f *Fabric) netSend(pkt *packet) {
 		// The stream to this peer is broken. The mesh's reader will
 		// normally notice first; declaring here too makes a failed write
 		// surface even when the read side is quiescent (idempotent).
-		f.rel.declarePeerFailed(f.self, fr.Target, fmt.Sprintf("send failed: %v", err))
+		f.rel.declarePeerFailed(f.self, target, fmt.Sprintf("send failed: %v", err))
 	}
+}
+
+// netSend serializes one transmission attempt onto the link. pkt is a wire
+// clone (or link control packet) under the always-on reliability layer:
+// after the frame is written this copy is disposed of. Payloads at or
+// above the rendezvous threshold detour through the RTS/CTS handshake
+// instead of riding the frame.
+func (f *Fabric) netSend(pkt *packet) {
+	if f.rndvEligible(pkt) {
+		f.netSendRTS(pkt)
+		return
+	}
+	var fr wire.Frame
+	f.netFrame(pkt, &fr)
+	err := f.link.Send(pkt.target, &fr)
+	f.netDispose(pkt, fr.Target, err)
 }
 
 // ---------------------------------------------------------------------------
@@ -329,10 +395,42 @@ func (f *Fabric) netRecv(from int, fr *wire.Frame) {
 		delete(f.remoteRegions[fr.Origin], fr.RegionID)
 		f.netMu.Unlock()
 		return
+	case wire.KindRTS:
+		f.handleRTS(from, fr)
+		return
+	case wire.KindCTS:
+		f.handleCTS(from, fr)
+		return
+	case wire.KindRndvData:
+		f.handleRndvData(from, fr)
+		return
 	}
+	f.ingestFrame(fr, nil)
+}
+
+// ingestFrame converts a data/control frame into a packet on the local
+// NIC's per-origin receive lane. When staged is non-nil it is a pooled
+// buffer already holding the frame's payload bytes (a rendezvous landing);
+// ownership transfers here — otherwise fr.Data aliases the read buffer and
+// is staged into a fresh pooled copy.
+func (f *Fabric) ingestFrame(fr *wire.Frame, staged []byte) {
 	kind, ok := wireKindToPkt(fr.Kind)
 	if !ok || fr.Target != f.self {
+		if staged != nil {
+			f.pool.put(staged)
+		}
 		return // control frame the mesh already handled, or not ours: drop
+	}
+	stage := func() ([]byte, bool) {
+		if staged != nil {
+			return staged, true
+		}
+		if len(fr.Data) == 0 {
+			return nil, false
+		}
+		data := f.pool.get(len(fr.Data))
+		copy(data, fr.Data)
+		return data, true
 	}
 	pkt := newPacket()
 	*pkt = packet{
@@ -343,6 +441,7 @@ func (f *Fabric) netRecv(from int, fr *wire.Frame) {
 		opID: fr.OpID, operand: fr.Operand, compare: fr.Compare,
 		aop: AtomicOp(fr.AtomicOp), accOp: AccumOp(fr.AccumOp),
 		rel: fr.Rel, seq: fr.Seq, csum: fr.Csum,
+		ack: fr.Ack, ackValid: fr.AckValid,
 	}
 	switch kind {
 	case pktCtrl, pktData:
@@ -351,29 +450,20 @@ func (f *Fabric) netRecv(from int, fr *wire.Frame) {
 			// An undecodable header cannot be committed; drop the packet
 			// and let the reliability layer's checksum/retransmit machinery
 			// (or, for persistent garbage, the failure detector) handle it.
+			if staged != nil {
+				f.pool.put(staged)
+			}
 			releasePacket(pkt)
 			return
 		}
-		var data []byte
-		if len(fr.Data) > 0 {
-			data = f.pool.get(len(fr.Data))
-			copy(data, fr.Data)
-		}
+		data, _ := stage()
 		pkt.msg = &Msg{Origin: fr.Origin, Class: fr.MsgClass, Payload: payload,
 			Data: data, ChargeCopy: fr.ChargeCopy}
 	case pktAck, pktGetResp:
 		pkt.op = f.netLookupOp(fr.OpID)
-		if len(fr.Data) > 0 {
-			data := f.pool.get(len(fr.Data))
-			copy(data, fr.Data)
-			pkt.data, pkt.pooled = data, true
-		}
+		pkt.data, pkt.pooled = stage()
 	default:
-		if len(fr.Data) > 0 {
-			data := f.pool.get(len(fr.Data))
-			copy(data, fr.Data)
-			pkt.data, pkt.pooled = data, true
-		}
+		pkt.data, pkt.pooled = stage()
 	}
 	f.lanePush(f.nics[f.self], pkt, false)
 }
@@ -392,3 +482,233 @@ func (f *Fabric) netPeerDown(rank int, err error) {
 // NetStatsSource returns the link so callers holding only the fabric can
 // surface transport statistics; nil on single-process fabrics.
 func (f *Fabric) NetStatsSource() Link { return f.link }
+
+// ---------------------------------------------------------------------------
+// Rendezvous: adaptive eager/RTS-CTS switch for large payloads
+// ---------------------------------------------------------------------------
+//
+// An eager transfer carries its payload on the first frame, which the
+// receiver must stage through the mesh read buffer and a pooled copy. At
+// some size the copy and buffer churn cost more than a round trip, so
+// large payloads switch to rendezvous: the origin sends a small RTS
+// carrying the transfer's encoded inner header and size, the target
+// reserves an exact-size pooled buffer and answers CTS, and the payload
+// then travels as a bare KindRndvData frame the mesh lands *directly* in
+// the reserved buffer (wire.Framer.ReadDirect) — zero staging copies at
+// the receiver. The inner header is reunited with the landed payload and
+// ingested exactly as an eager arrival would be; the reliable-delivery
+// layer above sees the same sequenced packet either way, so ordering,
+// dedup, and retransmission are untouched. The crossover adapts to the
+// observed per-peer RTT: a slower link must amortize a costlier handshake.
+
+// rndvDefaultThreshold is the eager/rendezvous crossover floor.
+const rndvDefaultThreshold = 64 << 10
+
+type rndvKey struct {
+	from int
+	id   uint64
+}
+
+// rndvOutEntry retains one outbound payload between RTS and CTS. It holds
+// its own pooled copy — the reliability layer may release the retained
+// original (late cumulative ack orderings) while the handshake is still in
+// flight, so sharing that buffer would race its recycling.
+type rndvOutEntry struct {
+	target int
+	seq    uint64 // inner sequence number (dedups retransmitted RTS)
+	data   []byte // pooled; released after the data frame is written
+}
+
+// rndvInEntry is one announced inbound transfer: the decoded inner header
+// and the reserved landing buffer the mesh may fill directly.
+type rndvInEntry struct {
+	fr  wire.Frame
+	buf []byte // pooled, exactly the announced size
+}
+
+// rndvThreshold returns the eager/rendezvous crossover toward a peer in
+// bytes (0 = rendezvous disabled). The configured floor rises with the
+// observed RTT: at ~4 bytes/ns of loopback-ish bandwidth, a payload
+// cheaper to ship than the handshake's extra round trip stays eager.
+func (f *Fabric) rndvThreshold(target int) int {
+	if f.rndvOut == nil {
+		return 0
+	}
+	base := f.cfg.RendezvousThreshold
+	if base == 0 {
+		base = rndvDefaultThreshold
+	}
+	if srtt := f.rel.srttOf(target); srtt > 0 {
+		if adaptive := int(srtt) * 4; adaptive > base {
+			base = adaptive
+		}
+	}
+	return base
+}
+
+// rndvEligible reports whether this transmission attempt should detour
+// through the RTS/CTS handshake: a sequenced, message-free payload at or
+// above the peer's crossover.
+func (f *Fabric) rndvEligible(pkt *packet) bool {
+	if f.rndvOut == nil || pkt.msg != nil || !pkt.rel || len(pkt.data) == 0 {
+		return false
+	}
+	t := f.rndvThreshold(pkt.target)
+	return t > 0 && len(pkt.data) >= t
+}
+
+// netSendRTS announces a large transfer instead of sending it eagerly.
+// pkt is a wire clone; its payload is copied into an entry the handshake
+// owns, so the attempt is disposed of exactly like an eager send. A
+// retransmission of the same sequenced packet reuses the existing entry
+// (same id), so the target sees one announcement to re-CTS.
+func (f *Fabric) netSendRTS(pkt *packet) {
+	var inner wire.Frame
+	f.netFrame(pkt, &inner)
+	inner.Data = nil // the payload travels separately
+	size := len(pkt.data)
+
+	f.rndvMu.Lock()
+	var id uint64
+	for eid, e := range f.rndvOut {
+		if e.target == pkt.target && e.seq == pkt.seq {
+			id = eid
+			break
+		}
+	}
+	if id == 0 {
+		f.rndvSeq++
+		id = f.rndvSeq
+		data := f.pool.get(size)
+		copy(data, pkt.data)
+		f.rndvOut[id] = &rndvOutEntry{target: pkt.target, seq: pkt.seq, data: data}
+	}
+	f.rndvMu.Unlock()
+
+	rts := wire.Frame{
+		Kind: wire.KindRTS, Origin: f.self, Target: pkt.target,
+		OpID: id, Operand: uint64(size), Data: wire.Append(nil, &inner),
+	}
+	target := pkt.target
+	err := f.link.Send(target, &rts)
+	f.netDispose(pkt, target, err)
+}
+
+// handleRTS reserves the landing buffer for an announced transfer and
+// answers CTS. A duplicate announcement (retransmitted RTS) finds its
+// entry and just re-CTSes.
+func (f *Fabric) handleRTS(from int, fr *wire.Frame) {
+	key := rndvKey{from: from, id: fr.OpID}
+	size := int(fr.Operand)
+	f.rndvMu.Lock()
+	if f.rndvIn == nil {
+		f.rndvMu.Unlock()
+		return
+	}
+	st := f.rndvIn[key]
+	if st == nil {
+		var inner wire.Frame
+		if err := wire.Decode(fr.Data, &inner); err != nil ||
+			size <= 0 || size > wire.MaxFrame {
+			f.rndvMu.Unlock()
+			return // garbage announcement: the sender's RTO covers it
+		}
+		// The decode aliases the mesh read buffer; own the header's slices.
+		inner.Payload = append([]byte(nil), inner.Payload...)
+		st = &rndvInEntry{fr: inner, buf: f.pool.get(size)}
+		f.rndvIn[key] = st
+	}
+	f.rndvMu.Unlock()
+	cts := wire.Frame{Kind: wire.KindCTS, Origin: f.self, Target: from, OpID: fr.OpID}
+	f.link.Send(from, &cts) // best effort: a lost CTS is re-driven by the RTO
+}
+
+// handleCTS releases the announced payload onto the wire. The send runs on
+// its own goroutine: a large write can block on the stream's backpressure
+// bound, and this callback runs on the mesh's reader goroutine, which must
+// keep draining (the peer may be mid-burst toward us on the same pair).
+func (f *Fabric) handleCTS(from int, fr *wire.Frame) {
+	f.rndvMu.Lock()
+	e := f.rndvOut[fr.OpID]
+	if e != nil && e.target == from {
+		delete(f.rndvOut, fr.OpID)
+	} else {
+		e = nil // stale or duplicated CTS
+	}
+	f.rndvMu.Unlock()
+	if e == nil {
+		return
+	}
+	id := fr.OpID
+	go func() {
+		data := wire.Frame{
+			Kind: wire.KindRndvData, Origin: f.self, Target: from,
+			OpID: id, Operand: uint64(len(e.data)), Data: e.data,
+		}
+		err := f.link.Send(from, &data)
+		f.pool.put(e.data)
+		if err != nil && f.rel != nil {
+			f.rel.declarePeerFailed(f.self, from, fmt.Sprintf("rendezvous send failed: %v", err))
+		}
+	}()
+}
+
+// handleRndvData reunites a landed payload with its inner header and
+// ingests the whole transfer as if it had arrived eagerly. When the mesh
+// landed the bytes directly in the reserved buffer (rndvDirectBuf) no copy
+// happens at all; the buffered fallback pays the one staging copy an eager
+// arrival would have.
+func (f *Fabric) handleRndvData(from int, fr *wire.Frame) {
+	key := rndvKey{from: from, id: fr.OpID}
+	f.rndvMu.Lock()
+	st := f.rndvIn[key]
+	if st != nil {
+		delete(f.rndvIn, key)
+	}
+	f.rndvMu.Unlock()
+	if st == nil {
+		return // duplicate data for an already-completed transfer
+	}
+	if len(fr.Data) != len(st.buf) {
+		f.pool.put(st.buf) // size mismatch: unusable; the RTO re-drives
+		return
+	}
+	if &fr.Data[0] != &st.buf[0] {
+		copy(st.buf, fr.Data)
+	}
+	inner := st.fr
+	inner.Data = st.buf
+	f.ingestFrame(&inner, st.buf)
+}
+
+// rndvDirectBuf is the mesh's direct-landing hook: it maps an arriving
+// KindRndvData frame to its reserved buffer so the payload bypasses the
+// read buffer. Runs on the mesh reader goroutine.
+func (f *Fabric) rndvDirectBuf(from int, fr *wire.Frame) []byte {
+	f.rndvMu.Lock()
+	defer f.rndvMu.Unlock()
+	st := f.rndvIn[rndvKey{from: from, id: fr.OpID}]
+	if st == nil || uint64(len(st.buf)) != fr.Operand {
+		return nil
+	}
+	return st.buf
+}
+
+// rndvGapPending reports whether the reliability layer's expected sequence
+// number from a peer is a rendezvous transfer still in flight: its frame
+// is coming (the handshake, not loss, delays it), so a gap nack — and the
+// retransmission it would trigger — is suppressed. Called under rl.mu;
+// takes only rndvMu.
+func (f *Fabric) rndvGapPending(from int, seq uint64) bool {
+	if f.rndvIn == nil {
+		return false
+	}
+	f.rndvMu.Lock()
+	defer f.rndvMu.Unlock()
+	for k, st := range f.rndvIn {
+		if k.from == from && st.fr.Seq == seq {
+			return true
+		}
+	}
+	return false
+}

@@ -194,6 +194,10 @@ type packet struct {
 	rel  bool   // sequenced packet: ingress runs dedup/reorder before deliverNow
 	seq  uint64 // per-(origin,target) sequence number, starting at 1
 	csum uint32 // CRC-32 over the payload bytes (data + msg data)
+	// Piggybacked cumulative ack for the reverse direction (ack coalescing:
+	// a data packet carries the link ack a standalone pktLinkAck would).
+	ack      uint64
+	ackValid bool
 }
 
 // Op is the origin-side handle of an outstanding remote operation. Done

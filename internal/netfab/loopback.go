@@ -42,18 +42,13 @@ func readFrame(conn net.Conn, deadline time.Time) (*wire.Frame, error) {
 func Loopback(n int) []*Mesh {
 	meshes := make([]*Mesh, n)
 	for i := range meshes {
-		meshes[i] = &Mesh{
-			cfg:     Config{Self: i, N: n, WriteTimeout: 10 * time.Second},
-			peers:   make([]*peer, n),
-			byeFrom: make(map[int]bool),
-			byeCond: make(chan struct{}),
-		}
+		meshes[i] = newMesh(Config{Self: i, N: n, WriteTimeout: 10 * time.Second})
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			a, b := net.Pipe()
-			meshes[i].peers[j] = &peer{rank: j, conn: a}
-			meshes[j].peers[i] = &peer{rank: i, conn: b}
+			meshes[i].peers[j] = newPeer(j, a)
+			meshes[j].peers[i] = newPeer(i, b)
 		}
 	}
 	return meshes

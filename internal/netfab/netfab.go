@@ -22,7 +22,6 @@
 package netfab
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -70,21 +69,93 @@ func (c *Config) withDefaults() Config {
 	return cfg
 }
 
+// RxCoalesceBuckets is the number of buckets in the frames-per-read
+// histogram; bucket i counts reads that completed coalesceBucketLo[i]..hi
+// frames (0, 1, 2-4, 5-16, 17-64, 65+).
+const RxCoalesceBuckets = 6
+
+// coalesceBucket maps a frames-completed-per-read count to its histogram
+// bucket.
+func coalesceBucket(frames int) int {
+	switch {
+	case frames <= 0:
+		return 0
+	case frames == 1:
+		return 1
+	case frames <= 4:
+		return 2
+	case frames <= 16:
+		return 3
+	case frames <= 64:
+		return 4
+	}
+	return 5
+}
+
 // Stats counts mesh traffic (monotonic, safe to read concurrently).
 type Stats struct {
 	FramesSent, FramesRecv uint64
 	BytesSent, BytesRecv   uint64
+
+	// TxFlushes counts write syscalls: coalesced writev batches plus
+	// single-frame low-latency bypass writes. FramesSent/TxFlushes is the
+	// tx batching factor.
+	TxFlushes uint64
+	// RxReads counts read syscalls on established streams (one per framer
+	// fill; a direct-landed frame counts one regardless of how many reads
+	// its payload took).
+	RxReads uint64
+	// RxCoalesce is a histogram of frames completed per read: buckets
+	// count reads yielding 0, 1, 2-4, 5-16, 17-64, and 65+ frames.
+	RxCoalesce [RxCoalesceBuckets]uint64
 }
 
+// txChunk is one pending flush segment: encoded frames appended back to
+// back, written as one element of a net.Buffers batch.
+type txChunk struct {
+	buf    []byte
+	frames int
+}
+
+const (
+	// txChunkSize is the target encoded size of one pending chunk; a
+	// frame larger than this gets a chunk to itself.
+	txChunkSize = 64 << 10
+	// txMaxPending bounds the queued-but-unflushed bytes per peer:
+	// senders beyond it block until the writer drains (backpressure).
+	txMaxPending = 4 << 20
+	// txChunkRecycleCap: chunks that grew beyond this are handed to the
+	// GC instead of the freelist, so one jumbo frame doesn't pin memory.
+	txChunkRecycleCap = 256 << 10
+	// rxBufSize is the framer's initial read-buffer size per stream.
+	rxBufSize = 256 << 10
+)
+
 // peer is one established stream to another rank.
+//
+// The tx path is a doorbell protocol: senders append encoded frames to the
+// pending chunk list under mu and ring the doorbell; the writer goroutine
+// (writeLoop) drains everything pending into one net.Buffers writev. When
+// nothing is pending and nobody is flushing, Send bypasses the queue and
+// writes synchronously — single-frame latency never pays a goroutine
+// wakeup.
 type peer struct {
 	rank int
 	conn net.Conn
 
-	mu     sync.Mutex // serializes writers; also guards encBuf and state below
-	encBuf []byte     // reused length-prefix + frame encode buffer
-	closed bool       // local close: writes are errors
-	bye    bool       // remote sent Bye: writes are silently dropped
+	mu       sync.Mutex // guards all fields below
+	sendable sync.Cond  // signaled when a flush completes or state changes
+	encBuf   []byte     // bypass-path encode buffer (reused)
+	chunks   []*txChunk // pending encoded frames, in send order
+	free     []*txChunk // chunk recycle list
+	pendingBytes  int
+	pendingFrames int
+	flushing bool // a bypass write or writer-goroutine flush owns the conn
+	closed   bool // local close: writes are errors
+	bye      bool // remote sent Bye: writes are silently dropped
+	down     bool // stream failed: writes are errors, peerDown fired
+
+	doorbell chan struct{} // capacity 1: wakes the writer goroutine
 }
 
 // Mesh is one rank's set of streams to every other rank in the job.
@@ -95,12 +166,22 @@ type Mesh struct {
 	rx       func(from int, fr *wire.Frame)
 	peerDown func(rank int, err error)
 
+	// directBuf, when set (before Start), lets the receive loop land a
+	// rendezvous data frame's payload straight into a caller-owned buffer:
+	// given the peeked header it returns a buffer of exactly the payload
+	// size, or nil to take the ordinary buffered path.
+	directBuf func(from int, fr *wire.Frame) []byte
+
 	framesSent, framesRecv atomic.Uint64
 	bytesSent, bytesRecv   atomic.Uint64
+	txFlushes, rxReads     atomic.Uint64
+	rxCoalesce             [RxCoalesceBuckets]atomic.Uint64
 
 	closeOnce sync.Once
 	closed    atomic.Bool
+	quit      chan struct{} // closed at teardown: writer goroutines exit
 	readersWG sync.WaitGroup
+	writersWG sync.WaitGroup
 
 	byeMu   sync.Mutex
 	byeFrom map[int]bool
@@ -120,12 +201,7 @@ func Bootstrap(cfg Config) (*Mesh, error) {
 	if cfg.N <= 0 || cfg.Self < 0 || cfg.Self >= cfg.N {
 		return nil, fmt.Errorf("netfab: bad rank %d of %d", cfg.Self, cfg.N)
 	}
-	m := &Mesh{
-		cfg:     cfg,
-		peers:   make([]*peer, cfg.N),
-		byeFrom: make(map[int]bool),
-		byeCond: make(chan struct{}),
-	}
+	m := newMesh(cfg)
 	if cfg.N == 1 {
 		return m, nil
 	}
@@ -313,17 +389,35 @@ func (m *Mesh) checkHello(fr *wire.Frame) error {
 	return nil
 }
 
+func newMesh(cfg Config) *Mesh {
+	return &Mesh{
+		cfg:     cfg,
+		peers:   make([]*peer, cfg.N),
+		quit:    make(chan struct{}),
+		byeFrom: make(map[int]bool),
+		byeCond: make(chan struct{}),
+	}
+}
+
 func newPeer(rank int, conn net.Conn) *peer {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // latency-sensitive small frames (acks, immediates)
 	}
-	return &peer{rank: rank, conn: conn}
+	p := &peer{rank: rank, conn: conn, doorbell: make(chan struct{}, 1)}
+	p.sendable.L = &p.mu
+	return p
 }
 
-// dialRetry dials until success or the deadline; bootstrap peers race the
-// listeners they are dialing, so connection-refused is retried.
+// dialRetry dials until success or the deadline. Bootstrap peers race the
+// listeners they are dialing, so connection-refused is retried — under
+// jittered exponential backoff, so a large job's worth of children doesn't
+// hammer the rendezvous listener in 5ms lockstep.
 func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 	var lastErr error
+	sleep := 2 * time.Millisecond
+	const sleepMax = 250 * time.Millisecond
+	// Deterministic per-call jitter seed: cheap, no global rand state.
+	jit := uint64(time.Now().UnixNano())
 	for {
 		remain := time.Until(deadline)
 		if remain <= 0 {
@@ -337,7 +431,17 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 			return conn, nil
 		}
 		lastErr = err
-		time.Sleep(5 * time.Millisecond)
+		// Full jitter in [sleep/2, sleep): desynchronizes the herd while
+		// keeping the expected backoff exponential.
+		jit = jit*6364136223846793005 + 1442695040888963407
+		d := sleep/2 + time.Duration(jit%uint64(sleep/2+1))
+		if until := time.Until(deadline); d > until {
+			d = until
+		}
+		time.Sleep(d)
+		if sleep < sleepMax {
+			sleep *= 2
+		}
 	}
 }
 
@@ -351,11 +455,20 @@ func (m *Mesh) Self() int { return m.cfg.Self }
 // N returns the job size.
 func (m *Mesh) N() int { return m.cfg.N }
 
-// Start installs the receive callbacks and launches one reader goroutine
-// per peer stream. rx runs on the reader goroutine for that peer; the
-// frame's Data/Payload slices alias the read buffer and must be copied out
-// before rx returns. peerDown fires at most once per peer, only for
-// streams that end without a clean Bye.
+// SetDirectBuf installs the direct-landing hook for rendezvous data
+// frames: given the peeked fixed header of an arriving KindRndvData frame,
+// it returns a buffer of exactly the payload size the payload should land
+// in (skipping the framer's buffer entirely), or nil to take the ordinary
+// buffered path. Must be set before Start.
+func (m *Mesh) SetDirectBuf(f func(from int, fr *wire.Frame) []byte) {
+	m.directBuf = f
+}
+
+// Start installs the receive callbacks and launches one reader and one
+// writer goroutine per peer stream. rx runs on the reader goroutine for
+// that peer; the frame's Data/Payload slices alias the read buffer and
+// must be copied out before rx returns. peerDown fires at most once per
+// peer, only for streams that end without a clean Bye.
 func (m *Mesh) Start(rx func(from int, fr *wire.Frame), peerDown func(rank int, err error)) {
 	m.rx = rx
 	m.peerDown = peerDown
@@ -365,40 +478,84 @@ func (m *Mesh) Start(rx func(from int, fr *wire.Frame), peerDown func(rank int, 
 		}
 		m.readersWG.Add(1)
 		go m.readLoop(p)
+		m.writersWG.Add(1)
+		go m.writeLoop(p)
 	}
 }
 
+// readLoop drains one peer stream through a buffered framer: one read
+// syscall yields as many frames as arrived, each sliced out of the buffer
+// without a per-frame allocation. Rendezvous data frames are routed
+// through the direct-landing hook before their payload is buffered.
 func (m *Mesh) readLoop(p *peer) {
 	defer m.readersWG.Done()
-	var (
-		lenBuf [4]byte
-		buf    []byte
-		fr     wire.Frame
-	)
+	fram := wire.NewFramer(rxBufSize)
+	var fr wire.Frame
+	sinceRead := 0 // frames completed since the last read syscall
 	for {
-		if _, err := io.ReadFull(p.conn, lenBuf[:]); err != nil {
-			m.streamEnded(p, err)
+		// Direct landing: when the next frame is rendezvous data with a
+		// reserved buffer, stream the payload straight into it.
+		if m.directBuf != nil {
+			ok, err := fram.PeekHeader(&fr)
+			if err != nil {
+				m.streamEnded(p, fmt.Errorf("netfab: undecodable frame from rank %d: %w", p.rank, err))
+				return
+			}
+			if ok && fr.Kind == wire.KindRndvData {
+				if dst := m.directBuf(p.rank, &fr); dst != nil {
+					switch err := fram.ReadDirect(p.conn, dst); err {
+					case nil:
+						m.rxReads.Add(1)
+						m.framesRecv.Add(1)
+						m.bytesRecv.Add(uint64(wire.LengthPrefix + wire.FixedHeaderLen + 10 + len(dst)))
+						fr.Data = dst
+						if m.rx != nil {
+							m.rx(p.rank, &fr)
+						}
+						continue
+					case wire.ErrDirectMismatch:
+						// Header lied about the size: nothing consumed; the
+						// buffered path below re-parses it as a normal frame.
+					default:
+						m.streamEnded(p, err)
+						return
+					}
+				}
+				// No reserved buffer (stale transfer): fall through — the
+				// buffered path parses the frame and the fabric drops it.
+			}
+		}
+
+		body, err := fram.Next()
+		if err != nil {
+			m.streamEnded(p, fmt.Errorf("netfab: bad frame from rank %d: %w", p.rank, err))
 			return
 		}
-		n := int(binary.LittleEndian.Uint32(lenBuf[:]))
-		if n == 0 || n > wire.MaxFrame {
-			m.streamEnded(p, fmt.Errorf("netfab: bad frame length %d from rank %d", n, p.rank))
-			return
+		if body == nil {
+			m.rxCoalesce[coalesceBucket(sinceRead)].Add(1)
+			sinceRead = 0
+			// Keep the buffer small while the pending frame is a
+			// direct-landing candidate; otherwise let the framer grow to
+			// fit large eager frames.
+			if k, ok := fram.PendingKind(); ok && k == wire.KindRndvData && m.directBuf != nil {
+				err = fram.FillSmall(p.conn)
+			} else {
+				_, err = fram.Fill(p.conn)
+			}
+			if err != nil {
+				m.streamEnded(p, err)
+				return
+			}
+			m.rxReads.Add(1)
+			continue
 		}
-		if cap(buf) < n {
-			buf = make([]byte, n)
-		}
-		buf = buf[:n]
-		if _, err := io.ReadFull(p.conn, buf); err != nil {
-			m.streamEnded(p, err)
-			return
-		}
-		if err := wire.Decode(buf, &fr); err != nil {
+		if err := wire.Decode(body, &fr); err != nil {
 			m.streamEnded(p, fmt.Errorf("netfab: undecodable frame from rank %d: %w", p.rank, err))
 			return
 		}
+		sinceRead++
 		m.framesRecv.Add(1)
-		m.bytesRecv.Add(uint64(4 + n))
+		m.bytesRecv.Add(uint64(wire.LengthPrefix + len(body)))
 		if fr.Kind == wire.KindBye {
 			m.noteBye(p)
 			continue // keep draining: data may still arrive until FIN
@@ -421,6 +578,22 @@ func (m *Mesh) streamEnded(p *peer, err error) {
 	if err == io.EOF {
 		err = fmt.Errorf("netfab: rank %d closed the connection without goodbye", p.rank)
 	}
+	m.markDown(p, err)
+}
+
+// markDown records a failed stream (idempotently): subsequent sends fail
+// fast, blocked senders wake, and peerDown fires exactly once. Reached
+// from the reader (stream error) and from a failed flush (write error);
+// whichever detects it first reports it.
+func (m *Mesh) markDown(p *peer, err error) {
+	p.mu.Lock()
+	already := p.down
+	p.down = true
+	p.sendable.Broadcast()
+	p.mu.Unlock()
+	if already {
+		return
+	}
 	if m.peerDown != nil {
 		m.peerDown(p.rank, err)
 	}
@@ -439,10 +612,17 @@ func (m *Mesh) noteBye(p *peer) {
 	m.byeMu.Unlock()
 }
 
-// Send encodes fr and writes it on the stream to target. It is safe for
+// Send encodes fr and submits it on the stream to target. It is safe for
 // concurrent use; fr and its slices are not retained after Send returns.
 // Writes to a peer that already said goodbye succeed silently (the peer is
 // legitimately gone; in-flight traffic to it is moot).
+//
+// When the peer's submit queue is empty and no flush is in progress, the
+// frame is written synchronously (low-latency bypass). Otherwise it is
+// appended to the pending buffer and the writer goroutine's doorbell is
+// rung; the writer drains everything pending in one writev batch. A write
+// error on a queued frame surfaces through peerDown rather than this
+// return value.
 func (m *Mesh) Send(target int, fr *wire.Frame) error {
 	if m.closed.Load() {
 		return ErrMeshClosed
@@ -457,31 +637,200 @@ func (m *Mesh) Send(target int, fr *wire.Frame) error {
 	return m.writeFrame(p, fr)
 }
 
+// writeFrame submits one frame on p's stream: bypass when idle, queue +
+// doorbell otherwise.
 func (m *Mesh) writeFrame(p *peer, fr *wire.Frame) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	// Data to a peer that said goodbye is moot and silently dropped — but
 	// our own goodbye must still go out, or a rank that received the
 	// peer's Bye first would suppress its reply and leave the peer waiting
 	// out its shutdown grace period.
 	if p.bye && fr.Kind != wire.KindBye {
+		p.mu.Unlock()
 		return nil
 	}
 	if p.closed {
+		p.mu.Unlock()
 		return ErrMeshClosed
 	}
-	b := append(p.encBuf[:0], 0, 0, 0, 0)
-	b = wire.Append(b, fr)
-	binary.LittleEndian.PutUint32(b, uint32(len(b)-4))
-	p.encBuf = b
-	p.conn.SetWriteDeadline(time.Now().Add(m.cfg.WriteTimeout))
-	_, err := p.conn.Write(b)
-	if err != nil {
-		return fmt.Errorf("netfab: write to rank %d: %w", p.rank, err)
+	if p.down {
+		p.mu.Unlock()
+		return fmt.Errorf("netfab: stream to rank %d is down", p.rank)
 	}
-	m.framesSent.Add(1)
-	m.bytesSent.Add(uint64(len(b)))
+
+	if !p.flushing && p.pendingBytes == 0 {
+		// Low-latency bypass: nothing queued and the conn is idle — write
+		// here, skipping the queue and the writer-goroutine wakeup.
+		p.flushing = true
+		p.encBuf = wire.AppendFrame(p.encBuf[:0], fr)
+		buf := p.encBuf
+		p.mu.Unlock()
+		err := m.flushConn(p, net.Buffers{buf}, 1, len(buf))
+		p.mu.Lock()
+		p.flushing = false
+		ring := p.pendingBytes > 0 && !p.closed && !p.down
+		p.sendable.Broadcast()
+		p.mu.Unlock()
+		if ring {
+			ringDoorbell(p) // frames queued behind the bypass: hand off
+		}
+		if err != nil {
+			return fmt.Errorf("netfab: write to rank %d: %w", p.rank, err)
+		}
+		return nil
+	}
+
+	// Queued path: bounded — block while the writer is this far behind.
+	for p.pendingBytes >= txMaxPending && !p.closed && !p.down {
+		p.sendable.Wait()
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return ErrMeshClosed
+	}
+	if p.down {
+		p.mu.Unlock()
+		return fmt.Errorf("netfab: stream to rank %d is down", p.rank)
+	}
+	if p.bye && fr.Kind != wire.KindBye {
+		p.mu.Unlock()
+		return nil
+	}
+	p.appendPendingLocked(fr)
+	p.mu.Unlock()
+	ringDoorbell(p)
 	return nil
+}
+
+// appendPendingLocked encodes fr onto the peer's pending chunk list.
+// Caller holds p.mu.
+func (p *peer) appendPendingLocked(fr *wire.Frame) {
+	var c *txChunk
+	if n := len(p.chunks); n > 0 && len(p.chunks[n-1].buf) < txChunkSize {
+		c = p.chunks[n-1]
+	} else {
+		if n := len(p.free); n > 0 {
+			c = p.free[n-1]
+			p.free = p.free[:n-1]
+		} else {
+			c = &txChunk{buf: make([]byte, 0, txChunkSize)}
+		}
+		p.chunks = append(p.chunks, c)
+	}
+	before := len(c.buf)
+	c.buf = wire.AppendFrame(c.buf, fr)
+	c.frames++
+	p.pendingBytes += len(c.buf) - before
+	p.pendingFrames++
+}
+
+// recycleChunkLocked returns a flushed chunk to the freelist (jumbo ones
+// go to the GC). Caller holds p.mu.
+func (p *peer) recycleChunkLocked(c *txChunk) {
+	if cap(c.buf) > txChunkRecycleCap || len(p.free) >= 8 {
+		return
+	}
+	c.buf = c.buf[:0]
+	c.frames = 0
+	p.free = append(p.free, c)
+}
+
+// ringDoorbell wakes p's writer goroutine (non-blocking: one pending ring
+// is enough).
+func ringDoorbell(p *peer) {
+	select {
+	case p.doorbell <- struct{}{}:
+	default:
+	}
+}
+
+// writeLoop is p's writer goroutine: woken by the doorbell, it claims the
+// entire pending chunk list and writes it as one net.Buffers batch — many
+// frames, one writev syscall.
+func (m *Mesh) writeLoop(p *peer) {
+	defer m.writersWG.Done()
+	var bufs net.Buffers
+	for {
+		m.drainPending(p, &bufs)
+		select {
+		case <-p.doorbell:
+		case <-m.quit:
+			return
+		}
+	}
+}
+
+// drainPending flushes p's queue until it is empty, an error marks the
+// stream down, or a bypass write owns the conn (its completion re-rings).
+func (m *Mesh) drainPending(p *peer, bufs *net.Buffers) {
+	for {
+		p.mu.Lock()
+		if p.flushing || p.pendingBytes == 0 || p.closed || p.down {
+			p.mu.Unlock()
+			return
+		}
+		p.flushing = true
+		chunks := p.chunks
+		p.chunks = nil
+		frames, bytes := p.pendingFrames, p.pendingBytes
+		p.pendingFrames, p.pendingBytes = 0, 0
+		p.mu.Unlock()
+
+		*bufs = (*bufs)[:0]
+		for _, c := range chunks {
+			*bufs = append(*bufs, c.buf)
+		}
+		err := m.flushConn(p, *bufs, frames, bytes)
+
+		p.mu.Lock()
+		p.flushing = false
+		for _, c := range chunks {
+			p.recycleChunkLocked(c)
+		}
+		p.sendable.Broadcast()
+		p.mu.Unlock()
+		if err != nil {
+			return // flushConn already marked the stream down
+		}
+	}
+}
+
+// flushConn writes one batch on p's conn under the write deadline,
+// updating stats on success and classifying the failure on error. bufs is
+// consumed (net.Buffers advances itself); the backing chunk buffers are
+// not modified.
+func (m *Mesh) flushConn(p *peer, bufs net.Buffers, frames, bytes int) error {
+	p.conn.SetWriteDeadline(time.Now().Add(m.cfg.WriteTimeout))
+	_, err := bufs.WriteTo(p.conn)
+	if err == nil {
+		m.framesSent.Add(uint64(frames))
+		m.bytesSent.Add(uint64(bytes))
+		m.txFlushes.Add(1)
+		return nil
+	}
+	p.mu.Lock()
+	benign := p.closed || p.bye
+	p.mu.Unlock()
+	if !benign && !m.closed.Load() {
+		m.markDown(p, fmt.Errorf("netfab: write to rank %d: %w", p.rank, err))
+	}
+	return err
+}
+
+// drainSends waits (bounded) until p's queue is flushed, so a graceful
+// close never cuts off frames already accepted by Send.
+func (p *peer) drainSends(deadline time.Time) {
+	stop := time.AfterFunc(time.Until(deadline), func() {
+		p.mu.Lock()
+		p.sendable.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop.Stop()
+	p.mu.Lock()
+	for (p.pendingBytes > 0 || p.flushing) && !p.down && !p.closed && time.Now().Before(deadline) {
+		p.sendable.Wait()
+	}
+	p.mu.Unlock()
 }
 
 // Close tears the mesh down. With graceful=true it sends Bye on every
@@ -496,27 +845,37 @@ func (m *Mesh) Close(graceful bool) error {
 			bye := &wire.Frame{Kind: wire.KindBye, Origin: m.cfg.Self}
 			for _, p := range m.peers {
 				if p != nil {
-					m.writeFrame(p, bye) // best effort
+					m.writeFrame(p, bye) // best effort; ordered after queued data
+				}
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			for _, p := range m.peers {
+				if p != nil {
+					p.drainSends(deadline)
 				}
 			}
 			m.waitByes(5 * time.Second)
 		}
 		m.closed.Store(true)
+		close(m.quit)
 		for _, p := range m.peers {
 			if p == nil {
 				continue
 			}
 			p.mu.Lock()
 			p.closed = true
+			p.sendable.Broadcast()
 			p.mu.Unlock()
 			p.conn.Close()
 		}
+		m.writersWG.Wait()
 		m.readersWG.Wait()
 	})
 	return err
 }
 
 // abruptClose releases partial bootstrap state on a failed rendezvous.
+// Reader/writer goroutines do not exist yet (Start was never called).
 func (m *Mesh) abruptClose() {
 	m.closed.Store(true)
 	for _, p := range m.peers {
@@ -555,10 +914,16 @@ func (m *Mesh) waitByes(timeout time.Duration) {
 
 // ReadStats returns a snapshot of the mesh traffic counters.
 func (m *Mesh) ReadStats() Stats {
-	return Stats{
+	st := Stats{
 		FramesSent: m.framesSent.Load(),
 		FramesRecv: m.framesRecv.Load(),
 		BytesSent:  m.bytesSent.Load(),
 		BytesRecv:  m.bytesRecv.Load(),
+		TxFlushes:  m.txFlushes.Load(),
+		RxReads:    m.rxReads.Load(),
 	}
+	for i := range m.rxCoalesce {
+		st.RxCoalesce[i] = m.rxCoalesce[i].Load()
+	}
+	return st
 }

@@ -81,15 +81,16 @@ func newDistWorld(d DistOptions, opts Options) (*World, *netfab.Mesh, error) {
 		opts.GetNotifyMode = fabric.GetNotifyDeferred
 	}
 	cfg := fabric.Config{
-		Ranks:           opts.Ranks,
-		RanksPerNode:    opts.RanksPerNode,
-		Model:           *opts.Model,
-		InlineThreshold: opts.InlineThreshold,
-		ChargeOverheads: !opts.DisableOverheads,
-		GetNotifyMode:   opts.GetNotifyMode,
-		Trace:           opts.Trace,
-		FaultPlan:       opts.FaultPlan,
-		Reliability:     opts.Reliability,
+		Ranks:               opts.Ranks,
+		RanksPerNode:        opts.RanksPerNode,
+		Model:               *opts.Model,
+		InlineThreshold:     opts.InlineThreshold,
+		ChargeOverheads:     !opts.DisableOverheads,
+		GetNotifyMode:       opts.GetNotifyMode,
+		Trace:               opts.Trace,
+		FaultPlan:           opts.FaultPlan,
+		Reliability:         opts.Reliability,
+		RendezvousThreshold: opts.RendezvousThreshold,
 	}
 	env := exec.NewDistEnv(d.Self, opts.Ranks)
 	w := &World{opts: opts, env: env}

@@ -1,0 +1,231 @@
+package wire
+
+// Stream framing helpers for the batched TCP data plane: AppendFrame
+// serializes many frames back to back into one flush buffer (tx
+// coalescing), and Framer turns a large buffered read into many decoded
+// frames without a per-frame allocation or syscall (rx coalescing).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// LengthPrefix is the size of the uint32 length prefix preceding every
+// frame body on a stream.
+const LengthPrefix = 4
+
+// AppendFrame serializes fr with its stream length prefix onto dst and
+// returns the extended slice. Appending several frames to the same buffer
+// yields a byte sequence a Framer parses back into the same frames.
+func AppendFrame(dst []byte, fr *Frame) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = Append(dst, fr)
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-LengthPrefix))
+	return dst
+}
+
+// ErrDirectMismatch reports that a frame offered to ReadDirect does not fit
+// the destination buffer; nothing has been consumed and the caller should
+// fall back to the buffered path.
+var ErrDirectMismatch = errors.New("wire: direct-landing size mismatch")
+
+// Framer incrementally splits a byte stream into length-prefixed frame
+// bodies. The caller alternates Next (until it reports it needs more
+// bytes) with Fill (one Read into the internal buffer), so a single
+// syscall can yield many frames; frame bodies returned by Next alias the
+// internal buffer and are valid only until the next Fill or ReadDirect.
+type Framer struct {
+	buf  []byte
+	r, w int // unconsumed bytes live in buf[r:w]
+}
+
+// NewFramer returns a framer whose initial buffer holds size bytes (it
+// grows as needed to fit the largest frame seen).
+func NewFramer(size int) *Framer {
+	if size < 512 {
+		size = 512
+	}
+	return &Framer{buf: make([]byte, size)}
+}
+
+// Buffered returns the number of unconsumed bytes currently held.
+func (f *Framer) Buffered() int { return f.w - f.r }
+
+// pendingLen returns the next frame's body length if its prefix is
+// buffered (-1 otherwise), validating the prefix.
+func (f *Framer) pendingLen() (int, error) {
+	if f.Buffered() < LengthPrefix {
+		return -1, nil
+	}
+	n := int(binary.LittleEndian.Uint32(f.buf[f.r:]))
+	if n == 0 || n > MaxFrame {
+		return -1, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	return n, nil
+}
+
+// compact moves the unconsumed bytes to the front of the buffer.
+func (f *Framer) compact() {
+	if f.r > 0 {
+		copy(f.buf, f.buf[f.r:f.w])
+		f.w -= f.r
+		f.r = 0
+	}
+}
+
+// Fill compacts the buffer, grows it if the next frame is known not to
+// fit, and performs one Read from r. It returns the byte count read;
+// callers count calls to observe frames-per-syscall coalescing.
+func (f *Framer) Fill(r io.Reader) (int, error) {
+	f.compact()
+	if n, err := f.pendingLen(); err != nil {
+		return 0, err
+	} else if need := LengthPrefix + n; n >= 0 && need > len(f.buf) {
+		grown := make([]byte, need)
+		copy(grown, f.buf[:f.w])
+		f.buf = grown
+	} else if f.w == len(f.buf) {
+		// Prefix not yet complete but the buffer is full (tiny buffer).
+		grown := make([]byte, 2*len(f.buf))
+		copy(grown, f.buf[:f.w])
+		f.buf = grown
+	}
+	n, err := r.Read(f.buf[f.w:])
+	f.w += n
+	if n > 0 {
+		return n, nil // bytes first; a terminal error resurfaces next call
+	}
+	if err == nil {
+		err = io.ErrNoProgress
+	}
+	return 0, err
+}
+
+// PendingKind peeks the next frame's kind byte, which is available as soon
+// as the length prefix plus two header bytes are buffered. Receive loops
+// use it to decide whether to keep the buffer small for a direct landing
+// (FillSmall) before the full header has arrived.
+func (f *Framer) PendingKind() (Kind, bool) {
+	if f.Buffered() < LengthPrefix+2 {
+		return KindInvalid, false
+	}
+	return Kind(f.buf[f.r+LengthPrefix+1]), true
+}
+
+// FillSmall is Fill without the grow-to-frame step: the buffer grows only
+// when completely full (doubling). Receive loops use it while the pending
+// frame is a direct-landing candidate, where growing the internal buffer
+// to the full frame would defeat the point; ReadDirect uses it for header
+// peeking.
+func (f *Framer) FillSmall(r io.Reader) error { return f.fillSmall(r) }
+
+// fillSmall is Fill without the grow-to-frame step, for ReadDirect's
+// header peeking: it only ever needs a few dozen bytes, and growing the
+// buffer to the full frame would defeat direct landing.
+func (f *Framer) fillSmall(r io.Reader) error {
+	f.compact()
+	if f.w == len(f.buf) {
+		grown := make([]byte, 2*len(f.buf))
+		copy(grown, f.buf[:f.w])
+		f.buf = grown
+	}
+	n, err := r.Read(f.buf[f.w:])
+	f.w += n
+	if n > 0 {
+		return nil
+	}
+	if err == nil {
+		err = io.ErrNoProgress
+	}
+	return err
+}
+
+// Next returns the next complete frame body, or nil when more bytes are
+// needed (call Fill). The returned slice aliases the internal buffer.
+func (f *Framer) Next() ([]byte, error) {
+	n, err := f.pendingLen()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || f.Buffered() < LengthPrefix+n {
+		return nil, nil
+	}
+	body := f.buf[f.r+LengthPrefix : f.r+LengthPrefix+n]
+	f.r += LengthPrefix + n
+	return body, nil
+}
+
+// PeekHeader decodes the next frame's fixed header without consuming it,
+// so the receive loop can route large frames to a direct-landing buffer
+// before their payload is buffered. ok is false when the header is not yet
+// fully buffered (Fill and retry); a decode failure is a stream error.
+func (f *Framer) PeekHeader(fr *Frame) (ok bool, err error) {
+	n, err := f.pendingLen()
+	if err != nil {
+		return false, err
+	}
+	if n < 0 || f.Buffered() < LengthPrefix+fixedHeaderLen {
+		return false, nil
+	}
+	if n < fixedHeaderLen {
+		return false, ErrTruncated
+	}
+	if err := decodeFixed(f.buf[f.r+LengthPrefix:f.r+LengthPrefix+fixedHeaderLen], fr); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ReadDirect consumes the next frame — whose fixed header must already be
+// buffered (PeekHeader returned true) — landing its data section directly
+// in dst instead of the internal buffer: buffered payload bytes are copied
+// out once and the remainder is read from r straight into dst, so a large
+// frame never transits (or grows) the framer's buffer. The frame must
+// carry exactly a data section of len(dst) bytes (no payload header, no
+// string table); on ErrDirectMismatch nothing has been consumed and the
+// caller can fall back to Next/Fill.
+func (f *Framer) ReadDirect(r io.Reader, dst []byte) error {
+	// The fixed header plus both section prefixes: tiny, so fillSmall
+	// never grows the buffer meaningfully.
+	const want = LengthPrefix + fixedHeaderLen + 4 + 4
+	for f.Buffered() < want {
+		if err := f.fillSmall(r); err != nil {
+			return err
+		}
+	}
+	total, err := f.pendingLen()
+	if err != nil {
+		return err
+	}
+	body := f.buf[f.r+LengthPrefix:]
+	plen := int(binary.LittleEndian.Uint32(body[fixedHeaderLen:]))
+	dlen := int(binary.LittleEndian.Uint32(body[fixedHeaderLen+4:]))
+	if plen != 0 || dlen != len(dst) || total != fixedHeaderLen+4+4+dlen+2 {
+		return ErrDirectMismatch
+	}
+	f.r += want
+	have := f.Buffered()
+	if have > dlen {
+		have = dlen
+	}
+	copy(dst, f.buf[f.r:f.r+have])
+	f.r += have
+	if have < dlen {
+		if _, err := io.ReadFull(r, dst[have:]); err != nil {
+			return err
+		}
+	}
+	for f.Buffered() < 2 { // trailing empty string table
+		if err := f.fillSmall(r); err != nil {
+			return err
+		}
+	}
+	if binary.LittleEndian.Uint16(f.buf[f.r:]) != 0 {
+		return errors.New("wire: direct frame carries a string table")
+	}
+	f.r += 2
+	return nil
+}

@@ -24,7 +24,9 @@ import (
 
 // Version is the wire-protocol version stamped on every frame. Peers with
 // mismatched versions refuse to mesh during the bootstrap handshake.
-const Version = 1
+// Version 2 added the piggybacked cumulative-ack field and the
+// rendezvous kinds (RTS/CTS/RndvData).
+const Version = 2
 
 // MaxData bounds a frame's raw payload section (64 MiB): larger transfers
 // must be chunked by the layer above, and a length prefix beyond it is
@@ -71,6 +73,15 @@ const (
 	KindDereg  // a memory region was revoked: RegionID
 	KindBye    // clean shutdown: the sender finished its rank body
 
+	// Rendezvous protocol for large puts: the origin sends the data-plane
+	// frame's header (encoded in Data) plus the payload size (Operand)
+	// under a transfer ID (OpID); the target reserves a staging buffer and
+	// answers CTS; the payload then travels alone in a RndvData frame that
+	// the receiver can land directly in the reserved buffer.
+	KindRTS      // request to send: OpID=transfer ID, Operand=payload bytes, Data=encoded inner frame header
+	KindCTS      // clear to send: OpID echoes the transfer ID
+	KindRndvData // the payload: OpID=transfer ID, Operand=payload bytes, Data=payload
+
 	kindCount // sentinel
 )
 
@@ -112,6 +123,12 @@ func (k Kind) String() string {
 		return "dereg"
 	case KindBye:
 		return "bye"
+	case KindRTS:
+		return "rts"
+	case KindCTS:
+		return "cts"
+	case KindRndvData:
+		return "rndv-data"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -130,6 +147,7 @@ type Frame struct {
 	OpID             uint64 // origin-side op handle, echoed on acks/get responses
 	Operand, Compare uint64
 	Seq              uint64 // reliable-delivery sequence number
+	Ack              uint64 // piggybacked cumulative ack for the reverse direction
 	Imm              uint32 // 4-byte notified-access immediate
 	Csum             uint32 // reliable-delivery payload CRC
 
@@ -137,6 +155,7 @@ type Frame struct {
 	NotifyBack bool
 	ChargeCopy bool
 	Rel        bool // sequenced by the reliable-delivery layer
+	AckValid   bool // Ack carries a cumulative acknowledgement
 
 	AtomicOp uint8
 	AccumOp  uint8
@@ -151,13 +170,19 @@ const (
 	flagNotifyBack = 1 << 1
 	flagChargeCopy = 1 << 2
 	flagRel        = 1 << 3
+	flagAckValid   = 1 << 4
 )
 
 // fixedHeaderLen is the byte length of the fixed portion of a frame.
 const fixedHeaderLen = 1 + 1 + 1 + 1 + 1 + // version, kind, flags, aop, accop
 	5*4 + // origin, target, regionID, msgClass, wireSize
-	5*8 + // offset, opID, operand, compare, seq
+	6*8 + // offset, opID, operand, compare, seq, ack
 	2*4 // imm, csum
+
+// FixedHeaderLen exposes the fixed-header size for transports that account
+// stream bytes frame by frame (e.g. direct-landed frames that never transit
+// a decode buffer).
+const FixedHeaderLen = fixedHeaderLen
 
 // ErrTruncated reports a frame shorter than its length fields claim.
 var ErrTruncated = errors.New("wire: truncated frame")
@@ -208,6 +233,9 @@ func Append(dst []byte, fr *Frame) []byte {
 	if fr.Rel {
 		flags |= flagRel
 	}
+	if fr.AckValid {
+		flags |= flagAckValid
+	}
 	dst = append(dst, Version, byte(fr.Kind), flags, fr.AtomicOp, fr.AccumOp)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(fr.Origin))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(fr.Target))
@@ -219,6 +247,7 @@ func Append(dst []byte, fr *Frame) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, fr.Operand)
 	dst = binary.LittleEndian.AppendUint64(dst, fr.Compare)
 	dst = binary.LittleEndian.AppendUint64(dst, fr.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, fr.Ack)
 	dst = binary.LittleEndian.AppendUint32(dst, fr.Imm)
 	dst = binary.LittleEndian.AppendUint32(dst, fr.Csum)
 
@@ -237,11 +266,9 @@ func Append(dst []byte, fr *Frame) []byte {
 	return dst
 }
 
-// Decode parses one frame body into fr. The Payload and Data slices alias
-// b: the caller must copy them out before reusing the buffer. A non-nil
-// error means b is not a well-formed frame; fr is then in an unspecified
-// state and must not be used.
-func Decode(b []byte, fr *Frame) error {
+// decodeFixed parses the fixed header portion of a frame body into fr,
+// zeroing the variable sections. b must be at least fixedHeaderLen bytes.
+func decodeFixed(b []byte, fr *Frame) error {
 	if len(b) < fixedHeaderLen {
 		return ErrTruncated
 	}
@@ -253,7 +280,7 @@ func Decode(b []byte, fr *Frame) error {
 		return fmt.Errorf("wire: unknown frame kind %d", b[1])
 	}
 	flags := b[2]
-	if flags &^ (flagImmValid | flagNotifyBack | flagChargeCopy | flagRel) != 0 {
+	if flags &^ (flagImmValid | flagNotifyBack | flagChargeCopy | flagRel | flagAckValid) != 0 {
 		return fmt.Errorf("wire: unknown flag bits %#x", flags)
 	}
 	*fr = Frame{
@@ -264,6 +291,7 @@ func Decode(b []byte, fr *Frame) error {
 		NotifyBack: flags&flagNotifyBack != 0,
 		ChargeCopy: flags&flagChargeCopy != 0,
 		Rel:        flags&flagRel != 0,
+		AckValid:   flags&flagAckValid != 0,
 	}
 	fr.Origin = int(binary.LittleEndian.Uint32(b[5:]))
 	fr.Target = int(binary.LittleEndian.Uint32(b[9:]))
@@ -279,8 +307,20 @@ func Decode(b []byte, fr *Frame) error {
 	fr.Operand = binary.LittleEndian.Uint64(b[41:])
 	fr.Compare = binary.LittleEndian.Uint64(b[49:])
 	fr.Seq = binary.LittleEndian.Uint64(b[57:])
-	fr.Imm = binary.LittleEndian.Uint32(b[65:])
-	fr.Csum = binary.LittleEndian.Uint32(b[69:])
+	fr.Ack = binary.LittleEndian.Uint64(b[65:])
+	fr.Imm = binary.LittleEndian.Uint32(b[73:])
+	fr.Csum = binary.LittleEndian.Uint32(b[77:])
+	return nil
+}
+
+// Decode parses one frame body into fr. The Payload and Data slices alias
+// b: the caller must copy them out before reusing the buffer. A non-nil
+// error means b is not a well-formed frame; fr is then in an unspecified
+// state and must not be used.
+func Decode(b []byte, fr *Frame) error {
+	if err := decodeFixed(b, fr); err != nil {
+		return err
+	}
 	rest := b[fixedHeaderLen:]
 
 	var err error
