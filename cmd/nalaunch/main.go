@@ -1,18 +1,27 @@
 // Command nalaunch runs an fompi program as a real distributed job: one OS
-// process per rank, connected over TCP.
+// process per rank, connected over shared memory (the default for
+// all-local jobs) or TCP.
 //
 //	nalaunch -n 2 ./quickstart
-//	nalaunch -n 4 -- ./app -iters 100
+//	nalaunch -n 4 -transport tcp -- ./app -iters 100
 //
-// The launcher binds the rendezvous listener itself, hands it to the rank-0
-// child as an inherited file descriptor (so the port is settled before any
-// process starts — no bind race, no fixed port), and tells every child its
-// place in the job through the NA_* environment (see package fompi): any
-// unmodified program calling fompi.Run joins the job. Child output is
-// line-multiplexed onto the launcher's streams with a [rank] prefix.
+// Under -transport shm (what auto picks, since every child is local) the
+// launcher creates one anonymous segment file per rank pair — memfd_create
+// where available, an unlinked temp file otherwise — hands each child its
+// pairs as inherited descriptors, and points the NA_* environment at them:
+// the ranks exchange frames through mmap'd rings with zero socket traffic.
+//
+// Under -transport tcp the launcher binds the rendezvous listener itself,
+// hands it to the rank-0 child as an inherited file descriptor (so the
+// port is settled before any process starts — no bind race, no fixed
+// port), and tells every child its place in the job through the NA_*
+// environment (see package fompi). Either way an unmodified program
+// calling fompi.Run joins the job. Child output is line-multiplexed onto
+// the launcher's streams with a [rank] prefix.
 //
 // For failure demonstrations, -kill R -kill-after D sends SIGKILL to rank R
-// after D; survivors observe the abrupt connection loss as ErrPeerFailed.
+// after D; survivors observe the peer's death (abrupt connection loss over
+// TCP, a stalled heartbeat over shm) as ErrPeerFailed.
 package main
 
 import (
@@ -23,14 +32,18 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/shmfab"
 )
 
 func main() {
 	var (
 		n         = flag.Int("n", 2, "number of ranks (one OS process each)")
-		rootAddr  = flag.String("root", "127.0.0.1:0", "rendezvous bind address (port 0: kernel-assigned)")
+		transport = flag.String("transport", "auto", "inter-rank transport: shm, tcp, or auto (all ranks are local, so auto means shm)")
+		rootAddr  = flag.String("root", "127.0.0.1:0", "tcp rendezvous bind address (port 0: kernel-assigned)")
 		kill      = flag.Int("kill", -1, "rank to SIGKILL mid-run (failure demo; -1: none)")
 		killAfter = flag.Duration("kill-after", time.Second, "delay before -kill fires")
 	)
@@ -51,39 +64,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nalaunch: -kill %d outside job of %d ranks\n", *kill, *n)
 		os.Exit(2)
 	}
-	os.Exit(launch(*n, *rootAddr, *kill, *killAfter, flag.Args()))
+	switch *transport {
+	case "auto", "shm", "tcp":
+	default:
+		fmt.Fprintf(os.Stderr, "nalaunch: -transport %q (want shm, tcp, or auto)\n", *transport)
+		os.Exit(2)
+	}
+	os.Exit(launch(*n, *transport, *rootAddr, *kill, *killAfter, flag.Args()))
 }
 
-func launch(n int, rootAddr string, kill int, killAfter time.Duration, args []string) int {
-	ln, err := net.Listen("tcp", rootAddr)
+// rankEnv carries one child's transport bootstrap: environment additions
+// and inherited files (ExtraFiles[i] becomes fd 3+i in the child).
+type rankEnv struct {
+	env   []string
+	files []*os.File
+}
+
+func launch(n int, transport, rootAddr string, kill int, killAfter time.Duration, args []string) int {
+	var (
+		envs    []rankEnv
+		cleanup func()
+		err     error
+	)
+	if transport == "tcp" {
+		envs, cleanup, err = tcpEnvs(n, rootAddr)
+	} else {
+		// auto: every child runs on this host, so shared memory it is.
+		envs, cleanup, err = shmEnvs(n)
+	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nalaunch: binding rendezvous %s: %v\n", rootAddr, err)
+		fmt.Fprintf(os.Stderr, "nalaunch: %v\n", err)
 		return 1
 	}
-	defer ln.Close()
-	lnFile, err := ln.(*net.TCPListener).File()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "nalaunch: dup of rendezvous listener: %v\n", err)
-		return 1
-	}
-	addr := ln.Addr().String()
 
 	var outMu sync.Mutex // one child line at a time on each stream
 	var pipes sync.WaitGroup
 	cmds := make([]*exec.Cmd, n)
 	for r := 0; r < n; r++ {
 		cmd := exec.Command(args[0], args[1:]...)
-		cmd.Env = append(os.Environ(),
-			"NA_TRANSPORT=tcp",
-			fmt.Sprintf("NA_RANK=%d", r),
-			fmt.Sprintf("NA_NRANKS=%d", n),
-			"NA_ROOT="+addr,
-		)
-		if r == 0 {
-			// ExtraFiles[0] becomes fd 3 in the child.
-			cmd.ExtraFiles = []*os.File{lnFile}
-			cmd.Env = append(cmd.Env, "NA_ROOT_FD=3")
-		}
+		cmd.Env = append(os.Environ(), envs[r].env...)
+		cmd.ExtraFiles = envs[r].files
 		stdout, err := cmd.StdoutPipe()
 		if err == nil {
 			var stderr io.ReadCloser
@@ -103,11 +123,12 @@ func launch(n int, rootAddr string, kill int, killAfter time.Duration, args []st
 				c.Process.Kill()
 				c.Wait()
 			}
+			cleanup()
 			return 1
 		}
 		cmds[r] = cmd
 	}
-	lnFile.Close() // rank 0 owns the inherited copy now
+	cleanup() // children hold their inherited copies now
 
 	if kill >= 0 {
 		go func() {
@@ -134,6 +155,83 @@ func launch(n int, rootAddr string, kill int, killAfter time.Duration, args []st
 		return 0
 	}
 	return code
+}
+
+// tcpEnvs binds the rendezvous listener and builds each child's NA_*
+// environment for the TCP transport.
+func tcpEnvs(n int, rootAddr string) ([]rankEnv, func(), error) {
+	ln, err := net.Listen("tcp", rootAddr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("binding rendezvous %s: %w", rootAddr, err)
+	}
+	lnFile, err := ln.(*net.TCPListener).File()
+	if err != nil {
+		ln.Close()
+		return nil, nil, fmt.Errorf("dup of rendezvous listener: %w", err)
+	}
+	addr := ln.Addr().String()
+	envs := make([]rankEnv, n)
+	for r := 0; r < n; r++ {
+		envs[r].env = []string{
+			"NA_TRANSPORT=tcp",
+			fmt.Sprintf("NA_RANK=%d", r),
+			fmt.Sprintf("NA_NRANKS=%d", n),
+			"NA_ROOT=" + addr,
+		}
+		if r == 0 {
+			// ExtraFiles[0] becomes fd 3 in the child.
+			envs[r].files = []*os.File{lnFile}
+			envs[r].env = append(envs[r].env, "NA_ROOT_FD=3")
+		}
+	}
+	// The listener itself stays open for rank 0's accept loop; only the
+	// launcher's dup is surrendered after the children inherit it.
+	return envs, func() { lnFile.Close() }, nil
+}
+
+// shmEnvs creates one anonymous segment file per rank pair and builds each
+// child's NA_* environment: the child's pair files ride down as inherited
+// descriptors, named peer-by-peer in NA_SHM_FDS.
+func shmEnvs(n int) ([]rankEnv, func(), error) {
+	pairs := make(map[[2]int]*os.File)
+	cleanup := func() {
+		for _, f := range pairs {
+			f.Close()
+		}
+	}
+	for lo := 0; lo < n; lo++ {
+		for hi := lo + 1; hi < n; hi++ {
+			f, err := shmfab.CreateSegmentFile("", lo, hi)
+			if err != nil {
+				cleanup()
+				return nil, nil, fmt.Errorf("creating segment (%d,%d): %w", lo, hi, err)
+			}
+			pairs[[2]int{lo, hi}] = f
+		}
+	}
+	envs := make([]rankEnv, n)
+	for r := 0; r < n; r++ {
+		var spec []string
+		for q := 0; q < n; q++ {
+			if q == r {
+				continue
+			}
+			lo, hi := r, q
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			// ExtraFiles[i] becomes fd 3+i in the child.
+			spec = append(spec, fmt.Sprintf("%d=%d", q, 3+len(envs[r].files)))
+			envs[r].files = append(envs[r].files, pairs[[2]int{lo, hi}])
+		}
+		envs[r].env = []string{
+			"NA_TRANSPORT=shm",
+			fmt.Sprintf("NA_RANK=%d", r),
+			fmt.Sprintf("NA_NRANKS=%d", n),
+			"NA_SHM_FDS=" + strings.Join(spec, ","),
+		}
+	}
+	return envs, cleanup, nil
 }
 
 // prefixCopy relays one child stream line-by-line with a [rank] prefix.

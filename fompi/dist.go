@@ -9,9 +9,11 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/runtime"
+	"repro/internal/shmfab"
 )
 
 // Transport selects the engine a job runs on.
@@ -27,6 +29,11 @@ const (
 	// one rank and reaches the others over TCP sockets (see DistConfig and
 	// cmd/nalaunch).
 	TransportTCP
+	// TransportShm is the distributed engine over shared memory: this
+	// process hosts exactly one rank and reaches same-host peers through
+	// mmap'd segment pairs (see ShmConfig and cmd/nalaunch, which selects
+	// it automatically for all-local jobs).
+	TransportShm
 )
 
 // String names the transport as accepted by NA_TRANSPORT and flag values.
@@ -38,6 +45,8 @@ func (t Transport) String() string {
 		return "real"
 	case TransportTCP:
 		return "tcp"
+	case TransportShm:
+		return "shm"
 	}
 	return fmt.Sprintf("Transport(%d)", int(t))
 }
@@ -51,8 +60,10 @@ func ParseTransport(s string) (Transport, error) {
 		return TransportReal, nil
 	case "tcp":
 		return TransportTCP, nil
+	case "shm":
+		return TransportShm, nil
 	}
-	return 0, fmt.Errorf("fompi: unknown transport %q (want sim, real, or tcp)", s)
+	return 0, fmt.Errorf("fompi: unknown transport %q (want sim, real, tcp, or shm)", s)
 }
 
 // DistConfig locates this process inside a TransportTCP job.
@@ -70,31 +81,55 @@ type DistConfig struct {
 	Timeout time.Duration
 }
 
+// ShmConfig locates this process inside a TransportShm job and names its
+// segment bootstrap: inherited descriptors (FDs, the launcher path) or a
+// directory of per-pair files (Dir).
+type ShmConfig struct {
+	// Rank is this process's rank in [0, Options.Ranks).
+	Rank int
+	// FDs maps each peer rank to the inherited pair-segment file. When
+	// non-nil it must name every peer; the files are consumed (closed
+	// after mapping).
+	FDs map[int]*os.File
+	// Dir, used when FDs is nil, is a directory where the per-pair
+	// segment files live (created on first open; see shmfab.PairName).
+	Dir string
+}
+
 // Environment variables forming the contract between cmd/nalaunch and any
-// program calling Run: when NA_TRANSPORT=tcp, the program joins the
-// launcher's job without code changes.
+// program calling Run: when NA_TRANSPORT is tcp or shm, the program joins
+// the launcher's job without code changes.
 const (
-	// EnvTransport selects the engine ("tcp" is the only value honored).
+	// EnvTransport selects the engine ("tcp" and "shm" are honored).
 	EnvTransport = "NA_TRANSPORT"
 	// EnvRank is this process's rank.
 	EnvRank = "NA_RANK"
 	// EnvNRanks is the job size; it must equal Options.Ranks.
 	EnvNRanks = "NA_NRANKS"
-	// EnvRoot is the rendezvous address.
+	// EnvRoot is the rendezvous address (tcp only).
 	EnvRoot = "NA_ROOT"
 	// EnvRootFD, set only for rank 0, is the file descriptor of the
-	// pre-bound root listener the launcher passed via ExtraFiles.
+	// pre-bound root listener the launcher passed via ExtraFiles (tcp only).
 	EnvRootFD = "NA_ROOT_FD"
+	// EnvShmFDs lists this rank's inherited segment descriptors as
+	// "peer=fd,peer=fd,..." — one mmap-able file per peer, passed via
+	// ExtraFiles (shm only).
+	EnvShmFDs = "NA_SHM_FDS"
+	// EnvShmDir names a directory of per-pair segment files
+	// (shmfab.PairName) as the fd-less fallback bootstrap (shm only;
+	// EnvShmFDs wins when both are set).
+	EnvShmDir = "NA_SHM_DIR"
 )
 
 // detectEnv folds the launcher environment into the options. Explicit
 // settings win: a program that already chose a transport or a DistConfig is
 // left alone.
 func (o Options) detectEnv() (Options, error) {
-	if o.Transport != TransportSim || o.Dist != nil || o.Real {
+	if o.Transport != TransportSim || o.Dist != nil || o.Shm != nil || o.Real {
 		return o, nil
 	}
-	if os.Getenv(EnvTransport) != "tcp" {
+	tr := os.Getenv(EnvTransport)
+	if tr != "tcp" && tr != "shm" {
 		return o, nil
 	}
 	rank, err := strconv.Atoi(os.Getenv(EnvRank))
@@ -107,6 +142,20 @@ func (o Options) detectEnv() (Options, error) {
 	}
 	if n != o.Ranks {
 		return o, fmt.Errorf("fompi: launcher started %d ranks but the program asked for Options.Ranks=%d", n, o.Ranks)
+	}
+	if tr == "shm" {
+		s := &ShmConfig{Rank: rank, Dir: os.Getenv(EnvShmDir)}
+		if fdsStr := os.Getenv(EnvShmFDs); fdsStr != "" {
+			s.FDs, err = parseShmFDs(fdsStr)
+			if err != nil {
+				return o, err
+			}
+		} else if s.Dir == "" {
+			return o, fmt.Errorf("fompi: %s=shm needs %s or %s", EnvTransport, EnvShmFDs, EnvShmDir)
+		}
+		o.Transport = TransportShm
+		o.Shm = s
+		return o, nil
 	}
 	d := &DistConfig{Rank: rank, Root: os.Getenv(EnvRoot)}
 	if fdStr := os.Getenv(EnvRootFD); fdStr != "" && rank == 0 {
@@ -127,6 +176,25 @@ func (o Options) detectEnv() (Options, error) {
 	return o, nil
 }
 
+// parseShmFDs decodes the NA_SHM_FDS value ("peer=fd,peer=fd,...") into
+// open files for the inherited descriptors.
+func parseShmFDs(s string) (map[int]*os.File, error) {
+	fds := make(map[int]*os.File)
+	for _, part := range strings.Split(s, ",") {
+		peer, fd, ok := strings.Cut(part, "=")
+		p, err1 := strconv.Atoi(peer)
+		d, err2 := strconv.Atoi(fd)
+		if !ok || err1 != nil || err2 != nil || d < 3 {
+			return nil, fmt.Errorf("fompi: bad %s entry %q", EnvShmFDs, part)
+		}
+		if _, dup := fds[p]; dup {
+			return nil, fmt.Errorf("fompi: duplicate peer %d in %s", p, EnvShmFDs)
+		}
+		fds[p] = os.NewFile(uintptr(d), "na-segment-"+peer)
+	}
+	return fds, nil
+}
+
 // runDist hosts one rank of a TransportTCP job in this process.
 func runDist(opts Options, body func(p *Proc)) error {
 	d := opts.Dist
@@ -143,6 +211,32 @@ func runDist(opts Options, body func(p *Proc)) error {
 	})
 }
 
+// runShm hosts one rank of a TransportShm job in this process.
+func runShm(opts Options, body func(p *Proc)) error {
+	s := opts.Shm
+	if s == nil {
+		return fmt.Errorf("fompi: TransportShm needs Options.Shm (or run under nalaunch, which sets the NA_* environment)")
+	}
+	var (
+		segs []*shmfab.Segment
+		err  error
+	)
+	if s.FDs != nil {
+		segs, err = shmfab.MapFDSegments(s.FDs, s.Rank, opts.Ranks)
+	} else {
+		segs, err = shmfab.OpenDirSegments(s.Dir, s.Rank, opts.Ranks)
+	}
+	if err != nil {
+		return err
+	}
+	return runtime.RunShm(runtime.ShmOptions{
+		Self:     s.Rank,
+		Segments: segs,
+	}, rtOptions(opts), func(p *runtime.Proc) {
+		body(&Proc{p: p})
+	})
+}
+
 // RunLocalCluster runs an Options.Ranks-rank TransportTCP job inside this
 // process: every rank is a goroutine with its own mesh endpoint and fabric,
 // exchanging frames over real localhost sockets. It is the loopback mode of
@@ -150,6 +244,17 @@ func runDist(opts Options, body func(p *Proc)) error {
 // orchestration — and returns one error slot per rank, in rank order.
 func RunLocalCluster(opts Options, body func(p *Proc)) []error {
 	return runtime.RunLocalCluster(rtOptions(opts), func(p *runtime.Proc) {
+		body(&Proc{p: p})
+	})
+}
+
+// RunLocalShmCluster is RunLocalCluster's shared-memory twin: every rank
+// is a goroutine with its own mesh endpoint and fabric, exchanging frames
+// through heap-backed segment pairs under the full ring discipline — the
+// cross-process protocol in one process, where tests and the race detector
+// can see it. Returns one error slot per rank, in rank order.
+func RunLocalShmCluster(opts Options, body func(p *Proc)) []error {
+	return runtime.RunLocalShmCluster(rtOptions(opts), func(p *runtime.Proc) {
 		body(&Proc{p: p})
 	})
 }

@@ -44,6 +44,7 @@ import (
 	"repro/internal/netfab"
 	"repro/internal/rma"
 	"repro/internal/runtime"
+	"repro/internal/shmfab"
 	"repro/internal/simtime"
 )
 
@@ -84,6 +85,10 @@ type Options struct {
 	// Dist locates this process inside a TransportTCP job. Filled from the
 	// NA_* environment when nil and the launcher set one.
 	Dist *DistConfig
+	// Shm locates this process inside a TransportShm job (same-host ranks
+	// over mmap'd segment pairs). Filled from the NA_* environment when
+	// nil and the launcher set one.
+	Shm *ShmConfig
 	// RanksPerNode places consecutive ranks on shared-memory nodes
 	// (default 1: every rank on its own node).
 	RanksPerNode int
@@ -117,6 +122,9 @@ func Run(opts Options, body func(p *Proc)) error {
 	}
 	if opts.Transport == TransportTCP {
 		return runDist(opts, body)
+	}
+	if opts.Transport == TransportShm {
+		return runShm(opts, body)
 	}
 	ro := rtOptions(opts)
 	ro.Mode = exec.Sim
@@ -388,6 +396,10 @@ type QueueStats struct {
 	// counters: TxFlushes, RxReads, and the RxCoalesce frames-per-read
 	// histogram); all-zero except under TransportTCP.
 	Net netfab.Stats
+	// ShmNet is the shared-memory transport snapshot (ring entries and
+	// bulk bytes each way, compact/generic/fragmented frame counts, and
+	// full-ring send stalls); all-zero except under TransportShm.
+	ShmNet shmfab.Stats
 }
 
 // QueueStats returns this rank's NIC queue high-water marks and data-plane
@@ -408,6 +420,9 @@ func (p *Proc) QueueStats() QueueStats {
 	if src := p.p.World().Fabric().NetStatsSource(); src != nil {
 		if m, ok := src.(interface{ ReadStats() netfab.Stats }); ok {
 			qs.Net = m.ReadStats()
+		}
+		if m, ok := src.(interface{ ReadStats() shmfab.Stats }); ok {
+			qs.ShmNet = m.ReadStats()
 		}
 	}
 	return qs

@@ -110,6 +110,7 @@ func Registry() []Experiment {
 		{"eagerthreshold", "MP eager/rendezvous threshold ablation", EagerThreshold},
 		{"tcppp", "Notified-put ping-pong over real TCP sockets: wall-clock latency percentiles", TCPPingPong},
 		{"tcpbw", "Bidirectional TCP streaming: ack piggybacking and tx coalescing counters", TCPBW},
+		{"shmbw", "Shared-memory segment ring vs in-process Real engine: aggregate put bandwidth", ShmBW},
 		{"check", "Interleaving checker: schedule-space exploration statistics per model", CheckStats},
 	}
 }

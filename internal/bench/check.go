@@ -37,6 +37,9 @@ func CheckStats() *Table {
 		{"reliable-xonce", "sample seed=1", check.Options{MaxPreemptions: 3, MaxSchedules: budget, Seed: 1}, check.ReliableDelivery(), false},
 		{"crash-fanout", "dfs p<=2", check.Options{MaxPreemptions: 2, MaxSchedules: budget}, check.CrashFanout(), false},
 		{"world-mp", "dfs p<=2", check.Options{MaxPreemptions: 2, MaxSchedules: budget / 2}, check.WorldExchange(), false},
+		{"segring-p4", "dfs p<=2", check.Options{MaxPreemptions: 2, MaxSchedules: budget}, check.SegRingPublication(false), false},
+		{"segring-relaxed-planted", "dfs p<=1", check.Options{MaxPreemptions: 1, MaxSchedules: budget}, check.SegRingPublication(true), true},
+		{"segring-death", "dfs p<=2", check.Options{MaxPreemptions: 2, MaxSchedules: budget}, check.SegRingPeerDeath(), false},
 	}
 	t := &Table{Name: "check",
 		Title: "Interleaving checker: schedule-space exploration statistics per model",
@@ -64,7 +67,7 @@ func CheckStats() *Table {
 	}
 	t.Notes = append(t.Notes,
 		"dfs p<=N enumerates every schedule deviating from time order in at most N places (exhausted=true makes the row a proof over that space); sample derives one RNG per iteration from the seed",
-		"planted rows run the Snippet-1 P2 publication order (tail store before payload store) and must be caught; the trace token replays the counterexample via check.Replay",
+		"planted rows run a broken publication order (Snippet-1 trace P2 for the in-process ring; relaxed cursor-before-payload for the cross-process segment ring) and must be caught; the trace token replays the counterexample via check.Replay",
 		"a FAIL outcome prints the replay trace of the first counterexample — run go test ./internal/check/ for the assertion detail")
 	return t
 }

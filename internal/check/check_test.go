@@ -239,3 +239,38 @@ func TestViolationClassification(t *testing.T) {
 		t.Errorf("Violatef panic not classified: %v", res.Err)
 	}
 }
+
+// TestSegRingP4Safe proves the cross-process segment ring's shipped
+// publication discipline (payload — inline or via the bulk region —
+// strictly before cursor publication) never exposes a stale slot to the
+// consumer under any 2-preemption schedule.
+func TestSegRingP4Safe(t *testing.T) {
+	mustPass(t, check.Options{
+		MaxPreemptions: 2,
+		MaxSchedules:   *checkIters,
+	}, check.SegRingPublication(false))
+}
+
+// TestSegRingRelaxedTailCaught plants the relaxed discipline — cursor
+// advanced before the payload lands — and requires the checker to find
+// the stale read, with a deterministic replay of the failing schedule.
+func TestSegRingRelaxedTailCaught(t *testing.T) {
+	res := mustCatch(t, check.Options{
+		MaxPreemptions: 1,
+		MaxSchedules:   400,
+	}, check.SegRingPublication(true))
+	if err := check.Replay(res.FailingTrace, check.Options{}, check.SegRingPublication(true)); !check.IsViolation(err) {
+		t.Fatalf("replay of %q did not reproduce the violation: %v", res.FailingTrace.String(), err)
+	}
+}
+
+// TestSegRingPeerDeathUnblocks proves the heartbeat-death story: a
+// consumer parked on an empty ring terminates under every bounded
+// schedule once the producer stops beating, published data stays intact,
+// and death detection never invents an entry.
+func TestSegRingPeerDeathUnblocks(t *testing.T) {
+	mustPass(t, check.Options{
+		MaxPreemptions: 2,
+		MaxSchedules:   *checkIters,
+	}, check.SegRingPeerDeath())
+}

@@ -394,3 +394,163 @@ func WorldExchange() Workload {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Cross-process segment-ring models (internal/shmfab)
+// ---------------------------------------------------------------------------
+
+// SegRingPublication models the cross-process shared-memory segment ring
+// (internal/shmfab): a producer publishes entries into a fixed slot array
+// under monotonic tail/head cursors, and even-numbered messages carry
+// their payload out of line in a bulk region — the entry publishes only
+// the bulk slot index, so those messages have two stores to order, not
+// one. relaxedTail=false is the shipped discipline (payload strictly
+// before cursor publication, the Snippet-1 P4 rule generalized to the
+// bulk region); relaxedTail=true advances the cursor before the payload
+// lands, and the checker must find the schedule where the consumer reads
+// a stale slot.
+func SegRingPublication(relaxedTail bool) Workload {
+	return func(s exec.Scheduler) error {
+		const (
+			slots     = 2 // entry ring capacity
+			bulkSlots = 2 // bulk region capacity
+			total     = 4 // messages: odd inline, even via bulk
+		)
+		var (
+			entries            [slots]uint64
+			bulk               [bulkSlots]uint64
+			tail, head         uint64 // entry cursors (monotonic)
+			bulkTail, bulkHead uint64 // bulk cursors (monotonic)
+		)
+		env := exec.NewSimEnvSched(s)
+		return env.Run(2, func(p *exec.Proc) {
+			if p.Rank() == 0 {
+				// Producer.
+				for v := uint64(1); v <= total; v++ {
+					for v-1-head >= slots {
+						p.Yield() // ring full: wait for the consumer
+					}
+					slot := (v - 1) % slots
+					if v%2 == 1 {
+						// Inline entry: one payload store, then the cursor.
+						if relaxedTail {
+							tail = v
+							p.Yield()
+							entries[slot] = v * 100
+						} else {
+							entries[slot] = v * 100
+							p.Yield()
+							tail = v
+						}
+					} else {
+						// Bulk entry: payload in the bulk region, slot index
+						// in the entry, then the cursor — in that order.
+						for bulkTail-bulkHead >= bulkSlots {
+							p.Yield()
+						}
+						b := bulkTail % bulkSlots
+						if relaxedTail {
+							bulkTail++
+							entries[slot] = b
+							tail = v
+							p.Yield()
+							bulk[b] = v * 1000
+						} else {
+							bulk[b] = v * 1000
+							p.Yield()
+							bulkTail++
+							entries[slot] = b
+							p.Yield()
+							tail = v
+						}
+					}
+					p.Yield()
+				}
+			} else {
+				// Consumer.
+				for c := uint64(1); c <= total; c++ {
+					for tail < c {
+						p.Yield()
+					}
+					p.Yield()
+					slot := (c - 1) % slots
+					if c%2 == 1 {
+						if got := entries[slot]; got != c*100 {
+							Violatef("segring: inline entry %d = %d, want %d", c, got, c*100)
+						}
+					} else {
+						b := entries[slot]
+						if b >= bulkSlots {
+							Violatef("segring: entry %d bulk slot %d out of range", c, b)
+						}
+						if got := bulk[b]; got != c*1000 {
+							Violatef("segring: bulk payload %d = %d, want %d", c, got, c*1000)
+						}
+						p.Yield()
+						bulkHead++
+					}
+					p.Yield()
+					head = c
+				}
+			}
+		})
+	}
+}
+
+// SegRingPeerDeath models the shm transport's liveness story: a consumer
+// blocked on an empty ring must be unblocked by heartbeat-death detection
+// when the producer dies, without inventing entries the producer never
+// published. The detector may fire while the producer still had beats
+// left — a timeout cannot distinguish slow from dead, and the real
+// transport sizes HeartbeatTimeout against the beat interval to make
+// that harmless — so the model only claims termination, intact published
+// data, and no phantom entries.
+func SegRingPeerDeath() Workload {
+	return func(s exec.Scheduler) error {
+		var (
+			entry     uint64
+			tail      uint64
+			heartbeat uint64
+		)
+		env := exec.NewSimEnvSched(s)
+		return env.Run(2, func(p *exec.Proc) {
+			if p.Rank() == 0 {
+				// Producer: one published entry, two heartbeats, then death.
+				entry = 100
+				p.Yield()
+				tail = 1
+				p.Yield()
+				heartbeat++
+				p.Yield()
+				heartbeat++
+				// Dies here: no further beats, no entry 2.
+			} else {
+				// Consumer: drain entry 1, then wait for entry 2 until the
+				// heartbeat stalls past the grace budget.
+				for tail < 1 {
+					p.Yield()
+				}
+				p.Yield()
+				if entry != 100 {
+					Violatef("segring-death: entry 1 = %d, want 100", entry)
+				}
+				const grace = 4
+				lastBeat := heartbeat
+				stall := 0
+				for stall < grace {
+					p.Yield()
+					if tail >= 2 {
+						Violatef("segring-death: phantom entry 2 (tail=%d)", tail)
+					}
+					if heartbeat != lastBeat {
+						lastBeat = heartbeat
+						stall = 0
+						continue
+					}
+					stall++
+				}
+				// Loop exit = death detected: the parked wait unblocked.
+			}
+		})
+	}
+}

@@ -229,6 +229,13 @@ type Fabric struct {
 	rndvSeq uint64
 	rndvOut map[uint64]*rndvOutEntry
 	rndvIn  map[rndvKey]*rndvInEntry
+
+	// Peer-failure bookkeeping for lossless distributed links (rel == nil):
+	// the reliable layer owns failure declaration when present, but a
+	// lossless link (shared-memory rings) runs without it and still must
+	// convert peer death into typed ErrPeerFailed completions exactly once.
+	failMu sync.Mutex
+	failed map[int]bool
 }
 
 // New creates a fabric with the given configuration running under env.
@@ -326,6 +333,17 @@ func (f *Fabric) zeroCopyEligible(origin, target, size int) bool {
 		size >= f.cfg.Model.FMABTECrossover &&
 		size > f.cfg.InlineThreshold &&
 		f.SameNode(origin, target)
+}
+
+// sendBorrowEligible reports that a cross-process send to target departs
+// synchronously on the posting goroutine — lossless link, no reliability
+// layer retaining bytes for retransmission, no fault-injection delay —
+// so the packet may reference the caller's buffer directly instead of a
+// pooled bounce copy: the link has finished serializing it (for the
+// segment ring, copied it into shared memory) by the time transmit
+// returns.
+func (f *Fabric) sendBorrowEligible(target int) bool {
+	return f.link != nil && f.rel == nil && target != f.self
 }
 
 // transmit moves pkt from origin to target. Each logical packet is
@@ -446,7 +464,10 @@ func (f *Fabric) lanePush(dst *NIC, pkt *packet, unwindOnAbort bool) {
 // wire clones own nothing (the retained original does); lossless packets
 // own their staged payload and message data.
 func (f *Fabric) discardPacket(pkt *packet) {
-	if pkt.pooled {
+	if pkt.free != nil {
+		pkt.free()
+		pkt.free = nil
+	} else if pkt.pooled {
 		f.pool.put(pkt.data)
 	}
 	if pkt.msg != nil && pkt.msg.Data != nil && !pkt.rel {

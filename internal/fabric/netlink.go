@@ -51,11 +51,13 @@ type Link interface {
 
 // NewDistributed creates the local-rank slice of a distributed fabric on
 // top of an established link. env must be a wall-clock engine (DistEnv).
-// The reliable-delivery layer is forced on, with retransmission timers
-// re-tuned for real sockets when the caller left them at the Sim-scale
-// defaults; cfg.Ranks/RanksPerNode are overridden by the link geometry
-// (one rank per process means one rank per "node": the SHM and inline
-// fast paths never trigger).
+// On a lossy link (TCP) the reliable-delivery layer is forced on, with
+// retransmission timers re-tuned for real sockets when the caller left
+// them at the Sim-scale defaults; a link reporting Lossless() true (the
+// shared-memory ring transport) runs without it — see below.
+// cfg.Ranks/RanksPerNode are overridden by the link geometry (one rank
+// per process means one rank per "node": the SHM and inline fast paths
+// never trigger).
 func NewDistributed(env exec.Env, cfg Config, link Link) *Fabric {
 	if !env.Mode().Wallclock() {
 		panic("fabric: NewDistributed needs a wall-clock engine")
@@ -63,7 +65,22 @@ func NewDistributed(env exec.Env, cfg Config, link Link) *Fabric {
 	cfg.Ranks = link.N()
 	cfg.RanksPerNode = 1
 	cfg.ChargeOverheads = false
-	cfg.Reliability.Force = true
+	lossless := false
+	if ll, ok := link.(interface{ Lossless() bool }); ok && ll.Lossless() {
+		// A lossless in-order link (the shared-memory ring transport)
+		// needs no sequencing, retransmission, or checksums: publication
+		// on the ring is delivery. The reliable layer stays off unless a
+		// fault plan demands it, and the rendezvous engine is disabled —
+		// bulk payloads already travel zero-copy through the segment's
+		// bulk region, so an RTS/CTS round trip only adds latency (and
+		// its adaptive threshold needs the rel layer's RTT estimator).
+		lossless = cfg.FaultPlan == nil && !cfg.Reliability.Force
+	}
+	if lossless {
+		cfg.RendezvousThreshold = -1
+	} else {
+		cfg.Reliability.Force = true
+	}
 	if cfg.Reliability.RTO == 0 {
 		// The Sim-tuned 10µs base RTO would spuriously retransmit on any
 		// real socket; these cover localhost jitter and scheduler stalls
@@ -98,11 +115,13 @@ func NewDistributed(env exec.Env, cfg Config, link Link) *Fabric {
 		remoteRegions: make(map[int]map[int]int),
 	}
 	f.nics[f.self] = newNIC(f, f.self)
-	var inj *fault.Injector
-	if cfg.FaultPlan != nil {
-		inj = fault.NewInjector(*cfg.FaultPlan)
+	if !lossless {
+		var inj *fault.Injector
+		if cfg.FaultPlan != nil {
+			inj = fault.NewInjector(*cfg.FaultPlan)
+		}
+		f.rel = newReliability(f, cfg.Reliability, inj)
 	}
-	f.rel = newReliability(f, cfg.Reliability, inj)
 	if cfg.RendezvousThreshold >= 0 {
 		f.rndvOut = make(map[uint64]*rndvOutEntry)
 		f.rndvIn = make(map[rndvKey]*rndvInEntry)
@@ -115,7 +134,17 @@ func NewDistributed(env exec.Env, cfg Config, link Link) *Fabric {
 		// their reserved buffers, skipping its read buffer entirely.
 		db.SetDirectBuf(f.rndvDirectBuf)
 	}
-	link.Start(f.netRecv, f.netPeerDown)
+	if bl, ok := link.(interface {
+		StartBorrowed(rx func(from int, fr *wire.Frame, free func()), peerDown func(rank int, err error))
+	}); ok && f.rel == nil {
+		// The link can lend its receive buffers (segment-ring bulk spans)
+		// until the fabric commits them, so put payloads skip the rx
+		// staging copy. Only without the reliability layer: its reorder
+		// and dedup paths hold or drop packets on their own schedule.
+		bl.StartBorrowed(f.netRecvBorrowed, f.netPeerDown)
+	} else {
+		link.Start(f.netRecv, f.netPeerDown)
+	}
 	return f
 }
 
@@ -343,11 +372,11 @@ func (f *Fabric) netDispose(pkt *packet, target int, err error) {
 		f.pool.put(pkt.data)
 	}
 	releasePacket(pkt)
-	if err != nil && f.rel != nil {
+	if err != nil {
 		// The stream to this peer is broken. The mesh's reader will
 		// normally notice first; declaring here too makes a failed write
 		// surface even when the read side is quiescent (idempotent).
-		f.rel.declarePeerFailed(f.self, target, fmt.Sprintf("send failed: %v", err))
+		f.declarePeerFailed(f.self, target, fmt.Sprintf("send failed: %v", err))
 	}
 }
 
@@ -379,6 +408,23 @@ func (f *Fabric) netSend(pkt *packet) {
 // lane blocks this reader, which stops draining the socket, which pushes
 // back on the sender's TCP window.
 func (f *Fabric) netRecv(from int, fr *wire.Frame) {
+	f.netRecvBorrowed(from, fr, nil)
+}
+
+// netRecvBorrowed is netRecv for links that can lend their receive
+// buffers: when free is non-nil the frame's Data may be retained past
+// return, with free called exactly once when the fabric is done reading
+// it. Put payloads then skip the rx staging copy entirely — the NIC
+// commits segment bytes straight into the window; every other kind is
+// staged as usual and the loan returned before this call ends.
+func (f *Fabric) netRecvBorrowed(from int, fr *wire.Frame, free func()) {
+	switch fr.Kind {
+	case wire.KindReg, wire.KindDereg, wire.KindRTS, wire.KindCTS, wire.KindRndvData:
+		// Control kinds are handled synchronously; any loan ends here.
+		if free != nil {
+			defer free()
+		}
+	}
 	switch fr.Kind {
 	case wire.KindReg:
 		f.netMu.Lock()
@@ -405,19 +451,26 @@ func (f *Fabric) netRecv(from int, fr *wire.Frame) {
 		f.handleRndvData(from, fr)
 		return
 	}
-	f.ingestFrame(fr, nil)
+	f.ingestFrame(fr, nil, free)
 }
 
 // ingestFrame converts a data/control frame into a packet on the local
 // NIC's per-origin receive lane. When staged is non-nil it is a pooled
 // buffer already holding the frame's payload bytes (a rendezvous landing);
 // ownership transfers here — otherwise fr.Data aliases the read buffer and
-// is staged into a fresh pooled copy.
-func (f *Fabric) ingestFrame(fr *wire.Frame, staged []byte) {
+// is staged into a fresh pooled copy. A non-nil free marks fr.Data as a
+// loan from the link's receive buffers: put packets carry the loan to
+// commit (zero staging copy) and the fabric calls free when done; every
+// other kind copies as usual and the loan is returned before this call
+// ends.
+func (f *Fabric) ingestFrame(fr *wire.Frame, staged []byte, free func()) {
 	kind, ok := wireKindToPkt(fr.Kind)
 	if !ok || fr.Target != f.self {
 		if staged != nil {
 			f.pool.put(staged)
+		}
+		if free != nil {
+			free()
 		}
 		return // control frame the mesh already handled, or not ours: drop
 	}
@@ -453,6 +506,9 @@ func (f *Fabric) ingestFrame(fr *wire.Frame, staged []byte) {
 			if staged != nil {
 				f.pool.put(staged)
 			}
+			if free != nil {
+				free()
+			}
 			releasePacket(pkt)
 			return
 		}
@@ -462,10 +518,36 @@ func (f *Fabric) ingestFrame(fr *wire.Frame, staged []byte) {
 	case pktAck, pktGetResp:
 		pkt.op = f.netLookupOp(fr.OpID)
 		pkt.data, pkt.pooled = stage()
+	case pktPut:
+		if free != nil {
+			// Borrowed payload: commit straight from the link's buffer.
+			pkt.data, pkt.free = fr.Data, free
+			free = nil // the packet owns the loan now
+		} else {
+			pkt.data, pkt.pooled = stage()
+		}
 	default:
 		pkt.data, pkt.pooled = stage()
 	}
-	f.lanePush(f.nics[f.self], pkt, false)
+	if free != nil {
+		free() // staged kinds: the copy is made, return the loan
+	}
+	dst := f.nics[f.self]
+	if kind == pktAck && f.rel == nil {
+		// Pure completion, no payload: the commit it acknowledges happened
+		// at the peer before the ack was sent, so there is no ordering
+		// constraint against data packets still queued in the lane.
+		// Completing here skips a lane handoff per acked op — half of all
+		// inbound traffic on a put storm — and completeOp only touches the
+		// op table mutex, so the poller cannot block on it.
+		if dst.closed.Load() {
+			f.discardPacket(pkt)
+			return
+		}
+		dst.deliverGuarded(exec.RealOf(f.env), pkt)
+		return
+	}
+	f.lanePush(dst, pkt, false)
 }
 
 // netPeerDown maps an abrupt connection loss (RST, EOF without goodbye,
@@ -473,10 +555,43 @@ func (f *Fabric) ingestFrame(fr *wire.Frame, staged []byte) {
 // path a retransmit-budget exhaustion takes, so waiters unblock with the
 // same typed ErrPeerFailed.
 func (f *Fabric) netPeerDown(rank int, err error) {
-	if f.rel == nil {
+	f.declarePeerFailed(f.self, rank, fmt.Sprintf("connection lost: %v", err))
+}
+
+// declarePeerFailed converts a dead peer into typed ErrPeerFailed
+// completions. The reliable layer owns the declaration when present (it
+// also has retained window state to release); a lossless link (rel == nil,
+// shared-memory rings) performs the same idempotent fan-out here: sweep
+// registered wire ops, fail the local NIC's pending state and waiters, and
+// fire the job-level hook.
+func (f *Fabric) declarePeerFailed(observer, failed int, reason string) {
+	if f.rel != nil {
+		f.rel.declarePeerFailed(observer, failed, reason)
 		return
 	}
-	f.rel.declarePeerFailed(f.self, rank, fmt.Sprintf("connection lost: %v", err))
+	err := &PeerFailedError{Observer: observer, Rank: failed, Reason: reason}
+	f.failMu.Lock()
+	if f.failed == nil {
+		f.failed = make(map[int]bool)
+	}
+	if f.failed[failed] {
+		f.failMu.Unlock()
+		return
+	}
+	f.failed[failed] = true
+	f.failMu.Unlock()
+	if f.link != nil {
+		f.netSweepFailed(failed)
+	}
+	for _, n := range f.nics {
+		if n == nil {
+			continue // distributed fabric: remote NICs live in other processes
+		}
+		n.notePeerFailure(failed, err)
+	}
+	if hook := f.cfg.FailureHook; hook != nil {
+		hook(observer, failed, err)
+	}
 }
 
 // NetStatsSource returns the link so callers holding only the fabric can
@@ -647,8 +762,8 @@ func (f *Fabric) handleCTS(from int, fr *wire.Frame) {
 		}
 		err := f.link.Send(from, &data)
 		f.pool.put(e.data)
-		if err != nil && f.rel != nil {
-			f.rel.declarePeerFailed(f.self, from, fmt.Sprintf("rendezvous send failed: %v", err))
+		if err != nil {
+			f.declarePeerFailed(f.self, from, fmt.Sprintf("rendezvous send failed: %v", err))
 		}
 	}()
 }
@@ -678,7 +793,7 @@ func (f *Fabric) handleRndvData(from int, fr *wire.Frame) {
 	}
 	inner := st.fr
 	inner.Data = st.buf
-	f.ingestFrame(&inner, st.buf)
+	f.ingestFrame(&inner, st.buf, nil)
 }
 
 // rndvDirectBuf is the mesh's direct-landing hook: it maps an arriving

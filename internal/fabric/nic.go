@@ -168,6 +168,11 @@ type packet struct {
 	offset         int
 	data           []byte
 	pooled         bool // data came from the fabric's buffer pool; recycle at commit
+	// free releases a payload borrowed from the link's receive buffers (a
+	// segment-ring bulk span): called exactly once when the fabric is done
+	// reading data — commit, handover copy, or discard. Mutually exclusive
+	// with pooled.
+	free           func()
 	dstDirect      bool // getResp: payload already committed straight into op.dst (zero-copy)
 	imm            Imm
 	wireSize       int
@@ -789,6 +794,11 @@ func (n *NIC) Put(p *exec.Proc, target, regionID, offset int, data []byte, imm I
 		// Pure notification: nothing to stage.
 	case n.f.zeroCopyEligible(n.rank, target, len(data)):
 		payload = data
+	case n.f.sendBorrowEligible(target):
+		// The lossless link serializes the payload synchronously inside
+		// transmit, so the packet can borrow the caller's buffer for the
+		// duration of this call.
+		payload = data
 	default:
 		payload = n.f.pool.get(len(data))
 		copy(payload, data)
@@ -922,9 +932,13 @@ func (n *NIC) RecycleMsgData(m *Msg) {
 	}
 }
 
-// recycleData returns the packet's pooled payload buffer, if any.
+// recycleData releases the packet's payload buffer: pooled copies return
+// to the pool, borrowed link buffers are handed back to the link.
 func (n *NIC) recycleData(pkt *packet) {
-	if pkt.pooled {
+	if pkt.free != nil {
+		pkt.free()
+		pkt.free = nil
+	} else if pkt.pooled {
 		n.f.pool.put(pkt.data)
 	}
 	pkt.data, pkt.pooled = nil, false
@@ -1085,10 +1099,12 @@ func (n *NIC) deliverPut(pkt *packet) {
 			n.recycleData(pkt)
 		} else {
 			entryData, entryPooled := pkt.data, pkt.pooled
-			if pkt.rel {
-				// Under reliability the wire copy's payload belongs to the
-				// origin (retained for retransmission, recycled at link-ack);
-				// the ring may outlive that, so it gets its own pooled copy.
+			if pkt.rel || pkt.free != nil {
+				// The ring may outlive this packet's claim on the bytes:
+				// under reliability the wire copy's payload belongs to the
+				// origin (retained for retransmission, recycled at
+				// link-ack), and a borrowed link buffer goes back to the
+				// link at recycle. Either way the ring gets its own copy.
 				entryData = n.f.pool.get(len(pkt.data))
 				copy(entryData, pkt.data)
 				entryPooled = true
@@ -1096,7 +1112,10 @@ func (n *NIC) deliverPut(pkt *packet) {
 			n.ring.push(ringEntry{source: pkt.origin, imm: pkt.imm.Val, kind: OpPut,
 				regionID: pkt.regionID, offset: pkt.offset, length: len(pkt.data),
 				inline: entryData, pooled: entryPooled})
-			if !pkt.rel {
+			switch {
+			case pkt.free != nil:
+				n.recycleData(pkt) // the ring took a copy; the borrow goes home
+			case !pkt.rel:
 				pkt.data, pkt.pooled = nil, false // the ring owns the buffer now
 			}
 			n.mu.Unlock()

@@ -143,17 +143,17 @@ type peer struct {
 	rank int
 	conn net.Conn
 
-	mu       sync.Mutex // guards all fields below
-	sendable sync.Cond  // signaled when a flush completes or state changes
-	encBuf   []byte     // bypass-path encode buffer (reused)
-	chunks   []*txChunk // pending encoded frames, in send order
-	free     []*txChunk // chunk recycle list
+	mu            sync.Mutex // guards all fields below
+	sendable      sync.Cond  // signaled when a flush completes or state changes
+	encBuf        []byte     // bypass-path encode buffer (reused)
+	chunks        []*txChunk // pending encoded frames, in send order
+	free          []*txChunk // chunk recycle list
 	pendingBytes  int
 	pendingFrames int
-	flushing bool // a bypass write or writer-goroutine flush owns the conn
-	closed   bool // local close: writes are errors
-	bye      bool // remote sent Bye: writes are silently dropped
-	down     bool // stream failed: writes are errors, peerDown fired
+	flushing      bool // a bypass write or writer-goroutine flush owns the conn
+	closed        bool // local close: writes are errors
+	bye           bool // remote sent Bye: writes are silently dropped
+	down          bool // stream failed: writes are errors, peerDown fired
 
 	doorbell chan struct{} // capacity 1: wakes the writer goroutine
 }
@@ -177,7 +177,16 @@ type Mesh struct {
 	txFlushes, rxReads     atomic.Uint64
 	rxCoalesce             [RxCoalesceBuckets]atomic.Uint64
 
+	// poller, when non-nil, is the process-wide rx driver: one goroutine
+	// multiplexing every pollable stream (see poller_linux.go). Streams it
+	// cannot take run a fallback reader goroutine each; rxGoroutines is
+	// the resulting total, fixed at Start.
+	poller       *poller
+	pollerWG     sync.WaitGroup
+	rxGoroutines int
+
 	closeOnce sync.Once
+	quitOnce  sync.Once // Close and abruptClose both release the writers
 	closed    atomic.Bool
 	quit      chan struct{} // closed at teardown: writer goroutines exit
 	readersWG sync.WaitGroup
@@ -464,107 +473,45 @@ func (m *Mesh) SetDirectBuf(f func(from int, fr *wire.Frame) []byte) {
 	m.directBuf = f
 }
 
-// Start installs the receive callbacks and launches one reader and one
-// writer goroutine per peer stream. rx runs on the reader goroutine for
-// that peer; the frame's Data/Payload slices alias the read buffer and
-// must be copied out before rx returns. peerDown fires at most once per
-// peer, only for streams that end without a clean Bye.
+// Start installs the receive callbacks and launches the data-plane
+// goroutines: one writer per peer stream, and on the receive side a
+// single process-wide poller multiplexing every pollable stream (with a
+// fallback reader goroutine for streams the kernel cannot poll — see
+// rx.go and poller_linux.go). rx runs on the rx goroutine driving that
+// peer; the frame's Data/Payload slices alias the read buffer and must be
+// copied out before rx returns. peerDown fires at most once per peer,
+// only for streams that end without a clean Bye.
 func (m *Mesh) Start(rx func(from int, fr *wire.Frame), peerDown func(rank int, err error)) {
 	m.rx = rx
 	m.peerDown = peerDown
+	m.poller = newPoller()
+	fallback := 0
 	for _, p := range m.peers {
 		if p == nil {
 			continue
 		}
-		m.readersWG.Add(1)
-		go m.readLoop(p)
 		m.writersWG.Add(1)
 		go m.writeLoop(p)
-	}
-}
-
-// readLoop drains one peer stream through a buffered framer: one read
-// syscall yields as many frames as arrived, each sliced out of the buffer
-// without a per-frame allocation. Rendezvous data frames are routed
-// through the direct-landing hook before their payload is buffered.
-func (m *Mesh) readLoop(p *peer) {
-	defer m.readersWG.Done()
-	fram := wire.NewFramer(rxBufSize)
-	var fr wire.Frame
-	sinceRead := 0 // frames completed since the last read syscall
-	for {
-		// Direct landing: when the next frame is rendezvous data with a
-		// reserved buffer, stream the payload straight into it.
-		if m.directBuf != nil {
-			ok, err := fram.PeekHeader(&fr)
-			if err != nil {
-				m.streamEnded(p, fmt.Errorf("netfab: undecodable frame from rank %d: %w", p.rank, err))
-				return
-			}
-			if ok && fr.Kind == wire.KindRndvData {
-				if dst := m.directBuf(p.rank, &fr); dst != nil {
-					switch err := fram.ReadDirect(p.conn, dst); err {
-					case nil:
-						m.rxReads.Add(1)
-						m.framesRecv.Add(1)
-						m.bytesRecv.Add(uint64(wire.LengthPrefix + wire.FixedHeaderLen + 10 + len(dst)))
-						fr.Data = dst
-						if m.rx != nil {
-							m.rx(p.rank, &fr)
-						}
-						continue
-					case wire.ErrDirectMismatch:
-						// Header lied about the size: nothing consumed; the
-						// buffered path below re-parses it as a normal frame.
-					default:
-						m.streamEnded(p, err)
-						return
-					}
-				}
-				// No reserved buffer (stale transfer): fall through — the
-				// buffered path parses the frame and the fabric drops it.
-			}
-		}
-
-		body, err := fram.Next()
-		if err != nil {
-			m.streamEnded(p, fmt.Errorf("netfab: bad frame from rank %d: %w", p.rank, err))
-			return
-		}
-		if body == nil {
-			m.rxCoalesce[coalesceBucket(sinceRead)].Add(1)
-			sinceRead = 0
-			// Keep the buffer small while the pending frame is a
-			// direct-landing candidate; otherwise let the framer grow to
-			// fit large eager frames.
-			if k, ok := fram.PendingKind(); ok && k == wire.KindRndvData && m.directBuf != nil {
-				err = fram.FillSmall(p.conn)
-			} else {
-				_, err = fram.Fill(p.conn)
-			}
-			if err != nil {
-				m.streamEnded(p, err)
-				return
-			}
-			m.rxReads.Add(1)
+		if m.poller != nil && m.poller.add(p) {
 			continue
 		}
-		if err := wire.Decode(body, &fr); err != nil {
-			m.streamEnded(p, fmt.Errorf("netfab: undecodable frame from rank %d: %w", p.rank, err))
-			return
+		fallback++
+		m.readersWG.Add(1)
+		go m.readLoop(newRxStream(p, p.conn))
+	}
+	m.rxGoroutines = fallback
+	if m.poller != nil {
+		if m.poller.count() > 0 {
+			m.rxGoroutines++
 		}
-		sinceRead++
-		m.framesRecv.Add(1)
-		m.bytesRecv.Add(uint64(wire.LengthPrefix + len(body)))
-		if fr.Kind == wire.KindBye {
-			m.noteBye(p)
-			continue // keep draining: data may still arrive until FIN
-		}
-		if m.rx != nil {
-			m.rx(p.rank, &fr)
-		}
+		m.poller.launch(m)
 	}
 }
+
+// RxGoroutines reports how many goroutines the receive side runs: 1 (the
+// poller) when every stream is kernel-pollable, plus one per fallback
+// stream. O(1) in the job size on platforms with a poller.
+func (m *Mesh) RxGoroutines() int { return m.rxGoroutines }
 
 // streamEnded classifies the end of a peer stream: after a Bye (or after
 // our own Close) any termination is clean; otherwise it is a failure.
@@ -857,7 +804,12 @@ func (m *Mesh) Close(graceful bool) error {
 			m.waitByes(5 * time.Second)
 		}
 		m.closed.Store(true)
-		close(m.quit)
+		m.quitOnce.Do(func() { close(m.quit) })
+		// The poller must be fully stopped before any conn is closed: a
+		// closed fd number can be reused while still in the epoll set.
+		if m.poller != nil {
+			m.poller.stop(m)
+		}
 		for _, p := range m.peers {
 			if p == nil {
 				continue
@@ -874,15 +826,25 @@ func (m *Mesh) Close(graceful bool) error {
 	return err
 }
 
-// abruptClose releases partial bootstrap state on a failed rendezvous.
-// Reader/writer goroutines do not exist yet (Start was never called).
+// abruptClose drops every stream without the goodbye handshake: on a
+// failed rendezvous (no data-plane goroutines exist yet) and in tests
+// simulating a crashing rank. The poller, if running, stops before the
+// conns close (fd reuse hazard); fallback readers notice the close and
+// exit through streamEnded; writers are released through quit — an
+// abruptly closed mesh leaks no goroutines even though Close never runs.
 func (m *Mesh) abruptClose() {
 	m.closed.Store(true)
+	if m.poller != nil {
+		m.poller.stop(m)
+	}
+	m.quitOnce.Do(func() { close(m.quit) })
 	for _, p := range m.peers {
 		if p != nil {
 			p.conn.Close()
 		}
 	}
+	m.writersWG.Wait()
+	m.readersWG.Wait()
 }
 
 // waitByes blocks until every live peer has said goodbye, or the timeout.

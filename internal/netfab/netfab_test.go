@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -58,6 +59,16 @@ func TestBootstrapAndExchange(t *testing.T) {
 			mu.Unlock()
 			t.Errorf("unexpected peerDown at rank %d for rank %d: %v", m.Self(), rank, err)
 		})
+	}
+
+	// The receive side must be one poller goroutine regardless of the
+	// number of peers — not one blocked reader per stream.
+	if runtime.GOOS == "linux" {
+		for r, m := range meshes {
+			if got := m.RxGoroutines(); got != 1 {
+				t.Errorf("rank %d: rx goroutines = %d, want 1 (single poller over %d peers)", r, got, n-1)
+			}
+		}
 	}
 
 	for src := 0; src < n; src++ {
@@ -163,6 +174,51 @@ func TestGoodbyeIsClean(t *testing.T) {
 	defer mu.Unlock()
 	if len(downs) != 0 {
 		t.Fatalf("clean goodbye reported failures: %v", downs)
+	}
+}
+
+// Both shutdown paths must release every data-plane goroutine: readers
+// (or the poller), writers, and nothing else may linger. The abrupt path
+// used to leak the writer goroutines — quit was only closed by Close —
+// so a crashed-rank simulation left one parked writer per peer behind.
+func TestShutdownReleasesGoroutines(t *testing.T) {
+	settled := func(base int) bool {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base {
+				return true
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return false
+	}
+	base := runtime.NumGoroutine()
+
+	meshes := Loopback(3)
+	for _, m := range meshes {
+		m.Start(func(int, *wire.Frame) {}, func(int, error) {})
+	}
+	if err := meshes[0].Send(1, &wire.Frame{Kind: wire.KindAck, Origin: 0, Target: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, m := range meshes {
+		wg.Add(1)
+		go func() { defer wg.Done(); m.Close(true) }()
+	}
+	wg.Wait()
+	if !settled(base) {
+		t.Fatalf("graceful close leaked goroutines: %d running, baseline %d", runtime.NumGoroutine(), base)
+	}
+
+	pair := Loopback(2)
+	for _, m := range pair {
+		m.Start(func(int, *wire.Frame) {}, func(int, error) {})
+	}
+	pair[0].abruptClose()
+	pair[1].abruptClose()
+	if !settled(base) {
+		t.Fatalf("abrupt close leaked goroutines: %d running, baseline %d", runtime.NumGoroutine(), base)
 	}
 }
 

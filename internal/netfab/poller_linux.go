@@ -1,0 +1,202 @@
+//go:build linux
+
+package netfab
+
+// The process-wide receive poller: every pollable peer stream registers
+// its fd in one epoll set (level-triggered), and a single goroutine pumps
+// whichever stream has bytes, so the idle rx cost of a mesh is O(1)
+// goroutines in the job size instead of O(P) blocked readers. Reads go
+// through the raw fd (never parking in the runtime's netpoller); EAGAIN
+// surfaces as errWouldBlock and the stream resumes on its next readiness
+// event. Streams the kernel cannot poll this way — in-memory pipes used
+// by loopback tests — fall back to one blocking goroutine each, driving
+// the same state machine (rx.go).
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+)
+
+type poller struct {
+	epfd    int
+	wakeR   int               // self-pipe read end, registered in the epoll set
+	wakeW   int               // write end: any byte means "shut down"
+	streams map[int]*rxStream // live registered streams, by fd
+
+	stopOnce sync.Once
+}
+
+// newPoller builds the epoll set and its shutdown self-pipe, or returns
+// nil when the kernel refuses (every stream then takes a fallback
+// goroutine).
+func newPoller() *poller {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil
+	}
+	var pfds [2]int
+	if err := syscall.Pipe2(pfds[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil
+	}
+	pl := &poller{epfd: epfd, wakeR: pfds[0], wakeW: pfds[1], streams: make(map[int]*rxStream)}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(pl.wakeR)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, pl.wakeR, &ev); err != nil {
+		pl.destroy()
+		return nil
+	}
+	return pl
+}
+
+// add registers p's stream in the epoll set. ok is false when the conn
+// has no pollable fd (net.Pipe) and must take a fallback goroutine.
+// Must not be called once the poll loop is running.
+func (pl *poller) add(p *peer) bool {
+	sc, isSC := p.conn.(syscall.Conn)
+	if !isSC {
+		return false
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	var fd int
+	var ctlErr error
+	if err := raw.Control(func(f uintptr) {
+		fd = int(f)
+		ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(f)}
+		ctlErr = syscall.EpollCtl(pl.epfd, syscall.EPOLL_CTL_ADD, fd, &ev)
+	}); err != nil || ctlErr != nil {
+		return false
+	}
+	pl.streams[fd] = newRxStream(p, &fdReader{raw: raw})
+	return true
+}
+
+// count reports how many streams the poller took.
+func (pl *poller) count() int { return len(pl.streams) }
+
+// launch starts the poll loop (if any stream registered), accounted in
+// wg so stop can join it.
+func (pl *poller) launch(m *Mesh) {
+	if len(pl.streams) == 0 {
+		return
+	}
+	m.pollerWG.Add(1)
+	go m.pollLoop(pl)
+}
+
+// stop wakes the poll loop, waits for it to exit, and releases the epoll
+// set. It must complete before any registered conn is closed: a closed fd
+// number can be reused by an unrelated file while still in our map.
+// Idempotent.
+func (pl *poller) stop(m *Mesh) {
+	pl.stopOnce.Do(func() {
+		var one [1]byte
+		syscall.Write(pl.wakeW, one[:])
+		m.pollerWG.Wait()
+		pl.destroy()
+	})
+}
+
+func (pl *poller) destroy() {
+	syscall.Close(pl.epfd)
+	syscall.Close(pl.wakeR)
+	syscall.Close(pl.wakeW)
+}
+
+// pollSpin is how long the poll loop yield-spins on an idle epoll set
+// before committing to a blocking wait. A thread parked in EpollWait
+// wakes through an OS reschedule — ~100us on bare metal, and on a
+// throttled/virtualized core potentially a whole scheduling quantum —
+// which would put a fixed floor under every message hop. Nonblocking
+// polls interleaved with Gosched keep mid-conversation latency at
+// syscall speed; only a mesh idle for the full budget pays the
+// blocking-wakeup cost, and from then on it costs zero CPU. 5ms
+// comfortably covers inter-hop gaps (rendezvous turnarounds, fabric
+// processing) without burning meaningful CPU on a mesh that went quiet.
+const pollSpin = 5 * time.Millisecond
+
+// pollLoop is the single rx goroutine: wait for readiness, pump the ready
+// stream until it would block, repeat. Level triggering makes partially
+// drained streams re-fire, so stopping at EAGAIN is the only obligation.
+func (m *Mesh) pollLoop(pl *poller) {
+	defer m.pollerWG.Done()
+	events := make([]syscall.EpollEvent, 128)
+	var idleSince time.Time
+	for {
+		wait := 0 // poll: see pollSpin
+		if !idleSince.IsZero() && time.Since(idleSince) >= pollSpin {
+			wait = -1 // idle for the whole spin budget: block until readiness
+		}
+		n, err := syscall.EpollWait(pl.epfd, events, wait)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return
+		}
+		if n == 0 {
+			if idleSince.IsZero() {
+				idleSince = time.Now()
+			}
+			runtime.Gosched()
+			continue
+		}
+		idleSince = time.Time{}
+		for i := 0; i < n; i++ {
+			fd := int(events[i].Fd)
+			if fd == pl.wakeR {
+				return // only shutdown writes the self-pipe
+			}
+			s := pl.streams[fd]
+			if s == nil || s.dead {
+				continue
+			}
+			if !m.drain(s) {
+				// Stream over (EOF keeps the fd readable forever under
+				// level triggering): deregister it.
+				syscall.EpollCtl(pl.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
+				delete(pl.streams, fd)
+			}
+		}
+	}
+}
+
+// fdReader reads a socket without ever blocking the calling goroutine:
+// EAGAIN surfaces as errWouldBlock instead of parking in the runtime's
+// netpoller, which is the property that lets one goroutine multiplex
+// every stream.
+type fdReader struct {
+	raw syscall.RawConn
+}
+
+func (r *fdReader) Read(b []byte) (int, error) {
+	var n int
+	var serr error
+	err := r.raw.Read(func(fd uintptr) bool {
+		for {
+			n, serr = syscall.Read(int(fd), b)
+			if serr != syscall.EINTR {
+				// true: never wait in the runtime poller; our epoll set
+				// decides when to try again.
+				return true
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case serr == syscall.EAGAIN:
+		return 0, errWouldBlock
+	case serr != nil:
+		return 0, serr
+	case n == 0:
+		return 0, io.EOF
+	}
+	return n, nil
+}

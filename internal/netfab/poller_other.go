@@ -1,0 +1,15 @@
+//go:build !linux
+
+package netfab
+
+// No kernel poller on this platform: newPoller reports none and every
+// stream takes a fallback reader goroutine driving the state machine in
+// rx.go — same behavior, O(P) idle goroutines.
+
+type poller struct{}
+
+func newPoller() *poller            { return nil }
+func (pl *poller) add(p *peer) bool { return false }
+func (pl *poller) count() int       { return 0 }
+func (pl *poller) launch(m *Mesh)   {}
+func (pl *poller) stop(m *Mesh)     {}

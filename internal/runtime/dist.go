@@ -77,6 +77,15 @@ func newDistWorld(d DistOptions, opts Options) (*World, *netfab.Mesh, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return newLinkWorld(opts, d.Self, mesh), mesh, nil
+}
+
+// newLinkWorld builds the one-rank World of a distributed job over an
+// already-established link (TCP mesh or shared-memory mesh): fabric config
+// from the job options, a DistEnv hosting rank self, and the fabric built
+// by NewDistributed over the link. opts must already have defaults applied
+// and Mode set.
+func newLinkWorld(opts Options, self int, link fabric.Link) *World {
 	if opts.UnreliableNetwork {
 		opts.GetNotifyMode = fabric.GetNotifyDeferred
 	}
@@ -92,11 +101,11 @@ func newDistWorld(d DistOptions, opts Options) (*World, *netfab.Mesh, error) {
 		Reliability:         opts.Reliability,
 		RendezvousThreshold: opts.RendezvousThreshold,
 	}
-	env := exec.NewDistEnv(d.Self, opts.Ranks)
+	env := exec.NewDistEnv(self, opts.Ranks)
 	w := &World{opts: opts, env: env}
 	cfg.FailureHook = w.announcePeerFailure
-	w.fab = fabric.NewDistributed(env, cfg, mesh)
-	return w, mesh, nil
+	w.fab = fabric.NewDistributed(env, cfg, link)
+	return w
 }
 
 // RunLocalCluster runs an Options.Ranks-rank distributed job inside this

@@ -1,0 +1,103 @@
+package runtime
+
+// Shared-memory jobs: like dist.go, one World per OS process hosting a
+// single rank, but peers on the same host exchange frames through mapped
+// segment pairs (internal/shmfab) instead of TCP sockets. RunShm is the
+// per-process entry point (cmd/nalaunch creates the segments and passes
+// them down as inherited fds or NA_SHM_DIR files); RunLocalShmCluster
+// folds the same stack into one process over heap segments — n
+// goroutines, each a complete rank with its own mesh endpoint and fabric,
+// sharing the segment memory directly — so tests and the race detector
+// exercise the full ring protocol without multi-process orchestration.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/shmfab"
+)
+
+// ShmOptions configures one process's membership in a shared-memory job.
+type ShmOptions struct {
+	// Self is this process's rank in [0, Options.Ranks).
+	Self int
+	// Segments is indexed by peer rank (nil at Self): Segments[q] is the
+	// mapped pair segment shared with rank q (launcher fds, NA_SHM_DIR
+	// files, or heap segments for in-process clusters).
+	Segments []*shmfab.Segment
+}
+
+// RunShm runs body as rank Self of an Options.Ranks-rank job over the
+// shared-memory fabric and tears the mesh down. The finalize barrier and
+// close semantics mirror RunDistributed: all ranks quiesce before any
+// tears down; a clean run closes gracefully (goodbye flag), an error run
+// closes abruptly, which surviving peers detect as a heartbeat stall and
+// report as ErrPeerFailed — exactly the semantics of a crashed rank.
+func RunShm(s ShmOptions, opts Options, body func(p *Proc)) error {
+	opts = opts.withDefaults()
+	opts.Mode = exec.Dist
+	if opts.Ranks <= 0 {
+		return fmt.Errorf("runtime: invalid rank count %d", opts.Ranks)
+	}
+	if s.Self < 0 || s.Self >= opts.Ranks {
+		return fmt.Errorf("runtime: rank %d outside job of %d", s.Self, opts.Ranks)
+	}
+	mesh, err := shmfab.Attach(shmfab.Config{
+		Self:     s.Self,
+		N:        opts.Ranks,
+		Segments: s.Segments,
+	})
+	if err != nil {
+		return err
+	}
+	w := newLinkWorld(opts, s.Self, mesh)
+	runErr := w.Run(func(p *Proc) {
+		body(p)
+		p.Barrier() // finalize: all ranks quiesce before any tears down
+	})
+	mesh.Close(runErr == nil)
+	return runErr
+}
+
+// RunLocalShmCluster runs an Options.Ranks-rank shared-memory job inside
+// this process: one heap segment per rank pair, shared by both endpoint
+// goroutines, each of which runs a complete rank (mesh, fabric, World).
+// The result has one entry per rank, in rank order. Because the segments
+// are ordinary Go memory and publication uses sync/atomic, the race
+// detector checks the full ring discipline here.
+func RunLocalShmCluster(opts Options, body func(p *Proc)) []error {
+	n := opts.withDefaults().Ranks
+	if n <= 0 {
+		return []error{fmt.Errorf("runtime: invalid rank count %d", n)}
+	}
+	// pair[lo][hi] is the one segment both endpoints map.
+	pair := make(map[[2]int]*shmfab.Segment)
+	for lo := 0; lo < n; lo++ {
+		for hi := lo + 1; hi < n; hi++ {
+			pair[[2]int{lo, hi}] = shmfab.NewHeapSegment(lo, hi)
+		}
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		segs := make([]*shmfab.Segment, n)
+		for q := 0; q < n; q++ {
+			if q == r {
+				continue
+			}
+			lo, hi := r, q
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			segs[q] = pair[[2]int{lo, hi}]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = RunShm(ShmOptions{Self: r, Segments: segs}, opts, body)
+		}()
+	}
+	wg.Wait()
+	return errs
+}

@@ -1,0 +1,27 @@
+//go:build linux && (amd64 || arm64)
+
+package shmfab
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+const memfdCloexec = 0x1 // MFD_CLOEXEC
+
+// memfdCreate makes an anonymous tmpfs-backed file via the raw
+// memfd_create syscall (the stdlib has no wrapper). CLOEXEC is safe here:
+// the launcher re-duplicates the descriptor through ExtraFiles, which
+// clears it on the inherited copies.
+func memfdCreate(name string) (*os.File, error) {
+	p, err := syscall.BytePtrFromString(name)
+	if err != nil {
+		return nil, err
+	}
+	fd, _, errno := syscall.Syscall(sysMemfdCreate, uintptr(unsafe.Pointer(p)), memfdCloexec, 0)
+	if errno != 0 {
+		return nil, errno
+	}
+	return os.NewFile(fd, name), nil
+}

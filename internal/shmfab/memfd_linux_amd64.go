@@ -1,0 +1,5 @@
+//go:build linux && amd64
+
+package shmfab
+
+const sysMemfdCreate = 319

@@ -1,0 +1,5 @@
+//go:build linux && arm64
+
+package shmfab
+
+const sysMemfdCreate = 279

@@ -1,0 +1,14 @@
+//go:build !linux || !(amd64 || arm64)
+
+package shmfab
+
+import (
+	"errors"
+	"os"
+)
+
+// memfdCreate reports unsupported; CreateSegmentFile falls back to an
+// unlinked temp file, which has identical sharing semantics.
+func memfdCreate(name string) (*os.File, error) {
+	return nil, errors.New("shmfab: memfd_create unavailable")
+}

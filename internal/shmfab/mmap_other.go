@@ -1,0 +1,14 @@
+//go:build !unix
+
+package shmfab
+
+import (
+	"errors"
+	"os"
+)
+
+// mapShared is unavailable off unix: only heap-backed segments (the
+// in-process cluster) work there.
+func mapShared(f *os.File, size int) ([]byte, func() error, error) {
+	return nil, nil, errors.New("shmfab: shared mappings unsupported on this platform")
+}

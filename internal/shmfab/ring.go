@@ -1,0 +1,275 @@
+package shmfab
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// One direction of a segment: an SPSC ring of EntrySize entries plus a
+// circular bulk region, with monotonic uint64 cursors.
+//
+// Publication discipline (Snippet 1, verified by internal/check's ring
+// models): the producer writes entry bytes — and any bulk payload the
+// entry references — with plain stores, then publishes with a release
+// store of tail; the consumer loads tail with acquire, reads the entry and
+// payload with plain loads, then retires with a release store of head
+// (and bulkHead), which the producer loads with acquire before reusing
+// space. sync/atomic on the mapped words gives exactly these fences (Go
+// atomics are sequentially consistent, a superset of release/acquire),
+// and makes the cross-goroutine case visible to the race detector.
+type dirRing struct {
+	tail      *uint64 // producer-owned, published with release
+	head      *uint64 // consumer-owned
+	bulkTail  *uint64 // producer-owned bulk byte cursor
+	bulkHead  *uint64 // consumer-owned bulk byte cursor
+	heartbeat *uint64 // producer liveness counter
+	closed    *uint64 // producer's clean-goodbye flag
+	entries   []byte  // RingEntries * EntrySize
+	bulk      []byte  // BulkSize
+}
+
+func newDirRing(s *Segment, d int) dirRing {
+	base := headerSize + d*dirSize
+	block := s.dir(d)
+	return dirRing{
+		tail:      s.word(base + offTail),
+		head:      s.word(base + offHead),
+		bulkTail:  s.word(base + offBulkTail),
+		bulkHead:  s.word(base + offBulkHead),
+		heartbeat: s.word(base + offHeartbeat),
+		closed:    s.word(base + offClosed),
+		entries:   block[ctrlSize : ctrlSize+RingEntries*EntrySize],
+		bulk:      block[ctrlSize+RingEntries*EntrySize:],
+	}
+}
+
+// bulkAlign keeps bulk allocations 8-byte aligned so the consumer's mirror
+// arithmetic is exact.
+const bulkAlign = 8
+
+func alignBulk(n int) uint64 { return uint64(n+bulkAlign-1) &^ (bulkAlign - 1) }
+
+// producer is the sending side's local view of one direction. tail and
+// bulkTail are single-writer, so the producer trusts its local copies and
+// only touches the shared words to publish; head/bulkHead are re-loaded
+// (acquire) only when the cached value says the ring looks full.
+type producer struct {
+	r              dirRing
+	tail           uint64
+	bulkTail       uint64
+	cachedHead     uint64
+	cachedBulkHead uint64
+}
+
+func newProducer(r dirRing) *producer {
+	// Recover cursors from the segment: a producer only ever attaches to
+	// a fresh segment in practice, but reading the published words keeps
+	// re-attachment (tests) coherent.
+	return &producer{
+		r:              r,
+		tail:           atomic.LoadUint64(r.tail),
+		bulkTail:       atomic.LoadUint64(r.bulkTail),
+		cachedHead:     atomic.LoadUint64(r.head),
+		cachedBulkHead: atomic.LoadUint64(r.bulkHead),
+	}
+}
+
+// tryReserve returns the next entry's bytes, or false when the ring is
+// full. The entry is published only by the following publish() call.
+func (p *producer) tryReserve() ([]byte, bool) {
+	if p.tail-p.cachedHead >= RingEntries {
+		p.cachedHead = atomic.LoadUint64(p.r.head) // acquire
+		if p.tail-p.cachedHead >= RingEntries {
+			return nil, false
+		}
+	}
+	off := int(p.tail%RingEntries) * EntrySize
+	return p.r.entries[off : off+EntrySize : off+EntrySize], true
+}
+
+// publish makes the reserved entry (and any bulk bytes it references)
+// visible: the release store on tail orders every prior plain store
+// before the consumer's acquire load.
+func (p *producer) publish() {
+	p.tail++
+	atomic.StoreUint64(p.r.tail, p.tail) // release
+}
+
+// tryBulk reserves n contiguous bulk bytes, padding to the region end on
+// wrap (the consumer mirrors the same arithmetic, so no pad length is
+// recorded anywhere). Returns the region offset and the writable bytes.
+func (p *producer) tryBulk(n int) (uint64, []byte, bool) {
+	need := alignBulk(n)
+	pos := p.bulkTail % BulkSize
+	if pos+need > BulkSize {
+		need += BulkSize - pos // pad-to-wrap: allocation restarts at 0
+		pos = 0
+	}
+	if p.bulkTail+need-p.cachedBulkHead > BulkSize {
+		p.cachedBulkHead = atomic.LoadUint64(p.r.bulkHead) // acquire
+		if p.bulkTail+need-p.cachedBulkHead > BulkSize {
+			return 0, nil, false
+		}
+	}
+	p.bulkTail += need
+	return pos, p.r.bulk[pos : pos+uint64(n) : pos+uint64(n)], true
+}
+
+// close publishes the clean-goodbye flag; ordered after every prior
+// publish, so a consumer that observes closed==1 and head==tail has seen
+// the complete stream.
+func (p *producer) close() { atomic.StoreUint64(p.r.closed, 1) }
+
+// beat bumps the liveness counter the peer's monitor watches.
+func (p *producer) beat() { atomic.AddUint64(p.r.heartbeat, 1) }
+
+// consumer is the receiving side's local view of the peer's direction.
+// Entry retirement (head) stays single-goroutine on the poller; bulk
+// retirement goes through a deferred-release queue because the fabric may
+// borrow a bulk span past the rx callback (zero-copy commit) and return
+// it from a receive worker later.
+type consumer struct {
+	r          dirRing
+	head       uint64
+	cachedTail uint64
+
+	// Bulk spans retire strictly in allocation order: each consumed
+	// bulk-bearing entry registers a span (deferBulk, poller goroutine),
+	// and releaseBulk — from whichever goroutine finishes with the bytes
+	// — marks it free and advances bulkHead over the freed prefix.
+	// Retired spans recycle through freelist so the steady state
+	// allocates nothing per entry.
+	pendMu   sync.Mutex
+	pending  []*bulkSpan
+	freelist []*bulkSpan
+	bulkHead uint64 // guarded by pendMu
+}
+
+// bulkSpan is one outstanding bulk allocation awaiting release. fn is the
+// span's release closure, built once and reused across recycles — handing
+// it out instead of a fresh closure keeps the per-entry path
+// allocation-free.
+type bulkSpan struct {
+	n     int // payload length (pre-alignment)
+	freed bool
+	fn    func()
+}
+
+func newConsumer(r dirRing) *consumer {
+	return &consumer{
+		r:          r,
+		head:       atomic.LoadUint64(r.head),
+		bulkHead:   atomic.LoadUint64(r.bulkHead),
+		cachedTail: atomic.LoadUint64(r.tail),
+	}
+}
+
+// poll returns the oldest unconsumed entry without retiring it, or false
+// when the ring is empty.
+func (c *consumer) poll() ([]byte, bool) {
+	if c.head == c.cachedTail {
+		c.cachedTail = atomic.LoadUint64(c.r.tail) // acquire
+		if c.head == c.cachedTail {
+			return nil, false
+		}
+	}
+	off := int(c.head%RingEntries) * EntrySize
+	return c.r.entries[off : off+EntrySize : off+EntrySize], true
+}
+
+// bulkBytes resolves a bulk reference from an entry, mirroring the
+// producer's pad-to-wrap arithmetic on the local cursor.
+func (c *consumer) bulkBytes(off uint64, n int) []byte {
+	return c.r.bulk[off : off+uint64(n) : off+uint64(n)]
+}
+
+// bulkOK bounds-checks a bulk reference before use (a corrupt entry from
+// a dying peer must fail the peer, not panic the consumer).
+func bulkOK(off uint64, n int) bool {
+	return n > 0 && off < BulkSize && uint64(n) <= BulkSize-off
+}
+
+// advance retires the current entry (release store of head). Bulk spans
+// the entry references are retired separately through deferBulk /
+// releaseBulk.
+func (c *consumer) advance() {
+	c.head++
+	atomic.StoreUint64(c.r.head, c.head) // release
+}
+
+// deferBulk registers the next bulk span (allocation order) for deferred
+// release. Poller goroutine only.
+func (c *consumer) deferBulk(n int) *bulkSpan {
+	c.pendMu.Lock()
+	var sp *bulkSpan
+	if k := len(c.freelist) - 1; k >= 0 {
+		sp = c.freelist[k]
+		c.freelist = c.freelist[:k]
+		sp.n, sp.freed = n, false
+	} else {
+		sp = &bulkSpan{n: n}
+		sp.fn = func() { c.releaseBulk(sp) }
+	}
+	c.pending = append(c.pending, sp)
+	c.pendMu.Unlock()
+	return sp
+}
+
+// releaseBulk marks sp free and advances bulkHead over the contiguous
+// freed prefix with the producer's exact pad-to-wrap arithmetic. Safe
+// from any goroutine; a span freed out of order simply waits for its
+// predecessors. Must be called exactly once per deferBulk — the span
+// recycles into the freelist on retirement, so a second call would
+// corrupt a later loan.
+func (c *consumer) releaseBulk(sp *bulkSpan) {
+	c.pendMu.Lock()
+	sp.freed = true
+	advanced := false
+	for len(c.pending) > 0 && c.pending[0].freed {
+		head := c.pending[0]
+		need := alignBulk(head.n)
+		if pos := c.bulkHead % BulkSize; pos+need > BulkSize {
+			need += BulkSize - pos
+		}
+		c.bulkHead += need
+		c.pending = c.pending[1:]
+		c.freelist = append(c.freelist, head)
+		advanced = true
+	}
+	if advanced {
+		atomic.StoreUint64(c.r.bulkHead, c.bulkHead) // release
+	}
+	c.pendMu.Unlock()
+}
+
+// bulkIdle reports that no bulk span is still on loan.
+func (c *consumer) bulkIdle() bool {
+	c.pendMu.Lock()
+	idle := len(c.pending) == 0
+	c.pendMu.Unlock()
+	return idle
+}
+
+// closedAndDrained reports a clean goodbye: the producer closed and every
+// published entry has been consumed. The tail re-load after observing
+// closed matters: close() stores after the final publish, so observing it
+// (acquire) guarantees the final tail value is visible. Head is read from
+// the shared word, not the poller-local cursor — this runs on the monitor
+// goroutine.
+func (c *consumer) closedAndDrained() bool {
+	if atomic.LoadUint64(c.r.closed) == 0 {
+		return false
+	}
+	return atomic.LoadUint64(c.r.head) == atomic.LoadUint64(c.r.tail)
+}
+
+// heartbeatValue reads the peer producer's liveness counter.
+func (c *consumer) heartbeatValue() uint64 { return atomic.LoadUint64(c.r.heartbeat) }
+
+func putU64(b []byte, off int, v uint64) { binary.LittleEndian.PutUint64(b[off:], v) }
+func getU64(b []byte, off int) uint64    { return binary.LittleEndian.Uint64(b[off:]) }
+func putU32(b []byte, off int, v uint32) { binary.LittleEndian.PutUint32(b[off:], v) }
+func getU32(b []byte, off int) uint32    { return binary.LittleEndian.Uint32(b[off:]) }
+func putU16(b []byte, off int, v uint16) { binary.LittleEndian.PutUint16(b[off:], v) }
+func getU16(b []byte, off int) uint16    { return binary.LittleEndian.Uint16(b[off:]) }

@@ -179,53 +179,113 @@ func (f *Framer) PeekHeader(fr *Frame) (ok bool, err error) {
 	return true, nil
 }
 
-// ReadDirect consumes the next frame — whose fixed header must already be
-// buffered (PeekHeader returned true) — landing its data section directly
-// in dst instead of the internal buffer: buffered payload bytes are copied
-// out once and the remainder is read from r straight into dst, so a large
-// frame never transits (or grows) the framer's buffer. The frame must
-// carry exactly a data section of len(dst) bytes (no payload header, no
-// string table); on ErrDirectMismatch nothing has been consumed and the
-// caller can fall back to Next/Fill.
-func (f *Framer) ReadDirect(r io.Reader, dst []byte) error {
-	// The fixed header plus both section prefixes: tiny, so fillSmall
-	// never grows the buffer meaningfully.
+// Direct is an in-progress direct landing: the frame's header and section
+// prefixes have been consumed and the data section is filling dst across
+// as many Fill calls as the reader needs. It exists so a nonblocking
+// receive loop can park a half-landed frame when the reader would block
+// and resume it on the next readiness event.
+type Direct struct {
+	f      *Framer
+	dst    []byte
+	filled int
+}
+
+// StartDirect begins landing the next frame's data section in dst. The
+// frame's fixed header plus both section prefixes must be buffered; when
+// they are not, StartDirect returns (nil, nil) and the caller should
+// FillSmall and retry. The frame must carry exactly a data section of
+// len(dst) bytes (no payload, no string table); on ErrDirectMismatch
+// nothing has been consumed and the caller can fall back to Next/Fill.
+// Any already-buffered data bytes are copied into dst immediately; drive
+// the rest with Direct.Fill.
+func (f *Framer) StartDirect(dst []byte) (*Direct, error) {
 	const want = LengthPrefix + fixedHeaderLen + 4 + 4
-	for f.Buffered() < want {
-		if err := f.fillSmall(r); err != nil {
-			return err
-		}
+	if f.Buffered() < want {
+		return nil, nil
 	}
 	total, err := f.pendingLen()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	body := f.buf[f.r+LengthPrefix:]
 	plen := int(binary.LittleEndian.Uint32(body[fixedHeaderLen:]))
 	dlen := int(binary.LittleEndian.Uint32(body[fixedHeaderLen+4:]))
 	if plen != 0 || dlen != len(dst) || total != fixedHeaderLen+4+4+dlen+2 {
-		return ErrDirectMismatch
+		return nil, ErrDirectMismatch
 	}
 	f.r += want
+	d := &Direct{f: f, dst: dst}
 	have := f.Buffered()
 	if have > dlen {
 		have = dlen
 	}
 	copy(dst, f.buf[f.r:f.r+have])
 	f.r += have
-	if have < dlen {
-		if _, err := io.ReadFull(r, dst[have:]); err != nil {
-			return err
+	d.filled = have
+	return d, nil
+}
+
+// Fill makes progress on the landing, reading the remaining data bytes
+// from r straight into dst and then the 2-byte empty-string-table trailer
+// into the framer's buffer. done reports the frame fully consumed; when
+// done is false the returned error says why the reader stopped (a
+// would-block sentinel from a nonblocking reader means park and resume).
+func (d *Direct) Fill(r io.Reader) (done bool, err error) {
+	f := d.f
+	for d.filled < len(d.dst) {
+		n, err := r.Read(d.dst[d.filled:])
+		d.filled += n
+		if n == 0 {
+			if err == nil {
+				err = io.ErrNoProgress
+			}
+			return false, err
+		}
+		if err != nil && d.filled < len(d.dst) {
+			return false, err
 		}
 	}
 	for f.Buffered() < 2 { // trailing empty string table
 		if err := f.fillSmall(r); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if binary.LittleEndian.Uint16(f.buf[f.r:]) != 0 {
-		return errors.New("wire: direct frame carries a string table")
+		return false, errors.New("wire: direct frame carries a string table")
 	}
 	f.r += 2
-	return nil
+	return true, nil
+}
+
+// ReadDirect consumes the next frame — whose fixed header must already be
+// buffered (PeekHeader returned true) — landing its data section directly
+// in dst instead of the internal buffer: buffered payload bytes are copied
+// out once and the remainder is read from r straight into dst, so a large
+// frame never transits (or grows) the framer's buffer. It is the blocking
+// convenience over StartDirect/Fill; on ErrDirectMismatch nothing has
+// been consumed and the caller can fall back to Next/Fill.
+func (f *Framer) ReadDirect(r io.Reader, dst []byte) error {
+	for {
+		d, err := f.StartDirect(dst)
+		if err != nil {
+			return err
+		}
+		if d == nil {
+			// Header and prefixes are tiny, so fillSmall never grows the
+			// buffer meaningfully.
+			if err := f.fillSmall(r); err != nil {
+				return err
+			}
+			continue
+		}
+		for {
+			done, err := d.Fill(r)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+		}
+	}
 }
