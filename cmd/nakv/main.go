@@ -1,0 +1,157 @@
+// Command nakv runs the sharded notified-access key-value service
+// (internal/kv) as an SPMD job: every rank owns one hash shard, serves
+// remote gets straight from its registered table window, and applies
+// notified-put records through the active-message handler. The same binary
+// runs on all four engines — pick one with -transport, or launch real
+// multi-process jobs under cmd/nalaunch, whose NA_* environment is honored
+// automatically (the default -transport auto).
+//
+// The run has two parts: a correctness pass (every rank writes its own
+// keys, then reads a peer's and checks them) and a timed mixed workload on
+// a shared key space, after which rank 0 prints aggregate throughput and
+// the server-side apply/dispatch counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"repro/fompi"
+	"repro/internal/kv"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 4, "job size (ignored under nalaunch, which sets NA_NRANKS)")
+	transport := flag.String("transport", "auto", "engine: auto, sim, real, tcp, shm (auto honors NA_TRANSPORT, else sim; tcp/shm without NA_* run as an in-process loopback cluster)")
+	ops := flag.Int("ops", 2000, "timed mixed operations per rank")
+	readPct := flag.Int("read", 80, "read percentage of the timed mix")
+	vsize := flag.Int("vsize", 64, "value size in bytes")
+	keys := flag.Int("keys", 512, "shared key-space size for the timed mix")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	n := *ranks
+	if env := os.Getenv(fompi.EnvNRanks); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nakv: bad %s=%q: %v\n", fompi.EnvNRanks, env, err)
+			os.Exit(2)
+		}
+		n = v
+	}
+	cfg := config{n: n, ops: *ops, readPct: *readPct, vsize: *vsize, keys: *keys, seed: *seed}
+
+	launched := os.Getenv(fompi.EnvTransport) != ""
+	mode := *transport
+	if mode == "auto" {
+		if launched {
+			mode = os.Getenv(fompi.EnvTransport)
+		} else {
+			mode = "sim"
+		}
+	}
+	cfg.mode = mode
+
+	var errs []error
+	switch {
+	case launched || mode == "sim" || mode == "real":
+		// Under nalaunch, fompi.Run reads the NA_* contract itself; locally
+		// sim/real are single-process engines.
+		errs = []error{fompi.Run(fompi.Options{Ranks: n, Real: mode == "real"}, cfg.body)}
+	case mode == "tcp":
+		errs = fompi.RunLocalCluster(fompi.Options{Ranks: n}, cfg.body)
+	case mode == "shm":
+		errs = fompi.RunLocalShmCluster(fompi.Options{Ranks: n}, cfg.body)
+	default:
+		fmt.Fprintf(os.Stderr, "nakv: unknown transport %q (want auto, sim, real, tcp, or shm)\n", mode)
+		os.Exit(2)
+	}
+	for r, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nakv: rank %d: %v\n", r, err)
+			os.Exit(1)
+		}
+	}
+}
+
+type config struct {
+	mode    string
+	n       int
+	ops     int
+	readPct int
+	vsize   int
+	keys    int
+	seed    int64
+}
+
+func (c config) body(p *fompi.Proc) {
+	s := kv.Open(p, kv.Options{})
+	defer s.Close()
+
+	// Correctness pass: own keys in, a peer's keys out.
+	const checkKeys = 16
+	for i := 0; i < checkKeys; i++ {
+		s.Put(ownKey(p.Rank(), i), ownVal(p.Rank(), i))
+	}
+	p.Barrier()
+	peer := (p.Rank() + 1) % p.N()
+	for i := 0; i < checkKeys; i++ {
+		v, ok := s.Get(ownKey(peer, i))
+		if !ok || string(v) != string(ownVal(peer, i)) {
+			panic(fmt.Sprintf("nakv: rank %d read peer %d key %d: got %q/%v, want %q",
+				p.Rank(), peer, i, v, ok, ownVal(peer, i)))
+		}
+	}
+	p.Barrier()
+
+	// Timed mixed workload on the shared key space.
+	rng := rand.New(rand.NewSource(c.seed + int64(p.Rank())))
+	val := make([]byte, c.vsize)
+	rng.Read(val)
+	start := p.Now()
+	for i := 0; i < c.ops; i++ {
+		key := []byte(fmt.Sprintf("shared-%05d", rng.Intn(c.keys)))
+		if rng.Intn(100) < c.readPct {
+			s.DrainAcks()
+			s.Get(key)
+		} else {
+			s.PutAsync(key, val)
+		}
+	}
+	s.Flush()
+	p.Barrier()
+	elapsed := p.Now().Sub(start).Micros()
+
+	// Aggregate the per-rank counters so rank 0 can report for the whole
+	// job even when the ranks are separate processes.
+	st := s.Stats()
+	var amDispatched, amDropped float64
+	for _, cs := range p.QueueStats().AM {
+		amDispatched += float64(cs.Dispatched)
+		amDropped += float64(cs.Dropped)
+	}
+	totals := p.Allreduce([]float64{
+		float64(st.Gets), float64(st.Puts), float64(st.Applied), float64(st.Deleted),
+		float64(st.Records), float64(st.FullDrops), amDispatched, amDropped, elapsed,
+	})
+	if p.Rank() == 0 {
+		gets, puts := totals[0], totals[1]
+		slowest := totals[8] / float64(p.N()) // mean rank time; close to max under the barrier
+		kops := (gets + puts) / slowest * 1000
+		unit := "kops/s"
+		if c.mode == "sim" {
+			unit = "virtual kops/s"
+		}
+		fmt.Printf("nakv: transport=%s ranks=%d ops=%.0f (%.0f%% reads)  %.1f %s\n",
+			c.mode, p.N(), gets+puts, 100*gets/(gets+puts), kops, unit)
+		fmt.Printf("nakv: served applied=%.0f deleted=%.0f records=%.0f bucket-full-drops=%.0f\n",
+			totals[2], totals[3], totals[4], totals[5])
+		fmt.Printf("nakv: am dispatched=%.0f dropped=%.0f\n", totals[6], totals[7])
+	}
+}
+
+func ownKey(rank, i int) []byte { return []byte(fmt.Sprintf("own-%d-%03d", rank, i)) }
+func ownVal(rank, i int) []byte { return []byte(fmt.Sprintf("val-%d-%03d", rank, i)) }

@@ -24,11 +24,13 @@ func main() {
 	transport := flag.String("transport", "sim", "engine for the ping-pong microbenchmark: sim (modeled LogGP time) or tcp (real sockets, wall-clock percentiles)")
 	jsonDir := flag.String("json", "", "directory to write BENCH_<name>.json machine-readable metrics into (one file per experiment that reports metrics)")
 	p99max := flag.Float64("p99max", 0, "regression floor: exit 1 if the tcppp single-frame (8B) p99 exceeds this many microseconds (0 disables)")
+	kvp99max := flag.Float64("kvp99max", 0, "regression floor: exit 1 if the kvload TCP p99 exceeds this many microseconds (0 disables)")
 	flag.Parse()
 	outputFormat = *format
 	bench.Quick = *quick
 	jsonOut = *jsonDir
 	p99Floor = *p99max
+	kvP99Floor = *kvp99max
 
 	switch *transport {
 	case "sim":
@@ -48,7 +50,7 @@ func main() {
 	case *list:
 		fmt.Println("available experiments:")
 		for _, e := range bench.Registry() {
-			fmt.Printf("  %-8s %s\n", e.Name, e.Title)
+			fmt.Printf("  %-15s %s\n", e.Name, e.Desc)
 		}
 	case *all:
 		for _, e := range bench.Registry() {
@@ -57,7 +59,11 @@ func main() {
 	case *experiment != "":
 		e, ok := bench.Lookup(*experiment)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *experiment)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q", *experiment)
+			if near := closest(*experiment, bench.Names()); near != "" {
+				fmt.Fprintf(os.Stderr, " (did you mean %q?)", near)
+			}
+			fmt.Fprintln(os.Stderr, "; try -list")
 			os.Exit(2)
 		}
 		run(e)
@@ -75,8 +81,48 @@ var (
 	outputFormat   = "text"
 	jsonOut        string
 	p99Floor       float64
+	kvP99Floor     float64
 	floorViolation string
 )
+
+// closest returns the candidate with the smallest edit distance to name,
+// or "" when nothing is plausibly a typo (distance > half the name).
+func closest(name string, candidates []string) string {
+	best, bestD := "", len(name)/2+1
+	for _, c := range candidates {
+		if d := editDistance(name, c); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
 
 func run(e bench.Experiment) {
 	start := time.Now()
@@ -103,6 +149,13 @@ func run(e bench.Experiment) {
 			floorViolation = fmt.Sprintf(
 				"naperf: tcppp 8B p99 = %.3f us exceeds the pinned floor of %.3f us",
 				p99, p99Floor)
+		}
+	}
+	if kvP99Floor > 0 && t.Name == "kvload" {
+		if p99, ok := t.Metrics["p99_tcp"]; ok && p99 > kvP99Floor {
+			floorViolation = fmt.Sprintf(
+				"naperf: kvload TCP p99 = %.3f us exceeds the pinned floor of %.3f us",
+				p99, kvP99Floor)
 		}
 	}
 }

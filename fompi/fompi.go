@@ -310,6 +310,16 @@ func (w *Win) PutNotify(target, targetOff int, data []byte, tag int) {
 	core.PutNotify(w.w, target, targetOff, data, tag).Detach()
 }
 
+// IGet starts a plain RMA read from target's window into dst (no
+// notification at the target) and returns a handle: Await blocks until
+// the data landed, Done polls. This is the async read primitive services
+// build on (Get fires and forgets; remote reads run under the target's
+// region lock, so a read sees any single remote commit entirely or not at
+// all).
+func (w *Win) IGet(target, targetOff int, dst []byte) *GetHandle {
+	return &GetHandle{op: w.w.Get(target, targetOff, dst), p: w.p}
+}
+
 // GetNotify reads from target's window into dst and notifies the target
 // that its buffer was read (MPI_Get_notify). The returned handle's Await
 // blocks until the data lands locally.
@@ -357,6 +367,77 @@ func (w *Win) MatchStats() MatchStats { return core.MatcherStats(w.w) }
 // armed request).
 func (w *Win) PendingNotifications() int { return core.PendingNotifications(w.w) }
 
+// AMsg is the view of one matched notification handed to an active-message
+// handler: source rank, tag, and the payload's location in the window.
+// Data() returns the deposited bytes in place.
+type AMsg = core.AMsg
+
+// AMConfig tunes the rank's active-message engine (worker count, queue
+// bound). Applied by the first RegisterHandlerCfg call at the rank.
+type AMConfig = core.AMConfig
+
+// AMClassStats is the per-tag-class active-message counter snapshot.
+type AMClassStats = core.AMClassStats
+
+// HandlerReg is one live active-message registration.
+type HandlerReg struct {
+	r *core.HandlerReg
+}
+
+// Unregister detaches the handler; queued dispatches still run, new
+// notifications of the class feed the request matcher again. Idempotent.
+func (r *HandlerReg) Unregister() { r.r.Unregister() }
+
+// RegisterHandler attaches an active-message handler to (window, tag):
+// every arriving notification of that class runs fn at this rank — on a
+// bounded worker pool under the wall-clock engines, in deterministic
+// kernel-context order under Sim — instead of feeding the request
+// matcher. tag may be AnyTag to catch the window's unclaimed classes. A
+// handler panic is isolated and counted (QueueStats.AM[tag].Panics); when
+// the dispatch queue is full the notification is shed and counted as
+// Dropped. Handlers may issue chained notified puts via ChainPutNotify
+// but must not block or call FlushHandlers.
+func (w *Win) RegisterHandler(tag int, fn func(m *AMsg)) *HandlerReg {
+	return &HandlerReg{r: core.RegisterHandler(w.w, tag, fn)}
+}
+
+// RegisterHandlerCfg is RegisterHandler with engine configuration (first
+// registration at the rank wins).
+func (w *Win) RegisterHandlerCfg(tag int, fn func(m *AMsg), cfg AMConfig) *HandlerReg {
+	return &HandlerReg{r: core.RegisterHandlerCfg(w.w, tag, fn, cfg)}
+}
+
+// ChainPutNotify is PutNotify callable from active-message handler
+// context (no origin rank to charge or park): handlers use it to chain
+// completion notifications — acks, forwards, fan-outs — off a dispatch.
+func (w *Win) ChainPutNotify(target, targetOff int, data []byte, tag int) {
+	core.ChainPutNotify(w.w, target, targetOff, data, tag).Detach()
+}
+
+// CommitLocal writes data into the local window at off under the same
+// region lock remote puts commit under — the owner-side store that is
+// race-safe against concurrent remote gets (each remote read sees the
+// write entirely or not at all). AM handlers use it to apply updates to
+// window-backed state that other ranks read with RMA.
+func (w *Win) CommitLocal(off int, data []byte) { w.w.CommitLocal(off, data) }
+
+// ReadLocal reads len(dst) bytes at off from the local window under the
+// region read lock — the owner-side load that is race-safe against
+// concurrent remote puts.
+func (w *Win) ReadLocal(off int, dst []byte) { w.w.ReadLocal(off, dst) }
+
+// FlushHandlers blocks until every active-message dispatch enqueued at
+// this rank before the call has run to completion. It is local: it says
+// nothing about notifications still in flight on the wire (pair it with a
+// Barrier or an application-level ack for global quiescence).
+func (p *Proc) FlushHandlers() { core.FlushAM(p.p) }
+
+// JoinAMWorkers blocks until this rank's active-message worker goroutines
+// have exited. Call only after every handler is unregistered (or its
+// windows freed); a no-op under Sim. Shutdown hygiene for goroutine-leak
+// sensitive embedders.
+func (p *Proc) JoinAMWorkers() { core.JoinAMWorkers(p.p) }
+
 // QueueStats is a snapshot of one rank's NIC queue occupancy high-water
 // marks (diagnostics).
 type QueueStats struct {
@@ -400,6 +481,10 @@ type QueueStats struct {
 	// bulk bytes each way, compact/generic/fragmented frame counts, and
 	// full-ring send stalls); all-zero except under TransportShm.
 	ShmNet shmfab.Stats
+	// AM is the per-tag-class active-message dispatch snapshot
+	// (Dispatched/Queued/Dropped/Panics); nil when the rank never
+	// registered a handler.
+	AM map[int]AMClassStats
 }
 
 // QueueStats returns this rank's NIC queue high-water marks and data-plane
@@ -416,6 +501,7 @@ func (p *Proc) QueueStats() QueueStats {
 		RegionLockContention: n.RegionLockContention(),
 		Faults:               faults,
 		RetransmitCount:      faults.Retransmits,
+		AM:                   core.AMStats(p.p),
 	}
 	if src := p.p.World().Fabric().NetStatsSource(); src != nil {
 		if m, ok := src.(interface{ ReadStats() netfab.Stats }); ok {
@@ -456,12 +542,19 @@ func TestAny(reqs ...*Request) int {
 
 // GetHandle tracks an outstanding notified get at the origin.
 type GetHandle struct {
-	op interface{ Await(*exec.Proc) }
+	op interface {
+		Await(*exec.Proc)
+		Done() bool
+	}
 	p  *Proc
 }
 
 // Await blocks until the get's data has landed locally.
 func (h *GetHandle) Await() { h.op.Await(h.p.p.Proc) }
+
+// Done reports whether the get's data has landed locally (non-blocking;
+// polling alternative to Await for overlap-heavy clients).
+func (h *GetHandle) Done() bool { return h.op.Done() }
 
 // Request is a persistent notification request (MPI_Notify_init /
 // MPI_Start / MPI_Test / MPI_Wait / MPI_Request_free).

@@ -1,0 +1,219 @@
+package fompi_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/fompi"
+)
+
+// TestAMQueueStatsSurface: QueueStats.AM carries the per-class dispatch
+// counters.
+func TestAMQueueStatsSurface(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		win := p.WinAllocate(256)
+		defer win.Free()
+		const tag = 5
+		var reg *fompi.HandlerReg
+		if p.Rank() == 1 {
+			reg = win.RegisterHandler(tag, func(m *fompi.AMsg) {
+				win.ChainPutNotify(m.Source, 0, nil, 6)
+			})
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			ack := win.NotifyInit(1, 6, 3)
+			ack.Start()
+			for i := 0; i < 3; i++ {
+				win.PutNotify(1, 8*i, []byte("x"), tag)
+			}
+			ack.Wait()
+			ack.Free()
+		} else {
+			for {
+				if st := p.QueueStats().AM[tag]; st.Dispatched == 3 {
+					break
+				}
+				p.Yield()
+			}
+			p.FlushHandlers()
+			st := p.QueueStats().AM[tag]
+			if st.Dispatched != 3 || st.Dropped != 0 || st.Panics != 0 {
+				t.Errorf("QueueStats.AM[%d] = %+v", tag, st)
+			}
+			reg.Unregister()
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAMRegisterUnregisterStress races concurrent handler registration
+// churn against live notification dispatch under the wall-clock engine
+// (run with -race). Invariants: no notification fires a handler twice, no
+// notification is lost (dispatched + shed + stored == ingested), and the
+// worker pool's goroutines are all released on shutdown.
+func TestAMRegisterUnregisterStress(t *testing.T) {
+	settled := func(base int) bool {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			runtime.GC()
+			if runtime.NumGoroutine() <= base {
+				return true
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return false
+	}
+	base := runtime.NumGoroutine()
+
+	const (
+		msgs     = 600
+		tags     = 4
+		fenceTag = 100
+	)
+	err := fompi.Run(fompi.Options{Ranks: 2, Real: true}, func(p *fompi.Proc) {
+		win := p.WinAllocate(8 * msgs)
+		if p.Rank() == 0 {
+			p.Barrier()
+			buf := make([]byte, 8)
+			for i := 0; i < msgs; i++ {
+				binary.LittleEndian.PutUint64(buf, uint64(i))
+				// Unique offsets: a handler may still be reading slot i
+				// while slot i+1 commits.
+				win.PutNotify(1, 8*i, buf, i%tags)
+			}
+			// Per-pair FIFO: once the fence notification matches at rank 1,
+			// every message above has been ingested there.
+			win.PutNotify(1, 0, nil, fenceTag)
+		} else {
+			var fired sync.Map
+			var doubles atomic.Uint64
+			mkHandler := func() func(m *fompi.AMsg) {
+				return func(m *fompi.AMsg) {
+					seq := binary.LittleEndian.Uint64(m.Data())
+					if _, loaded := fired.LoadOrStore(seq, true); loaded {
+						doubles.Add(1)
+					}
+				}
+			}
+			regs := make([]*fompi.HandlerReg, tags)
+			for tag := range regs {
+				regs[tag] = win.RegisterHandler(tag, mkHandler())
+			}
+			fence := win.NotifyInit(0, fenceTag, 1)
+			fence.Start()
+			p.Barrier()
+			rng := rand.New(rand.NewSource(7))
+			for !fence.Test() {
+				tag := rng.Intn(tags)
+				if regs[tag] != nil {
+					regs[tag].Unregister()
+					regs[tag] = nil
+				} else {
+					regs[tag] = win.RegisterHandler(tag, mkHandler())
+				}
+				if rng.Intn(8) == 0 {
+					runtime.Gosched()
+				}
+			}
+			fence.Free()
+			p.FlushHandlers()
+
+			var dispatched, dropped uint64
+			for _, st := range p.QueueStats().AM {
+				dispatched += st.Dispatched
+				dropped += st.Dropped
+			}
+			var uniq uint64
+			fired.Range(func(any, any) bool { uniq++; return true })
+			if doubles.Load() != 0 {
+				t.Errorf("%d notifications fired a handler twice", doubles.Load())
+			}
+			if uniq != dispatched {
+				t.Errorf("unique fires %d != dispatched %d", uniq, dispatched)
+			}
+			ms := win.MatchStats()
+			if got := dispatched + dropped + uint64(ms.Depth); got != msgs {
+				t.Errorf("conservation: dispatched %d + dropped %d + stored %d = %d, want %d ingested",
+					dispatched, dropped, ms.Depth, got, msgs)
+			}
+			for _, r := range regs {
+				if r != nil {
+					r.Unregister()
+				}
+			}
+		}
+		p.Barrier()
+		win.Free()
+		p.JoinAMWorkers()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !settled(base) {
+		t.Fatalf("AM shutdown leaked goroutines: %d running, baseline %d", runtime.NumGoroutine(), base)
+	}
+}
+
+// TestAMDuplicateRegistrationPanics: a second handler on the same
+// (window, tag) is a programming error.
+func TestAMDuplicateRegistrationPanics(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 1}, func(p *fompi.Proc) {
+		win := p.WinAllocate(64)
+		defer win.Free()
+		reg := win.RegisterHandler(3, func(*fompi.AMsg) {})
+		defer reg.Unregister()
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate registration did not panic")
+			}
+		}()
+		win.RegisterHandler(3, func(*fompi.AMsg) {})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ExampleWin_RegisterHandler shows the active-message flow: a notified
+// put invokes a handler at the target, which chains an ack notification
+// back to the producer.
+func ExampleWin_RegisterHandler() {
+	_ = fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		win := p.WinAllocate(1024)
+		defer win.Free()
+		const reqTag, ackTag = 1, 2
+		var reg *fompi.HandlerReg
+		if p.Rank() == 1 {
+			reg = win.RegisterHandler(reqTag, func(m *fompi.AMsg) {
+				fmt.Printf("rank 1 handled %q from rank %d\n", m.Data(), m.Source)
+				win.ChainPutNotify(m.Source, 0, nil, ackTag)
+			})
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			ack := win.NotifyInit(1, ackTag, 1)
+			ack.Start()
+			win.PutNotify(1, 0, []byte("ping"), reqTag)
+			ack.Wait()
+			ack.Free()
+			fmt.Println("rank 0 got the chained ack")
+		} else {
+			p.FlushHandlers()
+			defer reg.Unregister()
+		}
+		p.Barrier()
+	})
+	// Output:
+	// rank 1 handled "ping" from rank 0
+	// rank 0 got the chained ack
+}

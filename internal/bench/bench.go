@@ -79,39 +79,43 @@ func (t *Table) Fprint(w io.Writer) {
 type Experiment struct {
 	Name  string
 	Title string
-	Run   func() *Table
+	// Desc is the one-line summary naperf -list prints: what the
+	// experiment measures and how, for someone picking one to run.
+	Desc string
+	Run  func() *Table
 }
 
 // Registry lists every reproducible experiment keyed by name.
 func Registry() []Experiment {
 	return []Experiment{
-		{"fig1", "Pipeline stencil strong scaling, 1280x12800 (GMOPS)", Fig1},
-		{"fig2", "Protocol transaction audit (network packets per producer-consumer transfer)", Fig2},
-		{"fig3a", "Ping-pong latency, notified put vs One Sided vs Message Passing (us)", Fig3a},
-		{"fig3b", "Ping-pong latency, notified get vs One Sided get vs Message Passing (us)", Fig3b},
-		{"fig3c", "Ping-pong latency intra-node (shared memory) (us)", Fig3c},
-		{"table1", "LogGP parameters fitted from unsynchronized transfers", Table1},
-		{"calls", "Call-overhead microbenchmarks (paper section V-A constants)", Calls},
-		{"fig4a", "Computation/communication overlap ratio", Fig4a},
-		{"fig4b", "Pipeline stencil weak scaling, 1280x1280 per PE (GMOPS)", Fig4b},
-		{"fig4c", "16-ary tree reduction latency (us)", Fig4c},
-		{"fig5", "Task-based Cholesky weak scaling, 32x32-double tiles (time ms / GFLOPS)", Fig5},
-		{"ablation", "Notification scheme ablation: queue vs counting vs overwriting", Ablation},
-		{"getnotify", "Notified-get protocols: uGNI vs InfiniBand vs unreliable network (paper sections IV-A, VIII)", GetNotifyProtocols},
-		{"uqdepth", "Matching cost vs unexpected-store depth", UQDepth},
-		{"notifymatch", "Matching-rate microbenchmark: Test cost vs outstanding requests K", NotifyMatch},
-		{"msgmatch", "Message matching microbenchmark: control-plane cost vs queue depth / waiter count K", MsgMatch},
-		{"databw", "Multi-producer put saturation: aggregate bandwidth and allocs/op vs producer count", DataBW},
-		{"faultbw", "Reliable-delivery cost under injected loss: goodput and notification latency vs drop rate", FaultBW},
-		{"halo", "2D halo exchange latency (introduction motif)", Halo},
-		{"model", "Analytic LogGP model vs simulation (paper section V-A)", ModelValidation},
-		{"sensitivity", "NA/MP advantage vs network latency (exascale claim)", Sensitivity},
-		{"taskflow", "Dataflow tasking system makespan: NA vs MP", Taskflow},
-		{"eagerthreshold", "MP eager/rendezvous threshold ablation", EagerThreshold},
-		{"tcppp", "Notified-put ping-pong over real TCP sockets: wall-clock latency percentiles", TCPPingPong},
-		{"tcpbw", "Bidirectional TCP streaming: ack piggybacking and tx coalescing counters", TCPBW},
-		{"shmbw", "Shared-memory segment ring vs in-process Real engine: aggregate put bandwidth", ShmBW},
-		{"check", "Interleaving checker: schedule-space exploration statistics per model", CheckStats},
+		{"fig1", "Pipeline stencil strong scaling, 1280x12800 (GMOPS)", "paper Fig.1: four-stage stencil pipeline throughput as PEs grow, NA vs MP synchronization", Fig1},
+		{"fig2", "Protocol transaction audit (network packets per producer-consumer transfer)", "counts fabric packets per transfer to verify NA's one-transaction claim against MP/One-Sided", Fig2},
+		{"fig3a", "Ping-pong latency, notified put vs One Sided vs Message Passing (us)", "paper Fig.3a: modeled LogGP half-RTT sweep over payload sizes for the three put-side schemes", Fig3a},
+		{"fig3b", "Ping-pong latency, notified get vs One Sided get vs Message Passing (us)", "paper Fig.3b: same sweep for the get-side schemes (notified get vs flush-and-poll)", Fig3b},
+		{"fig3c", "Ping-pong latency intra-node (shared memory) (us)", "paper Fig.3c: the put sweep with intra-node LogGP parameters (shared-memory window)", Fig3c},
+		{"table1", "LogGP parameters fitted from unsynchronized transfers", "fits L/o/g/G from measured unsynchronized transfer times; sanity-checks the simulator's model", Table1},
+		{"calls", "Call-overhead microbenchmarks (paper section V-A constants)", "per-call control-plane costs (NotifyInit/Start/Test/Wait) measured in isolation", Calls},
+		{"fig4a", "Computation/communication overlap ratio", "paper Fig.4a: fraction of transfer time hidden behind compute as message size grows", Fig4a},
+		{"fig4b", "Pipeline stencil weak scaling, 1280x1280 per PE (GMOPS)", "paper Fig.4b: stencil pipeline with fixed per-PE tile, throughput as PEs grow", Fig4b},
+		{"fig4c", "16-ary tree reduction latency (us)", "paper Fig.4c: reduction over a 16-ary notification tree, NA vs MP wakeup chains", Fig4c},
+		{"fig5", "Task-based Cholesky weak scaling, 32x32-double tiles (time ms / GFLOPS)", "paper Fig.5: tiled Cholesky on the dataflow runtime, NA-triggered task activation", Fig5},
+		{"ablation", "Notification scheme ablation: queue vs counting vs overwriting", "swaps the notification data structure to show why the matched queue wins (paper section III)", Ablation},
+		{"getnotify", "Notified-get protocols: uGNI vs InfiniBand vs unreliable network (paper sections IV-A, VIII)", "compares the three notified-get completion protocols the paper sketches per NIC capability", GetNotifyProtocols},
+		{"uqdepth", "Matching cost vs unexpected-store depth", "adversarial store growth: cost of matching when notifications arrive before requests", UQDepth},
+		{"notifymatch", "Matching-rate microbenchmark: Test cost vs outstanding requests K", "Test/Wait cost as armed-request count grows; exercises the class-bucketed matcher", NotifyMatch},
+		{"msgmatch", "Message matching microbenchmark: control-plane cost vs queue depth / waiter count K", "same sweep for the two-sided message matcher (send/recv tag matching)", MsgMatch},
+		{"databw", "Multi-producer put saturation: aggregate bandwidth and allocs/op vs producer count", "N producers flood one consumer window; lane fairness and allocation pressure", DataBW},
+		{"faultbw", "Reliable-delivery cost under injected loss: goodput and notification latency vs drop rate", "drops packets at the fault layer and measures retransmission's goodput/latency tax", FaultBW},
+		{"halo", "2D halo exchange latency (introduction motif)", "four-neighbor ghost-cell exchange, the paper's motivating pattern, NA vs MP", Halo},
+		{"model", "Analytic LogGP model vs simulation (paper section V-A)", "closed-form ping-pong prediction vs simulated time; validates the simulator", ModelValidation},
+		{"sensitivity", "NA/MP advantage vs network latency (exascale claim)", "re-runs the ping-pong as wire latency scales to project the advantage at exascale", Sensitivity},
+		{"taskflow", "Dataflow tasking system makespan: NA vs MP", "random layered DAG executed by the tasking runtime under both transports", Taskflow},
+		{"eagerthreshold", "MP eager/rendezvous threshold ablation", "moves the MP eager/rendezvous switch to show the protocol cliff NA avoids", EagerThreshold},
+		{"tcppp", "Notified-put ping-pong over real TCP sockets: wall-clock latency percentiles", "two-rank loopback cluster over real sockets; measured wall-clock p50/p90/p99 per size", TCPPingPong},
+		{"tcpbw", "Bidirectional TCP streaming: ack piggybacking and tx coalescing counters", "streams both directions at once and audits the batched data plane's coalescing", TCPBW},
+		{"shmbw", "Shared-memory segment ring vs in-process Real engine: aggregate put bandwidth", "intra-host segment transport vs the zero-copy in-process engine; 2x structural floor", ShmBW},
+		{"check", "Interleaving checker: schedule-space exploration statistics per model", "runs the bounded interleaving checker over its models and reports schedules explored", CheckStats},
+		{"kvload", "Sharded KV under open-loop load: saturation and tail latency per transport", "open-loop (fixed-arrival-rate) generator against the notified-access KV on real/tcp/shm; p50/p99/p999", KVLoad},
 	}
 }
 

@@ -40,6 +40,8 @@ func CheckStats() *Table {
 		{"segring-p4", "dfs p<=2", check.Options{MaxPreemptions: 2, MaxSchedules: budget}, check.SegRingPublication(false), false},
 		{"segring-relaxed-planted", "dfs p<=1", check.Options{MaxPreemptions: 1, MaxSchedules: budget}, check.SegRingPublication(true), true},
 		{"segring-death", "dfs p<=2", check.Options{MaxPreemptions: 2, MaxSchedules: budget}, check.SegRingPeerDeath(), false},
+		{"am-xonce", "dfs p<=2", check.Options{MaxPreemptions: 2, MaxSchedules: budget}, check.AMExactlyOnce(false), false},
+		{"am-xonce-planted", "sample seed=1", check.Options{MaxPreemptions: 2, MaxSchedules: budget, Seed: 1}, check.AMExactlyOnce(true), true},
 	}
 	t := &Table{Name: "check",
 		Title: "Interleaving checker: schedule-space exploration statistics per model",

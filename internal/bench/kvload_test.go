@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+// TestKVLoadP99Floor pins the CI regression bar: under the quick open-loop
+// run at half saturation, the TCP transport's p99 must stay below a
+// generous ceiling. The bound is loose (shared CI runners jitter hard) —
+// it exists to catch order-of-magnitude regressions in the AM apply path
+// or the notified-put data plane, not to benchmark the machine.
+func TestKVLoadP99Floor(t *testing.T) {
+	old := Quick
+	Quick = true
+	defer func() { Quick = old }()
+	tab := KVLoad()
+	maxP99us := 20000.0
+	if raceEnabled {
+		// The race detector slows the whole data plane ~10x; keep the gate
+		// an order-of-magnitude check there too.
+		maxP99us *= 10
+	}
+	for _, tr := range []string{"tcp", "shm"} {
+		p99, ok := tab.Metrics["p99_"+tr]
+		if !ok {
+			t.Fatalf("kvload reported no p99_%s metric", tr)
+		}
+		if p99 <= 0 || p99 > maxP99us {
+			t.Errorf("kvload %s p99 = %.1f us, want (0, %.0f]", tr, p99, maxP99us)
+		}
+	}
+	for _, key := range []string{"sat_real", "sat_tcp", "sat_shm", "p50_tcp", "p999_tcp"} {
+		if v := tab.Metrics[key]; v <= 0 {
+			t.Errorf("metric %s = %v, want > 0", key, v)
+		}
+	}
+}

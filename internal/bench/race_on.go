@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; wall-clock
+// regression floors widen under its ~10x slowdown.
+const raceEnabled = true

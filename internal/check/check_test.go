@@ -274,3 +274,35 @@ func TestSegRingPeerDeathUnblocks(t *testing.T) {
 		MaxSchedules:   *checkIters,
 	}, check.SegRingPeerDeath())
 }
+
+// TestAMExactlyOnce model-checks the active-message dispatch contract
+// over a faulty reliable wire (scripted first-put drop and second-put
+// duplicate): every payload's handler runs exactly once under every
+// explored schedule.
+func TestAMExactlyOnce(t *testing.T) {
+	t.Run("dfs", func(t *testing.T) {
+		mustPass(t, check.Options{
+			MaxPreemptions: 2,
+			MaxSchedules:   *checkIters,
+		}, check.AMExactlyOnce(false))
+	})
+	t.Run("sampler", func(t *testing.T) {
+		mustPass(t, check.Options{
+			MaxPreemptions: 3,
+			MaxSchedules:   *checkIters,
+			Seed:           *checkSeed,
+		}, check.AMExactlyOnce(false))
+	})
+}
+
+// TestAMExactlyOnceCaught regression-tests the checker itself: with the
+// engine's planted redelivery defect armed (the second matched
+// notification dispatches twice), the at-least-twice dispatch must be
+// caught from the fixed seed.
+func TestAMExactlyOnceCaught(t *testing.T) {
+	mustCatch(t, check.Options{
+		MaxPreemptions: 2,
+		MaxSchedules:   *checkIters,
+		Seed:           *checkSeed,
+	}, check.AMExactlyOnce(true))
+}

@@ -9,11 +9,14 @@ package check
 
 import (
 	"errors"
+	"sync"
 
+	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/fabric"
 	"repro/internal/fault"
 	"repro/internal/mp"
+	"repro/internal/rma"
 	"repro/internal/runtime"
 )
 
@@ -551,6 +554,92 @@ func SegRingPeerDeath() Workload {
 				}
 				// Loop exit = death detected: the parked wait unblocked.
 			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Active-message exactly-once model
+// ---------------------------------------------------------------------------
+
+// AMExactlyOnce models the active-message dispatch contract on the full
+// stack (runtime + matcher + AM engine) over a faulty reliable wire: rank
+// 0 sends K uniquely-tagged payloads as notified puts whose first packet
+// is scripted to drop and whose second is scripted to duplicate; rank 1's
+// handler counts dispatches per payload. Claim under every explored
+// schedule: the reliable layer's retransmission and sequence window keep
+// each payload's handler invocation exactly-once — a wire duplicate must
+// be deduplicated below the matcher, a drop must be repaired, and FlushAM
+// must not return before queued handlers ran.
+//
+// planted=true arms the AM engine's test-only redelivery defect
+// (SetAMPlantRedeliverNth): the second matched notification is dispatched
+// twice, above the wire dedup, and the checker must catch the
+// at-least-twice dispatch.
+func AMExactlyOnce(planted bool) Workload {
+	return func(s exec.Scheduler) error {
+		const (
+			k        = 3
+			tagReq   = 7
+			fenceTag = 200
+		)
+		return runtime.Run(runtime.Options{
+			Ranks:       2,
+			Mode:        exec.Sim,
+			Env:         exec.NewSimEnvSched(s),
+			Reliability: fabric.ReliabilityConfig{Force: true},
+			FaultPlan: &fault.Plan{
+				Seed: 1,
+				Rules: []fault.Rule{
+					{Origin: 0, Target: 1, Class: "put", Nth: 1, Action: fault.Drop},
+					{Origin: 0, Target: 1, Class: "put", Nth: 2, Action: fault.Duplicate},
+				},
+			},
+		}, func(p *runtime.Proc) {
+			win := rma.Allocate(p, 8 * k)
+			defer win.Free()
+			var mu sync.Mutex
+			counts := map[byte]int{}
+			var reg *core.HandlerReg
+			if p.Rank() == 1 {
+				if planted {
+					core.SetAMPlantRedeliverNth(p, 2)
+				}
+				// The handler only records; the violation is raised on the
+				// rank body after the flush — a Violatef inside the handler
+				// would be swallowed by the engine's panic isolation.
+				reg = core.RegisterHandlerCfg(win, tagReq, func(m *core.AMsg) {
+					b := m.Data()[0]
+					mu.Lock()
+					counts[b]++
+					mu.Unlock()
+				}, core.AMConfig{Workers: 1})
+			}
+			p.Barrier()
+			if p.Rank() == 0 {
+				for i := 0; i < k; i++ {
+					core.PutNotify(win, 1, 8*i, []byte{byte(0xA0 + i)}, tagReq).Await(p.Proc)
+				}
+				// Sent after every AM put, so once it matches at rank 1 all
+				// of them were ingested there (the sequence window restores
+				// delivery order over the faulty wire).
+				core.PutNotify(win, 1, 0, nil, fenceTag).Await(p.Proc)
+			} else {
+				fence := core.NotifyInit(win, 0, fenceTag, 1)
+				fence.Start()
+				fence.Wait()
+				fence.Free()
+				core.FlushAM(p)
+				mu.Lock()
+				for i := 0; i < k; i++ {
+					if c := counts[byte(0xA0+i)]; c != 1 {
+						Violatef("am: payload %#x dispatched %d times, want exactly once", 0xA0+i, c)
+					}
+				}
+				mu.Unlock()
+				reg.Unregister()
+			}
+			p.Barrier()
 		})
 	}
 }

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/rma"
+	"repro/internal/runtime"
+)
+
+// fenceTag is a non-AM class used to order "all AM traffic before this
+// point has been ingested" via per-pair FIFO delivery: a notification sent
+// after the AM puts arrives after them, so once it matches, every earlier
+// AM notification has been enqueued (FlushAM then drains the handlers).
+const amFenceTag = 200
+
+func amFence(win *rma.Win, from int) {
+	req := NotifyInit(win, from, amFenceTag, 1)
+	req.Start()
+	req.Wait()
+	req.Free()
+}
+
+// TestAMDispatchAndChain: rank 0 deposits K payloads with notified puts;
+// rank 1's handler records them in order and chains an ack notification
+// back; rank 0 counts the acks with one persistent counting request.
+// Handlers register before the barrier — AM registration must precede the
+// first matching notification.
+func TestAMDispatchAndChain(t *testing.T) {
+	const K = 16
+	runBoth(t, 2, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 64*K)
+		defer win.Free()
+		const tagReq, tagAck = 7, 9
+		var mu sync.Mutex
+		var got []string
+		var reg *HandlerReg
+		if p.Rank() == 1 {
+			reg = RegisterHandlerCfg(win, tagReq, func(m *AMsg) {
+				mu.Lock()
+				got = append(got, string(m.Data()))
+				mu.Unlock()
+				ChainPutNotify(m.Window(), m.Source, 0, nil, tagAck)
+			}, AMConfig{Workers: 1})
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			ack := NotifyInit(win, 1, tagAck, K)
+			ack.Start()
+			for i := 0; i < K; i++ {
+				PutNotify(win, 1, 64*i, []byte(fmt.Sprintf("req-%02d", i)), tagReq).Await(p.Proc)
+			}
+			ack.Wait()
+			ack.Free()
+			PutNotify(win, 1, 0, nil, amFenceTag).Await(p.Proc)
+		} else {
+			amFence(win, 0)
+			FlushAM(p)
+			mu.Lock()
+			if len(got) != K {
+				t.Errorf("handler ran %d times, want %d", len(got), K)
+			}
+			for i, s := range got {
+				if want := fmt.Sprintf("req-%02d", i); s != want {
+					t.Errorf("dispatch %d: payload %q, want %q", i, s, want)
+				}
+			}
+			mu.Unlock()
+			st := AMStats(p)[tagReq]
+			if st.Dispatched != K || st.Dropped != 0 || st.Panics != 0 {
+				t.Errorf("stats %+v", st)
+			}
+			// AM classes are consumed by the handler: nothing may reach the
+			// unexpected store.
+			if d := PendingNotifications(win); d != 0 {
+				t.Errorf("unexpected store depth %d after AM traffic", d)
+			}
+			reg.Unregister()
+		}
+		p.Barrier()
+	})
+}
+
+// TestAMExactBeatsAnyTag: an exact-tag handler wins over the window's
+// AnyTag handler; unclaimed tags fall to AnyTag.
+func TestAMExactBeatsAnyTag(t *testing.T) {
+	runBoth(t, 2, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 64)
+		defer win.Free()
+		const tagExact, tagOther, tagAck = 3, 5, 9
+		var mu sync.Mutex
+		var exact, wild int
+		var re, rw *HandlerReg
+		if p.Rank() == 1 {
+			re = RegisterHandler(win, tagExact, func(m *AMsg) {
+				mu.Lock()
+				exact++
+				mu.Unlock()
+				ChainPutNotify(m.Window(), m.Source, 0, nil, tagAck)
+			})
+			rw = RegisterHandler(win, AnyTag, func(m *AMsg) {
+				mu.Lock()
+				wild++
+				mu.Unlock()
+				ChainPutNotify(m.Window(), m.Source, 0, nil, tagAck)
+			})
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			ack := NotifyInit(win, 1, tagAck, 2)
+			ack.Start()
+			PutNotify(win, 1, 0, []byte("a"), tagExact).Await(p.Proc)
+			PutNotify(win, 1, 1, []byte("b"), tagOther).Await(p.Proc)
+			ack.Wait()
+			ack.Free()
+		} else {
+			// No fence here: the AnyTag handler would consume it. Spin on
+			// the dispatch counters instead.
+			for {
+				st := AMStats(p)
+				if st[tagExact].Dispatched+st[AnyTag].Dispatched >= 2 {
+					break
+				}
+				p.Yield()
+			}
+			FlushAM(p)
+			mu.Lock()
+			if exact != 1 || wild != 1 {
+				t.Errorf("exact=%d wild=%d, want 1/1", exact, wild)
+			}
+			mu.Unlock()
+			st := AMStats(p)
+			if st[tagExact].Dispatched != 1 || st[AnyTag].Dispatched != 1 {
+				t.Errorf("stats %+v", st)
+			}
+			re.Unregister()
+			rw.Unregister()
+		}
+		p.Barrier()
+	})
+}
+
+// TestAMPanicIsolation: a panicking handler is recovered and counted; the
+// next dispatch still runs.
+func TestAMPanicIsolation(t *testing.T) {
+	runBoth(t, 2, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 64)
+		defer win.Free()
+		const tagReq, tagAck = 7, 9
+		var reg *HandlerReg
+		if p.Rank() == 1 {
+			reg = RegisterHandlerCfg(win, tagReq, func(m *AMsg) {
+				if m.Data()[0] == 0xFF {
+					panic("poisoned request")
+				}
+				ChainPutNotify(m.Window(), m.Source, 0, nil, tagAck)
+			}, AMConfig{Workers: 1})
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			ack := NotifyInit(win, 1, tagAck, 1)
+			ack.Start()
+			PutNotify(win, 1, 0, []byte{0xFF}, tagReq).Await(p.Proc)
+			PutNotify(win, 1, 1, []byte{0x01}, tagReq).Await(p.Proc)
+			ack.Wait()
+			ack.Free()
+			PutNotify(win, 1, 0, nil, amFenceTag).Await(p.Proc)
+		} else {
+			amFence(win, 0)
+			FlushAM(p)
+			st := AMStats(p)[tagReq]
+			if st.Dispatched != 2 || st.Panics != 1 {
+				t.Errorf("stats %+v", st)
+			}
+			reg.Unregister()
+		}
+		p.Barrier()
+	})
+}
+
+// TestAMBackpressureSheds: with Queue=1 and the single worker parked
+// inside a handler, exactly one later notification queues and the rest
+// are shed and counted. Wall-clock only: Sim drains between deliveries.
+func TestAMBackpressureSheds(t *testing.T) {
+	const sends = 6
+	err := runtime.Run(runtime.Options{Ranks: 2, Mode: exec.Real}, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 64)
+		defer win.Free()
+		const tagReq = 7
+		release := make(chan struct{})
+		var reg *HandlerReg
+		if p.Rank() == 1 {
+			reg = RegisterHandlerCfg(win, tagReq, func(m *AMsg) {
+				<-release
+			}, AMConfig{Workers: 1, Queue: 1})
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			for i := 0; i < sends; i++ {
+				// Await makes deliveries sequential: the put completes only
+				// after its CQE was handed to the matcher.
+				PutNotify(win, 1, 0, []byte{byte(i)}, tagReq).Await(p.Proc)
+			}
+			PutNotify(win, 1, 0, nil, amFenceTag).Await(p.Proc)
+		} else {
+			amFence(win, 0)
+			close(release)
+			FlushAM(p)
+			// The parked worker may or may not have popped the first event
+			// before the second arrived, so 1 or 2 dispatches are both
+			// legal; everything else must have been shed and accounted.
+			st := AMStats(p)[tagReq]
+			if st.Dispatched+st.Dropped != sends {
+				t.Errorf("stats %+v: dispatched+dropped != %d sends", st, sends)
+			}
+			if st.Dropped < sends-2 || st.Dropped > sends-1 {
+				t.Errorf("stats %+v, want %d or %d dropped", st, sends-2, sends-1)
+			}
+			if st.QueuedHighWater != 1 {
+				t.Errorf("queued high water %d, want 1", st.QueuedHighWater)
+			}
+			reg.Unregister()
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAMUnregisterRestoresMatching: after Unregister the class feeds the
+// request matcher again.
+func TestAMUnregisterRestoresMatching(t *testing.T) {
+	runBoth(t, 2, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 64)
+		defer win.Free()
+		const tagReq, tagAck = 4, 9
+		var reg *HandlerReg
+		if p.Rank() == 1 {
+			reg = RegisterHandler(win, tagReq, func(m *AMsg) {
+				ChainPutNotify(m.Window(), m.Source, 0, nil, tagAck)
+			})
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			ack := NotifyInit(win, 1, tagAck, 1)
+			ack.Start()
+			PutNotify(win, 1, 0, []byte("am"), tagReq).Await(p.Proc)
+			ack.Wait()
+			ack.Free()
+			p.Barrier() // rank 1 unregisters here
+			PutNotify(win, 1, 8, []byte("rq"), tagReq).Await(p.Proc)
+		} else {
+			for AMStats(p)[tagReq].Dispatched < 1 {
+				p.Yield()
+			}
+			FlushAM(p)
+			reg.Unregister()
+			reg.Unregister() // idempotent
+			p.Barrier()
+			req := NotifyInit(win, 0, tagReq, 1)
+			req.Start()
+			st := req.Wait()
+			req.Free()
+			if st.Source != 0 || st.Tag != tagReq {
+				t.Errorf("status %+v", st)
+			}
+			if !bytes.Equal(win.Buffer()[8:10], []byte("rq")) {
+				t.Errorf("payload %q", win.Buffer()[8:10])
+			}
+		}
+		p.Barrier()
+	})
+}
+
+// TestAMWindowFreeRetires: freeing a window retires its handlers (stats
+// survive) and shuts down the worker pool so JoinAMWorkers returns.
+func TestAMWindowFreeRetires(t *testing.T) {
+	runBoth(t, 2, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 64)
+		const tagReq, tagAck = 7, 9
+		if p.Rank() == 1 {
+			RegisterHandler(win, tagReq, func(m *AMsg) {
+				ChainPutNotify(m.Window(), m.Source, 0, nil, tagAck)
+			})
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			ack := NotifyInit(win, 1, tagAck, 1)
+			ack.Start()
+			PutNotify(win, 1, 0, []byte("x"), tagReq).Await(p.Proc)
+			ack.Wait()
+			ack.Free()
+		} else {
+			for AMStats(p)[tagReq].Dispatched < 1 {
+				p.Yield()
+			}
+			FlushAM(p)
+		}
+		p.Barrier()
+		win.Free()
+		JoinAMWorkers(p)
+		if p.Rank() == 1 {
+			if st := AMStats(p)[tagReq]; st.Dispatched != 1 {
+				t.Errorf("retired stats %+v", st)
+			}
+		}
+	})
+}
+
+// TestAMPlantedRedelivery: the test-only defect knob dispatches the Nth
+// matched notification twice — the exactly-once property the check model
+// relies on being able to break.
+func TestAMPlantedRedelivery(t *testing.T) {
+	runBoth(t, 2, func(p *runtime.Proc) {
+		win := rma.Allocate(p, 64)
+		defer win.Free()
+		const tagReq = 7
+		if p.Rank() == 1 {
+			SetAMPlantRedeliverNth(p, 2)
+			RegisterHandlerCfg(win, tagReq, func(m *AMsg) {}, AMConfig{Workers: 1})
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				PutNotify(win, 1, 0, []byte{byte(i)}, tagReq).Await(p.Proc)
+			}
+			PutNotify(win, 1, 0, nil, amFenceTag).Await(p.Proc)
+		} else {
+			amFence(win, 0)
+			FlushAM(p)
+			if st := AMStats(p)[tagReq]; st.Dispatched != 4 {
+				t.Errorf("dispatched %d, want 4 (3 sends + 1 planted redelivery)", st.Dispatched)
+			}
+		}
+		p.Barrier()
+	})
+}

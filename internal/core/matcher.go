@@ -71,7 +71,8 @@ type naState struct {
 	mu     sync.Mutex
 	gate   exec.Gate
 	wins   map[int]*winMatcher
-	failed error // first peer failure observed; wakes and fails parked waits
+	am     *amEngine // active-message dispatch engine; nil until first RegisterHandler
+	failed error     // first peer failure observed; wakes and fails parked waits
 }
 
 type naKey struct{}
@@ -124,12 +125,19 @@ func (s *naState) WindowCreated(userRegionID int) {
 	}
 }
 
-// WindowFreed implements runtime.WindowObserver.
+// WindowFreed implements runtime.WindowObserver. Freeing a window also
+// retires its AM handlers and discards their queued dispatches; if that
+// empties the registry the worker pool is shut down.
 func (s *naState) WindowFreed(userRegionID int) {
 	s.p.NIC().RemoveNotifySink(userRegionID)
 	s.mu.Lock()
 	delete(s.wins, userRegionID)
+	stop := s.amFreeWindowLocked(userRegionID)
 	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	s.gate.Broadcast()
 }
 
 // Deliver implements fabric.NotifySink: the NIC hands over one destination
@@ -152,6 +160,12 @@ func (s *naState) ingestLocked(cqe fabric.CQE) {
 	m := s.matcherLocked(cqe.RegionID)
 	src, tag := DecodeImm(cqe.Imm)
 	m.ingested++
+	// Classes with a registered active-message handler are consumed by the
+	// AM layer: the handler runs instead of crediting a waiter or storing
+	// the notification.
+	if s.amDispatchLocked(cqe, src, tag) {
+		return
+	}
 	if e := m.posted.Match(src, tag); e != nil {
 		m.directMatched++
 		s.creditLocked(m, e.Item, src, tag)

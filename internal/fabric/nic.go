@@ -326,6 +326,29 @@ func (r *MemRegion) readInto(off int, dst []byte) {
 	r.mu.RUnlock()
 }
 
+// CommitLocal copies data into the region at off under the region write
+// lock — the owner-side analog of a remote put commit. A local writer
+// (e.g. an active-message handler updating served state) that uses it is
+// race-safe against concurrent remote gets and puts to the region, and
+// each call is atomic with respect to any single remote read: a get never
+// observes a torn entry.
+func (r *MemRegion) CommitLocal(off int, data []byte) {
+	if off < 0 || off+len(data) > len(r.buf) {
+		panic(fmt.Sprintf("fabric: CommitLocal [%d,%d) outside region of %d bytes", off, off+len(data), len(r.buf)))
+	}
+	r.commit(off, data)
+}
+
+// ReadLocal copies len(dst) bytes at off into dst under the region read
+// lock — the owner-side analog of a remote get, race-safe against
+// concurrent remote commits to the region.
+func (r *MemRegion) ReadLocal(off int, dst []byte) {
+	if off < 0 || off+len(dst) > len(r.buf) {
+		panic(fmt.Sprintf("fabric: ReadLocal [%d,%d) outside region of %d bytes", off, off+len(dst), len(r.buf)))
+	}
+	r.readInto(off, dst)
+}
+
 // msgEntry stamps a queued message with its rank-wide arrival sequence so
 // multi-class consumers can merge class FIFOs back into arrival order.
 type msgEntry struct {

@@ -1,0 +1,268 @@
+package kv_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/fompi"
+	"repro/internal/kv"
+)
+
+// TestKVBasic: single-rank store (every operation self-targeted): put,
+// overwrite, delete, miss, and bucket-full accounting.
+func TestKVBasic(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 1}, func(p *fompi.Proc) {
+		s := kv.Open(p, kv.Options{})
+		if _, ok := s.Get([]byte("missing")); ok {
+			t.Error("phantom key")
+		}
+		s.Put([]byte("alpha"), []byte("one"))
+		s.Put([]byte("beta"), []byte("two"))
+		if v, ok := s.Get([]byte("alpha")); !ok || string(v) != "one" {
+			t.Errorf("alpha = %q %v", v, ok)
+		}
+		s.Put([]byte("alpha"), []byte("rewritten"))
+		if v, ok := s.Get([]byte("alpha")); !ok || string(v) != "rewritten" {
+			t.Errorf("alpha after overwrite = %q %v", v, ok)
+		}
+		s.Del([]byte("alpha"))
+		if _, ok := s.Get([]byte("alpha")); ok {
+			t.Error("alpha survived delete")
+		}
+		if v, ok := s.Get([]byte("beta")); !ok || string(v) != "two" {
+			t.Errorf("beta = %q %v", v, ok)
+		}
+		st := s.Stats()
+		if st.Applied != 3 || st.Deleted != 1 || st.FullDrops != 0 {
+			t.Errorf("stats %+v", st)
+		}
+		s.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKVBucketOverflow: a full bucket drops the put and counts it.
+func TestKVBucketOverflow(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 1}, func(p *fompi.Proc) {
+		s := kv.Open(p, kv.Options{Buckets: 1, SlotsPerBucket: 2})
+		keys := [][]byte{[]byte("k1"), []byte("k2"), []byte("k3")}
+		for _, k := range keys {
+			s.Put(k, []byte("v"))
+		}
+		live := 0
+		for _, k := range keys {
+			if _, ok := s.Get(k); ok {
+				live++
+			}
+		}
+		st := s.Stats()
+		if live != 2 || st.FullDrops != 1 {
+			t.Errorf("live=%d stats %+v, want 2 live / 1 drop", live, st)
+		}
+		s.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKVCreditWindow: a tiny lane forces the client to block on acks; all
+// records still apply, in order.
+func TestKVCreditWindow(t *testing.T) {
+	err := fompi.Run(fompi.Options{Ranks: 2}, func(p *fompi.Proc) {
+		s := kv.Open(p, kv.Options{LaneSlots: 2})
+		if p.Rank() == 0 {
+			key := []byte("hot")
+			for i := 0; i < 20; i++ {
+				s.PutAsync(key, []byte(fmt.Sprintf("v%02d", i)))
+			}
+			s.Flush()
+			if v, ok := s.Get(key); !ok || string(v) != "v19" {
+				t.Errorf("hot = %q %v, want v19", v, ok)
+			}
+			if st := s.Stats(); st.AckWaits == 0 {
+				t.Errorf("no ack waits with LaneSlots=2: %+v", st)
+			}
+		}
+		s.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKVMultiKey: cross-shard MPut/MGet from every rank.
+func TestKVMultiKey(t *testing.T) {
+	const ranks = 3
+	err := fompi.Run(fompi.Options{Ranks: ranks}, func(p *fompi.Proc) {
+		s := kv.Open(p, kv.Options{})
+		var pairs []kv.KV
+		var keys [][]byte
+		for i := 0; i < 12; i++ {
+			k := []byte(fmt.Sprintf("mk-%d-%02d", p.Rank(), i))
+			pairs = append(pairs, kv.KV{Key: k, Val: []byte(fmt.Sprintf("mv-%d-%02d", p.Rank(), i))})
+			keys = append(keys, k)
+		}
+		s.MPut(pairs)
+		vals := s.MGet(keys)
+		for i, v := range vals {
+			want := fmt.Sprintf("mv-%d-%02d", p.Rank(), i)
+			if string(v) != want {
+				t.Errorf("rank %d key %d = %q, want %q", p.Rank(), i, v, want)
+			}
+		}
+		s.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine soak: the same deterministic workload must leave the store
+// byte-identical on Sim, Real, TCP, and shm.
+// ---------------------------------------------------------------------------
+
+const (
+	soakRanks = 4
+	soakKeys  = 24
+	soakOps   = 240
+)
+
+func soakKey(rank, i int) []byte { return []byte(fmt.Sprintf("soak-%d-%02d", rank, i)) }
+
+// soakBody mutates only the rank's own key space (so the final per-key
+// state is deterministic regardless of cross-rank interleaving), checks
+// its shard of the truth, and reports a digest of the whole store.
+func soakBody(t *testing.T, record func(rank int, digest [32]byte)) func(p *fompi.Proc) {
+	return func(p *fompi.Proc) {
+		s := kv.Open(p, kv.Options{})
+		rng := rand.New(rand.NewSource(int64(1000 + p.Rank())))
+		shadow := map[string]string{}
+		for op := 0; op < soakOps; op++ {
+			i := rng.Intn(soakKeys)
+			key := soakKey(p.Rank(), i)
+			switch {
+			case op%10 == 9: // batched burst
+				var pairs []kv.KV
+				for j := 0; j < 4; j++ {
+					bi := rng.Intn(soakKeys)
+					bk := soakKey(p.Rank(), bi)
+					bv := fmt.Sprintf("b-%d-%02d-%04d-%d", p.Rank(), bi, op, j)
+					pairs = append(pairs, kv.KV{Key: bk, Val: []byte(bv)})
+					shadow[string(bk)] = bv
+				}
+				s.MPut(pairs)
+			case rng.Intn(100) < 20:
+				s.Del(key)
+				delete(shadow, string(key))
+			case rng.Intn(100) < 70:
+				v := fmt.Sprintf("v-%d-%02d-%04d", p.Rank(), i, op)
+				s.PutAsync(key, []byte(v))
+				shadow[string(key)] = v
+			default:
+				s.DrainAcks()
+				s.Get(key) // result checked at the end; keep the wire busy
+			}
+		}
+		s.Flush()
+		p.Barrier()
+
+		// Own key space must match the shadow exactly.
+		for i := 0; i < soakKeys; i++ {
+			key := soakKey(p.Rank(), i)
+			got, ok := s.Get(key)
+			want, live := shadow[string(key)]
+			if ok != live || (live && string(got) != want) {
+				t.Errorf("rank %d key %s = %q/%v, want %q/%v", p.Rank(), key, got, ok, want, live)
+			}
+		}
+
+		// Digest the full store (every rank's key space) for cross-engine
+		// comparison.
+		h := sha256.New()
+		for r := 0; r < soakRanks; r++ {
+			for i := 0; i < soakKeys; i++ {
+				key := soakKey(r, i)
+				v, ok := s.Get(key)
+				if ok {
+					fmt.Fprintf(h, "%s=%s;", key, v)
+				} else {
+					fmt.Fprintf(h, "%s=<nil>;", key)
+				}
+			}
+		}
+		var d [32]byte
+		h.Sum(d[:0])
+		record(p.Rank(), d)
+		p.Barrier()
+		s.Close()
+	}
+}
+
+func TestKVSoakByteIdenticalAcrossEngines(t *testing.T) {
+	type result struct {
+		mu      sync.Mutex
+		digests map[int][32]byte
+	}
+	engines := []string{"sim", "real", "tcp", "shm"}
+	got := map[string]*result{}
+	for _, eng := range engines {
+		res := &result{digests: map[int][32]byte{}}
+		got[eng] = res
+		record := func(rank int, d [32]byte) {
+			res.mu.Lock()
+			res.digests[rank] = d
+			res.mu.Unlock()
+		}
+		body := soakBody(t, record)
+		switch eng {
+		case "sim":
+			if err := fompi.Run(fompi.Options{Ranks: soakRanks}, body); err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+		case "real":
+			if err := fompi.Run(fompi.Options{Ranks: soakRanks, Real: true}, body); err != nil {
+				t.Fatalf("real: %v", err)
+			}
+		case "tcp":
+			for r, err := range fompi.RunLocalCluster(fompi.Options{Ranks: soakRanks}, body) {
+				if err != nil {
+					t.Fatalf("tcp rank %d: %v", r, err)
+				}
+			}
+		case "shm":
+			for r, err := range fompi.RunLocalShmCluster(fompi.Options{Ranks: soakRanks}, body) {
+				if err != nil {
+					t.Fatalf("shm rank %d: %v", r, err)
+				}
+			}
+		}
+		// All ranks of one engine must agree (they read the same store).
+		res.mu.Lock()
+		if len(res.digests) != soakRanks {
+			t.Fatalf("%s: %d digests, want %d", eng, len(res.digests), soakRanks)
+		}
+		for r := 1; r < soakRanks; r++ {
+			if res.digests[r] != res.digests[0] {
+				t.Errorf("%s: rank %d digest differs from rank 0", eng, r)
+			}
+		}
+		res.mu.Unlock()
+	}
+	// And every engine must serve byte-identical state.
+	sort.Strings(engines)
+	base := got["sim"].digests[0]
+	for _, eng := range engines {
+		if d := got[eng].digests[0]; !bytes.Equal(d[:], base[:]) {
+			t.Errorf("engine %s digest %x differs from sim %x", eng, d, base)
+		}
+	}
+}

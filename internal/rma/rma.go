@@ -154,6 +154,19 @@ func (w *Win) Load64(off int) uint64 { return w.user.Load64(off) }
 // Store64 atomically writes the uint64 at off in the local window memory.
 func (w *Win) Store64(off int, v uint64) { w.user.Store64(off, v) }
 
+// CommitLocal copies data into the local window memory at off under the
+// window region's write lock: the owner-side analog of a remote put
+// commit. A local writer that updates served window state through it
+// (e.g. an active-message handler) is race-safe against concurrent remote
+// gets and puts, and each call is atomic with respect to any single
+// remote read.
+func (w *Win) CommitLocal(off int, data []byte) { w.user.CommitLocal(off, data) }
+
+// ReadLocal copies len(dst) bytes of local window memory at off into dst
+// under the window region's read lock, race-safe against concurrent
+// remote commits.
+func (w *Win) ReadLocal(off int, dst []byte) { w.user.ReadLocal(off, dst) }
+
 // Size returns the window size in bytes.
 func (w *Win) Size() int { return w.user.Len() }
 
