@@ -10,14 +10,24 @@
 // keys, then reads a peer's and checks them) and a timed mixed workload on
 // a shared key space, after which rank 0 prints aggregate throughput and
 // the server-side apply/dispatch counters.
+//
+// With -survive the store runs in fault-tolerant mode instead: the table
+// is backed by a replicated window, a deterministic data set is written
+// and checkpointed, and the job then serves reads for -serve — the window
+// where `nalaunch -kill R -respawn` fells a rank. After recovery rank 0
+// reads every key back and prints a digest line; it must be byte-identical
+// to the digest of a run that never faulted.
 package main
 
 import (
+	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/fompi"
 	"repro/internal/kv"
@@ -31,6 +41,8 @@ func main() {
 	vsize := flag.Int("vsize", 64, "value size in bytes")
 	keys := flag.Int("keys", 512, "shared key-space size for the timed mix")
 	seed := flag.Int64("seed", 1, "workload seed")
+	survive := flag.Bool("survive", false, "fault-tolerant mode: replicated table, checkpoint, then serve reads (kill a rank here) and print a recovery digest")
+	serve := flag.Duration("serve", time.Second, "read-serving window in -survive mode, per generation")
 	flag.Parse()
 
 	n := *ranks
@@ -42,7 +54,7 @@ func main() {
 		}
 		n = v
 	}
-	cfg := config{n: n, ops: *ops, readPct: *readPct, vsize: *vsize, keys: *keys, seed: *seed}
+	cfg := config{n: n, ops: *ops, readPct: *readPct, vsize: *vsize, keys: *keys, seed: *seed, serve: *serve}
 
 	launched := os.Getenv(fompi.EnvTransport) != ""
 	mode := *transport
@@ -55,22 +67,38 @@ func main() {
 	}
 	cfg.mode = mode
 
+	body := cfg.body
+	if *survive {
+		body = cfg.surviveBody
+	}
 	var errs []error
 	switch {
+	case *survive && (launched || mode == "sim" || mode == "real"):
+		// RunResilient honors the NA_* contract including NA_REJOIN, loops
+		// world generations on TCP, and degrades gracefully on shm.
+		errs = []error{fompi.RunResilient(fompi.Options{Ranks: n, Real: mode == "real"}, fompi.ResilientOptions{}, body)}
+	case *survive && mode == "tcp":
+		errs = fompi.RunLocalClusterResilient(fompi.Options{Ranks: n}, fompi.ResilientOptions{}, body)
 	case launched || mode == "sim" || mode == "real":
 		// Under nalaunch, fompi.Run reads the NA_* contract itself; locally
 		// sim/real are single-process engines.
-		errs = []error{fompi.Run(fompi.Options{Ranks: n, Real: mode == "real"}, cfg.body)}
+		errs = []error{fompi.Run(fompi.Options{Ranks: n, Real: mode == "real"}, body)}
 	case mode == "tcp":
-		errs = fompi.RunLocalCluster(fompi.Options{Ranks: n}, cfg.body)
+		errs = fompi.RunLocalCluster(fompi.Options{Ranks: n}, body)
 	case mode == "shm":
-		errs = fompi.RunLocalShmCluster(fompi.Options{Ranks: n}, cfg.body)
+		errs = fompi.RunLocalShmCluster(fompi.Options{Ranks: n}, body)
 	default:
 		fmt.Fprintf(os.Stderr, "nakv: unknown transport %q (want auto, sim, real, tcp, or shm)\n", mode)
 		os.Exit(2)
 	}
 	for r, err := range errs {
-		if err != nil {
+		switch {
+		case err == nil:
+		case *survive && errors.Is(err, fompi.ErrDegraded):
+			// Data survivability proved even though the engine could not
+			// re-form the job (shm): report and treat as success.
+			fmt.Fprintf(os.Stderr, "nakv: rank %d degraded: %v\n", r, err)
+		default:
 			fmt.Fprintf(os.Stderr, "nakv: rank %d: %v\n", r, err)
 			os.Exit(1)
 		}
@@ -85,6 +113,67 @@ type config struct {
 	vsize   int
 	keys    int
 	seed    int64
+	serve   time.Duration
+}
+
+// surviveBody is the fault-tolerant workload: deterministic writes and a
+// checkpoint on the first epoch, a read-serving window where a kill can
+// land, then a full read-back digest after any recovery.
+func (c config) surviveBody(p *fompi.Proc) {
+	f := p.FT()
+	s := kv.Open(p, kv.Options{Replicate: true})
+	defer s.Close()
+	if err := f.Restore(); err != nil {
+		panic(fmt.Sprintf("nakv: rank %d restore: %v", p.Rank(), err))
+	}
+	if f.Epoch() == 0 {
+		for i := p.Rank(); i < c.keys; i += p.N() {
+			s.Put(surviveKey(i), surviveVal(i, c.vsize))
+		}
+		s.Flush()
+		p.Barrier()
+		if err := f.Checkpoint(); err != nil {
+			panic(fmt.Sprintf("nakv: rank %d checkpoint: %v", p.Rank(), err))
+		}
+		if p.Rank() == 0 {
+			fmt.Printf("nakv: survive checkpoint done keys=%d epoch=%d\n", c.keys, f.Epoch())
+		}
+	}
+	// Read-only serve window: keep traffic flowing so an external kill
+	// lands mid-operation. Bounded by both -serve and -ops.
+	rng := rand.New(rand.NewSource(c.seed + int64(p.Rank())))
+	deadline := time.Now().Add(c.serve)
+	for i := 0; i < c.ops && time.Now().Before(deadline); i++ {
+		k := surviveKey(rng.Intn(c.keys))
+		if v, ok := s.Get(k); !ok || len(v) == 0 {
+			panic(fmt.Sprintf("nakv: rank %d lost key %q", p.Rank(), k))
+		}
+	}
+	p.Barrier()
+	if p.Rank() == 0 {
+		h := sha256.New()
+		for i := 0; i < c.keys; i++ {
+			v, ok := s.Get(surviveKey(i))
+			if !ok {
+				panic(fmt.Sprintf("nakv: key %d missing after recovery", i))
+			}
+			h.Write(v)
+		}
+		st := f.Stats()
+		fmt.Printf("nakv: survive transport=%s ranks=%d gen=%d restores=%d replays=%d digest=%x\n",
+			c.mode, p.N(), f.Gen(), st.Restores, st.Replays, h.Sum(nil))
+	}
+	p.Barrier()
+}
+
+func surviveKey(i int) []byte { return []byte(fmt.Sprintf("ft-k-%05d", i)) }
+
+func surviveVal(i, vsize int) []byte {
+	v := make([]byte, vsize)
+	for j := range v {
+		v[j] = byte(i*31 + j*7 + 1)
+	}
+	return v
 }
 
 func (c config) body(p *fompi.Proc) {

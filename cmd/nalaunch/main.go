@@ -19,9 +19,16 @@
 // calling fompi.Run joins the job. Child output is line-multiplexed onto
 // the launcher's streams with a [rank] prefix.
 //
-// For failure demonstrations, -kill R -kill-after D sends SIGKILL to rank R
-// after D; survivors observe the peer's death (abrupt connection loss over
-// TCP, a stalled heartbeat over shm) as ErrPeerFailed.
+// For failure demonstrations, -kill R[,R...] sends SIGKILL to each listed
+// rank after -kill-after plus a per-victim random draw from [0,
+// -kill-jitter), seeded by -seed so a schedule replays exactly. Without
+// -respawn, survivors observe the deaths (abrupt connection loss over TCP,
+// a stalled heartbeat over shm) as ErrPeerFailed and the demo exits 0.
+// With -respawn (tcp only) the launcher relaunches each killed rank with
+// NA_REJOIN=1: a program running under fompi.RunResilient re-forms the job
+// as a new world generation, rebuilds the dead rank's windows from peer
+// replicas, and runs to completion — the launcher then demands that every
+// rank, respawned ones included, exits 0.
 package main
 
 import (
@@ -29,9 +36,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -41,11 +50,16 @@ import (
 
 func main() {
 	var (
-		n         = flag.Int("n", 2, "number of ranks (one OS process each)")
-		transport = flag.String("transport", "auto", "inter-rank transport: shm, tcp, or auto (all ranks are local, so auto means shm)")
-		rootAddr  = flag.String("root", "127.0.0.1:0", "tcp rendezvous bind address (port 0: kernel-assigned)")
-		kill      = flag.Int("kill", -1, "rank to SIGKILL mid-run (failure demo; -1: none)")
-		killAfter = flag.Duration("kill-after", time.Second, "delay before -kill fires")
+		n          = flag.Int("n", 2, "number of ranks (one OS process each)")
+		transport  = flag.String("transport", "auto", "inter-rank transport: shm, tcp, or auto (all ranks are local, so auto means shm)")
+		rootAddr   = flag.String("root", "127.0.0.1:0", "tcp rendezvous bind address (port 0: kernel-assigned)")
+		kills      = flag.String("kill", "", "comma-separated ranks to SIGKILL mid-run (failure demo; empty: none)")
+		killAfter  = flag.Duration("kill-after", time.Second, "base delay before each -kill fires")
+		killJitter = flag.Duration("kill-jitter", 0, "max extra delay added per victim, drawn from -seed")
+		seed       = flag.Int64("seed", 1, "seed for the -kill-jitter draws (schedules replay exactly)")
+		respawn    = flag.Bool("respawn", false, "relaunch killed ranks with NA_REJOIN=1 so resilient programs re-form the job (tcp only)")
+		hbInterval = flag.Duration("hb-interval", 0, "shm heartbeat interval override (0: library default)")
+		hbTimeout  = flag.Duration("hb-timeout", 0, "shm heartbeat timeout override (0: library default)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nalaunch [flags] program [args...]\n")
@@ -60,8 +74,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nalaunch: -n must be positive\n")
 		os.Exit(2)
 	}
-	if *kill >= *n {
-		fmt.Fprintf(os.Stderr, "nalaunch: -kill %d outside job of %d ranks\n", *kill, *n)
+	victims, err := parseKills(*kills, *n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nalaunch: %v\n", err)
 		os.Exit(2)
 	}
 	switch *transport {
@@ -70,7 +85,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nalaunch: -transport %q (want shm, tcp, or auto)\n", *transport)
 		os.Exit(2)
 	}
-	os.Exit(launch(*n, *transport, *rootAddr, *kill, *killAfter, flag.Args()))
+	if *respawn && *transport != "tcp" {
+		fmt.Fprintf(os.Stderr, "nalaunch: -respawn needs -transport tcp (a shm mesh is fixed at launch)\n")
+		os.Exit(2)
+	}
+	os.Exit(launch(launchConfig{
+		n: *n, transport: *transport, rootAddr: *rootAddr,
+		victims: victims, killAfter: *killAfter, killJitter: *killJitter, seed: *seed,
+		respawn: *respawn, hbInterval: *hbInterval, hbTimeout: *hbTimeout,
+		args: flag.Args(),
+	}))
+}
+
+// parseKills parses the -kill rank list ("1" or "0,2") against the job size.
+func parseKills(spec string, n int) ([]int, error) {
+	if spec == "" || spec == "-1" {
+		return nil, nil
+	}
+	var victims []int
+	seen := make(map[int]bool)
+	for _, part := range strings.Split(spec, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-kill %q: %v", spec, err)
+		}
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("-kill %d outside job of %d ranks", r, n)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("-kill %q lists rank %d twice", spec, r)
+		}
+		seen[r] = true
+		victims = append(victims, r)
+	}
+	return victims, nil
+}
+
+type launchConfig struct {
+	n          int
+	transport  string
+	rootAddr   string
+	victims    []int
+	killAfter  time.Duration
+	killJitter time.Duration
+	seed       int64
+	respawn    bool
+	hbInterval time.Duration
+	hbTimeout  time.Duration
+	args       []string
 }
 
 // rankEnv carries one child's transport bootstrap: environment additions
@@ -80,45 +142,67 @@ type rankEnv struct {
 	files []*os.File
 }
 
-func launch(n int, transport, rootAddr string, kill int, killAfter time.Duration, args []string) int {
+// rankExit is one child process leaving: which rank, and how.
+type rankExit struct {
+	rank int
+	err  error
+}
+
+func launch(cfg launchConfig) int {
 	var (
 		envs    []rankEnv
 		cleanup func()
 		err     error
 	)
-	if transport == "tcp" {
-		envs, cleanup, err = tcpEnvs(n, rootAddr)
+	if cfg.transport == "tcp" {
+		envs, cleanup, err = tcpEnvs(cfg.n, cfg.rootAddr)
 	} else {
 		// auto: every child runs on this host, so shared memory it is.
-		envs, cleanup, err = shmEnvs(n)
+		envs, cleanup, err = shmEnvs(cfg.n)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nalaunch: %v\n", err)
 		return 1
 	}
+	if cfg.hbInterval > 0 {
+		for r := range envs {
+			envs[r].env = append(envs[r].env, fmt.Sprintf("NA_SHM_HEARTBEAT=%s", cfg.hbInterval))
+		}
+	}
+	if cfg.hbTimeout > 0 {
+		for r := range envs {
+			envs[r].env = append(envs[r].env, fmt.Sprintf("NA_SHM_HEARTBEAT_TIMEOUT=%s", cfg.hbTimeout))
+		}
+	}
 
 	var outMu sync.Mutex // one child line at a time on each stream
 	var pipes sync.WaitGroup
-	cmds := make([]*exec.Cmd, n)
-	for r := 0; r < n; r++ {
-		cmd := exec.Command(args[0], args[1:]...)
-		cmd.Env = append(os.Environ(), envs[r].env...)
+	start := func(r int, extraEnv ...string) (*exec.Cmd, error) {
+		cmd := exec.Command(cfg.args[0], cfg.args[1:]...)
+		cmd.Env = append(append(os.Environ(), envs[r].env...), extraEnv...)
 		cmd.ExtraFiles = envs[r].files
 		stdout, err := cmd.StdoutPipe()
-		if err == nil {
-			var stderr io.ReadCloser
-			stderr, err = cmd.StderrPipe()
-			if err == nil {
-				err = cmd.Start()
-				if err == nil {
-					pipes.Add(2)
-					go prefixCopy(&pipes, &outMu, os.Stdout, stdout, r)
-					go prefixCopy(&pipes, &outMu, os.Stderr, stderr, r)
-				}
-			}
-		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nalaunch: starting rank %d (%s): %v\n", r, args[0], err)
+			return nil, err
+		}
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		pipes.Add(2)
+		go prefixCopy(&pipes, &outMu, os.Stdout, stdout, r)
+		go prefixCopy(&pipes, &outMu, os.Stderr, stderr, r)
+		return cmd, nil
+	}
+
+	cmds := make([]*exec.Cmd, cfg.n)
+	for r := 0; r < cfg.n; r++ {
+		cmd, err := start(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nalaunch: starting rank %d (%s): %v\n", r, cfg.args[0], err)
 			for _, c := range cmds[:r] {
 				c.Process.Kill()
 				c.Wait()
@@ -128,28 +212,77 @@ func launch(n int, transport, rootAddr string, kill int, killAfter time.Duration
 		}
 		cmds[r] = cmd
 	}
-	cleanup() // children hold their inherited copies now
-
-	if kill >= 0 {
-		go func() {
-			time.Sleep(killAfter)
-			fmt.Fprintf(os.Stderr, "nalaunch: killing rank %d\n", kill)
-			cmds[kill].Process.Kill()
-		}()
+	if cfg.respawn {
+		// Respawned children must re-inherit the launcher's files; keep
+		// them open until the job is over.
+		defer cleanup()
+	} else {
+		cleanup() // children hold their inherited copies now
 	}
 
-	code := 0
+	// The kill schedule: base delay plus a per-victim draw, in -kill list
+	// order, from a seeded source — so a failing schedule replays exactly.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	for _, v := range cfg.victims {
+		delay := cfg.killAfter
+		if cfg.killJitter > 0 {
+			delay += time.Duration(rng.Int63n(int64(cfg.killJitter)))
+		}
+		go func(v int, delay time.Duration) {
+			time.Sleep(delay)
+			fmt.Fprintf(os.Stderr, "nalaunch: killing rank %d (after %s)\n", v, delay)
+			cmds[v].Process.Kill()
+		}(v, delay)
+	}
+	isVictim := make(map[int]bool)
+	for _, v := range cfg.victims {
+		isVictim[v] = true
+	}
+
+	// Supervise: collect exits; with -respawn, relaunch a killed victim
+	// once (NA_REJOIN=1) unless some rank already finished cleanly —
+	// a clean exit means the job is over and stragglers just drain.
+	exits := make(chan rankExit, cfg.n)
+	supervise := func(r int, cmd *exec.Cmd) {
+		go func() { exits <- rankExit{r, cmd.Wait()} }()
+	}
 	for r, cmd := range cmds {
-		err := cmd.Wait()
-		if err != nil && r != kill {
-			fmt.Fprintf(os.Stderr, "nalaunch: rank %d: %v\n", r, err)
-			if kill < 0 {
+		supervise(r, cmd)
+	}
+	running := cfg.n
+	jobDone := false
+	respawned := make(map[int]bool)
+	code := 0
+	for running > 0 {
+		ex := <-exits
+		if ex.err == nil {
+			jobDone = true
+			running--
+			continue
+		}
+		if cfg.respawn && isVictim[ex.rank] && !respawned[ex.rank] && !jobDone {
+			respawned[ex.rank] = true
+			fmt.Fprintf(os.Stderr, "nalaunch: respawning rank %d\n", ex.rank)
+			cmd, err := start(ex.rank, "NA_REJOIN=1")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nalaunch: respawning rank %d: %v\n", ex.rank, err)
+				code = 1
+				running--
+				continue
+			}
+			supervise(ex.rank, cmd)
+			continue
+		}
+		running--
+		if cfg.respawn || !isVictim[ex.rank] {
+			fmt.Fprintf(os.Stderr, "nalaunch: rank %d: %v\n", ex.rank, ex.err)
+			if cfg.respawn || len(cfg.victims) == 0 {
 				code = 1
 			}
 		}
 	}
 	pipes.Wait()
-	if kill >= 0 {
+	if len(cfg.victims) > 0 && !cfg.respawn {
 		// Failure demo: survivors are expected to exit with ErrPeerFailed;
 		// statuses were printed above, the demo itself succeeded.
 		return 0

@@ -25,12 +25,14 @@ func main() {
 	jsonDir := flag.String("json", "", "directory to write BENCH_<name>.json machine-readable metrics into (one file per experiment that reports metrics)")
 	p99max := flag.Float64("p99max", 0, "regression floor: exit 1 if the tcppp single-frame (8B) p99 exceeds this many microseconds (0 disables)")
 	kvp99max := flag.Float64("kvp99max", 0, "regression floor: exit 1 if the kvload TCP p99 exceeds this many microseconds (0 disables)")
+	recoverymax := flag.Float64("recoverymax", 0, "regression ceiling: exit 1 if the recovery experiment's end-to-end outage exceeds this many milliseconds (0 disables)")
 	flag.Parse()
 	outputFormat = *format
 	bench.Quick = *quick
 	jsonOut = *jsonDir
 	p99Floor = *p99max
 	kvP99Floor = *kvp99max
+	recoveryCeil = *recoverymax
 
 	switch *transport {
 	case "sim":
@@ -82,6 +84,7 @@ var (
 	jsonOut        string
 	p99Floor       float64
 	kvP99Floor     float64
+	recoveryCeil   float64
 	floorViolation string
 )
 
@@ -156,6 +159,13 @@ func run(e bench.Experiment) {
 			floorViolation = fmt.Sprintf(
 				"naperf: kvload TCP p99 = %.3f us exceeds the pinned floor of %.3f us",
 				p99, kvP99Floor)
+		}
+	}
+	if recoveryCeil > 0 && t.Name == "recovery" {
+		if rec, ok := t.Metrics["recovery_ms"]; ok && rec > recoveryCeil {
+			floorViolation = fmt.Sprintf(
+				"naperf: recovery end-to-end outage = %.3f ms exceeds the pinned ceiling of %.3f ms",
+				rec, recoveryCeil)
 		}
 	}
 }

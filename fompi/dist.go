@@ -94,6 +94,12 @@ type ShmConfig struct {
 	// Dir, used when FDs is nil, is a directory where the per-pair
 	// segment files live (created on first open; see shmfab.PairName).
 	Dir string
+	// HeartbeatInterval, HeartbeatTimeout, and StartupGrace override the
+	// segment-mesh liveness defaults (zero keeps each default). Recovery
+	// demos shorten them so a peer death is detected promptly.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	StartupGrace      time.Duration
 }
 
 // Environment variables forming the contract between cmd/nalaunch and any
@@ -119,6 +125,11 @@ const (
 	// (shmfab.PairName) as the fd-less fallback bootstrap (shm only;
 	// EnvShmFDs wins when both are set).
 	EnvShmDir = "NA_SHM_DIR"
+	// EnvShmHeartbeat and EnvShmHeartbeatTimeout override the segment-mesh
+	// liveness cadence as Go durations (shm only; nalaunch -hb-interval and
+	// -hb-timeout set them so recovery demos detect deaths promptly).
+	EnvShmHeartbeat        = "NA_SHM_HEARTBEAT"
+	EnvShmHeartbeatTimeout = "NA_SHM_HEARTBEAT_TIMEOUT"
 )
 
 // detectEnv folds the launcher environment into the options. Explicit
@@ -152,6 +163,21 @@ func (o Options) detectEnv() (Options, error) {
 			}
 		} else if s.Dir == "" {
 			return o, fmt.Errorf("fompi: %s=shm needs %s or %s", EnvTransport, EnvShmFDs, EnvShmDir)
+		}
+		for _, hb := range []struct {
+			env string
+			dst *time.Duration
+		}{
+			{EnvShmHeartbeat, &s.HeartbeatInterval},
+			{EnvShmHeartbeatTimeout, &s.HeartbeatTimeout},
+		} {
+			if v := os.Getenv(hb.env); v != "" {
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return o, fmt.Errorf("fompi: bad %s=%q: %w", hb.env, v, err)
+				}
+				*hb.dst = d
+			}
 		}
 		o.Transport = TransportShm
 		o.Shm = s
@@ -230,8 +256,11 @@ func runShm(opts Options, body func(p *Proc)) error {
 		return err
 	}
 	return runtime.RunShm(runtime.ShmOptions{
-		Self:     s.Rank,
-		Segments: segs,
+		Self:              s.Rank,
+		Segments:          segs,
+		HeartbeatInterval: s.HeartbeatInterval,
+		HeartbeatTimeout:  s.HeartbeatTimeout,
+		StartupGrace:      s.StartupGrace,
 	}, rtOptions(opts), func(p *runtime.Proc) {
 		body(&Proc{p: p})
 	})

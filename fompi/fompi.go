@@ -39,6 +39,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fabric"
 	"repro/internal/fault"
+	"repro/internal/ft"
 	"repro/internal/loggp"
 	"repro/internal/mp"
 	"repro/internal/netfab"
@@ -178,6 +179,13 @@ func (p *Proc) Yield() { p.p.Yield() }
 
 // Model returns the LogGP model parameterizing the fabric.
 func (p *Proc) Model() loggp.Model { return p.p.Model() }
+
+// OnPeerFailure registers fn to run when the fabric declares a peer rank
+// dead (heartbeat stall, broken connection, injected crash). Only the
+// distributed engines ever fire it; on Sim/Real it never runs. fn is
+// called from a fabric goroutine — keep it short and do not issue
+// communication from inside it.
+func (p *Proc) OnPeerFailure(fn func(failed int, err error)) { p.p.OnPeerFailure(fn) }
 
 // WinAllocate collectively creates an RMA window of size bytes on every
 // rank (MPI_Win_allocate). All ranks must call it in the same order.
@@ -485,6 +493,10 @@ type QueueStats struct {
 	// (Dispatched/Queued/Dropped/Panics); nil when the rank never
 	// registered a handler.
 	AM map[int]AMClassStats
+	// FT is the recovery-plane snapshot (mirrored writes, checkpoints,
+	// restores, generations); all-zero when the rank never used the
+	// fault-tolerance surface.
+	FT FTStats
 }
 
 // QueueStats returns this rank's NIC queue high-water marks and data-plane
@@ -502,6 +514,9 @@ func (p *Proc) QueueStats() QueueStats {
 		Faults:               faults,
 		RetransmitCount:      faults.Retransmits,
 		AM:                   core.AMStats(p.p),
+	}
+	if v, ok := p.p.Attached(ftKey{}); ok {
+		qs.FT = v.(*ft.Manager).Stats()
 	}
 	if src := p.p.World().Fabric().NetStatsSource(); src != nil {
 		if m, ok := src.(interface{ ReadStats() netfab.Stats }); ok {
@@ -545,12 +560,21 @@ type GetHandle struct {
 	op interface {
 		Await(*exec.Proc)
 		Done() bool
+		Err() error
 	}
 	p  *Proc
 }
 
 // Await blocks until the get's data has landed locally.
-func (h *GetHandle) Await() { h.op.Await(h.p.p.Proc) }
+func (h *GetHandle) Await() {
+	h.op.Await(h.p.p.Proc)
+	if err := h.op.Err(); err != nil {
+		// The target died before the data landed: surface the typed
+		// peer failure (like a blocked Request.Wait) rather than letting
+		// the caller read a buffer the get never filled.
+		panic(err)
+	}
+}
 
 // Done reports whether the get's data has landed locally (non-blocking;
 // polling alternative to Await for overlap-heavy clients).

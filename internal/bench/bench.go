@@ -116,6 +116,7 @@ func Registry() []Experiment {
 		{"shmbw", "Shared-memory segment ring vs in-process Real engine: aggregate put bandwidth", "intra-host segment transport vs the zero-copy in-process engine; 2x structural floor", ShmBW},
 		{"check", "Interleaving checker: schedule-space exploration statistics per model", "runs the bounded interleaving checker over its models and reports schedules explored", CheckStats},
 		{"kvload", "Sharded KV under open-loop load: saturation and tail latency per transport", "open-loop (fixed-arrival-rate) generator against the notified-access KV on real/tcp/shm; p50/p99/p999", KVLoad},
+		{"recovery", "Rank-death recovery: detection, restore, outage, goodput dip (TCP)", "kills a rank in a resilient loopback cluster and times detection, replica replay, and the end-to-end outage against a clean run", Recovery},
 	}
 }
 

@@ -42,6 +42,8 @@ func CheckStats() *Table {
 		{"segring-death", "dfs p<=2", check.Options{MaxPreemptions: 2, MaxSchedules: budget}, check.SegRingPeerDeath(), false},
 		{"am-xonce", "dfs p<=2", check.Options{MaxPreemptions: 2, MaxSchedules: budget}, check.AMExactlyOnce(false), false},
 		{"am-xonce-planted", "sample seed=1", check.Options{MaxPreemptions: 2, MaxSchedules: budget, Seed: 1}, check.AMExactlyOnce(true), true},
+		{"replica-ckpt", "dfs p<=2", check.Options{MaxPreemptions: 2, MaxSchedules: budget}, check.ReplicaConsistency(false), false},
+		{"replica-ckpt-planted", "sample seed=1", check.Options{MaxPreemptions: 2, MaxSchedules: budget, Seed: 1}, check.ReplicaConsistency(true), true},
 	}
 	t := &Table{Name: "check",
 		Title: "Interleaving checker: schedule-space exploration statistics per model",

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/fompi"
+)
+
+// Recovery measures the fault-tolerance subsystem end to end on the
+// distributed TCP engine: a three-rank resilient loopback cluster fills a
+// replicated window, checkpoints, and streams mirrored puts; partway
+// through, one rank dies (FT.Die — the deterministic stand-in for a
+// SIGKILL) and the job re-forms as a new world generation, rebuilding the
+// dead rank's windows from its neighbors' replicas. The table reports the
+// recovery timeline — failure detection, the collective restore, and the
+// end-to-end outage — plus the goodput a clean run sustains against the
+// faulted run's, all in wall-clock terms.
+func Recovery() *Table {
+	const (
+		n      = 3
+		victim = 1
+		size   = 64 << 10
+	)
+	iters := 400
+	if Quick {
+		iters = 80
+	}
+
+	type runResult struct {
+		elapsed  time.Duration
+		detect   time.Duration // earliest survivor detection after the death
+		restore  time.Duration // respawned rank's collective Restore
+		recovery time.Duration // death -> respawned rank restored (outage)
+	}
+
+	run := func(fault bool) runResult {
+		var (
+			mu        sync.Mutex
+			diedAt    time.Time
+			detectAt  time.Time
+			restoreAt time.Time
+			restoreD  time.Duration
+		)
+		payload := make([]byte, 4<<10)
+		start := time.Now()
+		body := func(p *fompi.Proc) {
+			f := p.FT()
+			p.OnPeerFailure(func(failed int, err error) {
+				now := time.Now()
+				mu.Lock()
+				if detectAt.IsZero() || now.Before(detectAt) {
+					detectAt = now
+				}
+				mu.Unlock()
+			})
+			w := p.WinAllocateReplicated(size)
+			rstart := time.Now()
+			if err := f.Restore(); err != nil {
+				panic(fmt.Sprintf("bench: recovery restore: %v", err))
+			}
+			// The respawned rank's gen-1 restore is the one that replays
+			// windows out of replicas; everyone else's is bookkeeping.
+			if p.Rank() == victim && f.Gen() == 1 {
+				mu.Lock()
+				restoreD = time.Since(rstart)
+				restoreAt = time.Now()
+				mu.Unlock()
+			}
+			if f.Epoch() == 0 {
+				w.CommitLocal(0, payload[:1<<10])
+				w.FlushAll()
+				p.Barrier()
+				if err := f.Checkpoint(); err != nil {
+					panic(fmt.Sprintf("bench: recovery checkpoint: %v", err))
+				}
+			}
+			for i := 0; i < iters; i++ {
+				if fault && p.Rank() == victim && f.Gen() == 0 && i == iters/4 {
+					mu.Lock()
+					diedAt = time.Now()
+					mu.Unlock()
+					f.Die()
+				}
+				w.Put((p.Rank()+1)%p.N(), 0, payload)
+				w.FlushAll()
+			}
+			p.Barrier()
+		}
+		errs := fompi.RunLocalClusterResilient(fompi.Options{Ranks: n}, fompi.ResilientOptions{}, body)
+		for r, err := range errs {
+			if err != nil {
+				panic(fmt.Sprintf("bench: recovery rank %d failed: %v", r, err))
+			}
+		}
+		res := runResult{elapsed: time.Since(start)}
+		if fault {
+			res.detect = detectAt.Sub(diedAt)
+			res.restore = restoreD
+			res.recovery = restoreAt.Sub(diedAt)
+		}
+		return res
+	}
+
+	clean := run(false)
+	faulted := run(true)
+
+	// Goodput counts the job's logical work — n*iters mirrored puts — per
+	// wall-clock second, so the faulted run's generation-1 re-execution
+	// shows up as lost time rather than extra throughput.
+	goodput := func(r runResult) float64 {
+		return float64(n*iters) / r.elapsed.Seconds()
+	}
+	cleanOps, faultedOps := goodput(clean), goodput(faulted)
+	dipPct := (1 - faultedOps/cleanOps) * 100
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	t := &Table{
+		Name:    "recovery",
+		Title:   "Rank-death recovery: detection, restore, outage, goodput (wall clock)",
+		Columns: []string{"phase", "value"},
+	}
+	t.AddRow("failure detection (death -> first survivor notices)", fmt.Sprintf("%.2f ms", ms(faulted.detect)))
+	t.AddRow("collective restore (respawned rank, replica replay)", fmt.Sprintf("%.2f ms", ms(faulted.restore)))
+	t.AddRow("end-to-end outage (death -> respawned rank restored)", fmt.Sprintf("%.2f ms", ms(faulted.recovery)))
+	t.AddRow("goodput, clean run", fmt.Sprintf("%.0f mirrored puts/s", cleanOps))
+	t.AddRow("goodput, faulted run", fmt.Sprintf("%.0f mirrored puts/s", faultedOps))
+	t.AddRow("goodput dip", fmt.Sprintf("%.1f %%", dipPct))
+	t.SetMetric("detect_ms", ms(faulted.detect))
+	t.SetMetric("restore_ms", ms(faulted.restore))
+	t.SetMetric("recovery_ms", ms(faulted.recovery))
+	t.SetMetric("goodput_clean_ops_s", cleanOps)
+	t.SetMetric("goodput_faulted_ops_s", faultedOps)
+	t.SetMetric("goodput_dip_pct", dipPct)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("3-rank resilient TCP loopback cluster, 4KiB mirrored puts, %d iterations/rank/generation; rank %d dies at iteration %d of generation 0; its replacement rejoins as generation 1 and replays its windows from buddy replicas", iters, victim, iters/4),
+		"the faulted run redoes the work loop in generation 1, so its goodput includes both the outage and the re-execution tax")
+	return t
+}

@@ -306,3 +306,37 @@ func TestAMExactlyOnceCaught(t *testing.T) {
 		Seed:           *checkSeed,
 	}, check.AMExactlyOnce(true))
 }
+
+// TestReplicaConsistency model-checks the fault-tolerance checkpoint:
+// under every explored schedule the two-round quiesce may not miss an
+// in-flight mirror chain, Checkpoint's verdict must match the actual
+// bytes, and all ranks must agree on verdict and epoch.
+func TestReplicaConsistency(t *testing.T) {
+	t.Run("dfs", func(t *testing.T) {
+		mustPass(t, check.Options{
+			MaxPreemptions: 2,
+			MaxSchedules:   *checkIters,
+		}, check.ReplicaConsistency(false))
+	})
+	t.Run("sampler", func(t *testing.T) {
+		mustPass(t, check.Options{
+			MaxPreemptions: 3,
+			MaxSchedules:   *checkIters,
+			Seed:           *checkSeed,
+		}, check.ReplicaConsistency(false))
+	})
+}
+
+// TestReplicaConsistencyPlantedCaught arms the manager's skipped-mirror
+// defect and requires the checker to report the stale mirror bytes from
+// the fixed seed, with a deterministic replay of the failing schedule.
+func TestReplicaConsistencyPlantedCaught(t *testing.T) {
+	res := mustCatch(t, check.Options{
+		MaxPreemptions: 2,
+		MaxSchedules:   *checkIters,
+		Seed:           *checkSeed,
+	}, check.ReplicaConsistency(true))
+	if err := check.Replay(res.FailingTrace, check.Options{}, check.ReplicaConsistency(true)); !check.IsViolation(err) {
+		t.Fatalf("replay of %q did not reproduce the violation: %v", res.FailingTrace.String(), err)
+	}
+}

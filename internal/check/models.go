@@ -8,6 +8,7 @@
 package check
 
 import (
+	"bytes"
 	"errors"
 	"sync"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fabric"
 	"repro/internal/fault"
+	"repro/internal/ft"
 	"repro/internal/mp"
 	"repro/internal/rma"
 	"repro/internal/runtime"
@@ -553,6 +555,102 @@ func SegRingPeerDeath() Workload {
 					stall++
 				}
 				// Loop exit = death detected: the parked wait unblocked.
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Replicated-window consistency model (internal/ft)
+// ---------------------------------------------------------------------------
+
+// ReplicaConsistency models the fault-tolerance subsystem's checkpoint
+// claim under explored schedules: three ranks write into a replicated
+// window through both mirror paths — a local commit (direct chain) and a
+// remote put (TagMirror handler chain) — then checkpoint. The claim,
+// checked against the actual buffers after the collective returns, is
+// that Checkpoint's verdict exactly reflects byte-level reality: it
+// passes only when every rank's mirror equals its predecessor's primary
+// (no schedule lets the two-round quiesce miss an in-flight mirror
+// chain), every rank sees the same verdict, and epochs stay in lockstep.
+//
+// planted=true arms the manager's test-only defect on rank 0
+// (SetPlantSkipMirrorNth: its second mirror chain — local or
+// handler-forwarded, whichever the schedule orders second — is silently
+// dropped), so rank 1's mirror genuinely diverges and the checker must
+// report the stale bytes; the model also requires Checkpoint itself to
+// have flagged the divergence on every rank.
+func ReplicaConsistency(planted bool) Workload {
+	return func(s exec.Scheduler) error {
+		const (
+			n    = 3
+			size = 64
+		)
+		fill := func(seed, size int) []byte {
+			b := make([]byte, size)
+			for i := range b {
+				b[i] = byte(seed*37 + i*13 + 7)
+			}
+			return b
+		}
+		var (
+			mu    sync.Mutex
+			cerrs = make([]error, n)
+			wins  = make([]*ft.Win, n)
+		)
+		mgrs := make([]*ft.Manager, n)
+		for i := range mgrs {
+			mgrs[i] = ft.NewManager()
+		}
+		return runtime.Run(runtime.Options{
+			Ranks: n,
+			Mode:  exec.Sim,
+			Env:   exec.NewSimEnvSched(s),
+		}, func(p *runtime.Proc) {
+			r := p.Rank()
+			m := mgrs[r]
+			m.Begin(p)
+			w := m.AllocateReplicated(size)
+			mu.Lock()
+			wins[r] = w
+			mu.Unlock()
+			if planted && r == 0 {
+				m.SetPlantSkipMirrorNth(2)
+			}
+			w.CommitLocal(0, fill(r, size/2))
+			w.Put((r+1)%n, size/2, fill(r+8, size/2))
+			w.FlushAll()
+			p.Barrier()
+			err := m.Checkpoint()
+			mu.Lock()
+			cerrs[r] = err
+			mu.Unlock()
+			// On divergence Checkpoint returns before its final barrier, so
+			// fence here before any cross-rank inspection.
+			p.Barrier()
+
+			mu.Lock()
+			defer mu.Unlock()
+			pred := (r - 1 + n) % n
+			equal := bytes.Equal(w.Mirror().Buffer(), wins[pred].Primary().Buffer())
+			if !equal {
+				// The core claim — and, planted, the defect the checker
+				// reports: rank 0's dropped chain leaves these bytes stale.
+				Violatef("replica: rank %d mirror diverged from rank %d's primary (checkpoint verdict: %v)", r, pred, err)
+			}
+			if err != nil && !planted {
+				Violatef("replica: clean run's checkpoint failed at rank %d: %v", r, err)
+			}
+			if err == nil && planted {
+				Violatef("replica: rank %d checkpoint missed the planted skipped mirror", r)
+			}
+			// The verdict all-gather makes success/failure collective, so no
+			// rank may disagree with rank 0 — and epochs must match it.
+			if (cerrs[0] == nil) != (err == nil) {
+				Violatef("replica: rank %d verdict (%v) disagrees with rank 0's (%v)", r, err, cerrs[0])
+			}
+			if m.Epoch() != mgrs[0].Epoch() {
+				Violatef("replica: rank %d epoch %d != rank 0 epoch %d", r, m.Epoch(), mgrs[0].Epoch())
 			}
 		})
 	}

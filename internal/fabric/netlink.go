@@ -230,6 +230,17 @@ func (f *Fabric) netSweepFailed(failed int) {
 	}
 }
 
+// RndvPending reports the number of in-flight rendezvous handshakes this
+// fabric retains state for: outbound payloads awaiting CTS and inbound
+// reservations awaiting data. Both must drain to zero once every transfer
+// completes or its peer is declared failed — tests use it to prove the
+// failure sweep leaks nothing.
+func (f *Fabric) RndvPending() (out, in int) {
+	f.rndvMu.Lock()
+	defer f.rndvMu.Unlock()
+	return len(f.rndvOut), len(f.rndvIn)
+}
+
 // ---------------------------------------------------------------------------
 // Region announcements
 // ---------------------------------------------------------------------------
@@ -700,6 +711,23 @@ func (f *Fabric) netSendRTS(pkt *packet) {
 	}
 	f.rndvMu.Unlock()
 
+	// The reliability layer checked the peer before this attempt, but the
+	// failure declaration may land between that check and the park above —
+	// the sweep would then run against an empty map and the entry leak
+	// forever. Park and sweep serialize on rndvMu, so whichever ran second
+	// sees the other: if the peer is failed now, the sweep already missed
+	// us and the entry is ours to unpark.
+	if ferr := f.rel.peerError(pkt.target); ferr != nil {
+		f.rndvMu.Lock()
+		if e := f.rndvOut[id]; e != nil {
+			delete(f.rndvOut, id)
+			f.pool.put(e.data)
+		}
+		f.rndvMu.Unlock()
+		f.netDispose(pkt, pkt.target, nil)
+		return
+	}
+
 	rts := wire.Frame{
 		Kind: wire.KindRTS, Origin: f.self, Target: pkt.target,
 		OpID: id, Operand: uint64(size), Data: wire.Append(nil, &inner),
@@ -734,6 +762,19 @@ func (f *Fabric) handleRTS(from int, fr *wire.Frame) {
 		f.rndvIn[key] = st
 	}
 	f.rndvMu.Unlock()
+	// Same park-vs-sweep race as the send side: an RTS can arrive while the
+	// announcing peer is being declared failed (retransmit exhaustion keeps
+	// the reader alive). Re-checking after the park closes it — the two
+	// sides serialize on rndvMu.
+	if f.rel.peerError(from) != nil {
+		f.rndvMu.Lock()
+		if e := f.rndvIn[key]; e != nil {
+			delete(f.rndvIn, key)
+			f.pool.put(e.buf)
+		}
+		f.rndvMu.Unlock()
+		return
+	}
 	cts := wire.Frame{Kind: wire.KindCTS, Origin: f.self, Target: from, OpID: fr.OpID}
 	f.link.Send(from, &cts) // best effort: a lost CTS is re-driven by the RTO
 }

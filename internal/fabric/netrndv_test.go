@@ -1,0 +1,72 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/netfab"
+)
+
+// TestRendezvousSweepReleasesParkedState pins the failure sweep's
+// rendezvous drain deterministically: park exactly the state a peer death
+// mid-handshake leaves behind — an outbound payload whose CTS will never
+// come and an inbound reservation whose data never will — then declare
+// the peer failed and require both maps empty with every pooled buffer
+// returned. The end-to-end race (RTS in flight vs. death detection) is
+// covered by the runtime-level TestDistRendezvousPeerDeathDrains; this
+// test proves the drain itself regardless of which side wins that race.
+func TestRendezvousSweepReleasesParkedState(t *testing.T) {
+	meshes := netfab.Loopback(2)
+	defer meshes[0].Close(false)
+	defer meshes[1].Close(false)
+	cfg := DefaultConfig(2)
+	cfg.RendezvousThreshold = 4 << 10
+	f := NewDistributed(exec.NewDistEnv(0, 2), cfg, meshes[0])
+
+	before := f.PoolStats()
+	f.rndvMu.Lock()
+	f.rndvSeq++
+	f.rndvOut[f.rndvSeq] = &rndvOutEntry{target: 1, seq: 3, data: f.pool.get(8 << 10)}
+	f.rndvIn[rndvKey{from: 1, id: 9}] = &rndvInEntry{buf: f.pool.get(4 << 10)}
+	f.rndvMu.Unlock()
+
+	f.netSweepFailed(1)
+
+	if out, in := f.RndvPending(); out != 0 || in != 0 {
+		t.Errorf("pending rendezvous state after sweep: out=%d in=%d, want 0/0", out, in)
+	}
+	after := f.PoolStats()
+	if got := after.Returns - before.Returns; got != 2 {
+		t.Errorf("sweep returned %d pooled buffers, want 2", got)
+	}
+}
+
+// TestRendezvousSweepSparesOtherPeers proves the sweep is per-peer: state
+// parked on a healthy rank survives a different rank's failure untouched.
+func TestRendezvousSweepSparesOtherPeers(t *testing.T) {
+	meshes := netfab.Loopback(3)
+	for _, m := range meshes {
+		defer m.Close(false)
+	}
+	cfg := DefaultConfig(3)
+	cfg.RendezvousThreshold = 4 << 10
+	f := NewDistributed(exec.NewDistEnv(0, 3), cfg, meshes[0])
+
+	f.rndvMu.Lock()
+	f.rndvSeq++
+	healthy := f.rndvSeq
+	f.rndvOut[healthy] = &rndvOutEntry{target: 2, seq: 1, data: f.pool.get(8 << 10)}
+	f.rndvSeq++
+	f.rndvOut[f.rndvSeq] = &rndvOutEntry{target: 1, seq: 1, data: f.pool.get(8 << 10)}
+	f.rndvMu.Unlock()
+
+	f.netSweepFailed(1)
+
+	f.rndvMu.Lock()
+	_, ok := f.rndvOut[healthy]
+	n := len(f.rndvOut)
+	f.rndvMu.Unlock()
+	if !ok || n != 1 {
+		t.Errorf("sweep of rank 1 disturbed rank 2's entry (kept=%v, remaining=%d)", ok, n)
+	}
+}

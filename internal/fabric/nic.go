@@ -449,7 +449,8 @@ type NIC struct {
 	closeOnce sync.Once
 	rxWG      sync.WaitGroup
 
-	// Peer-failure state (reliability layer; all nil/false without it).
+	// Peer-failure state (distributed fabrics: the reliability layer or a
+	// lossless link whose mesh detects dead peers; all nil/false elsewhere).
 	// peerErr[r] is the failure recorded against rank r; relPending[r]
 	// holds this NIC's ops outstanding to r so a failure declaration can
 	// complete them with the error (guarded by mu, lazily allocated).
@@ -637,7 +638,7 @@ func (n *NIC) beginOp(target int, kind OpKind) *Op {
 	op.netID = 0
 	n.outstanding[target]++
 	n.totalOut++
-	if n.f.rel != nil {
+	if n.f.rel != nil || n.f.link != nil {
 		if n.relPending == nil {
 			n.relPending = make([]map[*Op]struct{}, n.f.cfg.Ranks)
 		}
@@ -647,6 +648,12 @@ func (n *NIC) beginOp(target int, kind OpKind) *Op {
 			n.relPending[target] = m
 		}
 		m[op] = struct{}{}
+	}
+	if n.anyPeerFailed && n.peerErr[target] != nil {
+		// The target was already declared dead: the declaration's sweep ran
+		// before this op existed, so complete it here — otherwise a lossless
+		// link (shm rings) would park its awaiter forever.
+		n.failOpLocked(op, n.peerErr[target])
 	}
 	n.mu.Unlock()
 	return op

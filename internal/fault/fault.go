@@ -161,6 +161,7 @@ type Injector struct {
 	ruleCount []uint64          // per-rule match counter (Nth)
 	sends     map[int]uint64    // per-origin originated-packet counter
 	down      map[int]RankMode
+	downHook  func(rank int, mode RankMode)
 
 	dropped     atomic.Int64
 	duplicated  atomic.Int64
@@ -190,21 +191,52 @@ func NewInjector(p Plan) *Injector {
 	return in
 }
 
+// SetDownHook registers fn to be called (outside the injector lock) every
+// time a rank transitions into a failure mode — scheduled AfterSends
+// activation in Decide, or an explicit Crash/Hang call. Ranks already down
+// when the hook is installed are reported immediately, so transports that
+// must mirror rank failure into their own liveness machinery (e.g. the
+// shmfab heartbeat word) never miss a transition that happened during
+// plan compilation.
+func (in *Injector) SetDownHook(fn func(rank int, mode RankMode)) {
+	in.mu.Lock()
+	in.downHook = fn
+	pending := make(map[int]RankMode, len(in.down))
+	for r, m := range in.down {
+		pending[r] = m
+	}
+	in.mu.Unlock()
+	if fn != nil {
+		for r, m := range pending {
+			fn(r, m)
+		}
+	}
+}
+
 // Crash fail-stops a rank immediately (both directions go dark). Tests use
 // it to kill a rank mid-run.
 func (in *Injector) Crash(rank int) {
 	in.mu.Lock()
 	in.down[rank] = Crash
+	hook := in.downHook
 	in.mu.Unlock()
+	if hook != nil {
+		hook(rank, Crash)
+	}
 }
 
 // Hang freezes a rank's sends immediately (inbound still arrives).
 func (in *Injector) Hang(rank int) {
 	in.mu.Lock()
+	var hook func(int, RankMode)
 	if _, already := in.down[rank]; !already {
 		in.down[rank] = Hang
+		hook = in.downHook
 	}
 	in.mu.Unlock()
+	if hook != nil {
+		hook(rank, Hang)
+	}
 }
 
 // Down reports whether rank has a scheduled-and-active failure, and its
@@ -236,15 +268,22 @@ func (in *Injector) Decide(origin, target int, class string) Decision {
 	// Rank-failure activation: this packet is origin's (count)th send.
 	count := in.sends[origin] + 1
 	in.sends[origin] = count
+	var activated func()
 	for _, rf := range in.plan.Ranks {
 		if rf.Rank == origin && rf.AfterSends > 0 && count > uint64(rf.AfterSends) {
 			if _, already := in.down[origin]; !already {
 				in.down[origin] = rf.Mode
+				if hook, mode := in.downHook, rf.Mode; hook != nil {
+					activated = func() { hook(origin, mode) }
+				}
 			}
 		}
 	}
 	if _, ok := in.down[origin]; ok {
 		in.mu.Unlock()
+		if activated != nil {
+			activated()
+		}
 		in.rankDropped.Add(1)
 		return Decision{Drop: true, RankDown: true}
 	}

@@ -82,6 +82,14 @@ type Options struct {
 	// burst N*LaneSlots plus slack, so credit flow control guarantees no
 	// sheds).
 	Queue int
+	// Replicate backs the table with a replicated window: every commit is
+	// transparently forwarded to a buddy rank's mirror, so the shard
+	// contents survive a rank death between checkpoints. The caller
+	// drives the checkpoint/restore cycle through p.FT() — typically
+	// Flush, then FT().Checkpoint(); and FT().Restore() after reopening
+	// in a recovery generation. Lane (log) windows are not replicated:
+	// their contents are transient protocol state.
+	Replicate bool
 }
 
 func (o *Options) defaults(ranks int) {
@@ -126,13 +134,14 @@ type Stats struct {
 // collective; the data-path methods are rank-local. A Store is not
 // goroutine-safe — one rank drives it.
 type Store struct {
-	p     *fompi.Proc
-	opt   Options
-	rank  int
-	n     int
-	table *fompi.Win
-	log   *fompi.Win
-	reg   *fompi.HandlerReg
+	p      *fompi.Proc
+	opt    Options
+	rank   int
+	n      int
+	table  *fompi.Win
+	rtable *fompi.RWin // non-nil iff Options.Replicate: table is its primary
+	log    *fompi.Win
+	reg    *fompi.HandlerReg
 
 	// Client-side per-owner lane state: seq counts records sent, acked
 	// counts acks consumed; seq-acked is the in-flight window. sendBuf
@@ -160,7 +169,13 @@ type Store struct {
 func Open(p *fompi.Proc, opt Options) *Store {
 	opt.defaults(p.N())
 	s := &Store{p: p, opt: opt, rank: p.Rank(), n: p.N()}
-	s.table = p.WinAllocate(opt.Buckets * opt.SlotsPerBucket * opt.SlotBytes)
+	tableSize := opt.Buckets * opt.SlotsPerBucket * opt.SlotBytes
+	if opt.Replicate {
+		s.rtable = p.WinAllocateReplicated(tableSize)
+		s.table = s.rtable.Primary()
+	} else {
+		s.table = p.WinAllocate(tableSize)
+	}
 	s.log = p.WinAllocate(p.N() * opt.LaneSlots * opt.RecordBytes)
 	s.bucketScratch = make([]byte, opt.SlotsPerBucket*opt.SlotBytes)
 	s.seq = make([]uint64, s.n)
@@ -193,7 +208,11 @@ func (s *Store) Close() {
 	for _, r := range s.ackReq {
 		r.Free()
 	}
-	s.table.Free()
+	if s.rtable != nil {
+		s.rtable.Free()
+	} else {
+		s.table.Free()
+	}
 	s.log.Free()
 	s.p.JoinAMWorkers()
 }
@@ -519,6 +538,18 @@ func (s *Store) apply(m *fompi.AMsg) {
 	s.log.ChainPutNotify(m.Source, 0, nil, tagAck)
 }
 
+// commitTable is the single table write path: under Replicate it routes
+// through the replicated window so the buddy mirror stays coherent (safe
+// from the record handler's context — the mirror forward is a chained
+// notified put).
+func (s *Store) commitTable(off int, data []byte) {
+	if s.rtable != nil {
+		s.rtable.CommitLocal(off, data)
+		return
+	}
+	s.table.CommitLocal(off, data)
+}
+
 // applyPut upserts one entry: matching-key slot if present, else the
 // bucket's first free slot; a full bucket drops the put (counted).
 func (s *Store) applyPut(key, val []byte) {
@@ -555,7 +586,7 @@ func (s *Store) applyPut(key, val []byte) {
 	binary.LittleEndian.PutUint32(slot[4:8], h)
 	copy(slot[slotHdr:], key)
 	copy(slot[slotHdr+len(key):], val)
-	s.table.CommitLocal(base+target*s.opt.SlotBytes, slot)
+	s.commitTable(base+target*s.opt.SlotBytes, slot)
 	s.srvApplied++
 }
 
@@ -571,7 +602,7 @@ func (s *Store) applyDel(key []byte) {
 		}
 		if binary.LittleEndian.Uint32(slot[4:8]) == h && int(slot[1]) == len(key) &&
 			string(slot[slotHdr:slotHdr+len(key)]) == string(key) {
-			s.table.CommitLocal(base+i*s.opt.SlotBytes, []byte{slotFree})
+			s.commitTable(base+i*s.opt.SlotBytes, []byte{slotFree})
 			s.srvDeleted++
 			return
 		}

@@ -56,6 +56,26 @@ type Config struct {
 	// (default 10s). A peer that stops draining its socket for this long
 	// is treated as failed.
 	WriteTimeout time.Duration
+
+	// KeepRootListener leaves RootListener open after bootstrap instead of
+	// closing it, so the same rendezvous point can admit a later world
+	// generation (recovery re-bootstrap after a rank death). Only
+	// meaningful at rank 0 with RootListener set.
+	KeepRootListener bool
+
+	// Gen is the world generation this bootstrap forms (0 for the first).
+	// The root stamps it on the Roster broadcast; peers adopt the root's
+	// value, so a respawned process that lost count learns the current
+	// generation from the rendezvous. Informational beyond that — frames
+	// carry no generation tag because every generation builds fresh
+	// streams.
+	Gen int
+
+	// Rejoin marks this process as a respawned rank re-entering an
+	// existing job: its rendezvous hello uses wire.KindRejoin so the root
+	// can record the admission (Mesh.Rejoined at the root lists such
+	// ranks for the recovery layer).
+	Rejoin bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -185,6 +205,12 @@ type Mesh struct {
 	pollerWG     sync.WaitGroup
 	rxGoroutines int
 
+	// gen is the world generation adopted at bootstrap (the root's
+	// cfg.Gen, learned from the Roster by everyone else); rejoined lists
+	// the ranks the root admitted via a Rejoin hello this bootstrap.
+	gen      int
+	rejoined []int
+
 	closeOnce sync.Once
 	quitOnce  sync.Once // Close and abruptClose both release the writers
 	closed    atomic.Bool
@@ -228,7 +254,11 @@ func Bootstrap(cfg Config) (*Mesh, error) {
 }
 
 // bootstrapRoot accepts one Hello per peer, broadcasts the Roster, waits
-// for all Readys, then broadcasts Go.
+// for all Readys, then broadcasts Go. With KeepRootListener the supplied
+// listener survives the bootstrap so a recovery re-bootstrap can reuse the
+// rendezvous point; the accept loop then also tolerates stale connections
+// (a respawned peer's abandoned earlier attempt) by taking the newest
+// stream per rank instead of erroring on duplicates.
 func (m *Mesh) bootstrapRoot() error {
 	ln := m.cfg.RootListener
 	if ln == nil {
@@ -238,32 +268,43 @@ func (m *Mesh) bootstrapRoot() error {
 			return fmt.Errorf("netfab: root listen %s: %w", m.cfg.RootAddr, err)
 		}
 	}
-	defer ln.Close()
+	keep := m.cfg.KeepRootListener && m.cfg.RootListener != nil
+	if !keep {
+		defer ln.Close()
+	}
 	deadline := time.Now().Add(m.cfg.DialTimeout)
 	if dl, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
 		dl.SetDeadline(deadline)
+		if keep {
+			defer dl.SetDeadline(time.Time{}) // re-arm for the next generation
+		}
 	}
+	m.gen = m.cfg.Gen
 
 	addrs := make([]string, m.cfg.N)
 	addrs[0] = ln.Addr().String()
-	for got := 0; got < m.cfg.N-1; got++ {
+	for have := 0; have < m.cfg.N-1; {
 		conn, err := ln.Accept()
 		if err != nil {
 			return fmt.Errorf("netfab: root accept: %w", err)
 		}
 		fr, err := readFrame(conn, deadline)
 		if err != nil {
+			// A connection that never produced a hello: typically the
+			// abandoned first attempt of a peer that timed out and retried
+			// (respawn supervisors redial). Skip it; the deadline on the
+			// listener still bounds the whole rendezvous.
 			conn.Close()
-			return fmt.Errorf("netfab: root reading hello: %w", err)
+			continue
 		}
 		if err := m.checkHello(fr); err != nil {
 			conn.Close()
 			return err
 		}
 		r := fr.Origin
-		if m.peers[r] != nil {
+		if r <= 0 || r >= m.cfg.N {
 			conn.Close()
-			return fmt.Errorf("netfab: duplicate hello from rank %d", r)
+			return fmt.Errorf("netfab: hello from out-of-range rank %d", r)
 		}
 		// The peer advertises only its listener port; the host that
 		// actually reached us is authoritative.
@@ -276,11 +317,21 @@ func (m *Mesh) bootstrapRoot() error {
 			conn.Close()
 			return fmt.Errorf("netfab: rank %d advertised bad addr %q: %w", r, fr.Strs[0], err)
 		}
+		if m.peers[r] != nil {
+			// The rank reconnected (a respawned process retrying the
+			// rendezvous): the newest stream wins.
+			m.peers[r].conn.Close()
+			have--
+		}
 		addrs[r] = net.JoinHostPort(host, port)
 		m.peers[r] = newPeer(r, conn)
+		if fr.Kind == wire.KindRejoin && !contains(m.rejoined, r) {
+			m.rejoined = append(m.rejoined, r)
+		}
+		have++
 	}
 
-	roster := &wire.Frame{Kind: wire.KindRoster, Origin: 0, Strs: addrs}
+	roster := &wire.Frame{Kind: wire.KindRoster, Origin: 0, Operand: uint64(m.cfg.Gen), Strs: addrs}
 	for r := 1; r < m.cfg.N; r++ {
 		if err := m.writeFrame(m.peers[r], roster); err != nil {
 			return fmt.Errorf("netfab: root sending roster to rank %d: %w", r, err)
@@ -321,11 +372,16 @@ func (m *Mesh) bootstrapPeer() error {
 		return fmt.Errorf("netfab: rank %d dialing root %s: %w", m.cfg.Self, m.cfg.RootAddr, err)
 	}
 	m.peers[0] = newPeer(0, rootConn)
+	helloKind := wire.KindHello
+	if m.cfg.Rejoin {
+		helloKind = wire.KindRejoin
+	}
 	hello := &wire.Frame{
-		Kind:    wire.KindHello,
+		Kind:    helloKind,
 		Origin:  m.cfg.Self,
 		Operand: uint64(m.cfg.N),
 		Compare: wire.Version,
+		Seq:     uint64(m.cfg.Gen),
 		Strs:    []string{ln.Addr().String()},
 	}
 	if err := m.writeFrame(m.peers[0], hello); err != nil {
@@ -335,6 +391,7 @@ func (m *Mesh) bootstrapPeer() error {
 	if err != nil || roster.Kind != wire.KindRoster || len(roster.Strs) != m.cfg.N {
 		return fmt.Errorf("netfab: rank %d waiting for roster: %v", m.cfg.Self, err)
 	}
+	m.gen = int(roster.Operand)
 
 	// Dial down, accept up: rank i originates the connection to every
 	// j < i, so each unordered pair has exactly one stream.
@@ -349,7 +406,7 @@ func (m *Mesh) bootstrapPeer() error {
 			return fmt.Errorf("netfab: rank %d hello to rank %d: %w", m.cfg.Self, r, err)
 		}
 	}
-	for r := m.cfg.Self + 1; r < m.cfg.N; r++ {
+	for have := 0; have < m.cfg.N-m.cfg.Self-1; {
 		conn, err := ln.Accept()
 		if err != nil {
 			return fmt.Errorf("netfab: rank %d accept: %w", m.cfg.Self, err)
@@ -357,17 +414,22 @@ func (m *Mesh) bootstrapPeer() error {
 		fr, err := readFrame(conn, deadline)
 		if err != nil {
 			conn.Close()
-			return fmt.Errorf("netfab: rank %d reading mesh hello: %w", m.cfg.Self, err)
+			continue // stale connection from an abandoned earlier attempt
 		}
 		if err := m.checkHello(fr); err != nil {
 			conn.Close()
 			return err
 		}
-		if fr.Origin <= m.cfg.Self || fr.Origin >= m.cfg.N || m.peers[fr.Origin] != nil {
+		if fr.Origin <= m.cfg.Self || fr.Origin >= m.cfg.N {
 			conn.Close()
 			return fmt.Errorf("netfab: rank %d unexpected mesh hello from rank %d", m.cfg.Self, fr.Origin)
 		}
+		if m.peers[fr.Origin] != nil {
+			m.peers[fr.Origin].conn.Close() // newest stream wins (peer retried)
+			have--
+		}
 		m.peers[fr.Origin] = newPeer(fr.Origin, conn)
+		have++
 	}
 
 	if err := m.writeFrame(m.peers[0], &wire.Frame{Kind: wire.KindReady, Origin: m.cfg.Self}); err != nil {
@@ -380,8 +442,26 @@ func (m *Mesh) bootstrapPeer() error {
 	return nil
 }
 
+// Gen returns the world generation adopted at bootstrap: the root's
+// configured generation, learned by every peer from the Roster broadcast.
+func (m *Mesh) Gen() int { return m.gen }
+
+// Rejoined returns the ranks the root admitted via a Rejoin hello during
+// bootstrap (respawned processes re-entering the job). Only the root
+// observes rejoin hellos; elsewhere the slice is empty.
+func (m *Mesh) Rejoined() []int { return m.rejoined }
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
 func (m *Mesh) checkHello(fr *wire.Frame) error {
-	if fr.Kind != wire.KindHello {
+	if fr.Kind != wire.KindHello && fr.Kind != wire.KindRejoin {
 		return fmt.Errorf("netfab: expected hello, got %s", fr.Kind)
 	}
 	if fr.Compare != wire.Version {

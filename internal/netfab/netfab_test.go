@@ -235,3 +235,115 @@ func TestVersionMismatchRejected(t *testing.T) {
 		t.Fatal("checkHello accepted mismatched job size")
 	}
 }
+
+// TestRegenerationOverKeptListener proves the recovery re-bootstrap
+// contract end to end at the mesh layer: generation 0 forms over a kept
+// root listener, every stream is torn down, and generation 1 forms over
+// the SAME listener — with one rank presenting a Rejoin hello, the root
+// stamping the new generation number, and every peer adopting it from the
+// Roster broadcast (a respawned process that lost count must learn the
+// current generation from the rendezvous, not from configuration). The
+// new generation must then carry traffic on fresh streams.
+func TestRegenerationOverKeptListener(t *testing.T) {
+	const n = 3
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	root := ln.Addr().String()
+
+	boot := func(gen int, rejoin map[int]bool) []*Mesh {
+		t.Helper()
+		meshes := make([]*Mesh, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cfg := Config{Self: r, N: n, RootAddr: root, DialTimeout: 5 * time.Second}
+				if r == 0 {
+					cfg.RootListener = ln
+					cfg.KeepRootListener = true
+					// Only the root is told the generation; peers pass 0
+					// and must adopt the root's value from the Roster.
+					cfg.Gen = gen
+				}
+				cfg.Rejoin = rejoin[r]
+				meshes[r], errs[r] = Bootstrap(cfg)
+			}()
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("gen %d rank %d bootstrap: %v", gen, r, err)
+			}
+		}
+		return meshes
+	}
+	closeAll := func(meshes []*Mesh) {
+		var wg sync.WaitGroup
+		for _, m := range meshes {
+			wg.Add(1)
+			go func() { defer wg.Done(); m.Close(true) }()
+		}
+		wg.Wait()
+	}
+
+	gen0 := boot(0, nil)
+	for r, m := range gen0 {
+		if m.Gen() != 0 {
+			t.Errorf("gen 0: rank %d reports generation %d", r, m.Gen())
+		}
+		if len(m.Rejoined()) != 0 {
+			t.Errorf("gen 0: rank %d admitted rejoins %v on a first bootstrap", r, m.Rejoined())
+		}
+	}
+	for _, m := range gen0 {
+		m.Start(func(int, *wire.Frame) {}, func(int, error) {})
+	}
+	closeAll(gen0)
+
+	// Rank 2 "died" and comes back: same rendezvous point, Rejoin hello.
+	gen1 := boot(1, map[int]bool{2: true})
+	for r, m := range gen1 {
+		if m.Gen() != 1 {
+			t.Errorf("gen 1: rank %d adopted generation %d, want the root's 1", r, m.Gen())
+		}
+	}
+	if rj := gen1[0].Rejoined(); len(rj) != 1 || rj[0] != 2 {
+		t.Errorf("root admitted rejoined ranks %v, want [2]", rj)
+	}
+	if rj := gen1[1].Rejoined(); len(rj) != 0 {
+		t.Errorf("non-root rank 1 reports rejoins %v, want none", rj)
+	}
+
+	// The regenerated mesh must be live: a frame from the rejoined rank
+	// reaches the root on the new streams.
+	got := make(chan []byte, 1)
+	for _, m := range gen1 {
+		self := m.Self()
+		m.Start(func(from int, fr *wire.Frame) {
+			if self == 0 && from == 2 {
+				select {
+				case got <- append([]byte(nil), fr.Data...):
+				default:
+				}
+			}
+		}, func(int, error) {})
+	}
+	if err := gen1[2].Send(0, &wire.Frame{Kind: wire.KindPut, Origin: 2, Target: 0,
+		Data: []byte("second life")}); err != nil {
+		t.Fatalf("send on regenerated mesh: %v", err)
+	}
+	select {
+	case data := <-got:
+		if string(data) != "second life" {
+			t.Errorf("regenerated mesh garbled the frame: %q", data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame never arrived on the regenerated mesh")
+	}
+	closeAll(gen1)
+}

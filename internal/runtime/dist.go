@@ -33,6 +33,23 @@ type DistOptions struct {
 	RootListener net.Listener
 	// Timeout bounds the whole rendezvous (default 10s).
 	Timeout time.Duration
+	// KeepRootListener leaves RootListener open after bootstrap so a later
+	// world generation can rendezvous through the same point (recovery
+	// re-bootstrap after a rank death). Rank 0 with RootListener only.
+	KeepRootListener bool
+	// Gen is the world generation being formed (0 for the first). The root
+	// stamps it on the roster; peers adopt the root's value.
+	Gen int
+	// Rejoin marks this process as a respawned rank re-entering the job;
+	// its rendezvous hello uses the Rejoin wire kind so the root records
+	// the admission.
+	Rejoin bool
+	// OnBootstrap, when non-nil, runs after the mesh rendezvous succeeds
+	// and before body starts, reporting the generation the root stamped on
+	// the roster and which ranks joined it with a Rejoin hello. Recovery
+	// runtimes use it to learn whether this generation admits respawned
+	// ranks that need their state rebuilt.
+	OnBootstrap func(gen int, rejoined []int)
 }
 
 // RunDistributed bootstraps this process into the mesh, runs body as rank
@@ -46,6 +63,9 @@ func RunDistributed(d DistOptions, opts Options, body func(p *Proc)) error {
 	w, mesh, err := newDistWorld(d, opts)
 	if err != nil {
 		return err
+	}
+	if d.OnBootstrap != nil {
+		d.OnBootstrap(mesh.Gen(), mesh.Rejoined())
 	}
 	runErr := w.Run(func(p *Proc) {
 		body(p)
@@ -68,11 +88,14 @@ func newDistWorld(d DistOptions, opts Options) (*World, *netfab.Mesh, error) {
 		return nil, nil, fmt.Errorf("runtime: rank %d outside job of %d", d.Self, opts.Ranks)
 	}
 	mesh, err := netfab.Bootstrap(netfab.Config{
-		Self:         d.Self,
-		N:            opts.Ranks,
-		RootAddr:     d.Root,
-		RootListener: d.RootListener,
-		DialTimeout:  d.Timeout,
+		Self:             d.Self,
+		N:                opts.Ranks,
+		RootAddr:         d.Root,
+		RootListener:     d.RootListener,
+		DialTimeout:      d.Timeout,
+		KeepRootListener: d.KeepRootListener,
+		Gen:              d.Gen,
+		Rejoin:           d.Rejoin,
 	})
 	if err != nil {
 		return nil, nil, err

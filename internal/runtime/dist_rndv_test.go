@@ -1,0 +1,96 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// TestDistRendezvousPeerDeathDrains kills rank 1 right as rank 0 starts a
+// transfer large enough to take the RTS/CTS rendezvous path to it. The
+// handshake dies somewhere in the middle — the RTS may fail at the socket,
+// be sent and never answered, or even be CTS'd by the dying rank before
+// its sockets close — and in every one of those interleavings rank 0's put
+// must complete with ErrPeerFailed (not hang), the fabric's pending
+// rendezvous maps must drain, and every pooled transfer buffer must be
+// returned: a rank death mid-handshake leaks nothing.
+func TestDistRendezvousPeerDeathDrains(t *testing.T) {
+	const (
+		regionSize = 9 << 20
+		// Far above both the configured crossover and any adaptive
+		// (RTT-scaled) threshold loopback jitter could produce, so the put
+		// is rendezvous-eligible deterministically.
+		paySize = 8 << 20
+	)
+	var (
+		mu      sync.Mutex
+		opErr   error
+		drained bool
+		last    string
+	)
+	done := make(chan []error, 1)
+	go func() {
+		done <- RunLocalCluster(Options{Ranks: 2, RendezvousThreshold: 64 << 10}, func(p *Proc) {
+			nic := p.NIC()
+			reg := nic.Register(make([]byte, regionSize))
+			p.Barrier()
+			if p.Rank() == 1 {
+				panic("rank 1 dies mid-rendezvous")
+			}
+			fab := p.World().Fabric()
+			before := fab.PoolStats()
+			op := nic.Put(p.Proc, 1, reg.ID, 0, make([]byte, paySize), fabric.Imm{})
+			op.Await(p.Proc)
+			mu.Lock()
+			opErr = op.Err()
+			mu.Unlock()
+			// The failure sweep runs inside the declaration that completed
+			// the op, but the CTS-won-the-race path releases its payload on
+			// a separate sender goroutine — poll briefly for the fixpoint.
+			// The balance allows exactly one unreturned get: the reliability
+			// layer deliberately hands a sequenced retained payload to the
+			// collector instead of the pool (a slow retransmit clone may
+			// still be reading it when the release comes).
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				out, in := fab.RndvPending()
+				st := fab.PoolStats()
+				outstanding := (st.Gets - before.Gets) - (st.Returns - before.Returns)
+				mu.Lock()
+				last = fmt.Sprintf("rndv out=%d in=%d, put-era pool gets=%d returns=%d",
+					out, in, st.Gets-before.Gets, st.Returns-before.Returns)
+				if out == 0 && in == 0 && outstanding <= 1 {
+					drained = true
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}()
+	select {
+	case errs := <-done:
+		if errs[1] == nil || !strings.Contains(errs[1].Error(), "dies mid-rendezvous") {
+			t.Errorf("rank 1 error = %v, want its own panic", errs[1])
+		}
+		if !errors.Is(errs[0], fabric.ErrPeerFailed) {
+			t.Errorf("rank 0 run error = %v, want errors.Is(..., ErrPeerFailed)", errs[0])
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if !errors.Is(opErr, fabric.ErrPeerFailed) {
+			t.Errorf("doomed put completed with %v, want errors.Is(..., ErrPeerFailed)", opErr)
+		}
+		if !drained {
+			t.Errorf("rendezvous state or pooled buffers leaked after peer death: %s", last)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("rank 0 never unblocked from the mid-rendezvous peer death")
+	}
+}

@@ -259,6 +259,12 @@ func (p *Proc) Attach(key any, mk func() any) any {
 	return v
 }
 
+// Attached returns the endpoint stored under key without creating one.
+func (p *Proc) Attached(key any) (any, bool) {
+	v, ok := p.attachments[key]
+	return v, ok
+}
+
 // AddWindowObserver registers o for window lifecycle events on this rank
 // and replays WindowCreated for every window already live, so an observer
 // attached lazily (on first use of its layer) still learns about earlier

@@ -13,8 +13,10 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/shmfab"
 )
 
@@ -26,6 +28,13 @@ type ShmOptions struct {
 	// mapped pair segment shared with rank q (launcher fds, NA_SHM_DIR
 	// files, or heap segments for in-process clusters).
 	Segments []*shmfab.Segment
+	// HeartbeatInterval/HeartbeatTimeout/StartupGrace override the segment
+	// mesh's liveness timings (zero keeps the shmfab defaults: 25ms bump,
+	// 5s stall, 10s boot grace). Recovery tests shrink them so a killed or
+	// hung peer is detected in milliseconds instead of seconds.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	StartupGrace      time.Duration
 }
 
 // RunShm runs body as rank Self of an Options.Ranks-rank job over the
@@ -44,14 +53,29 @@ func RunShm(s ShmOptions, opts Options, body func(p *Proc)) error {
 		return fmt.Errorf("runtime: rank %d outside job of %d", s.Self, opts.Ranks)
 	}
 	mesh, err := shmfab.Attach(shmfab.Config{
-		Self:     s.Self,
-		N:        opts.Ranks,
-		Segments: s.Segments,
+		Self:              s.Self,
+		N:                 opts.Ranks,
+		Segments:          s.Segments,
+		HeartbeatInterval: s.HeartbeatInterval,
+		HeartbeatTimeout:  s.HeartbeatTimeout,
+		StartupGrace:      s.StartupGrace,
 	})
 	if err != nil {
 		return err
 	}
 	w := newLinkWorld(opts, s.Self, mesh)
+	// Mirror injected rank failure into the segment heartbeat: a rank the
+	// fault plan crashes or hangs keeps its segment mapped (and, for hang,
+	// keeps consuming), so the only way survivors can notice is the
+	// heartbeat word going quiet — exactly how a real frozen process looks.
+	if inj := w.fab.Injector(); inj != nil {
+		self := s.Self
+		inj.SetDownHook(func(rank int, _ fault.RankMode) {
+			if rank == self {
+				mesh.SuppressHeartbeat()
+			}
+		})
+	}
 	runErr := w.Run(func(p *Proc) {
 		body(p)
 		p.Barrier() // finalize: all ranks quiesce before any tears down

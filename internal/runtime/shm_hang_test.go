@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/fault"
+	"repro/internal/shmfab"
+)
+
+// TestShmHangModeTripsHeartbeat freezes rank 1 with the injector's hang
+// mode — sends silenced, heartbeat suppressed, process alive and still
+// consuming — and requires the survivor to convict it through the segment
+// heartbeat detector. A hung process is the failure shared memory cannot
+// see any other way: the segment stays mapped and the rings stay open, so
+// only the liveness word going quiet distinguishes it from a slow peer.
+// The test pins the whole chain: injector hang → down hook →
+// SuppressHeartbeat → stall conviction → ErrPeerFailed at the survivor,
+// plus the injector actually absorbing the hung rank's sends.
+func TestShmHangModeTripsHeartbeat(t *testing.T) {
+	const n = 2
+	seg := shmfab.NewHeapSegment(0, 1)
+	var (
+		mu   sync.Mutex
+		injs [n]*fault.Injector
+	)
+	errs := make([]error, n)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			segs := make([]*shmfab.Segment, n)
+			segs[1-r] = seg
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[r] = RunShm(ShmOptions{
+					Self:              r,
+					Segments:          segs,
+					HeartbeatInterval: 2 * time.Millisecond,
+					HeartbeatTimeout:  250 * time.Millisecond,
+					StartupGrace:      2 * time.Second,
+				}, Options{Ranks: n, FaultPlan: &fault.Plan{}}, func(p *Proc) {
+					inj := p.World().Fabric().Injector()
+					mu.Lock()
+					injs[p.Rank()] = inj
+					mu.Unlock()
+					p.Barrier() // the hang strikes an established, healthy job
+					if p.Rank() == 1 {
+						inj.Hang(1)
+					}
+					// Rank 1's half of this barrier is absorbed by the
+					// injector, so it can only resolve through the failure
+					// detector — on both sides: rank 0 convicts the stalled
+					// heartbeat, and rank 1 (parked, still consuming)
+					// convicts rank 0 once its abrupt close stops *its*
+					// heartbeat.
+					p.Barrier()
+					if p.Rank() == 0 {
+						t.Error("rank 0 passed a barrier with a hung peer")
+					}
+				})
+			}()
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cluster never unwound after the hang")
+	}
+	if !errors.Is(errs[0], fabric.ErrPeerFailed) {
+		t.Errorf("survivor error = %v, want errors.Is(..., ErrPeerFailed)", errs[0])
+	}
+	if errs[0] == nil || !strings.Contains(errs[0].Error(), "heartbeat stalled") {
+		t.Errorf("survivor error = %v, want the heartbeat detector's verdict", errs[0])
+	}
+	if !errors.Is(errs[1], fabric.ErrPeerFailed) {
+		t.Errorf("hung rank error = %v, want errors.Is(..., ErrPeerFailed)", errs[1])
+	}
+	mu.Lock()
+	inj := injs[1]
+	mu.Unlock()
+	if st := inj.Stats(); st.RankDropped == 0 {
+		t.Error("hang mode absorbed no packets — the barrier's silence came from somewhere else")
+	}
+}

@@ -61,9 +61,10 @@ type Mesh struct {
 	beatTimeout  time.Duration
 	startupGrace time.Duration
 
-	closed atomic.Bool
-	quit   chan struct{}
-	wg     sync.WaitGroup
+	closed   atomic.Bool
+	suppress atomic.Bool // heartbeat suppressed: this rank plays dead
+	quit     chan struct{}
+	wg       sync.WaitGroup
 
 	entriesSent, entriesRecv     atomic.Uint64
 	compactSent, genericSent     atomic.Uint64
@@ -507,6 +508,14 @@ func (m *Mesh) consume(p *shmPeer, e []byte) {
 	}
 }
 
+// SuppressHeartbeat stops bumping this rank's liveness word in every
+// outbound direction, so peers' detectors see exactly what a frozen
+// process would produce: an open segment whose heartbeat has stalled. The
+// fault injector's hang/crash modes use it — a hung rank keeps its segment
+// mapped and keeps consuming, but must still fan out ErrPeerFailed at the
+// survivors once the timeout elapses. Peer monitoring continues.
+func (m *Mesh) SuppressHeartbeat() { m.suppress.Store(true) }
+
 // beatLoop bumps this rank's heartbeat in every outbound direction and
 // watches every peer's: a stalled heartbeat without a clean goodbye is a
 // dead peer.
@@ -521,11 +530,14 @@ func (m *Mesh) beatLoop() {
 		case <-t.C:
 		}
 		now := time.Now()
+		suppressed := m.suppress.Load()
 		for _, p := range m.peers {
 			if p == nil {
 				continue
 			}
-			p.prod.beat()
+			if !suppressed {
+				p.prod.beat()
+			}
 			if p.down.Load() || p.byeSeen.Load() {
 				continue
 			}

@@ -82,6 +82,14 @@ const (
 	KindCTS      // clear to send: OpID echoes the transfer ID
 	KindRndvData // the payload: OpID=transfer ID, Operand=payload bytes, Data=payload
 
+	// KindRejoin is the Hello variant a respawned rank sends during a
+	// recovery re-bootstrap: same layout as KindHello (Origin=rank,
+	// Operand=job size, Compare=protocol version, Strs[0]=listener addr)
+	// plus Seq carrying the last world generation the process saw (0 for
+	// a fresh respawn). The root admits it into the roster like any other
+	// hello but records the rank as a rejoiner for the recovery layer.
+	KindRejoin
+
 	kindCount // sentinel
 )
 
@@ -129,6 +137,8 @@ func (k Kind) String() string {
 		return "cts"
 	case KindRndvData:
 		return "rndv-data"
+	case KindRejoin:
+		return "rejoin"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
